@@ -1,0 +1,76 @@
+// Ablation: the memory-aware planning extension (paper §IV-D future
+// work). A memory-bound batch application runs under (a) Cilk, (b) the
+// paper's EEWA, whose cache-miss gate falls back to plain stealing at
+// F0, and (c) EEWA with effective-slowdown CC planning, which keeps
+// planning because memory-stalled tasks barely slow down at low
+// frequency. Also sweeps the stall fraction alpha to show where the
+// extension's advantage comes from.
+#include <cstdio>
+
+#include "sim/simulate.hpp"
+#include "trace/synthetic.hpp"
+#include "util/table_printer.hpp"
+
+namespace {
+
+using namespace eewa;
+
+trace::TaskTrace memory_trace(double alpha, double cmi) {
+  trace::SyntheticSpec spec;
+  spec.name = "membound";
+  spec.classes = {{"mem_heavy", 6, 0.08, 0.1, cmi, alpha},
+                  {"mem_light", 40, 0.008, 0.1, cmi, alpha}};
+  spec.batches = 30;
+  spec.seed = 5;
+  return trace::generate(spec);
+}
+
+int run() {
+  sim::SimOptions opt;
+  opt.cores = 16;
+  opt.seed = 9;
+
+  std::printf(
+      "Memory-aware planning ablation (synthetic memory-bound batches,\n"
+      "16 cores, 30 batches)\n\n");
+
+  util::TablePrinter table({"alpha", "scheduler", "time (s)", "energy (J)",
+                            "vs cilk"});
+  for (const double alpha : {0.0, 0.3, 0.5, 0.7, 0.9}) {
+    // CMI above the gate threshold once tasks are meaningfully stalled.
+    const double cmi = alpha > 0.0 ? 0.08 : 0.001;
+    const auto t = memory_trace(alpha, cmi);
+    sim::CilkPolicy cilk;
+    const auto rc = sim::simulate(t, cilk, opt);
+
+    sim::EewaPolicy gated(t.class_names);
+    const auto rg = sim::simulate(t, gated, opt);
+
+    core::ControllerOptions copts;
+    copts.adjuster.memory_aware = true;
+    sim::EewaPolicy aware(t.class_names, copts);
+    const auto ra = sim::simulate(t, aware, opt);
+
+    auto row = [&](const char* name, const sim::SimResult& r) {
+      table.add(alpha, name, r.time_s, r.energy_j,
+                util::TablePrinter::fixed(
+                    100.0 * (r.energy_j / rc.energy_j - 1.0), 1) +
+                    "%");
+    };
+    row("cilk", rc);
+    row(gated.controller().memory_bound_mode() ? "eewa (gated)" : "eewa",
+        rg);
+    row("eewa memory-aware", ra);
+  }
+  std::printf("%s\n", table.str().c_str());
+  std::printf(
+      "Expected shape: with alpha = 0 all EEWA variants coincide; as\n"
+      "alpha grows the paper's gate forfeits savings while the\n"
+      "memory-aware planner keeps (and grows) them, since stalled tasks\n"
+      "lose little time at low frequency.\n");
+  return 0;
+}
+
+}  // namespace
+
+int main() { return run(); }

@@ -1,0 +1,71 @@
+// Ablation: how much of EEWA's benefit rides on the silicon's
+// voltage-frequency curve. The same MD5 trace and schedulers run over
+// three power models — the paper-era K10 server (wide VID range), a
+// modern server (narrow VID range, big floor), and an embedded part
+// (wide range, no floor). Also contrasts task-sharing (the paper's §I
+// strawman) with stealing under each model.
+#include <cstdio>
+
+#include "sim/simulate.hpp"
+#include "util/table_printer.hpp"
+#include "workloads/suite.hpp"
+
+namespace {
+
+using namespace eewa;
+
+int run() {
+  const auto trace = wl::build_trace(wl::find_benchmark("MD5"),
+                                     wl::reference_calibration(), 30, 2024);
+
+  struct ModelCase {
+    const char* name;
+    energy::PowerModel model;
+  };
+  const ModelCase models[] = {
+      {"opteron8380 (paper-era)", energy::PowerModel::opteron8380_server()},
+      {"modern server", energy::PowerModel::modern_server()},
+      {"embedded", energy::PowerModel::embedded()},
+  };
+
+  std::printf(
+      "Power-model ablation (MD5, 16 cores, 30 batches): energy\n"
+      "normalized to Cilk under each model\n\n");
+  util::TablePrinter table({"power model", "cilk (J)", "sharing",
+                            "ondemand", "cilk-d", "eewa", "eewa saving"});
+  for (const auto& mc : models) {
+    sim::SimOptions opt;
+    opt.cores = 16;
+    opt.seed = 42;
+    opt.power = mc.model;
+    sim::CilkPolicy cilk;
+    sim::SharingPolicy sharing;
+    sim::OndemandPolicy ondemand;
+    sim::CilkDPolicy cilkd;
+    sim::EewaPolicy eewa(trace.class_names);
+    const auto rc = sim::simulate(trace, cilk, opt);
+    const auto rs = sim::simulate(trace, sharing, opt);
+    const auto ro = sim::simulate(trace, ondemand, opt);
+    const auto rd = sim::simulate(trace, cilkd, opt);
+    const auto re = sim::simulate(trace, eewa, opt);
+    table.add(mc.name, rc.energy_j,
+              util::TablePrinter::fixed(rs.energy_j / rc.energy_j, 3),
+              util::TablePrinter::fixed(ro.energy_j / rc.energy_j, 3),
+              util::TablePrinter::fixed(rd.energy_j / rc.energy_j, 3),
+              util::TablePrinter::fixed(re.energy_j / rc.energy_j, 3),
+              util::TablePrinter::fixed(
+                  100.0 * (1.0 - re.energy_j / rc.energy_j), 1) +
+                  "%");
+  }
+  std::printf("%s\n", table.str().c_str());
+  std::printf(
+      "Expected shape: savings are largest where the V-f curve is wide\n"
+      "(embedded > paper-era server > modern server); the machine floor\n"
+      "compresses all relative savings. Task-sharing trails stealing on\n"
+      "makespan, which also costs it energy.\n");
+  return 0;
+}
+
+}  // namespace
+
+int main() { return run(); }

@@ -1,0 +1,55 @@
+// Microbenchmarks of the seven benchmark kernels (bytes/second), the
+// numbers behind the suite's calibration table. Run with --calibrate on
+// bench_fig6_energy to use live values instead of the reference table.
+#include <benchmark/benchmark.h>
+
+#include "workloads/suite.hpp"
+
+namespace {
+
+using namespace eewa;
+
+void BM_Kernel(benchmark::State& state, wl::KernelKind kind) {
+  const auto bytes = static_cast<std::size_t>(state.range(0));
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(wl::run_kernel(kind, bytes, seed++));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(bytes));
+}
+
+void register_all() {
+  struct Entry {
+    const char* name;
+    wl::KernelKind kind;
+  };
+  static constexpr Entry kKernels[] = {
+      {"bwc_bwt_stage", wl::KernelKind::kBwcBwtStage},
+      {"bwc_entropy_stage", wl::KernelKind::kBwcEntropyStage},
+      {"bzip2_pipeline", wl::KernelKind::kBzCompress},
+      {"dmc_compress", wl::KernelKind::kDmcCompress},
+      {"jpeg_encode", wl::KernelKind::kJeEncode},
+      {"jpeg_thumbnail", wl::KernelKind::kJeThumbnail},
+      {"lzw_compress", wl::KernelKind::kLzwCompress},
+      {"md5", wl::KernelKind::kMd5Hash},
+      {"sha1", wl::KernelKind::kSha1Hash},
+  };
+  for (const auto& e : kKernels) {
+    benchmark::RegisterBenchmark(e.name,
+                                 [kind = e.kind](benchmark::State& s) {
+                                   BM_Kernel(s, kind);
+                                 })
+        ->Arg(4096)
+        ->Arg(65536);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_all();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Interactive experiment driver: run any Table-II benchmark under any
+// scheduler on any machine size, with one line of output per run —
+// handy for sweeping configurations beyond the canned paper figures.
+//
+// Usage: ./examples/sim_explorer [--benchmark NAME] [--policy cilk|cilk-d|
+//        wats|eewa] [--cores N] [--batches N] [--seed N] [--margin X]
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "sim/simulate.hpp"
+#include "workloads/suite.hpp"
+
+using namespace eewa;
+
+int main(int argc, char** argv) {
+  std::string bench_name = "MD5";
+  std::string policy_name = "eewa";
+  std::size_t cores = 16;
+  std::size_t batches = 20;
+  std::uint64_t seed = 42;
+  double margin = 0.15;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      return i + 1 < argc ? argv[++i] : "";
+    };
+    if (arg == "--benchmark") bench_name = next();
+    else if (arg == "--policy") policy_name = next();
+    else if (arg == "--cores") cores = std::stoul(next());
+    else if (arg == "--batches") batches = std::stoul(next());
+    else if (arg == "--seed") seed = std::stoull(next());
+    else if (arg == "--margin") margin = std::stod(next());
+    else {
+      std::printf(
+          "usage: sim_explorer [--benchmark B] [--policy P] [--cores N]\n"
+          "                    [--batches N] [--seed N] [--margin X]\n"
+          "benchmarks:");
+      for (const auto& b : wl::suite()) std::printf(" %s", b.name.c_str());
+      std::printf("\npolicies: cilk cilk-d sharing ondemand wats eewa\n");
+      return arg == "--help" ? 0 : 1;
+    }
+  }
+
+  const auto trace = wl::build_trace(wl::find_benchmark(bench_name),
+                                     wl::reference_calibration(), batches,
+                                     seed);
+  sim::SimOptions opt;
+  opt.cores = cores;
+  opt.seed = seed;
+
+  sim::SimResult res;
+  if (policy_name == "cilk" || policy_name == "cilk-d" ||
+      policy_name == "sharing" || policy_name == "ondemand") {
+    res = sim::simulate_named(trace, policy_name, opt);
+  } else if (policy_name == "wats") {
+    // Fixed asymmetric split: 1/3 fast cores, the rest at the bottom.
+    std::vector<std::size_t> rungs(cores, opt.ladder().slowest_index());
+    for (std::size_t c = 0; c < cores / 3 + 1; ++c) rungs[c] = 0;
+    sim::WatsPolicy p(rungs, trace.class_names);
+    res = sim::simulate(trace, p, opt);
+  } else if (policy_name == "eewa") {
+    core::ControllerOptions copts;
+    copts.adjuster.time_margin = margin;
+    sim::EewaPolicy p(trace.class_names, copts);
+    res = sim::simulate(trace, p, opt);
+  } else {
+    std::fprintf(stderr, "unknown policy %s\n", policy_name.c_str());
+    return 1;
+  }
+
+  std::printf(
+      "%s/%s cores=%zu batches=%zu seed=%llu: time %.4f s, energy %.1f J "
+      "(cores %.1f J), steals %zu, transitions %zu\n",
+      bench_name.c_str(), res.policy.c_str(), cores, batches,
+      static_cast<unsigned long long>(seed), res.time_s, res.energy_j,
+      res.cpu_energy_j, res.steals, res.transitions);
+  for (std::size_t j = 0; j < res.rung_residency_s.size(); ++j) {
+    std::printf("  F%zu (%.1f GHz): %.3f core-seconds\n", j,
+                opt.ladder().ghz(j), res.rung_residency_s[j]);
+  }
+  return 0;
+}

@@ -1,0 +1,37 @@
+#include "core/adjuster.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace eewa::core {
+
+Adjuster::Adjuster(dvfs::FrequencyLadder ladder, std::size_t total_cores,
+                   AdjusterOptions options)
+    : ladder_(std::move(ladder)), total_cores_(total_cores),
+      options_(options) {
+  if (total_cores_ == 0) {
+    throw std::invalid_argument("Adjuster: need at least one core");
+  }
+}
+
+Adjustment Adjuster::adjust(std::vector<ClassProfile> classes,
+                            std::size_t registry_class_count,
+                            double ideal_time_s) const {
+  Adjustment out;
+  if (classes.empty() || ideal_time_s <= 0.0) {
+    out.plan = uniform_plan(total_cores_, registry_class_count);
+    return out;
+  }
+  out.attempted = true;
+  const double margin = std::clamp(options_.time_margin, 0.0, 0.9);
+  out.cc = CCTable::build(std::move(classes), ladder_,
+                          ideal_time_s * (1.0 - margin),
+                          options_.memory_aware);
+  out.search =
+      search_ktuple(out.cc, total_cores_, options_.search, options_.model);
+  out.plan = make_frequency_plan(out.cc, out.search, total_cores_, ladder_,
+                                 registry_class_count, options_.leftover);
+  return out;
+}
+
+}  // namespace eewa::core

@@ -1,0 +1,66 @@
+// The workload-aware frequency adjuster (paper §III-A): the end-of-batch
+// pipeline  profile → CC table → k-tuple search → frequency plan.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/cc_table.hpp"
+#include "core/frequency_plan.hpp"
+#include "core/ktuple_search.hpp"
+#include "core/task_class.hpp"
+#include "dvfs/frequency_ladder.hpp"
+#include "energy/power_model.hpp"
+
+namespace eewa::core {
+
+/// Adjuster configuration.
+struct AdjusterOptions {
+  SearchKind search = SearchKind::kBacktracking;
+  LeftoverPolicy leftover = LeftoverPolicy::kParkAtSlowest;
+  /// Optional power model for the exhaustive search objective.
+  const energy::PowerModel* model = nullptr;
+  /// Plan against T·(1 - time_margin): slack for the inter-batch
+  /// workload drift the paper acknowledges (§II-A). 0 = plan with no
+  /// safety margin, exactly the paper's formula.
+  double time_margin = 0.15;
+  /// Plan memory-bound classes with the effective-slowdown CC model
+  /// (paper §IV-D future work) instead of the CPU-bound formula; also
+  /// keeps the controller planning (rather than falling back to plain
+  /// work-stealing) for memory-bound applications.
+  bool memory_aware = false;
+};
+
+/// One adjustment outcome: the plan plus search diagnostics.
+struct Adjustment {
+  FrequencyPlan plan;
+  SearchResult search;
+  CCTable cc = CCTable::from_matrix({{0.0}});  // replaced on success
+  bool attempted = false;  ///< false when there was nothing to plan from
+};
+
+/// Stateless adjuster: pure function of the iteration profile.
+class Adjuster {
+ public:
+  Adjuster(dvfs::FrequencyLadder ladder, std::size_t total_cores,
+           AdjusterOptions options = {});
+
+  /// Run the full pipeline. `classes` must be sorted by descending mean
+  /// workload (TaskClassRegistry::iteration_profile() order);
+  /// `registry_class_count` sizes the class-id → group map;
+  /// `ideal_time_s` is the target iteration time T.
+  Adjustment adjust(std::vector<ClassProfile> classes,
+                    std::size_t registry_class_count,
+                    double ideal_time_s) const;
+
+  const dvfs::FrequencyLadder& ladder() const { return ladder_; }
+  std::size_t total_cores() const { return total_cores_; }
+  const AdjusterOptions& options() const { return options_; }
+
+ private:
+  dvfs::FrequencyLadder ladder_;
+  std::size_t total_cores_;
+  AdjusterOptions options_;
+};
+
+}  // namespace eewa::core

@@ -1,0 +1,141 @@
+#include "core/cc_table.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace eewa::core {
+
+CCTable::CCTable(std::size_t r, std::size_t k, std::vector<double> data,
+                 std::vector<ClassProfile> classes, double ideal_time_s)
+    : r_(r),
+      k_(k),
+      data_(std::move(data)),
+      classes_(std::move(classes)),
+      ideal_time_s_(ideal_time_s) {}
+
+CCTable CCTable::build(std::vector<ClassProfile> classes,
+                       const dvfs::FrequencyLadder& ladder,
+                       double ideal_time_s, bool memory_aware) {
+  if (classes.empty()) {
+    throw std::invalid_argument("CCTable: no task classes");
+  }
+  if (ideal_time_s <= 0.0) {
+    throw std::invalid_argument("CCTable: ideal time must be > 0");
+  }
+  for (std::size_t i = 1; i < classes.size(); ++i) {
+    if (classes[i].mean_workload > classes[i - 1].mean_workload) {
+      throw std::invalid_argument(
+          "CCTable: classes must be sorted by descending mean workload");
+    }
+  }
+  const std::size_t r = ladder.size();
+  const std::size_t k = classes.size();
+  std::vector<double> data(r * k, 0.0);
+  for (std::size_t i = 0; i < k; ++i) {
+    const double base = classes[i].total_workload() / ideal_time_s;
+    const double alpha = memory_aware ? classes[i].mean_alpha : 0.0;
+    for (std::size_t j = 0; j < r; ++j) {
+      const double eff_slowdown =
+          alpha + (1.0 - alpha) * ladder.slowdown(j);
+      data[j * k + i] = eff_slowdown * base;
+    }
+  }
+  return CCTable(r, k, std::move(data), std::move(classes), ideal_time_s);
+}
+
+CCTable CCTable::from_matrix(std::vector<std::vector<double>> rows,
+                             std::vector<ClassProfile> classes) {
+  if (rows.empty() || rows[0].empty()) {
+    throw std::invalid_argument("CCTable: empty matrix");
+  }
+  const std::size_t r = rows.size();
+  const std::size_t k = rows[0].size();
+  std::vector<double> data;
+  data.reserve(r * k);
+  for (const auto& row : rows) {
+    if (row.size() != k) {
+      throw std::invalid_argument("CCTable: ragged matrix");
+    }
+    data.insert(data.end(), row.begin(), row.end());
+  }
+  if (classes.empty()) {
+    for (std::size_t i = 0; i < k; ++i) {
+      classes.push_back(
+          ClassProfile{i, "TC" + std::to_string(i), 1, 0.0});
+    }
+  } else if (classes.size() != k) {
+    throw std::invalid_argument("CCTable: classes/columns mismatch");
+  }
+  return CCTable(r, k, std::move(data), std::move(classes), 0.0);
+}
+
+double CCTable::at(std::size_t j, std::size_t i) const {
+  if (j >= r_ || i >= k_) {
+    throw std::out_of_range("CCTable: index out of range");
+  }
+  return data_[j * k_ + i];
+}
+
+std::size_t CCTable::ceil_at(std::size_t j, std::size_t i) const {
+  const double v = at(j, i);
+  if (v <= 0.0) return 0;
+  const auto c = static_cast<std::size_t>(std::ceil(v - 1e-9));
+  return c == 0 ? 1 : c;
+}
+
+bool CCTable::rung_feasible(std::size_t j, std::size_t i) const {
+  if (j == 0) return true;  // F0 cannot be beaten; never reject it
+  if (ideal_time_s_ <= 0.0) return true;  // bare matrix: no timing info
+  const ClassProfile& c = classes_.at(i);
+  if (c.max_workload <= 0.0 || at(0, i) <= 0.0) return true;
+  const double slowdown = at(j, i) / at(0, i);  // = F0/Fj
+  return c.max_workload * slowdown <= ideal_time_s_ * (1.0 + 1e-9);
+}
+
+double CCTable::demand(std::size_t j, std::size_t i) const {
+  const double base = at(j, i);
+  if (ideal_time_s_ <= 0.0) return base;
+  const ClassProfile& c = classes_.at(i);
+  if (c.count == 0 || c.mean_workload <= 0.0 || at(0, i) <= 0.0) {
+    return base;
+  }
+  const double slowdown = at(j, i) / at(0, i);
+  const double task_time = c.mean_workload * slowdown;
+  const double rounds = std::floor(ideal_time_s_ / task_time + 1e-9);
+  if (rounds < 1.0) {
+    // Even one task misses T; rung_feasible filters this rung, but give
+    // a sane answer (one core per task) for callers that do not.
+    return std::max(base, static_cast<double>(c.count));
+  }
+  return std::max(base, static_cast<double>(c.count) / rounds);
+}
+
+std::size_t CCTable::cores_needed(std::size_t j, std::size_t i) const {
+  const double d = demand(j, i);
+  if (d <= 0.0) return 0;
+  const auto c = static_cast<std::size_t>(std::ceil(d - 1e-9));
+  return c == 0 ? 1 : c;
+}
+
+std::string CCTable::to_string() const {
+  std::string out = "      ";
+  char buf[64];
+  for (std::size_t i = 0; i < k_; ++i) {
+    std::snprintf(buf, sizeof(buf), " %10s", classes_[i].name.c_str());
+    out += buf;
+  }
+  out += '\n';
+  for (std::size_t j = 0; j < r_; ++j) {
+    std::snprintf(buf, sizeof(buf), "F%-5zu", j);
+    out += buf;
+    for (std::size_t i = 0; i < k_; ++i) {
+      std::snprintf(buf, sizeof(buf), " %10.3f", at(j, i));
+      out += buf;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace eewa::core

@@ -1,0 +1,96 @@
+// The Core-Count table (paper Table I). CC[j][i] is the number of cores
+// at frequency F_j needed to finish all tasks of class TC_i within the
+// ideal iteration time T:
+//
+//   CC[0][i] = n_i · w_i / T          (w normalized to F_0)
+//   CC[j][i] = (F_0 / F_j) · CC[0][i]
+//
+// Columns are ordered by descending mean per-task workload, as the search
+// constraint a_i <= a_j (i < j) requires.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/task_class.hpp"
+#include "dvfs/frequency_ladder.hpp"
+
+namespace eewa::core {
+
+/// Immutable r×k core-count matrix plus the class metadata of its columns.
+class CCTable {
+ public:
+  /// Build from per-class profiles (must already be sorted by descending
+  /// mean workload — TaskClassRegistry::iteration_profile() returns this
+  /// order) and the ideal iteration time T (> 0).
+  ///
+  /// With `memory_aware` set (the paper's §IV-D future-work extension),
+  /// each class scales by its *effective* slowdown
+  ///   s_eff(j) = α + (1 - α) · F0/Fj
+  /// instead of the CPU-bound F0/Fj: memory-stalled classes lose little
+  /// time at lower frequency, so they need fewer extra cores there and
+  /// the planner can downclock them aggressively. The downstream
+  /// feasibility/packing bounds recover s_eff from the table ratios, so
+  /// they stay correct automatically.
+  static CCTable build(std::vector<ClassProfile> classes,
+                       const dvfs::FrequencyLadder& ladder,
+                       double ideal_time_s, bool memory_aware = false);
+
+  /// Build directly from a dense matrix (tests / worked examples). `cc`
+  /// is row-major r×k.
+  static CCTable from_matrix(std::vector<std::vector<double>> rows,
+                             std::vector<ClassProfile> classes = {});
+
+  /// Rows r (frequency rungs).
+  std::size_t rows() const { return r_; }
+
+  /// Columns k (task classes).
+  std::size_t cols() const { return k_; }
+
+  /// Fractional core count CC[j][i].
+  double at(std::size_t j, std::size_t i) const;
+
+  /// Integral core count: ceil(CC[j][i]), never less than 1 for a class
+  /// with work (a class needs at least one core).
+  std::size_t ceil_at(std::size_t j, std::size_t i) const;
+
+  /// True when class i's tasks can individually finish within T at rung
+  /// j (critical-path guard): max_workload_i · F0/Fj <= T. Always true
+  /// for bare matrices (no timing metadata) — the paper's formula alone.
+  bool rung_feasible(std::size_t j, std::size_t i) const;
+
+  /// Cores class i needs at rung j, combining the paper's aggregate
+  /// formula with a task-packing lower bound: tasks are indivisible, so
+  /// c cores can finish at most c·floor(T / (w̄·F0/Fj)) tasks within T.
+  /// Reduces to ceil_at for fine-grained tasks and for bare matrices.
+  std::size_t cores_needed(std::size_t j, std::size_t i) const;
+
+  /// Fractional core demand of class i at rung j: the paper's CC[j][i]
+  /// raised to the task-packing lower bound n/floor(T/(w̄·F0/Fj)) when
+  /// tasks are coarse. The search sums these fractional demands against
+  /// the core budget (as Algorithm 1 does with raw CC values); the plan
+  /// then carves integral cores by largest remainder.
+  double demand(std::size_t j, std::size_t i) const;
+
+  /// Column metadata (empty when built from a bare matrix).
+  const std::vector<ClassProfile>& classes() const { return classes_; }
+
+  /// Ideal iteration time used for the build (0 for bare matrices).
+  double ideal_time_s() const { return ideal_time_s_; }
+
+  /// Render like the paper's Table I.
+  std::string to_string() const;
+
+ private:
+  CCTable(std::size_t r, std::size_t k, std::vector<double> data,
+          std::vector<ClassProfile> classes, double ideal_time_s);
+
+  std::size_t r_ = 0;
+  std::size_t k_ = 0;
+  std::vector<double> data_;  // row-major
+  std::vector<ClassProfile> classes_;
+  double ideal_time_s_ = 0.0;
+};
+
+}  // namespace eewa::core

@@ -1,0 +1,32 @@
+#include "core/classifier.hpp"
+
+#include <cstdint>
+
+namespace eewa::core {
+
+void BoundednessClassifier::record(std::uint64_t cache_misses,
+                                   std::uint64_t instructions) {
+  const double cmi =
+      instructions == 0
+          ? 0.0
+          : static_cast<double>(cache_misses) /
+                static_cast<double>(instructions);
+  record_cmi(cmi);
+}
+
+void BoundednessClassifier::record_cmi(double cmi) {
+  ++total_;
+  if (cmi > task_threshold_) ++memory_bound_;
+}
+
+double BoundednessClassifier::memory_bound_fraction() const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(memory_bound_) / static_cast<double>(total_);
+}
+
+void BoundednessClassifier::reset() {
+  total_ = 0;
+  memory_bound_ = 0;
+}
+
+}  // namespace eewa::core

@@ -1,0 +1,66 @@
+// CPU- vs memory-bound classification (paper §IV-D): during the first
+// batch EEWA also samples cache misses and retired instructions per task;
+// a task whose miss intensity (misses per instruction) exceeds a threshold
+// is memory-bound, and if most tasks are memory-bound the whole
+// application is treated as memory-bound and EEWA falls back to plain
+// work-stealing at F0.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace eewa::core {
+
+/// Rough memory-stall-fraction estimate from a cache-miss intensity:
+/// linear in the miss rate up to a saturation point (~one miss per 25
+/// instructions ≈ fully stall-bound on the paper's class of hardware).
+/// Used when only PMC counters, not direct stall measurements, exist.
+inline double estimate_alpha_from_cmi(double cmi,
+                                      double saturation_cmi = 0.04) {
+  if (cmi <= 0.0) return 0.0;
+  const double alpha = cmi / saturation_cmi;
+  return alpha > 1.0 ? 1.0 : alpha;
+}
+
+/// Streaming cache-miss-intensity classifier.
+class BoundednessClassifier {
+ public:
+  /// `task_cmi_threshold`: misses/instruction above which a task is
+  /// memory-bound (paper: "a given threshold"; 0.01 — one miss per 100
+  /// instructions — is the conventional knee).
+  /// `app_fraction_threshold`: fraction of memory-bound tasks above which
+  /// the application is memory-bound.
+  explicit BoundednessClassifier(double task_cmi_threshold = 0.01,
+                                 double app_fraction_threshold = 0.5)
+      : task_threshold_(task_cmi_threshold),
+        app_threshold_(app_fraction_threshold) {}
+
+  /// Record one task's counters.
+  void record(std::uint64_t cache_misses, std::uint64_t instructions);
+
+  /// Record a precomputed miss intensity.
+  void record_cmi(double cmi);
+
+  std::size_t task_count() const { return total_; }
+  std::size_t memory_bound_count() const { return memory_bound_; }
+
+  /// Fraction of recorded tasks classified memory-bound (0 when empty).
+  double memory_bound_fraction() const;
+
+  /// True when the application should be treated as memory-bound.
+  bool application_memory_bound() const {
+    return total_ > 0 && memory_bound_fraction() > app_threshold_;
+  }
+
+  void reset();
+
+  double task_threshold() const { return task_threshold_; }
+
+ private:
+  double task_threshold_;
+  double app_threshold_;
+  std::size_t total_ = 0;
+  std::size_t memory_bound_ = 0;
+};
+
+}  // namespace eewa::core

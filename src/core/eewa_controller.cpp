@@ -1,0 +1,84 @@
+#include "core/eewa_controller.hpp"
+
+#include <chrono>
+
+namespace eewa::core {
+
+EewaController::EewaController(dvfs::FrequencyLadder ladder,
+                               std::size_t total_cores,
+                               ControllerOptions options)
+    : adjuster_(std::move(ladder), total_cores, options.adjuster),
+      options_(options),
+      classifier_(options.task_cmi_threshold, options.app_memory_fraction),
+      plan_(uniform_plan(total_cores, 0)),
+      prefs_(plan_.layout) {}
+
+void EewaController::begin_batch() { registry_.begin_iteration(); }
+
+void EewaController::record_task(std::size_t class_id, double exec_time_s,
+                                 std::size_t rung, double cmi,
+                                 double alpha) {
+  // Eq. 1 normalization, generalized for memory stalls: only the
+  // frequency-scaled fraction of the time shrinks at F0.
+  const double slowdown = ladder().slowdown(rung);
+  const double eff = alpha + (1.0 - alpha) * slowdown;
+  registry_.record(class_id, exec_time_s / eff, alpha);
+  // Counters are only sampled during the measurement batch (§IV-D).
+  if (batches_ == 0 && options_.memory_gate_enabled) {
+    classifier_.record_cmi(cmi);
+  }
+}
+
+const FrequencyPlan& EewaController::end_batch(double batch_makespan_s) {
+  const auto t0 = std::chrono::steady_clock::now();
+  if (batches_ > 0 && options_.ideal_time == IdealTimeMode::kRollingMin &&
+      batch_makespan_s > 0.0 && batch_makespan_s < ideal_time_s_) {
+    ideal_time_s_ = batch_makespan_s;
+  }
+  if (batches_ == 0) {
+    ideal_time_s_ = batch_makespan_s;
+    // Memory-bound applications fall back to plain work-stealing
+    // (§IV-D) — unless the memory-aware planning extension is on, in
+    // which case the corrected CC model handles them.
+    if (options_.memory_gate_enabled && !options_.adjuster.memory_aware &&
+        classifier_.application_memory_bound()) {
+      memory_bound_mode_ = true;
+    }
+  }
+  ++batches_;
+
+  if (memory_bound_mode_) {
+    plan_ = uniform_plan(total_cores(), registry_.class_count());
+  } else {
+    last_ = adjuster_.adjust(registry_.iteration_profile(),
+                             registry_.class_count(), ideal_time_s_);
+    plan_ = last_.plan;
+  }
+  prefs_ = PreferenceTable(plan_.layout);
+  // The whole end-of-batch pipeline (profile sort, CC build, search, plan,
+  // preference lists) is the adjuster overhead Table III reports.
+  overhead_us_ += std::chrono::duration<double, std::micro>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+  return plan_;
+}
+
+std::size_t EewaController::group_of_class(std::size_t class_id) const {
+  if (class_id >= plan_.layout.class_count()) return 0;
+  return plan_.layout.group_of_class(class_id);
+}
+
+std::size_t EewaController::apply(dvfs::DvfsBackend& backend) const {
+  std::size_t ok = 0;
+  for (const auto& g : plan_.layout.groups()) {
+    for (std::size_t c : g.cores) {
+      if (c < backend.core_count() &&
+          backend.set_frequency(c, g.freq_index)) {
+        ++ok;
+      }
+    }
+  }
+  return ok;
+}
+
+}  // namespace eewa::core

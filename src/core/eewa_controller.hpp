@@ -1,0 +1,127 @@
+// The EEWA batch state machine (paper Fig. 2):
+//
+//   batch 0: all cores at F_0; profile tasks; makespan becomes the ideal
+//            iteration time T; cache-miss counters feed the CPU/memory-
+//            bound gate.
+//   batch d (d >= 1): at the end of batch d-1 the workload-aware
+//            frequency adjuster produced a plan; cores run at the plan's
+//            rungs, task classes go to their c-groups, idle cores steal
+//            by preference list. Profiling continues so each batch's end
+//            replans for the next.
+//
+// The controller is the single integration point shared by the real
+// thread runtime and the simulator. It is not thread-safe: producers
+// aggregate observations and feed them from one thread (the runtime
+// merges per-worker profiles at the batch barrier; the simulator is
+// single-threaded by construction).
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+
+#include "core/adjuster.hpp"
+#include "core/classifier.hpp"
+#include "core/frequency_plan.hpp"
+#include "core/preference_list.hpp"
+#include "core/task_class.hpp"
+#include "dvfs/dvfs_backend.hpp"
+#include "dvfs/frequency_ladder.hpp"
+
+namespace eewa::core {
+
+/// How the ideal iteration time T evolves.
+enum class IdealTimeMode {
+  /// The paper's rule: T is the first batch's makespan, forever.
+  kFirstBatch,
+  /// Extension: T ratchets down to the best makespan seen so far — a
+  /// batch that finished faster proves the tighter target feasible, so
+  /// an unluckily slow measurement batch cannot inflate T permanently.
+  kRollingMin,
+};
+
+/// Controller configuration.
+struct ControllerOptions {
+  AdjusterOptions adjuster;
+  IdealTimeMode ideal_time = IdealTimeMode::kFirstBatch;
+  /// §IV-D gate: when most first-batch tasks are memory-bound, keep plain
+  /// work-stealing at F0 for the rest of the run.
+  bool memory_gate_enabled = true;
+  double task_cmi_threshold = 0.01;
+  double app_memory_fraction = 0.5;
+};
+
+/// Drives EEWA across batches.
+class EewaController {
+ public:
+  EewaController(dvfs::FrequencyLadder ladder, std::size_t total_cores,
+                 ControllerOptions options = {});
+
+  /// Intern a task-class (function) name; ids are stable for the run.
+  std::size_t class_id(std::string_view name) {
+    return registry_.intern(name);
+  }
+
+  /// Begin the next batch (clears per-iteration profile counts).
+  void begin_batch();
+
+  /// Record one completed task: its class, measured execution time, and
+  /// the ladder rung of the core that executed it (for Eq. 1
+  /// normalization). `cmi` is the cache-miss intensity when available;
+  /// `alpha` the memory-stall fraction estimate (0 when unknown — pass
+  /// estimate_alpha_from_cmi(cmi) when only counters are available).
+  void record_task(std::size_t class_id, double exec_time_s,
+                   std::size_t rung, double cmi = 0.0, double alpha = 0.0);
+
+  /// End the batch that just ran (its makespan in seconds) and compute
+  /// the plan for the next batch. Returns that plan.
+  const FrequencyPlan& end_batch(double batch_makespan_s);
+
+  /// The plan the *next* batch should run under.
+  const FrequencyPlan& plan() const { return plan_; }
+
+  /// Preference lists matching plan().layout.
+  const PreferenceTable& preferences() const { return prefs_; }
+
+  /// C-group the given class's tasks should be pushed to under plan().
+  /// Unknown/unplanned classes go to the fastest group (0).
+  std::size_t group_of_class(std::size_t class_id) const;
+
+  /// Apply plan() to a DVFS backend; returns cores successfully set.
+  std::size_t apply(dvfs::DvfsBackend& backend) const;
+
+  /// Ideal iteration time T (0 until the first batch completes).
+  double ideal_time_s() const { return ideal_time_s_; }
+
+  /// Number of completed batches.
+  std::size_t batches_completed() const { return batches_; }
+
+  /// True when the §IV-D gate tripped and EEWA degraded to plain
+  /// work-stealing at F0.
+  bool memory_bound_mode() const { return memory_bound_mode_; }
+
+  /// Diagnostics from the most recent adjustment.
+  const SearchResult& last_search() const { return last_.search; }
+  const Adjustment& last_adjustment() const { return last_; }
+
+  /// Total microseconds spent in the adjuster so far (Table III metric).
+  double adjust_overhead_us() const { return overhead_us_; }
+
+  const dvfs::FrequencyLadder& ladder() const { return adjuster_.ladder(); }
+  std::size_t total_cores() const { return adjuster_.total_cores(); }
+  const TaskClassRegistry& registry() const { return registry_; }
+
+ private:
+  Adjuster adjuster_;
+  ControllerOptions options_;
+  TaskClassRegistry registry_;
+  BoundednessClassifier classifier_;
+  FrequencyPlan plan_;
+  PreferenceTable prefs_;
+  Adjustment last_;
+  double ideal_time_s_ = 0.0;
+  std::size_t batches_ = 0;
+  bool memory_bound_mode_ = false;
+  double overhead_us_ = 0.0;
+};
+
+}  // namespace eewa::core

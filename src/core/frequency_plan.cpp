@@ -1,0 +1,156 @@
+#include "core/frequency_plan.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+namespace eewa::core {
+
+FrequencyPlan uniform_plan(std::size_t total_cores,
+                           std::size_t registry_class_count) {
+  FrequencyPlan plan;
+  plan.planned = false;
+  plan.layout = dvfs::CGroupLayout::uniform(total_cores, registry_class_count,
+                                            /*freq_index=*/0);
+  plan.claimed_cores = total_cores;
+  return plan;
+}
+
+FrequencyPlan make_frequency_plan(const CCTable& cc, const SearchResult& sr,
+                                  std::size_t total_cores,
+                                  const dvfs::FrequencyLadder& ladder,
+                                  std::size_t registry_class_count,
+                                  LeftoverPolicy policy) {
+  if (!sr.found) {
+    return uniform_plan(total_cores, registry_class_count);
+  }
+  if (sr.tuple.size() != cc.cols()) {
+    throw std::invalid_argument("make_frequency_plan: tuple/table mismatch");
+  }
+
+  // Fractional core demand per rung (matching the search's capacity
+  // accounting), then integral carving: floor each rung's demand (at
+  // least one core per selected rung) and hand out the remaining cores
+  // by largest remainder until every rung's demand is covered.
+  std::map<std::size_t, double> demand_per_rung;  // rung -> demand
+  for (std::size_t i = 0; i < sr.tuple.size(); ++i) {
+    demand_per_rung[sr.tuple[i]] += cc.demand(sr.tuple[i], i);
+  }
+  double total_demand = 0.0;
+  for (const auto& [rung, d] : demand_per_rung) total_demand += d;
+  if (total_demand > static_cast<double>(total_cores) + 1e-6) {
+    // A found tuple always fits; guard against inconsistent inputs.
+    throw std::invalid_argument("make_frequency_plan: tuple over capacity");
+  }
+
+  // On machines with fewer cores than selected rungs, fold the slowest
+  // rungs into the next-faster one (never slower, so feasibility is
+  // preserved); the remap below keeps the class mapping consistent.
+  std::map<std::size_t, std::size_t> rung_remap;  // selected -> effective
+  while (demand_per_rung.size() > total_cores) {
+    const auto last = std::prev(demand_per_rung.end());
+    const auto prev = std::prev(last);
+    prev->second += last->second;
+    rung_remap[last->first] = prev->first;
+    demand_per_rung.erase(last);
+  }
+  auto effective_rung = [&](std::size_t rung) {
+    while (true) {
+      const auto it = rung_remap.find(rung);
+      if (it == rung_remap.end()) return rung;
+      rung = it->second;
+    }
+  };
+
+  std::map<std::size_t, std::size_t> cores_per_rung;
+  std::size_t claimed = 0;
+  for (const auto& [rung, d] : demand_per_rung) {
+    const auto base =
+        std::max<std::size_t>(1, static_cast<std::size_t>(d));
+    cores_per_rung[rung] = base;
+    claimed += base;
+  }
+  // The one-core-per-rung minimum can still overshoot; shed cores from
+  // the most over-provisioned rungs (never below 1).
+  while (claimed > total_cores) {
+    std::size_t worst_rung = 0;
+    double worst_excess = -1e18;
+    for (const auto& [rung, n] : cores_per_rung) {
+      if (n <= 1) continue;
+      const double excess =
+          static_cast<double>(n) - demand_per_rung.at(rung);
+      if (excess > worst_excess) {
+        worst_excess = excess;
+        worst_rung = rung;
+      }
+    }
+    if (worst_excess == -1e18) {
+      throw std::logic_error(
+          "make_frequency_plan: more selected c-groups than cores");
+    }
+    --cores_per_rung[worst_rung];
+    --claimed;
+  }
+
+  // Largest-remainder top-up, fastest rung first on ties, while cores
+  // remain and some rung is still short of its demand.
+  while (claimed < total_cores) {
+    std::size_t best_rung = 0;
+    double best_deficit = 1e-9;
+    for (const auto& [rung, d] : demand_per_rung) {
+      const double deficit =
+          d - static_cast<double>(cores_per_rung[rung]);
+      if (deficit > best_deficit) {
+        best_deficit = deficit;
+        best_rung = rung;
+      }
+    }
+    if (best_deficit <= 1e-9) break;  // everyone covered
+    ++cores_per_rung[best_rung];
+    ++claimed;
+  }
+  const std::size_t leftovers = total_cores - claimed;
+
+  // Place leftovers.
+  if (leftovers > 0) {
+    if (policy == LeftoverPolicy::kParkAtSlowest) {
+      cores_per_rung[ladder.slowest_index()] += leftovers;
+    } else {
+      cores_per_rung.rbegin()->second += leftovers;  // slowest selected
+    }
+  }
+
+  // Carve core ids in rung order (fastest rung gets the lowest ids; ids
+  // are logical worker indices, so the carving is arbitrary but stable).
+  std::vector<dvfs::CGroup> groups;
+  std::map<std::size_t, std::size_t> rung_to_group;
+  std::size_t next_core = 0;
+  for (const auto& [rung, n] : cores_per_rung) {
+    dvfs::CGroup g;
+    g.freq_index = rung;
+    for (std::size_t c = 0; c < n; ++c) g.cores.push_back(next_core++);
+    rung_to_group[rung] = groups.size();
+    groups.push_back(std::move(g));
+  }
+
+  // Class-id → group mapping; unseen classes go to the fastest group (0).
+  std::vector<std::size_t> class_to_group(registry_class_count, 0);
+  for (std::size_t i = 0; i < sr.tuple.size(); ++i) {
+    const std::size_t id = cc.classes().at(i).class_id;
+    if (id >= class_to_group.size()) {
+      throw std::invalid_argument(
+          "make_frequency_plan: class id outside registry");
+    }
+    class_to_group[id] = rung_to_group.at(effective_rung(sr.tuple[i]));
+  }
+
+  FrequencyPlan plan;
+  plan.planned = true;
+  plan.layout = dvfs::CGroupLayout(std::move(groups),
+                                   std::move(class_to_group), total_cores);
+  plan.tuple = sr.tuple;
+  plan.claimed_cores = claimed;
+  return plan;
+}
+
+}  // namespace eewa::core

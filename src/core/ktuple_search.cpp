@@ -1,0 +1,194 @@
+#include "core/ktuple_search.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <limits>
+
+namespace eewa::core {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double elapsed_us_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::micro>(Clock::now() - start)
+      .count();
+}
+
+/// Power of one active core at rung j under the model or a cubic proxy
+/// (P ∝ f·V² with V roughly ∝ f). The relative frequency F_j/F_0 is
+/// recovered from the CC table itself: CC[j][i] / CC[0][i] = F_0 / F_j.
+double rung_power(const CCTable& cc, std::size_t j,
+                  const energy::PowerModel* model) {
+  if (model != nullptr) return model->core_power_w(j, /*active=*/true);
+  double rel = 1.0 / (1.0 + static_cast<double>(j));  // rank-based fallback
+  if (cc.at(j, 0) > 0.0 && cc.at(0, 0) > 0.0) {
+    rel = cc.at(0, 0) / cc.at(j, 0);
+  }
+  return rel * rel * rel;
+}
+
+constexpr double kEps = 1e-9;
+
+}  // namespace
+
+double tuple_energy_estimate(const CCTable& cc,
+                             const std::vector<std::size_t>& tuple,
+                             std::size_t total_cores,
+                             const energy::PowerModel* model) {
+  double used = 0.0;
+  double e = 0.0;
+  for (std::size_t i = 0; i < tuple.size(); ++i) {
+    const double n = cc.demand(tuple[i], i);
+    used += n;
+    e += n * rung_power(cc, tuple[i], model);
+  }
+  const double leftovers =
+      static_cast<double>(total_cores) > used
+          ? static_cast<double>(total_cores) - used
+          : 0.0;
+  const std::size_t slowest = cc.rows() - 1;
+  e += leftovers * rung_power(cc, slowest, model);
+  return e;
+}
+
+bool tuple_is_valid(const CCTable& cc, const std::vector<std::size_t>& tuple,
+                    std::size_t total_cores) {
+  if (tuple.size() != cc.cols()) return false;
+  double used = 0.0;
+  for (std::size_t i = 0; i < tuple.size(); ++i) {
+    if (tuple[i] >= cc.rows()) return false;
+    if (i > 0 && tuple[i] < tuple[i - 1]) return false;
+    if (!cc.rung_feasible(tuple[i], i)) return false;
+    used += cc.demand(tuple[i], i);
+  }
+  return used <= static_cast<double>(total_cores) + kEps;
+}
+
+namespace {
+
+/// Shared state for the recursive searchers (Algorithm 1's a[], c_n).
+/// Capacity is accounted in fractional core demands, as the paper's
+/// Σ CC[a_i][i] <= m constraint does.
+struct Backtracker {
+  const CCTable& cc;
+  double total_cores;
+  bool allow_backtrack;
+  std::vector<std::size_t> a;
+  double c_n = 0.0;
+  std::size_t nodes = 0;
+
+  Backtracker(const CCTable& cc_in, std::size_t m, bool backtrack)
+      : cc(cc_in),
+        total_cores(static_cast<double>(m)),
+        allow_backtrack(backtrack),
+        a(cc_in.cols(), 0) {}
+
+  // Algorithm 1, Select(i, j), plus the critical-path guard: a rung at
+  // which even one of the class's tasks would overrun T is rejected.
+  bool select(std::size_t i, std::size_t j) {
+    ++nodes;
+    if (!cc.rung_feasible(j, i)) return false;
+    const double need = cc.demand(j, i);
+    if (need + c_n <= total_cores + kEps) {
+      a[i] = j;
+      c_n += need;
+      return true;
+    }
+    return false;
+  }
+
+  // Algorithm 1, SearchTuple(i).
+  bool search(std::size_t i) {
+    if (i >= cc.cols()) return true;
+    const std::size_t lo = i == 0 ? 0 : a[i - 1];
+    for (std::size_t j = cc.rows(); j-- > lo;) {
+      if (select(i, j)) {
+        if (search(i + 1)) return true;
+        c_n -= cc.demand(a[i], i);
+        if (!allow_backtrack) return false;
+      }
+      if (j == lo) break;  // size_t guard for the descending loop
+    }
+    return false;
+  }
+};
+
+SearchResult run_descent(const CCTable& cc, std::size_t total_cores,
+                         bool allow_backtrack) {
+  const auto start = Clock::now();
+  Backtracker bt(cc, total_cores, allow_backtrack);
+  SearchResult res;
+  res.found = bt.search(0);
+  res.nodes_visited = bt.nodes;
+  if (res.found) {
+    res.tuple = bt.a;
+    res.cores_used =
+        static_cast<std::size_t>(std::ceil(bt.c_n - kEps));
+  }
+  res.elapsed_us = elapsed_us_since(start);
+  return res;
+}
+
+}  // namespace
+
+SearchResult search_backtracking(const CCTable& cc, std::size_t total_cores) {
+  return run_descent(cc, total_cores, /*allow_backtrack=*/true);
+}
+
+SearchResult search_greedy(const CCTable& cc, std::size_t total_cores) {
+  return run_descent(cc, total_cores, /*allow_backtrack=*/false);
+}
+
+SearchResult search_exhaustive(const CCTable& cc, std::size_t total_cores,
+                               const energy::PowerModel* model) {
+  const auto start = Clock::now();
+  SearchResult best;
+  double best_e = std::numeric_limits<double>::infinity();
+  std::vector<std::size_t> a(cc.cols(), 0);
+  std::size_t nodes = 0;
+
+  // Enumerate all nondecreasing tuples; prune on capacity as we go.
+  auto rec = [&](auto&& self, std::size_t i, std::size_t lo,
+                 double used) -> void {
+    if (i == cc.cols()) {
+      const double e = tuple_energy_estimate(cc, a, total_cores, model);
+      if (e < best_e) {
+        best_e = e;
+        best.found = true;
+        best.tuple = a;
+        best.cores_used =
+            static_cast<std::size_t>(std::ceil(used - kEps));
+      }
+      return;
+    }
+    for (std::size_t j = lo; j < cc.rows(); ++j) {
+      ++nodes;
+      if (!cc.rung_feasible(j, i)) continue;
+      const double need = cc.demand(j, i);
+      if (used + need > static_cast<double>(total_cores) + kEps) continue;
+      a[i] = j;
+      self(self, i + 1, j, used + need);
+    }
+  };
+  rec(rec, 0, 0, 0.0);
+
+  best.nodes_visited = nodes;
+  best.elapsed_us = elapsed_us_since(start);
+  return best;
+}
+
+SearchResult search_ktuple(const CCTable& cc, std::size_t total_cores,
+                           SearchKind kind, const energy::PowerModel* model) {
+  switch (kind) {
+    case SearchKind::kBacktracking:
+      return search_backtracking(cc, total_cores);
+    case SearchKind::kExhaustive:
+      return search_exhaustive(cc, total_cores, model);
+    case SearchKind::kGreedy:
+      return search_greedy(cc, total_cores);
+  }
+  return {};
+}
+
+}  // namespace eewa::core

@@ -1,0 +1,64 @@
+// k-tuple search over the CC table (paper Algorithm 1). The tuple
+// (a_0..a_{k-1}) assigns each task class a frequency rung such that
+//   (1) Σ_i ceil(CC[a_i][i]) <= m          (capacity),
+//   (2) the search prefers the slowest feasible rungs (energy),
+//   (3) a_i <= a_j for i < j               (heavier classes run faster).
+//
+// Besides the paper's backtracking algorithm we implement an exhaustive
+// optimal search (minimizing modeled batch energy) and a no-backtracking
+// greedy descent, both for the ablation benches.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "core/cc_table.hpp"
+#include "energy/power_model.hpp"
+
+namespace eewa::core {
+
+/// Which searcher to run.
+enum class SearchKind { kBacktracking, kExhaustive, kGreedy };
+
+/// Result of a k-tuple search.
+struct SearchResult {
+  bool found = false;
+  std::vector<std::size_t> tuple;  ///< a[i]: rung for CC column i
+  std::size_t cores_used = 0;      ///< Σ ceil(CC[a_i][i])
+  std::size_t nodes_visited = 0;   ///< Select() calls (search effort)
+  double elapsed_us = 0.0;         ///< wall time of the search
+};
+
+/// Estimated relative batch energy of a tuple: claimed cores spin/work at
+/// their rung for the whole iteration, unclaimed cores are parked at the
+/// slowest rung. Power comes from `model` when given, else from a cubic
+/// (f/F0)³ proxy. Lower is better; units are arbitrary (watt-like).
+double tuple_energy_estimate(const CCTable& cc,
+                             const std::vector<std::size_t>& tuple,
+                             std::size_t total_cores,
+                             const energy::PowerModel* model = nullptr);
+
+/// Paper Algorithm 1: depth-first descent from the slowest rungs with
+/// backtracking. Near-optimal, O(k·r²) worst case.
+SearchResult search_backtracking(const CCTable& cc, std::size_t total_cores);
+
+/// Exhaustive enumeration of all feasible nondecreasing tuples; returns
+/// the one minimizing tuple_energy_estimate. Exponential in k — only for
+/// small instances / ablation.
+SearchResult search_exhaustive(const CCTable& cc, std::size_t total_cores,
+                               const energy::PowerModel* model = nullptr);
+
+/// First-descent greedy (backtracking with backtracking disabled).
+SearchResult search_greedy(const CCTable& cc, std::size_t total_cores);
+
+/// Dispatch on kind.
+SearchResult search_ktuple(const CCTable& cc, std::size_t total_cores,
+                           SearchKind kind,
+                           const energy::PowerModel* model = nullptr);
+
+/// Validity check used by tests: nondecreasing + capacity.
+bool tuple_is_valid(const CCTable& cc, const std::vector<std::size_t>& tuple,
+                    std::size_t total_cores);
+
+}  // namespace eewa::core

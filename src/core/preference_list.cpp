@@ -1,0 +1,26 @@
+#include "core/preference_list.hpp"
+
+#include <stdexcept>
+
+namespace eewa::core {
+
+std::vector<std::size_t> preference_list(std::size_t own, std::size_t u) {
+  if (own >= u) {
+    throw std::invalid_argument("preference_list: group out of range");
+  }
+  std::vector<std::size_t> order;
+  order.reserve(u);
+  for (std::size_t g = own; g < u; ++g) order.push_back(g);
+  for (std::size_t g = own; g-- > 0;) order.push_back(g);
+  return order;
+}
+
+PreferenceTable::PreferenceTable(const dvfs::CGroupLayout& layout) {
+  const std::size_t u = layout.group_count();
+  lists_.reserve(u);
+  for (std::size_t g = 0; g < u; ++g) {
+    lists_.push_back(preference_list(g, u));
+  }
+}
+
+}  // namespace eewa::core

@@ -1,0 +1,37 @@
+// Preference lists (paper §III-B, Fig. 5): a core in c-group G_i steals
+// in the order {G_i, G_{i+1}, ..., G_{u-1}, G_{i-1}, ..., G_0} — the
+// rob-the-weaker-first principle: exhaust your own group, then help the
+// slower groups, and only then take work away from faster groups.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "dvfs/cgroup.hpp"
+
+namespace eewa::core {
+
+/// The steal order for a core in group `own` of `u` c-groups.
+std::vector<std::size_t> preference_list(std::size_t own, std::size_t u);
+
+/// Preference lists for all groups of a layout, rebuilt per batch since
+/// the set of c-groups changes between batches.
+class PreferenceTable {
+ public:
+  PreferenceTable() = default;
+
+  /// Build lists for every group of the layout.
+  explicit PreferenceTable(const dvfs::CGroupLayout& layout);
+
+  /// Steal order for a core in group g.
+  const std::vector<std::size_t>& for_group(std::size_t g) const {
+    return lists_.at(g);
+  }
+
+  std::size_t group_count() const { return lists_.size(); }
+
+ private:
+  std::vector<std::vector<std::size_t>> lists_;
+};
+
+}  // namespace eewa::core

@@ -1,0 +1,67 @@
+#include "core/profile_io.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/csv.hpp"
+
+namespace eewa::core {
+
+std::string profile_to_csv(const std::vector<ClassProfile>& profile) {
+  util::CsvWriter csv;
+  csv.row({"class_id", "name", "count", "mean_workload", "max_workload",
+           "mean_alpha"});
+  for (const auto& p : profile) {
+    csv.row_values(p.class_id, p.name, p.count, p.mean_workload,
+                   p.max_workload, p.mean_alpha);
+  }
+  return csv.str();
+}
+
+std::vector<ClassProfile> profile_from_csv(const std::string& csv) {
+  std::vector<ClassProfile> out;
+  std::istringstream lines(csv);
+  std::string line;
+  bool header = true;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    if (header) {
+      if (line.rfind("class_id,", 0) != 0) {
+        throw std::invalid_argument("profile_from_csv: missing header");
+      }
+      header = false;
+      continue;
+    }
+    std::istringstream cells(line);
+    std::string id_s, name, count_s, mean_s, max_s, alpha_s;
+    if (!std::getline(cells, id_s, ',') || !std::getline(cells, name, ',') ||
+        !std::getline(cells, count_s, ',') ||
+        !std::getline(cells, mean_s, ',') ||
+        !std::getline(cells, max_s, ',') || !std::getline(cells, alpha_s)) {
+      throw std::invalid_argument("profile_from_csv: short row");
+    }
+    ClassProfile p;
+    try {
+      p.class_id = std::stoul(id_s);
+      p.name = name;
+      p.count = std::stoul(count_s);
+      p.mean_workload = std::stod(mean_s);
+      p.max_workload = std::stod(max_s);
+      p.mean_alpha = std::stod(alpha_s);
+    } catch (const std::exception&) {
+      throw std::invalid_argument("profile_from_csv: bad number");
+    }
+    out.push_back(std::move(p));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ClassProfile& a, const ClassProfile& b) {
+              if (a.mean_workload != b.mean_workload) {
+                return a.mean_workload > b.mean_workload;
+              }
+              return a.class_id < b.class_id;
+            });
+  return out;
+}
+
+}  // namespace eewa::core

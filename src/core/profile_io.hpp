@@ -1,0 +1,23 @@
+// Offline profiles (paper §IV-D, last paragraph): applications that do
+// not launch tasks in batches can be profiled offline; the saved profile
+// then drives the workload-aware frequency adjuster on later runs.
+// These helpers serialize iteration profiles to/from CSV.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/task_class.hpp"
+
+namespace eewa::core {
+
+/// CSV with one row per class:
+/// class_id,name,count,mean_workload,max_workload,mean_alpha
+std::string profile_to_csv(const std::vector<ClassProfile>& profile);
+
+/// Parse profile_to_csv output; rows come back sorted by descending
+/// mean workload (the adjuster's required order). Throws
+/// std::invalid_argument on malformed input.
+std::vector<ClassProfile> profile_from_csv(const std::string& csv);
+
+}  // namespace eewa::core

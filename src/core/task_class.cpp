@@ -1,0 +1,71 @@
+#include "core/task_class.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace eewa::core {
+
+std::size_t TaskClassRegistry::intern(std::string_view name) {
+  auto it = ids_.find(std::string(name));
+  if (it != ids_.end()) return it->second;
+  const std::size_t id = stats_.size();
+  stats_.push_back(Stats{std::string(name), 0, 0, 0.0});
+  ids_.emplace(std::string(name), id);
+  return id;
+}
+
+std::size_t TaskClassRegistry::id_of(std::string_view name) const {
+  auto it = ids_.find(std::string(name));
+  if (it == ids_.end()) {
+    throw std::out_of_range("TaskClassRegistry: unknown class name");
+  }
+  return it->second;
+}
+
+bool TaskClassRegistry::contains(std::string_view name) const {
+  return ids_.find(std::string(name)) != ids_.end();
+}
+
+void TaskClassRegistry::record(std::size_t id, double w, double alpha) {
+  if (w < 0.0) {
+    throw std::invalid_argument("TaskClassRegistry: negative workload");
+  }
+  if (alpha < 0.0 || alpha > 1.0) {
+    throw std::invalid_argument("TaskClassRegistry: alpha outside [0,1]");
+  }
+  Stats& s = stats_.at(id);
+  // TC(f, n, w̄) -> TC(f, n+1, (n·w̄ + w)/(n+1)) over the cumulative count.
+  const auto n = static_cast<double>(s.total_count);
+  s.mean_w = (n * s.mean_w + w) / (n + 1.0);
+  s.mean_alpha = (n * s.mean_alpha + alpha) / (n + 1.0);
+  s.iter_max_w = std::max(s.iter_max_w, w);
+  ++s.total_count;
+  ++s.iter_count;
+}
+
+void TaskClassRegistry::begin_iteration() {
+  for (auto& s : stats_) {
+    s.iter_count = 0;
+    s.iter_max_w = 0.0;
+  }
+}
+
+std::vector<ClassProfile> TaskClassRegistry::iteration_profile() const {
+  std::vector<ClassProfile> out;
+  for (std::size_t id = 0; id < stats_.size(); ++id) {
+    const Stats& s = stats_[id];
+    if (s.iter_count == 0) continue;
+    out.push_back(ClassProfile{id, s.name, s.iter_count, s.mean_w,
+                               s.iter_max_w, s.mean_alpha});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ClassProfile& a, const ClassProfile& b) {
+              if (a.mean_workload != b.mean_workload) {
+                return a.mean_workload > b.mean_workload;
+              }
+              return a.class_id < b.class_id;  // deterministic tie-break
+            });
+  return out;
+}
+
+}  // namespace eewa::core

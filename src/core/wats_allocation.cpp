@@ -1,0 +1,44 @@
+#include "core/wats_allocation.hpp"
+
+#include <stdexcept>
+
+namespace eewa::core {
+
+std::vector<std::size_t> allocate_classes_proportional(
+    const std::vector<ClassProfile>& profile,
+    const std::vector<double>& group_capacity,
+    std::size_t registry_class_count) {
+  if (group_capacity.empty()) {
+    throw std::invalid_argument(
+        "allocate_classes_proportional: need at least one group");
+  }
+  std::vector<std::size_t> class_to_group(registry_class_count, 0);
+  if (profile.empty()) return class_to_group;
+
+  double total_work = 0.0;
+  for (const auto& p : profile) total_work += p.total_workload();
+  double total_capacity = 0.0;
+  for (double c : group_capacity) total_capacity += c;
+  if (total_work <= 0.0 || total_capacity <= 0.0) return class_to_group;
+
+  std::size_t g = 0;
+  double assigned = 0.0;  // work assigned to the current group
+  for (const auto& p : profile) {
+    if (p.class_id < registry_class_count) {
+      class_to_group[p.class_id] = g;
+    }
+    assigned += p.total_workload();
+    // Move to the next group once this one's fair share is (nearly)
+    // covered — the 0.95 slack keeps a class that lands a hair under the
+    // boundary from dragging every later class onto the fast group.
+    while (g + 1 < group_capacity.size() &&
+           assigned >=
+               0.95 * total_work * group_capacity[g] / total_capacity) {
+      assigned -= total_work * group_capacity[g] / total_capacity;
+      ++g;
+    }
+  }
+  return class_to_group;
+}
+
+}  // namespace eewa::core

@@ -1,0 +1,26 @@
+// WATS-style class allocation (Chen et al., IPDPS'12): given per-class
+// workload profiles ranked heaviest-first and fixed core groups ranked
+// fastest-first, pack classes into groups proportionally to each group's
+// computational capacity so heavy classes land on fast cores. Shared by
+// the simulator's WatsPolicy and the real runtime's kWats mode.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/task_class.hpp"
+
+namespace eewa::core {
+
+/// `profile` must be sorted by descending mean workload (the
+/// TaskClassRegistry::iteration_profile() order); `group_capacity[g]` is
+/// the relative compute capacity of group g (e.g. core count × relative
+/// speed), fastest group first. Returns a class-id → group mapping sized
+/// `registry_class_count` (classes absent from the profile map to group
+/// 0).
+std::vector<std::size_t> allocate_classes_proportional(
+    const std::vector<ClassProfile>& profile,
+    const std::vector<double>& group_capacity,
+    std::size_t registry_class_count);
+
+}  // namespace eewa::core

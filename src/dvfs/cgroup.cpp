@@ -1,0 +1,87 @@
+#include "dvfs/cgroup.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace eewa::dvfs {
+
+CGroupLayout::CGroupLayout(std::vector<CGroup> groups,
+                           std::vector<std::size_t> class_to_group,
+                           std::size_t total_cores)
+    : groups_(std::move(groups)),
+      class_to_group_(std::move(class_to_group)),
+      core_group_(total_cores, npos),
+      total_cores_(total_cores) {
+  if (groups_.empty()) {
+    throw std::invalid_argument("CGroupLayout: need at least one c-group");
+  }
+  for (std::size_t g = 0; g < groups_.size(); ++g) {
+    if (g > 0 && groups_[g].freq_index <= groups_[g - 1].freq_index) {
+      throw std::invalid_argument(
+          "CGroupLayout: groups must be ordered fastest-first with "
+          "strictly increasing freq_index");
+    }
+    for (std::size_t c : groups_[g].cores) {
+      if (c >= total_cores_) {
+        throw std::invalid_argument("CGroupLayout: core id out of range");
+      }
+      if (core_group_[c] != npos) {
+        throw std::invalid_argument("CGroupLayout: core in two groups");
+      }
+      core_group_[c] = g;
+    }
+  }
+  for (std::size_t k = 0; k < class_to_group_.size(); ++k) {
+    if (class_to_group_[k] >= groups_.size()) {
+      throw std::invalid_argument("CGroupLayout: class mapped to no group");
+    }
+  }
+}
+
+std::size_t CGroupLayout::group_of_core(std::size_t c) const {
+  const std::size_t g = core_group_.at(c);
+  if (g == npos) {
+    throw std::out_of_range("CGroupLayout: core not in any c-group");
+  }
+  return g;
+}
+
+bool CGroupLayout::core_assigned(std::size_t c) const {
+  return c < core_group_.size() && core_group_[c] != npos;
+}
+
+std::vector<std::size_t> CGroupLayout::cores_per_rung(
+    std::size_t ladder_size) const {
+  std::vector<std::size_t> counts(ladder_size, 0);
+  for (const auto& g : groups_) {
+    counts.at(g.freq_index) += g.cores.size();
+  }
+  return counts;
+}
+
+CGroupLayout CGroupLayout::uniform(std::size_t cores, std::size_t classes,
+                                   std::size_t freq_index) {
+  CGroup g;
+  g.freq_index = freq_index;
+  g.cores.resize(cores);
+  std::iota(g.cores.begin(), g.cores.end(), 0);
+  return CGroupLayout({std::move(g)},
+                      std::vector<std::size_t>(classes, 0), cores);
+}
+
+std::string CGroupLayout::to_string() const {
+  std::string out;
+  for (std::size_t g = 0; g < groups_.size(); ++g) {
+    if (g) out += ' ';
+    out += "G" + std::to_string(g) + "@F" +
+           std::to_string(groups_[g].freq_index) + ":{";
+    for (std::size_t i = 0; i < groups_[g].cores.size(); ++i) {
+      if (i) out += ',';
+      out += std::to_string(groups_[g].cores[i]);
+    }
+    out += '}';
+  }
+  return out;
+}
+
+}  // namespace eewa::dvfs

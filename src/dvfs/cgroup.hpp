@@ -1,0 +1,87 @@
+// C-groups (paper §III): a c-group is the set of cores operating at one
+// frequency. A CGroupLayout is the complete grouping the frequency
+// adjuster produces for a batch, plus the task-class → c-group allocation.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "dvfs/frequency_ladder.hpp"
+
+namespace eewa::dvfs {
+
+/// One c-group: every core in `cores` runs at ladder rung `freq_index`.
+struct CGroup {
+  std::size_t freq_index = 0;
+  std::vector<std::size_t> cores;
+};
+
+/// The grouping of all m cores into u c-groups, ordered fastest-first
+/// (group 0 has the lowest freq_index, i.e. the highest frequency), plus
+/// the allocation of task classes to groups.
+class CGroupLayout {
+ public:
+  CGroupLayout() = default;
+
+  /// Construct from groups (must cover each core at most once, be ordered
+  /// by strictly increasing freq_index, and be non-empty) and the mapping
+  /// class index -> group index. Throws std::invalid_argument on violation.
+  CGroupLayout(std::vector<CGroup> groups,
+               std::vector<std::size_t> class_to_group,
+               std::size_t total_cores);
+
+  /// Number of c-groups, u.
+  std::size_t group_count() const { return groups_.size(); }
+
+  /// Group g (0 = fastest).
+  const CGroup& group(std::size_t g) const { return groups_.at(g); }
+
+  /// All groups, fastest first.
+  const std::vector<CGroup>& groups() const { return groups_; }
+
+  /// Total number of cores in the machine (groups may not cover all of
+  /// them only if a group list was legitimately partial — the EEWA planner
+  /// always covers every core).
+  std::size_t total_cores() const { return total_cores_; }
+
+  /// Group index that core `c` belongs to; throws if the core is in no
+  /// group.
+  std::size_t group_of_core(std::size_t c) const;
+
+  /// True if core `c` belongs to some group.
+  bool core_assigned(std::size_t c) const;
+
+  /// Group index that task class `k` is allocated to.
+  std::size_t group_of_class(std::size_t k) const {
+    return class_to_group_.at(k);
+  }
+
+  /// Number of task classes mapped.
+  std::size_t class_count() const { return class_to_group_.size(); }
+
+  /// Ladder rung of group g.
+  std::size_t freq_index(std::size_t g) const {
+    return groups_.at(g).freq_index;
+  }
+
+  /// Cores-per-rung view: counts[j] = number of cores at ladder rung j.
+  std::vector<std::size_t> cores_per_rung(std::size_t ladder_size) const;
+
+  /// Single-group layout: all cores at `freq_index`, all classes to it.
+  static CGroupLayout uniform(std::size_t cores, std::size_t classes,
+                              std::size_t freq_index = 0);
+
+  /// Human-readable summary, e.g. "G0@F1:{0..9} G1@F2:{10..15}".
+  std::string to_string() const;
+
+ private:
+  std::vector<CGroup> groups_;
+  std::vector<std::size_t> class_to_group_;
+  std::vector<std::size_t> core_group_;  // per-core group or npos
+  std::size_t total_cores_ = 0;
+
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+};
+
+}  // namespace eewa::dvfs

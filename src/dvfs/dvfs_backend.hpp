@@ -1,0 +1,51 @@
+// Abstract DVFS control. The EEWA controller only speaks this interface,
+// so the same scheduler code drives real Linux cpufreq on hardware, the
+// recording TraceBackend in containers, and the simulator's cores.
+#pragma once
+
+#include <cstddef>
+
+#include "dvfs/frequency_ladder.hpp"
+
+namespace eewa::dvfs {
+
+/// Per-core frequency control over a fixed ladder.
+class DvfsBackend {
+ public:
+  virtual ~DvfsBackend() = default;
+
+  /// The ladder this backend operates on.
+  virtual const FrequencyLadder& ladder() const = 0;
+
+  /// Number of cores under control.
+  virtual std::size_t core_count() const = 0;
+
+  /// Request core `core` to run at ladder rung `freq_index`.
+  /// Returns false if the request could not be applied.
+  virtual bool set_frequency(std::size_t core, std::size_t freq_index) = 0;
+
+  /// Current rung of `core` (last successfully requested).
+  virtual std::size_t frequency_index(std::size_t core) const = 0;
+
+  /// True if requests actually reach hardware (or a live simulation);
+  /// false for inert recording backends.
+  virtual bool is_live() const = 0;
+
+  /// Total number of frequency transitions applied (requests that changed
+  /// a core's rung). Used for the overhead accounting.
+  virtual std::size_t transition_count() const = 0;
+
+  /// Set every core to rung `freq_index`; returns the number of cores
+  /// successfully set.
+  std::size_t set_all(std::size_t freq_index);
+};
+
+inline std::size_t DvfsBackend::set_all(std::size_t freq_index) {
+  std::size_t ok = 0;
+  for (std::size_t c = 0; c < core_count(); ++c) {
+    if (set_frequency(c, freq_index)) ++ok;
+  }
+  return ok;
+}
+
+}  // namespace eewa::dvfs

@@ -1,0 +1,75 @@
+#include "dvfs/frequency_ladder.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <functional>
+#include <stdexcept>
+
+namespace eewa::dvfs {
+
+FrequencyLadder::FrequencyLadder(std::vector<double> ghz)
+    : ghz_(std::move(ghz)) {
+  if (ghz_.empty()) {
+    throw std::invalid_argument("FrequencyLadder: at least one frequency");
+  }
+  std::sort(ghz_.begin(), ghz_.end(), std::greater<>());
+  for (std::size_t i = 0; i < ghz_.size(); ++i) {
+    if (ghz_[i] <= 0.0) {
+      throw std::invalid_argument("FrequencyLadder: frequencies must be > 0");
+    }
+    if (i > 0 && ghz_[i] == ghz_[i - 1]) {
+      throw std::invalid_argument("FrequencyLadder: duplicate frequency");
+    }
+  }
+}
+
+std::size_t FrequencyLadder::index_of(double ghz) const {
+  for (std::size_t j = 0; j < ghz_.size(); ++j) {
+    if (std::abs(ghz_[j] - ghz) < 1e-9) return j;
+  }
+  throw std::out_of_range("FrequencyLadder: no such frequency");
+}
+
+std::size_t FrequencyLadder::nearest_at_least(double ghz) const {
+  // Rungs are descending; pick the last rung still >= ghz.
+  std::size_t best = 0;
+  for (std::size_t j = 0; j < ghz_.size(); ++j) {
+    if (ghz_[j] + 1e-12 >= ghz) best = j;
+  }
+  return best;
+}
+
+std::string FrequencyLadder::to_string() const {
+  std::string out = "[";
+  char buf[32];
+  for (std::size_t j = 0; j < ghz_.size(); ++j) {
+    std::snprintf(buf, sizeof(buf), "%s%.3g", j ? ", " : "", ghz_[j]);
+    out += buf;
+  }
+  out += "] GHz";
+  return out;
+}
+
+FrequencyLadder FrequencyLadder::opteron8380() {
+  return FrequencyLadder({2.5, 1.8, 1.3, 0.8});
+}
+
+FrequencyLadder FrequencyLadder::linear(double lo_ghz, double hi_ghz,
+                                        std::size_t r) {
+  if (r == 0 || lo_ghz <= 0.0 || hi_ghz <= lo_ghz) {
+    throw std::invalid_argument("FrequencyLadder::linear: bad parameters");
+  }
+  std::vector<double> f;
+  if (r == 1) {
+    f.push_back(hi_ghz);
+  } else {
+    for (std::size_t j = 0; j < r; ++j) {
+      f.push_back(lo_ghz + (hi_ghz - lo_ghz) * static_cast<double>(j) /
+                               static_cast<double>(r - 1));
+    }
+  }
+  return FrequencyLadder(std::move(f));
+}
+
+}  // namespace eewa::dvfs

@@ -1,0 +1,67 @@
+// The set of operating frequencies a core can run at (paper notation:
+// F_0 > F_1 > ... > F_{r-1}). Index 0 is always the fastest frequency.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace eewa::dvfs {
+
+/// An immutable, strictly-descending list of core frequencies in GHz.
+class FrequencyLadder {
+ public:
+  /// Construct from frequencies in GHz. They are sorted into descending
+  /// order; duplicates and non-positive values throw std::invalid_argument.
+  explicit FrequencyLadder(std::vector<double> ghz);
+
+  /// Number of rungs, r.
+  std::size_t size() const { return ghz_.size(); }
+
+  /// Frequency at rung j in GHz (F_j; descending in j).
+  double ghz(std::size_t j) const { return ghz_.at(j); }
+
+  /// Fastest frequency F_0.
+  double fastest() const { return ghz_.front(); }
+
+  /// Slowest frequency F_{r-1}.
+  double slowest() const { return ghz_.back(); }
+
+  /// Index of the slowest rung (r - 1).
+  std::size_t slowest_index() const { return ghz_.size() - 1; }
+
+  /// Speed ratio F_0 / F_j (>= 1). The CC table scales core counts by this.
+  double slowdown(std::size_t j) const { return ghz_.front() / ghz_.at(j); }
+
+  /// Relative speed F_j / F_0 (<= 1).
+  double relative_speed(std::size_t j) const {
+    return ghz_.at(j) / ghz_.front();
+  }
+
+  /// Rung whose frequency equals `ghz` within a small tolerance;
+  /// throws std::out_of_range when absent.
+  std::size_t index_of(double ghz) const;
+
+  /// Rung of the slowest frequency that is >= `ghz` (clamped to rung 0).
+  std::size_t nearest_at_least(double ghz) const;
+
+  /// All rungs in GHz, descending.
+  const std::vector<double>& all() const { return ghz_; }
+
+  /// Human-readable form, e.g. "[2.5, 1.8, 1.3, 0.8] GHz".
+  std::string to_string() const;
+
+  bool operator==(const FrequencyLadder&) const = default;
+
+  /// The evaluation platform of the paper: AMD Opteron 8380's four
+  /// P-states (2.5, 1.8, 1.3, 0.8 GHz).
+  static FrequencyLadder opteron8380();
+
+  /// An r-rung ladder linearly spaced in [lo_ghz, hi_ghz] (for sweeps).
+  static FrequencyLadder linear(double lo_ghz, double hi_ghz, std::size_t r);
+
+ private:
+  std::vector<double> ghz_;
+};
+
+}  // namespace eewa::dvfs

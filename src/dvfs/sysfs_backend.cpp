@@ -1,0 +1,103 @@
+#include "dvfs/sysfs_backend.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <sstream>
+
+namespace eewa::dvfs {
+
+namespace fs = std::filesystem;
+
+std::optional<std::string> SysfsBackend::read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+bool SysfsBackend::write_file(const std::string& path,
+                              const std::string& value) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << value;
+  out.flush();
+  return static_cast<bool>(out);
+}
+
+std::string SysfsBackend::cpufreq_path(std::size_t core,
+                                       const std::string& file) const {
+  return root_ + "/cpu" + std::to_string(core) + "/cpufreq/" + file;
+}
+
+std::optional<SysfsBackend> SysfsBackend::probe(const std::string& root) {
+  // Count consecutive cpuN directories that expose cpufreq.
+  std::size_t cores = 0;
+  while (fs::exists(root + "/cpu" + std::to_string(cores) + "/cpufreq")) {
+    ++cores;
+  }
+  if (cores == 0) return std::nullopt;
+
+  const auto avail =
+      read_file(root + "/cpu0/cpufreq/scaling_available_frequencies");
+  if (!avail) return std::nullopt;
+  std::vector<std::uint64_t> khz;
+  std::istringstream ss(*avail);
+  std::uint64_t f;
+  while (ss >> f) khz.push_back(f);
+  std::sort(khz.begin(), khz.end(), std::greater<>());
+  khz.erase(std::unique(khz.begin(), khz.end()), khz.end());
+  if (khz.empty()) return std::nullopt;
+
+  // Try to select the userspace governor everywhere.
+  bool userspace = true;
+  for (std::size_t c = 0; c < cores; ++c) {
+    const std::string gov =
+        root + "/cpu" + std::to_string(c) + "/cpufreq/scaling_governor";
+    if (!write_file(gov, "userspace")) {
+      userspace = false;
+      break;
+    }
+  }
+  return SysfsBackend(root, cores, std::move(khz), userspace);
+}
+
+SysfsBackend::SysfsBackend(std::string root, std::size_t cores,
+                           std::vector<std::uint64_t> khz, bool userspace)
+    : root_(std::move(root)),
+      cores_(cores),
+      khz_(std::move(khz)),
+      ladder_([&] {
+        std::vector<double> ghz;
+        ghz.reserve(khz_.size());
+        for (auto k : khz_) ghz.push_back(static_cast<double>(k) / 1e6);
+        return FrequencyLadder(std::move(ghz));
+      }()),
+      userspace_(userspace),
+      current_(cores, 0) {}
+
+bool SysfsBackend::set_frequency(std::size_t core, std::size_t freq_index) {
+  if (core >= cores_ || freq_index >= khz_.size()) return false;
+  const std::string value = std::to_string(khz_[freq_index]);
+  bool ok;
+  if (userspace_) {
+    ok = write_file(cpufreq_path(core, "scaling_setspeed"), value);
+  } else {
+    // Clamp the max frequency; with the ondemand/schedutil governor and a
+    // busy core this pins the effective frequency to the requested rung.
+    ok = write_file(cpufreq_path(core, "scaling_max_freq"), value);
+  }
+  if (ok && current_[core] != freq_index) {
+    current_[core] = freq_index;
+    ++transitions_;
+  }
+  return ok;
+}
+
+std::size_t SysfsBackend::frequency_index(std::size_t core) const {
+  return current_.at(core);
+}
+
+}  // namespace eewa::dvfs

@@ -1,0 +1,56 @@
+// Linux cpufreq backend. Drives real per-core DVFS through
+// /sys/devices/system/cpu/cpuN/cpufreq using the `userspace` governor
+// (falling back to clamping scaling_max_freq when userspace is
+// unavailable). The sysfs root is injectable so tests run against a fake
+// tree and the code path is fully exercised without hardware.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dvfs/dvfs_backend.hpp"
+
+namespace eewa::dvfs {
+
+/// Real-hardware DVFS through the Linux cpufreq sysfs interface.
+class SysfsBackend : public DvfsBackend {
+ public:
+  /// Probe `root` (default "/sys/devices/system/cpu"). Returns nullopt when
+  /// the tree is missing, has no cpufreq nodes, or exposes no frequencies.
+  static std::optional<SysfsBackend> probe(
+      const std::string& root = "/sys/devices/system/cpu");
+
+  const FrequencyLadder& ladder() const override { return ladder_; }
+  std::size_t core_count() const override { return cores_; }
+  bool set_frequency(std::size_t core, std::size_t freq_index) override;
+  std::size_t frequency_index(std::size_t core) const override;
+  bool is_live() const override { return true; }
+  std::size_t transition_count() const override { return transitions_; }
+
+  /// Frequency in kHz for ladder rung j (as exposed by the kernel).
+  std::uint64_t khz(std::size_t j) const { return khz_.at(j); }
+
+  /// True if the `userspace` governor could be selected for all cores;
+  /// false means the scaling_max_freq clamp fallback is in use.
+  bool userspace_governor() const { return userspace_; }
+
+ private:
+  SysfsBackend(std::string root, std::size_t cores,
+               std::vector<std::uint64_t> khz, bool userspace);
+
+  std::string cpufreq_path(std::size_t core, const std::string& file) const;
+  static std::optional<std::string> read_file(const std::string& path);
+  static bool write_file(const std::string& path, const std::string& value);
+
+  std::string root_;
+  std::size_t cores_;
+  std::vector<std::uint64_t> khz_;  // descending, parallel to ladder_
+  FrequencyLadder ladder_;
+  bool userspace_;
+  std::vector<std::size_t> current_;
+  std::size_t transitions_ = 0;
+};
+
+}  // namespace eewa::dvfs

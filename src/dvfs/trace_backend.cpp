@@ -1,0 +1,50 @@
+#include "dvfs/trace_backend.hpp"
+
+#include <stdexcept>
+
+namespace eewa::dvfs {
+
+TraceBackend::TraceBackend(FrequencyLadder ladder, std::size_t cores,
+                           std::size_t initial_index)
+    : ladder_(std::move(ladder)),
+      start_(std::chrono::steady_clock::now()),
+      current_(cores, initial_index) {
+  if (cores == 0) {
+    throw std::invalid_argument("TraceBackend: need at least one core");
+  }
+  if (initial_index >= ladder_.size()) {
+    throw std::invalid_argument("TraceBackend: initial rung out of range");
+  }
+}
+
+double TraceBackend::now_s() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start_)
+      .count();
+}
+
+bool TraceBackend::set_frequency(std::size_t core, std::size_t freq_index) {
+  if (core >= current_.size() || freq_index >= ladder_.size()) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (current_[core] == freq_index) return true;
+  current_[core] = freq_index;
+  log_.push_back(Transition{now_s(), core, freq_index});
+  return true;
+}
+
+std::size_t TraceBackend::frequency_index(std::size_t core) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return current_.at(core);
+}
+
+std::size_t TraceBackend::transition_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return log_.size();
+}
+
+std::vector<Transition> TraceBackend::transitions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return log_;
+}
+
+}  // namespace eewa::dvfs

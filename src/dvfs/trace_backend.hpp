@@ -1,0 +1,51 @@
+// A DVFS backend that records every transition with a timestamp instead of
+// touching hardware. Used (a) on machines without cpufreq (this repo's CI
+// container) so the ModelMeter can integrate energy from the recorded
+// frequency trace, and (b) in tests to assert the controller's requests.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "dvfs/dvfs_backend.hpp"
+
+namespace eewa::dvfs {
+
+/// One recorded transition.
+struct Transition {
+  double time_s;           ///< seconds since backend construction
+  std::size_t core;        ///< core id
+  std::size_t freq_index;  ///< new ladder rung
+};
+
+/// Recording backend; thread-safe.
+class TraceBackend : public DvfsBackend {
+ public:
+  /// All cores start at rung `initial_index` (default 0 = fastest).
+  TraceBackend(FrequencyLadder ladder, std::size_t cores,
+               std::size_t initial_index = 0);
+
+  const FrequencyLadder& ladder() const override { return ladder_; }
+  std::size_t core_count() const override { return current_.size(); }
+  bool set_frequency(std::size_t core, std::size_t freq_index) override;
+  std::size_t frequency_index(std::size_t core) const override;
+  bool is_live() const override { return false; }
+  std::size_t transition_count() const override;
+
+  /// Snapshot of all recorded transitions, in request order.
+  std::vector<Transition> transitions() const;
+
+  /// Seconds elapsed since construction (the trace's time base).
+  double now_s() const;
+
+ private:
+  FrequencyLadder ladder_;
+  std::chrono::steady_clock::time_point start_;
+  mutable std::mutex mu_;
+  std::vector<std::size_t> current_;
+  std::vector<Transition> log_;
+};
+
+}  // namespace eewa::dvfs

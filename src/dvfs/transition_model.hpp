@@ -1,0 +1,23 @@
+// Cost model for a DVFS frequency transition. P-state switches on the
+// paper's Opteron platform stall the core for tens of microseconds while
+// the PLL relocks; the simulator charges this per transition.
+#pragma once
+
+namespace eewa::dvfs {
+
+/// Per-transition costs applied by the simulator (and reported by the
+/// runtime's overhead accounting).
+struct TransitionModel {
+  /// Core-stall time per frequency change, seconds. ~50 us is typical for
+  /// the AMD K10 generation the paper evaluates on.
+  double latency_s = 50e-6;
+
+  /// Extra energy per transition in joules (voltage regulator switching);
+  /// small, but nonzero so excessive switching is visibly penalized.
+  double energy_j = 1e-4;
+
+  /// A model with free transitions (for ablations).
+  static TransitionModel free() { return TransitionModel{0.0, 0.0}; }
+};
+
+}  // namespace eewa::dvfs

@@ -1,0 +1,43 @@
+#include "energy/energy_account.hpp"
+
+#include <stdexcept>
+
+namespace eewa::energy {
+
+EnergyAccount::EnergyAccount(const PowerModel& model, std::size_t cores)
+    : model_(model),
+      cores_(cores),
+      residency_(cores * model.ladder().size(), 0.0) {
+  if (cores == 0) {
+    throw std::invalid_argument("EnergyAccount: need at least one core");
+  }
+}
+
+void EnergyAccount::add_core_time(std::size_t core, double dt,
+                                  std::size_t rung, bool active) {
+  if (dt < 0.0) {
+    throw std::invalid_argument("EnergyAccount: negative time segment");
+  }
+  if (core >= cores_ || rung >= model_.ladder().size()) {
+    throw std::out_of_range("EnergyAccount: core or rung out of range");
+  }
+  residency_[core * model_.ladder().size() + rung] += dt;
+  core_j_ += model_.core_power_w(rung, active) * dt;
+  (active ? active_s_ : halted_s_) += dt;
+}
+
+double EnergyAccount::total_joules() const {
+  return core_joules() + model_.floor_w() * makespan_s_;
+}
+
+double EnergyAccount::residency_s(std::size_t core, std::size_t rung) const {
+  return residency_.at(core * model_.ladder().size() + rung);
+}
+
+double EnergyAccount::rung_residency_s(std::size_t rung) const {
+  double sum = 0.0;
+  for (std::size_t c = 0; c < cores_; ++c) sum += residency_s(c, rung);
+  return sum;
+}
+
+}  // namespace eewa::energy

@@ -1,0 +1,63 @@
+// Energy bookkeeping: integrates the power model over per-core
+// (time-at-rung, activity) segments. The simulator feeds it exact
+// segments; the runtime's ModelMeter feeds it segments reconstructed from
+// the DVFS trace.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "energy/power_model.hpp"
+
+namespace eewa::energy {
+
+/// Accumulates joules and residency from core activity segments.
+class EnergyAccount {
+ public:
+  EnergyAccount(const PowerModel& model, std::size_t cores);
+
+  /// Charge `dt` seconds of core `core` at ladder rung `rung`,
+  /// active (executing/spinning) or halted.
+  void add_core_time(std::size_t core, double dt, std::size_t rung,
+                     bool active);
+
+  /// Charge a one-off energy cost (e.g. DVFS transition energy).
+  void add_extra_joules(double j) { extra_j_ += j; }
+
+  /// Set the wall-clock span over which the machine floor draws power.
+  void set_makespan(double seconds) { makespan_s_ = seconds; }
+  double makespan_s() const { return makespan_s_; }
+
+  /// Joules from the cores only (dynamic + per-core static + extras).
+  double core_joules() const { return core_j_ + extra_j_; }
+
+  /// Whole-machine joules: cores + floor · makespan.
+  double total_joules() const;
+
+  /// Seconds core `core` spent at rung `rung` (any activity).
+  double residency_s(std::size_t core, std::size_t rung) const;
+
+  /// Seconds at rung `rung` summed over all cores.
+  double rung_residency_s(std::size_t rung) const;
+
+  /// Seconds of active time summed over all cores.
+  double active_s() const { return active_s_; }
+
+  /// Seconds of halted time summed over all cores.
+  double halted_s() const { return halted_s_; }
+
+  std::size_t core_count() const { return cores_; }
+  const PowerModel& model() const { return model_; }
+
+ private:
+  const PowerModel& model_;
+  std::size_t cores_;
+  std::vector<double> residency_;  // cores_ x ladder.size(), row-major
+  double core_j_ = 0.0;
+  double extra_j_ = 0.0;
+  double active_s_ = 0.0;
+  double halted_s_ = 0.0;
+  double makespan_s_ = 0.0;
+};
+
+}  // namespace eewa::energy

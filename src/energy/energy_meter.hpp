@@ -1,0 +1,28 @@
+// Generic energy-measurement interface: start(), then stop_joules().
+// Implementations: RaplMeter (hardware counters) and ModelMeter (power
+// model over a recorded DVFS trace).
+#pragma once
+
+#include <string>
+
+namespace eewa::energy {
+
+/// Measures the energy consumed between start() and stop_joules().
+class EnergyMeter {
+ public:
+  virtual ~EnergyMeter() = default;
+
+  /// True if this meter can produce readings on this machine.
+  virtual bool available() const = 0;
+
+  /// Begin a measurement interval.
+  virtual void start() = 0;
+
+  /// End the interval and return joules consumed during it.
+  virtual double stop_joules() = 0;
+
+  /// Short identifier for reports ("rapl", "model", ...).
+  virtual std::string name() const = 0;
+};
+
+}  // namespace eewa::energy

@@ -1,0 +1,53 @@
+#include "energy/model_meter.hpp"
+
+#include <stdexcept>
+
+namespace eewa::energy {
+
+ModelMeter::ModelMeter(const PowerModel& model,
+                       const dvfs::TraceBackend& backend)
+    : model_(model), backend_(backend) {
+  if (model_.ladder().size() != backend_.ladder().size()) {
+    throw std::invalid_argument(
+        "ModelMeter: model and backend ladders differ");
+  }
+}
+
+void ModelMeter::start() {
+  start_s_ = backend_.now_s();
+  start_log_size_ = backend_.transitions().size();
+  start_rungs_.resize(backend_.core_count());
+  for (std::size_t c = 0; c < backend_.core_count(); ++c) {
+    start_rungs_[c] = backend_.frequency_index(c);
+  }
+}
+
+double ModelMeter::stop_joules() {
+  const double end_s = backend_.now_s();
+  const auto log = backend_.transitions();
+  const std::size_t cores = backend_.core_count();
+
+  // Replay per-core rung segments across [start_s_, end_s].
+  std::vector<std::size_t> rung = start_rungs_;
+  std::vector<double> seg_start(cores, start_s_);
+  double joules = model_.floor_w() * (end_s - start_s_);
+  auto charge = [&](std::size_t c, double until) {
+    const double dt = until - seg_start[c];
+    if (dt > 0.0) {
+      joules += model_.core_power_w(rung[c], /*active=*/true) * dt;
+    }
+    seg_start[c] = until;
+  };
+  for (std::size_t i = start_log_size_; i < log.size(); ++i) {
+    const auto& t = log[i];
+    if (t.time_s > end_s) break;
+    if (t.core < cores) {
+      charge(t.core, t.time_s);
+      rung[t.core] = t.freq_index;
+    }
+  }
+  for (std::size_t c = 0; c < cores; ++c) charge(c, end_s);
+  return joules;
+}
+
+}  // namespace eewa::energy

@@ -1,0 +1,36 @@
+// Model-based energy meter for the real-thread runtime on machines
+// without RAPL: replays the DVFS TraceBackend's transition log between
+// start() and stop_joules() through the PowerModel, treating every core
+// as active for the whole interval (work-stealing workers spin when idle,
+// so this matches the paper's measurement model).
+#pragma once
+
+#include <cstddef>
+
+#include "dvfs/trace_backend.hpp"
+#include "energy/energy_meter.hpp"
+#include "energy/power_model.hpp"
+
+namespace eewa::energy {
+
+/// Integrates PowerModel over the frequency trace recorded by a
+/// dvfs::TraceBackend.
+class ModelMeter : public EnergyMeter {
+ public:
+  /// `backend` must outlive the meter and share the model's ladder.
+  ModelMeter(const PowerModel& model, const dvfs::TraceBackend& backend);
+
+  bool available() const override { return true; }
+  void start() override;
+  double stop_joules() override;
+  std::string name() const override { return "model"; }
+
+ private:
+  const PowerModel& model_;
+  const dvfs::TraceBackend& backend_;
+  double start_s_ = 0.0;
+  std::size_t start_log_size_ = 0;
+  std::vector<std::size_t> start_rungs_;
+};
+
+}  // namespace eewa::energy

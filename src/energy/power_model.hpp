@@ -1,0 +1,81 @@
+// Whole-machine power model. The paper measures energy at the wall for a
+// 4-socket Opteron 8380 server; this model reproduces that quantity as
+//
+//   P(t) = P_floor + Σ_cores [ k_dyn · f_c(t) · V(f_c(t))² · act_c(t)
+//                              + P_core_static ]
+//
+// where act_c is 1 for a core that is executing or spin-stealing and
+// `halt_fraction` for a core that is halted (mwait). Spinning burns full
+// dynamic power — that is precisely why plain work-stealing wastes energy
+// (paper §II) and why Cilk-D/EEWA save it by lowering f while spinning.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "dvfs/frequency_ladder.hpp"
+
+namespace eewa::energy {
+
+/// Per-core + machine-floor power model over a frequency ladder.
+class PowerModel {
+ public:
+  /// `volts[j]` is the supply voltage at ladder rung j (parallel to the
+  /// ladder, descending). `dyn_coeff_w` scales f·V² into watts;
+  /// `core_static_w` is per-core leakage/uncore share; `floor_w` is the
+  /// constant rest-of-machine draw (PSU, fans, DRAM, disks).
+  PowerModel(dvfs::FrequencyLadder ladder, std::vector<double> volts,
+             double dyn_coeff_w, double core_static_w, double floor_w,
+             double halt_fraction = 0.12);
+
+  const dvfs::FrequencyLadder& ladder() const { return ladder_; }
+
+  /// Voltage at rung j.
+  double volts(std::size_t j) const { return volts_.at(j); }
+
+  /// Power of one core at rung j; `active` = executing or spin-stealing.
+  double core_power_w(std::size_t j, bool active) const;
+
+  /// Constant machine floor in watts.
+  double floor_w() const { return floor_w_; }
+
+  /// Power of the whole machine with every one of `cores` cores active at
+  /// rung j (convenience for quick estimates).
+  double machine_all_active_w(std::size_t cores, std::size_t j) const;
+
+  /// Dynamic (f·V²) component only, at rung j, for an active core.
+  double dynamic_power_w(std::size_t j) const;
+
+  /// Energy ratio guardrail: power is strictly decreasing in rung index.
+  bool monotonic() const;
+
+  /// The paper's platform: 16 Opteron-8380 cores at {2.5, 1.8, 1.3, 0.8}
+  /// GHz with K10-generation voltage steps, ~15 W dynamic per core at the
+  /// top rung, 3 W per-core static, and a 150 W machine floor.
+  static PowerModel opteron8380_server();
+
+  /// Same silicon model but with a zero machine floor — isolates CPU
+  /// energy, used by ablation benches.
+  static PowerModel opteron8380_cpu_only();
+
+  /// A modern-server-like model: same ladder, but a much narrower
+  /// voltage range (near-threshold floors and aggressive binning leave
+  /// little V headroom) and lower leakage. DVFS-on-work saves far less
+  /// here — the ablation that shows how much of EEWA's value rides on
+  /// the silicon's V-f curve.
+  static PowerModel modern_server();
+
+  /// An embedded-style model: wide voltage range and a tiny machine
+  /// floor, where frequency scaling pays the most.
+  static PowerModel embedded();
+
+ private:
+  dvfs::FrequencyLadder ladder_;
+  std::vector<double> volts_;
+  double dyn_coeff_w_;
+  double core_static_w_;
+  double floor_w_;
+  double halt_fraction_;
+};
+
+}  // namespace eewa::energy

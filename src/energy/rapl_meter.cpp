@@ -1,0 +1,61 @@
+#include "energy/rapl_meter.hpp"
+
+#include <filesystem>
+#include <fstream>
+
+namespace eewa::energy {
+
+namespace fs = std::filesystem;
+
+std::uint64_t RaplMeter::read_u64(const std::string& path) {
+  std::ifstream in(path);
+  std::uint64_t v = 0;
+  in >> v;
+  return v;
+}
+
+RaplMeter::RaplMeter(const std::string& root) {
+  std::error_code ec;
+  if (!fs::exists(root, ec)) return;
+  for (const auto& entry : fs::directory_iterator(root, ec)) {
+    const std::string name = entry.path().filename().string();
+    // Package domains look like "intel-rapl:0"; subdomains (core/dram)
+    // like "intel-rapl:0:0" are skipped to avoid double counting.
+    if (name.rfind("intel-rapl:", 0) != 0) continue;
+    if (name.find(':', std::string("intel-rapl:").size()) !=
+        std::string::npos) {
+      continue;
+    }
+    const std::string energy = entry.path().string() + "/energy_uj";
+    if (!fs::exists(energy, ec)) continue;
+    Domain d;
+    d.energy_path = energy;
+    d.max_range_uj =
+        read_u64(entry.path().string() + "/max_energy_range_uj");
+    if (d.max_range_uj == 0) {
+      d.max_range_uj = ~0ULL;  // no wraparound info; assume none
+    }
+    domains_.push_back(std::move(d));
+  }
+}
+
+void RaplMeter::start() {
+  for (auto& d : domains_) d.start_uj = read_u64(d.energy_path);
+}
+
+double RaplMeter::stop_joules() {
+  double joules = 0.0;
+  for (auto& d : domains_) {
+    const std::uint64_t now = read_u64(d.energy_path);
+    std::uint64_t delta;
+    if (now >= d.start_uj) {
+      delta = now - d.start_uj;
+    } else {
+      delta = d.max_range_uj - d.start_uj + now;  // wrapped
+    }
+    joules += static_cast<double>(delta) * 1e-6;
+  }
+  return joules;
+}
+
+}  // namespace eewa::energy

@@ -1,0 +1,42 @@
+// Intel RAPL energy meter via the Linux powercap sysfs interface
+// (/sys/class/powercap/intel-rapl:*). Sums all package domains and handles
+// counter wraparound. The sysfs root is injectable so the full code path
+// is testable against a fake tree on machines without RAPL.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "energy/energy_meter.hpp"
+
+namespace eewa::energy {
+
+/// RAPL package-energy meter.
+class RaplMeter : public EnergyMeter {
+ public:
+  /// Probe `root` (default "/sys/class/powercap") for intel-rapl package
+  /// domains. If none are found, available() is false and readings are 0.
+  explicit RaplMeter(const std::string& root = "/sys/class/powercap");
+
+  bool available() const override { return !domains_.empty(); }
+  void start() override;
+  double stop_joules() override;
+  std::string name() const override { return "rapl"; }
+
+  /// Number of package domains discovered.
+  std::size_t domain_count() const { return domains_.size(); }
+
+ private:
+  struct Domain {
+    std::string energy_path;
+    std::uint64_t max_range_uj;
+    std::uint64_t start_uj = 0;
+  };
+
+  static std::uint64_t read_u64(const std::string& path);
+
+  std::vector<Domain> domains_;
+};
+
+}  // namespace eewa::energy

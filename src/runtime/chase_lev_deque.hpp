@@ -1,0 +1,143 @@
+// Chase–Lev work-stealing deque (Chase & Lev, SPAA'05) with the C11/C++11
+// memory orderings of Lê, Pop, Cohen & Zappa Nardelli (PPoPP'13).
+//
+// Single owner pushes/pops at the bottom without contention; any number
+// of thieves steal from the top with a CAS. The backing ring grows
+// geometrically; retired rings are kept alive until the deque is
+// destroyed, which makes concurrent reads of a stale ring safe without a
+// reclamation scheme (the standard approach for this structure).
+//
+// T must be trivially copyable (we store raw task pointers).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <type_traits>
+#include <vector>
+
+namespace eewa::rt {
+
+template <typename T>
+class ChaseLevDeque {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "ChaseLevDeque requires trivially copyable elements");
+
+ public:
+  explicit ChaseLevDeque(std::size_t initial_capacity = 64)
+      : top_(0), bottom_(0) {
+    std::size_t cap = 1;
+    while (cap < initial_capacity) cap <<= 1;
+    rings_.push_back(std::make_unique<Ring>(cap));
+    ring_.store(rings_.back().get(), std::memory_order_relaxed);
+  }
+
+  ChaseLevDeque(const ChaseLevDeque&) = delete;
+  ChaseLevDeque& operator=(const ChaseLevDeque&) = delete;
+
+  /// Owner only: push onto the bottom.
+  void push(T value) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_acquire);
+    Ring* a = ring_.load(std::memory_order_relaxed);
+    if (b - t > static_cast<std::int64_t>(a->capacity()) - 1) {
+      a = grow(a, t, b);
+    }
+    a->put(b, value);
+    std::atomic_thread_fence(std::memory_order_release);
+    bottom_.store(b + 1, std::memory_order_relaxed);
+  }
+
+  /// Owner only: pop from the bottom (LIFO).
+  std::optional<T> pop() {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    Ring* a = ring_.load(std::memory_order_relaxed);
+    bottom_.store(b, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_relaxed);
+    std::optional<T> result;
+    if (t <= b) {
+      result = a->get(b);
+      if (t == b) {
+        // Last element: race against thieves.
+        if (!top_.compare_exchange_strong(t, t + 1,
+                                          std::memory_order_seq_cst,
+                                          std::memory_order_relaxed)) {
+          result.reset();
+        }
+        bottom_.store(b + 1, std::memory_order_relaxed);
+      }
+    } else {
+      bottom_.store(b + 1, std::memory_order_relaxed);
+    }
+    return result;
+  }
+
+  /// Thieves: steal from the top (FIFO). Returns nullopt when empty or
+  /// when losing a race (caller just tries another victim).
+  std::optional<T> steal() {
+    std::int64_t t = top_.load(std::memory_order_acquire);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    const std::int64_t b = bottom_.load(std::memory_order_acquire);
+    if (t < b) {
+      Ring* a = ring_.load(std::memory_order_acquire);
+      T value = a->get(t);
+      if (!top_.compare_exchange_strong(t, t + 1,
+                                        std::memory_order_seq_cst,
+                                        std::memory_order_relaxed)) {
+        return std::nullopt;  // lost the race
+      }
+      return value;
+    }
+    return std::nullopt;
+  }
+
+  /// Approximate size (racy; for heuristics/diagnostics only).
+  std::size_t size_approx() const {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_relaxed);
+    return b > t ? static_cast<std::size_t>(b - t) : 0;
+  }
+
+  bool empty_approx() const { return size_approx() == 0; }
+
+ private:
+  class Ring {
+   public:
+    explicit Ring(std::size_t cap) : mask_(cap - 1), slots_(cap) {}
+
+    std::size_t capacity() const { return mask_ + 1; }
+
+    void put(std::int64_t i, T v) {
+      slots_[static_cast<std::size_t>(i) & mask_].store(
+          v, std::memory_order_relaxed);
+    }
+
+    T get(std::int64_t i) const {
+      return slots_[static_cast<std::size_t>(i) & mask_].load(
+          std::memory_order_relaxed);
+    }
+
+   private:
+    std::size_t mask_;
+    std::vector<std::atomic<T>> slots_;
+  };
+
+  Ring* grow(Ring* old, std::int64_t t, std::int64_t b) {
+    auto bigger = std::make_unique<Ring>(old->capacity() * 2);
+    for (std::int64_t i = t; i < b; ++i) bigger->put(i, old->get(i));
+    Ring* raw = bigger.get();
+    rings_.push_back(std::move(bigger));  // old rings stay alive
+    ring_.store(raw, std::memory_order_release);
+    return raw;
+  }
+
+  alignas(64) std::atomic<std::int64_t> top_;
+  alignas(64) std::atomic<std::int64_t> bottom_;
+  alignas(64) std::atomic<Ring*> ring_;
+  std::vector<std::unique_ptr<Ring>> rings_;  // owner-managed (grow only)
+};
+
+}  // namespace eewa::rt

@@ -1,0 +1,84 @@
+#include "runtime/pmc.hpp"
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cstring>
+#endif
+
+namespace eewa::rt {
+
+#if defined(__linux__)
+
+namespace {
+
+int open_counter(std::uint64_t config) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof(attr));
+  attr.type = PERF_TYPE_HARDWARE;
+  attr.size = sizeof(attr);
+  attr.config = config;
+  attr.disabled = 1;
+  attr.exclude_kernel = 1;
+  attr.exclude_hv = 1;
+  return static_cast<int>(::syscall(__NR_perf_event_open, &attr, /*pid=*/0,
+                                    /*cpu=*/-1, /*group_fd=*/-1,
+                                    /*flags=*/0));
+}
+
+std::uint64_t read_counter(int fd) {
+  std::uint64_t value = 0;
+  if (fd >= 0 && ::read(fd, &value, sizeof(value)) != sizeof(value)) {
+    value = 0;
+  }
+  return value;
+}
+
+}  // namespace
+
+PerfCounters::PerfCounters()
+    : misses_fd_(open_counter(PERF_COUNT_HW_CACHE_MISSES)),
+      instr_fd_(open_counter(PERF_COUNT_HW_INSTRUCTIONS)) {
+  if (!available()) {
+    if (misses_fd_ >= 0) ::close(misses_fd_);
+    if (instr_fd_ >= 0) ::close(instr_fd_);
+    misses_fd_ = instr_fd_ = -1;
+  }
+}
+
+PerfCounters::~PerfCounters() {
+  if (misses_fd_ >= 0) ::close(misses_fd_);
+  if (instr_fd_ >= 0) ::close(instr_fd_);
+}
+
+void PerfCounters::start() {
+  if (!available()) return;
+  ::ioctl(misses_fd_, PERF_EVENT_IOC_RESET, 0);
+  ::ioctl(instr_fd_, PERF_EVENT_IOC_RESET, 0);
+  ::ioctl(misses_fd_, PERF_EVENT_IOC_ENABLE, 0);
+  ::ioctl(instr_fd_, PERF_EVENT_IOC_ENABLE, 0);
+}
+
+PerfCounters::Sample PerfCounters::stop() {
+  Sample sample;
+  if (!available()) return sample;
+  ::ioctl(misses_fd_, PERF_EVENT_IOC_DISABLE, 0);
+  ::ioctl(instr_fd_, PERF_EVENT_IOC_DISABLE, 0);
+  sample.cache_misses = read_counter(misses_fd_);
+  sample.instructions = read_counter(instr_fd_);
+  return sample;
+}
+
+#else  // !__linux__
+
+PerfCounters::PerfCounters() = default;
+PerfCounters::~PerfCounters() = default;
+void PerfCounters::start() {}
+PerfCounters::Sample PerfCounters::stop() { return {}; }
+
+#endif
+
+}  // namespace eewa::rt

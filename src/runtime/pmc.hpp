@@ -1,0 +1,52 @@
+// Per-thread hardware performance counters via Linux perf_event:
+// retired instructions and cache misses, giving the cache-miss
+// intensity the paper's §IV-D CPU/memory-bound classifier consumes.
+// Containers and locked-down kernels often forbid perf_event_open;
+// everything degrades to available() == false and zero samples.
+#pragma once
+
+#include <cstdint>
+
+namespace eewa::rt {
+
+/// A pair of per-thread counters (cache misses, instructions).
+/// Not thread-safe: each worker owns one instance and samples around
+/// the tasks it executes.
+class PerfCounters {
+ public:
+  /// One measurement interval's readings.
+  struct Sample {
+    std::uint64_t cache_misses = 0;
+    std::uint64_t instructions = 0;
+
+    /// Cache-miss intensity (misses per instruction; 0 when empty).
+    double cmi() const {
+      return instructions == 0
+                 ? 0.0
+                 : static_cast<double>(cache_misses) /
+                       static_cast<double>(instructions);
+    }
+  };
+
+  /// Try to open the counters for the calling thread.
+  PerfCounters();
+  ~PerfCounters();
+
+  PerfCounters(const PerfCounters&) = delete;
+  PerfCounters& operator=(const PerfCounters&) = delete;
+
+  /// True when both counters opened successfully.
+  bool available() const { return misses_fd_ >= 0 && instr_fd_ >= 0; }
+
+  /// Reset and enable the counters (no-op when unavailable).
+  void start();
+
+  /// Disable and read; returns zeros when unavailable.
+  Sample stop();
+
+ private:
+  int misses_fd_ = -1;
+  int instr_fd_ = -1;
+};
+
+}  // namespace eewa::rt

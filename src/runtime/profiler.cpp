@@ -1,0 +1,18 @@
+#include "runtime/profiler.hpp"
+
+namespace eewa::rt {
+
+std::vector<TaskRecord> merge_profiles(std::vector<WorkerProfile>& workers) {
+  std::size_t total = 0;
+  for (const auto& w : workers) total += w.size();
+  std::vector<TaskRecord> merged;
+  merged.reserve(total);
+  for (auto& w : workers) {
+    const auto& r = w.records();
+    merged.insert(merged.end(), r.begin(), r.end());
+    w.clear();
+  }
+  return merged;
+}
+
+}  // namespace eewa::rt

@@ -1,0 +1,389 @@
+#include "runtime/runtime.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+#include "core/preference_list.hpp"
+#include "core/wats_allocation.hpp"
+#include "util/cpu_affinity.hpp"
+
+namespace eewa::rt {
+
+namespace {
+
+thread_local std::size_t tl_worker_id = static_cast<std::size_t>(-1);
+thread_local Runtime* tl_runtime = nullptr;
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+}  // namespace
+
+Runtime::Runtime(RuntimeOptions options) : options_(std::move(options)) {
+  const std::size_t n =
+      options_.workers ? options_.workers : util::hardware_cpu_count();
+  if (!options_.fixed_rungs.empty() && options_.fixed_rungs.size() != n) {
+    throw std::invalid_argument("Runtime: fixed_rungs size != workers");
+  }
+  if (options_.kind == SchedulerKind::kWats && options_.fixed_rungs.empty()) {
+    throw std::invalid_argument("Runtime: kWats requires fixed_rungs");
+  }
+
+  if (options_.backend != nullptr) {
+    backend_ = options_.backend;
+  } else {
+    owned_backend_ =
+        std::make_unique<dvfs::TraceBackend>(options_.ladder, n);
+    backend_ = owned_backend_.get();
+  }
+  controller_ = std::make_unique<core::EewaController>(
+      options_.ladder, n, options_.controller);
+
+  pools_.resize(n);
+  for (auto& wp : pools_) {
+    for (std::size_t g = 0; g < options_.ladder.size(); ++g) {
+      wp.deques.push_back(std::make_unique<ChaseLevDeque<Task*>>());
+    }
+  }
+  profiles_.resize(n);
+  group_counts_ = std::vector<util::CachelinePadded<std::atomic<std::int64_t>>>(
+      options_.ladder.size());
+  for (auto& gc : group_counts_) gc->store(0, std::memory_order_relaxed);
+  worker_group_.assign(n, 0);
+
+  threads_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    threads_.emplace_back([this, i] { worker_main(i); });
+  }
+}
+
+Runtime::~Runtime() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_start_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+std::size_t Runtime::class_id(std::string_view name) {
+  std::lock_guard<std::mutex> lock(intern_mu_);
+  return controller_->class_id(name);
+}
+
+std::size_t Runtime::group_of_worker(std::size_t id) const {
+  return worker_group_[id];
+}
+
+void Runtime::prepare_batch(std::vector<TaskDesc>& tasks) {
+  controller_->begin_batch();
+  const std::size_t n = pools_.size();
+
+  // 1. Frequencies + c-group structure for this batch.
+  std::vector<std::vector<std::size_t>> group_workers;
+  std::vector<std::size_t> class_to_group;  // by controller class id
+  switch (options_.kind) {
+    case SchedulerKind::kCilk: {
+      for (std::size_t c = 0; c < n; ++c) {
+        backend_->set_frequency(
+            c, options_.fixed_rungs.empty() ? 0 : options_.fixed_rungs[c]);
+      }
+      group_workers.resize(1);
+      for (std::size_t c = 0; c < n; ++c) group_workers[0].push_back(c);
+      break;
+    }
+    case SchedulerKind::kCilkD: {
+      backend_->set_all(0);
+      group_workers.resize(1);
+      for (std::size_t c = 0; c < n; ++c) group_workers[0].push_back(c);
+      break;
+    }
+    case SchedulerKind::kWats: {
+      // Fixed asymmetric configuration; groups by distinct rung.
+      std::vector<std::size_t> rungs = options_.fixed_rungs;
+      for (std::size_t c = 0; c < n; ++c) {
+        backend_->set_frequency(c, rungs[c]);
+      }
+      std::vector<std::size_t> distinct;
+      for (std::size_t r : rungs) {
+        bool seen = false;
+        for (std::size_t d : distinct) seen = seen || d == r;
+        if (!seen) distinct.push_back(r);
+      }
+      std::sort(distinct.begin(), distinct.end());
+      group_workers.resize(distinct.size());
+      std::vector<double> capacity(distinct.size(), 0.0);
+      for (std::size_t c = 0; c < n; ++c) {
+        for (std::size_t g = 0; g < distinct.size(); ++g) {
+          if (rungs[c] == distinct[g]) {
+            group_workers[g].push_back(c);
+            capacity[g] += options_.ladder.relative_speed(distinct[g]);
+          }
+        }
+      }
+      class_to_group = core::allocate_classes_proportional(
+          controller_->registry().iteration_profile(), capacity,
+          controller_->registry().class_count());
+      break;
+    }
+    case SchedulerKind::kEewa: {
+      controller_->apply(*backend_);
+      const auto& layout = controller_->plan().layout;
+      group_workers.resize(layout.group_count());
+      for (std::size_t g = 0; g < layout.group_count(); ++g) {
+        for (std::size_t c : layout.group(g).cores) {
+          if (c < n) group_workers[g].push_back(c);
+        }
+      }
+      break;
+    }
+  }
+
+  group_count_ = group_workers.size();
+  for (std::size_t g = 0; g < group_workers.size(); ++g) {
+    for (std::size_t c : group_workers[g]) worker_group_[c] = g;
+  }
+  pref_lists_.clear();
+  for (std::size_t g = 0; g < group_count_; ++g) {
+    pref_lists_.push_back(core::preference_list(g, group_count_));
+  }
+  for (auto& gc : group_counts_) gc->store(0, std::memory_order_relaxed);
+
+  // 2. Intern classes and materialize tasks.
+  batch_tasks_.clear();
+  batch_tasks_.reserve(tasks.size());
+  {
+    std::lock_guard<std::mutex> lock(intern_mu_);
+    for (auto& td : tasks) {
+      batch_tasks_.push_back(
+          Task{controller_->class_id(td.class_name), std::move(td.fn)});
+    }
+  }
+  spawned_tasks_.clear();
+
+  // 3. Distribute round-robin into the owning group's workers. Workers
+  // are parked at the batch barrier, so the control thread may safely
+  // act as the deque owner here.
+  std::vector<std::size_t> rr(group_count_, 0);
+  for (auto& task : batch_tasks_) {
+    std::size_t g = 0;
+    if (options_.kind == SchedulerKind::kEewa) {
+      g = controller_->group_of_class(task.class_id);
+    } else if (options_.kind == SchedulerKind::kWats &&
+               task.class_id < class_to_group.size()) {
+      g = class_to_group[task.class_id];
+    }
+    if (g >= group_count_) g = 0;
+    const auto& workers = group_workers[g];
+    const std::size_t w = workers[rr[g]++ % workers.size()];
+    pools_[w].deques[g]->push(&task);
+    group_counts_[g]->fetch_add(1, std::memory_order_relaxed);
+  }
+  remaining_.store(static_cast<std::int64_t>(batch_tasks_.size()),
+                   std::memory_order_release);
+}
+
+double Runtime::run_batch(std::vector<TaskDesc> tasks) {
+  prepare_batch(tasks);
+  const auto t0 = Clock::now();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++generation_;
+    workers_active_ = pools_.size();
+  }
+  cv_start_.notify_all();
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_done_.wait(lock, [this] { return workers_active_ == 0; });
+  }
+  const double makespan = seconds_since(t0);
+  finish_batch(makespan);
+  std::exception_ptr failure;
+  {
+    std::lock_guard<std::mutex> lock(failure_mu_);
+    failure = first_failure_;
+    first_failure_ = nullptr;
+  }
+  if (failure) std::rethrow_exception(failure);
+  return makespan;
+}
+
+void Runtime::finish_batch(double makespan_s) {
+  trace::Batch* recording = nullptr;
+  if (options_.record_trace) {
+    recorded_.batches.emplace_back();
+    recording = &recorded_.batches.back();
+  }
+  const auto& ladder = options_.ladder;
+  for (auto& profile : profiles_) {
+    for (const auto& rec : profile.records()) {
+      const double alpha = core::estimate_alpha_from_cmi(rec.cmi);
+      controller_->record_task(rec.class_id, rec.exec_s, rec.rung, rec.cmi,
+                               alpha);
+      if (recording != nullptr) {
+        // Normalized (F0) workload via the alpha-corrected Eq. 1 — the
+        // simulator's exec-time model inverts this exactly.
+        const double eff =
+            alpha + (1.0 - alpha) * ladder.slowdown(rec.rung);
+        recording->tasks.push_back(trace::TraceTask{
+            rec.class_id, std::max(rec.exec_s / eff, 1e-9), rec.cmi,
+            alpha});
+      }
+    }
+    profile.clear();
+  }
+  if (recording != nullptr) {
+    // Keep the class-name table in sync with the registry.
+    const auto& reg = controller_->registry();
+    recorded_.name = "recorded";
+    recorded_.class_names.clear();
+    for (std::size_t id = 0; id < reg.class_count(); ++id) {
+      recorded_.class_names.push_back(reg.name(id));
+    }
+  }
+  controller_->end_batch(makespan_s);
+  ++batches_;
+  tasks_run_ += batch_tasks_.size() + spawned_tasks_.size();
+}
+
+void Runtime::spawn(std::string_view class_name, std::function<void()> fn) {
+  if (tl_runtime != this) {
+    throw std::logic_error("Runtime::spawn called outside a worker task");
+  }
+  const std::size_t id = tl_worker_id;
+  std::size_t cid;
+  {
+    std::lock_guard<std::mutex> lock(intern_mu_);
+    cid = controller_->class_id(class_name);
+  }
+  auto task = std::make_unique<Task>(Task{cid, std::move(fn)});
+  Task* raw = task.get();
+  {
+    std::lock_guard<std::mutex> lock(spawn_mu_);
+    spawned_tasks_.push_back(std::move(task));
+  }
+  std::size_t g = options_.kind == SchedulerKind::kEewa
+                      ? controller_->group_of_class(cid)
+                      : worker_group_[id];
+  if (g >= group_count_) g = 0;
+  remaining_.fetch_add(1, std::memory_order_acq_rel);
+  pools_[id].deques[g]->push(raw);
+  group_counts_[g]->fetch_add(1, std::memory_order_release);
+}
+
+std::optional<Task*> Runtime::steal_from_group(std::size_t id,
+                                               std::size_t group) {
+  if (group_counts_[group]->load(std::memory_order_acquire) <= 0) {
+    return std::nullopt;
+  }
+  const std::size_t n = pools_.size();
+  // Random victim probing, bounded per sweep; callers loop while work
+  // remains, so a failed sweep is retried from the top-level loop.
+  std::uint64_t state = (static_cast<std::uint64_t>(id) << 32) ^
+                        static_cast<std::uint64_t>(
+                            Clock::now().time_since_epoch().count());
+  for (std::size_t attempt = 0; attempt < 2 * n; ++attempt) {
+    state = util::mix64(state);
+    std::size_t victim = state % n;
+    if (victim == id && n > 1) victim = (victim + 1) % n;
+    if (auto t = pools_[victim].deques[group]->steal()) {
+      group_counts_[group]->fetch_sub(1, std::memory_order_acq_rel);
+      steals_.fetch_add(1, std::memory_order_relaxed);
+      return t;
+    }
+    if (group_counts_[group]->load(std::memory_order_acquire) <= 0) break;
+  }
+  return std::nullopt;
+}
+
+std::optional<Task*> Runtime::acquire(std::size_t id) {
+  const auto& order = pref_lists_[worker_group_[id]];
+  for (std::size_t g : order) {
+    if (auto t = pools_[id].deques[g]->pop()) {
+      group_counts_[g]->fetch_sub(1, std::memory_order_acq_rel);
+      return t;
+    }
+    if (auto t = steal_from_group(id, g)) return t;
+  }
+  return std::nullopt;
+}
+
+bool Runtime::run_one_task(std::size_t id, PerfCounters* pmc) {
+  auto got = acquire(id);
+  if (!got) return false;
+  Task* task = *got;
+  // Cilk-D ramps back up the moment it has work again.
+  if (options_.kind == SchedulerKind::kCilkD &&
+      backend_->frequency_index(id) != 0) {
+    backend_->set_frequency(id, 0);
+  }
+  const std::size_t rung = backend_->frequency_index(id);
+  if (pmc != nullptr) pmc->start();
+  const auto t0 = Clock::now();
+  try {
+    task->fn();
+  } catch (...) {
+    // A throwing task must not take the worker (and the batch barrier)
+    // down with it; capture the first failure for run_batch to rethrow.
+    failed_tasks_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(failure_mu_);
+    if (!first_failure_) first_failure_ = std::current_exception();
+  }
+  const double exec_s = seconds_since(t0);
+  const double cmi = pmc != nullptr ? pmc->stop().cmi() : 0.0;
+  profiles_[id].record(task->class_id, exec_s, rung, cmi);
+  remaining_.fetch_sub(1, std::memory_order_acq_rel);
+  return true;
+}
+
+void Runtime::worker_main(std::size_t id) {
+  tl_worker_id = id;
+  tl_runtime = this;
+  if (options_.pin_threads) util::pin_current_thread(id);
+  PerfCounters pmc_storage;
+  PerfCounters* pmc =
+      options_.enable_pmc && pmc_storage.available() ? &pmc_storage
+                                                     : nullptr;
+
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_start_.wait(lock, [&] {
+        return shutdown_ || generation_ != seen_generation;
+      });
+      if (shutdown_) return;
+      seen_generation = generation_;
+    }
+
+    std::size_t idle_sweeps = 0;
+    while (remaining_.load(std::memory_order_acquire) > 0) {
+      if (run_one_task(id, pmc)) {
+        idle_sweeps = 0;
+        continue;
+      }
+      ++idle_sweeps;
+      if (options_.kind == SchedulerKind::kCilkD && idle_sweeps == 2 &&
+          backend_->frequency_index(id) !=
+              options_.ladder.slowest_index()) {
+        backend_->set_frequency(id, options_.ladder.slowest_index());
+      }
+      if (idle_sweeps > 16) {
+        std::this_thread::yield();
+      }
+    }
+
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--workers_active_ == 0) cv_done_.notify_all();
+    }
+  }
+}
+
+}  // namespace eewa::rt

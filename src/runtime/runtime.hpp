@@ -1,0 +1,178 @@
+// The real-thread work-stealing runtime (paper Fig. 4 architecture).
+//
+// N worker threads, each owning r Chase–Lev deques (one per c-group).
+// Batches of tasks are submitted from the control thread; workers pop
+// locally, steal randomly within a c-group, and fall through c-groups in
+// rob-the-weaker-first preference order. Between batches the
+// EewaController replans frequencies and the plan is applied through a
+// DvfsBackend (real sysfs cpufreq on hardware, a recording TraceBackend
+// elsewhere — energy then comes from ModelMeter).
+//
+// Scheduler kinds:
+//   kCilk  — single pool group, random stealing, frequencies untouched
+//            (or pinned to `fixed_rungs` for AMC experiments).
+//   kCilkD — kCilk + self-scaling to the bottom rung when a worker finds
+//            every pool empty; restored on the next acquire/batch.
+//   kWats  — fixed `fixed_rungs`, preference stealing, workload-aware
+//            class allocation, no DVFS at runtime.
+//   kEewa  — the paper's scheduler: measurement batch at F0, then
+//            per-batch frequency plans from the workload-aware adjuster.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "core/eewa_controller.hpp"
+#include "dvfs/dvfs_backend.hpp"
+#include "dvfs/frequency_ladder.hpp"
+#include "dvfs/trace_backend.hpp"
+#include "runtime/chase_lev_deque.hpp"
+#include "runtime/pmc.hpp"
+#include "runtime/profiler.hpp"
+#include "runtime/task.hpp"
+#include "trace/task_trace.hpp"
+#include "util/aligned.hpp"
+
+namespace eewa::rt {
+
+/// Which scheduling policy the runtime applies.
+enum class SchedulerKind { kCilk, kCilkD, kWats, kEewa };
+
+/// Runtime configuration.
+struct RuntimeOptions {
+  /// Worker count; 0 means one per hardware CPU.
+  std::size_t workers = 0;
+  SchedulerKind kind = SchedulerKind::kEewa;
+  dvfs::FrequencyLadder ladder = dvfs::FrequencyLadder::opteron8380();
+  core::ControllerOptions controller{};
+  /// Fixed per-worker rungs for kWats / asymmetric kCilk runs.
+  std::vector<std::size_t> fixed_rungs;
+  /// Pin workers to CPUs (no-op where unsupported).
+  bool pin_threads = false;
+  /// External DVFS backend (e.g. a probed SysfsBackend). When null the
+  /// runtime creates an internal TraceBackend over `ladder`.
+  dvfs::DvfsBackend* backend = nullptr;
+  /// Sample per-task cache-miss intensity with perf_event counters
+  /// (silently disabled where perf_event_open is forbidden).
+  bool enable_pmc = true;
+  /// Record every executed batch as a task trace (normalized workloads,
+  /// CMI, estimated stall fractions) retrievable via recorded_trace():
+  /// profile an application here, replay it on any simulated machine.
+  bool record_trace = false;
+};
+
+/// Work-stealing runtime with batch (iteration) semantics.
+class Runtime {
+ public:
+  explicit Runtime(RuntimeOptions options);
+  ~Runtime();
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  /// Run one batch to completion (blocking). Returns the batch makespan
+  /// in seconds. If any task threw, the batch still runs to completion
+  /// (remaining tasks execute), then the first captured exception is
+  /// rethrown here.
+  double run_batch(std::vector<TaskDesc> tasks);
+
+  /// Spawn a task into the *current* batch; only valid while run_batch
+  /// is in flight, typically called from inside a running task.
+  void spawn(std::string_view class_name, std::function<void()> fn);
+
+  /// Intern a class name ahead of time (thread-safe).
+  std::size_t class_id(std::string_view name);
+
+  /// The controller (plans, profiles, overhead accounting).
+  const core::EewaController& controller() const { return *controller_; }
+
+  /// The DVFS backend in use.
+  dvfs::DvfsBackend& backend() { return *backend_; }
+
+  /// The internal TraceBackend, or nullptr when an external backend was
+  /// supplied (feed this to energy::ModelMeter).
+  const dvfs::TraceBackend* trace_backend() const {
+    return owned_backend_.get();
+  }
+
+  std::size_t worker_count() const { return pools_.size(); }
+
+  /// Cumulative counters.
+  std::size_t total_steals() const {
+    return steals_.load(std::memory_order_relaxed);
+  }
+  std::size_t batches_run() const { return batches_; }
+  std::size_t tasks_run() const { return tasks_run_; }
+
+  /// The recorded trace (empty unless options.record_trace was set).
+  const trace::TaskTrace& recorded_trace() const { return recorded_; }
+
+  /// Tasks that threw, across all batches (their exceptions are
+  /// rethrown from run_batch, first one wins per batch).
+  std::size_t failed_tasks() const {
+    return failed_tasks_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct WorkerPools {
+    // One deque per c-group (allocated for the full ladder size; a batch
+    // uses the first `group_count_`).
+    std::vector<std::unique_ptr<ChaseLevDeque<Task*>>> deques;
+  };
+
+  void worker_main(std::size_t id);
+  bool run_one_task(std::size_t id, PerfCounters* pmc);
+  std::optional<Task*> acquire(std::size_t id);
+  std::optional<Task*> steal_from_group(std::size_t id, std::size_t group);
+  void prepare_batch(std::vector<TaskDesc>& tasks);
+  void finish_batch(double makespan_s);
+  std::size_t group_of_worker(std::size_t id) const;
+
+  RuntimeOptions options_;
+  std::unique_ptr<dvfs::TraceBackend> owned_backend_;
+  dvfs::DvfsBackend* backend_ = nullptr;
+  std::unique_ptr<core::EewaController> controller_;
+  std::mutex intern_mu_;
+
+  std::vector<WorkerPools> pools_;
+  std::vector<WorkerProfile> profiles_;
+  std::vector<util::CachelinePadded<std::atomic<std::int64_t>>>
+      group_counts_;
+  std::size_t group_count_ = 1;
+  std::vector<std::size_t> worker_group_;
+  std::vector<std::vector<std::size_t>> pref_lists_;
+
+  std::vector<Task> batch_tasks_;
+  std::vector<std::unique_ptr<Task>> spawned_tasks_;
+  std::mutex spawn_mu_;
+
+  std::atomic<std::int64_t> remaining_{0};
+  std::atomic<std::size_t> steals_{0};
+  std::mutex failure_mu_;
+  std::exception_ptr first_failure_;
+  std::atomic<std::size_t> failed_tasks_{0};
+
+  // Batch lifecycle.
+  std::mutex mu_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  std::uint64_t generation_ = 0;
+  std::size_t workers_active_ = 0;
+  bool shutdown_ = false;
+
+  std::vector<std::thread> threads_;
+  std::size_t batches_ = 0;
+  std::size_t tasks_run_ = 0;
+  trace::TaskTrace recorded_;
+};
+
+}  // namespace eewa::rt

@@ -1,0 +1,23 @@
+// The unit of scheduling in the real-thread runtime: a callable tagged
+// with the task-class (function) name EEWA profiles by.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+
+namespace eewa::rt {
+
+/// A task as submitted by the application.
+struct TaskDesc {
+  std::string class_name;    ///< function name (EEWA's class identity)
+  std::function<void()> fn;  ///< the work
+};
+
+/// Internal representation after class-name interning.
+struct Task {
+  std::size_t class_id = 0;
+  std::function<void()> fn;
+};
+
+}  // namespace eewa::rt

@@ -1,0 +1,286 @@
+#include "sim/machine.hpp"
+
+#include <queue>
+#include <stdexcept>
+
+namespace eewa::sim {
+
+Machine::Machine(const SimOptions& options)
+    : options_(options),
+      account_(options_.power, options.cores),
+      rng_(options.seed),
+      rung_(options.cores, 0),
+      pending_latency_s_(options.cores, 0.0),
+      charged_until_(options.cores, 0.0),
+      pools_(options.cores),
+      group_counts_(1, 0) {
+  if (options.cores == 0) {
+    throw std::invalid_argument("Machine: need at least one core");
+  }
+}
+
+void Machine::configure_pools(std::size_t groups) {
+  if (groups == 0) {
+    throw std::invalid_argument("Machine: need at least one pool group");
+  }
+  group_count_ = groups;
+  pools_.assign(cores() * groups, {});
+  group_counts_.assign(groups, 0);
+}
+
+void Machine::push_task(std::size_t core, std::size_t group, TaskId id) {
+  pools_.at(core * group_count_ + group).push_back(id);
+  ++group_counts_.at(group);
+}
+
+std::optional<TaskId> Machine::pop_local(std::size_t core,
+                                         std::size_t group) {
+  auto& pool = pools_.at(core * group_count_ + group);
+  if (pool.empty()) return std::nullopt;
+  const TaskId id = pool.back();
+  pool.pop_back();
+  --group_counts_[group];
+  return id;
+}
+
+std::optional<TaskId> Machine::take_front(std::size_t core,
+                                          std::size_t group) {
+  auto& pool = pools_.at(core * group_count_ + group);
+  if (pool.empty()) return std::nullopt;
+  const TaskId id = pool.front();
+  pool.pop_front();
+  --group_counts_[group];
+  return id;
+}
+
+std::optional<TaskId> Machine::steal(std::size_t thief, std::size_t group) {
+  if (group_counts_.at(group) == 0) return std::nullopt;
+  const std::size_t n = cores();
+  auto take = [&](std::size_t victim) -> std::optional<TaskId> {
+    auto& pool = pools_[victim * group_count_ + group];
+    if (pool.empty()) return std::nullopt;
+    const TaskId id = pool.front();  // steal the oldest (deque top)
+    pool.pop_front();
+    --group_counts_[group];
+    ++batch_steals_;
+    ++total_steals_;
+    return id;
+  };
+  auto probe = [&](std::size_t victim) {
+    ++acquire_probes_;
+    ++batch_probes_;
+    ++total_probes_;
+    double cost = options_.steal_attempt_s;
+    if (socket_of(victim) != socket_of(thief)) {
+      cost *= options_.remote_steal_multiplier;
+    }
+    acquire_probe_cost_s_ += cost;
+  };
+  // Random probing, as the real runtime does; every probe costs time
+  // (more across sockets).
+  for (std::size_t attempt = 0; attempt < 4 * n; ++attempt) {
+    std::size_t victim = rng_.bounded(n);
+    if (victim == thief && n > 1) victim = (victim + 1) % n;
+    probe(victim);
+    if (auto id = take(victim)) return id;
+  }
+  // Deterministic sweep fallback (bounded worst case).
+  for (std::size_t victim = 0; victim < n; ++victim) {
+    probe(victim);
+    if (auto id = take(victim)) return id;
+  }
+  return std::nullopt;
+}
+
+void Machine::request_rung(std::size_t core, std::size_t new_rung) {
+  if (new_rung >= ladder().size()) {
+    throw std::out_of_range("Machine: rung out of range");
+  }
+  if (rung_.at(core) == new_rung) return;
+  rung_[core] = new_rung;
+  pending_latency_s_[core] += options_.transition.latency_s;
+  account_.add_extra_joules(options_.transition.energy_j);
+  ++batch_transitions_;
+  ++total_transitions_;
+}
+
+double Machine::exec_time(const trace::TraceTask& t,
+                          std::size_t core_rung) const {
+  const double slowdown = ladder().slowdown(core_rung);
+  return t.work_s * (t.mem_alpha + (1.0 - t.mem_alpha) * slowdown);
+}
+
+void Machine::charge(std::size_t core, double from_s, double to_s,
+                     std::size_t rung, bool active) {
+  if (to_s > from_s) {
+    account_.add_core_time(core, to_s - from_s, rung, active);
+  }
+  charged_until_[core] = to_s;
+}
+
+double Machine::run_batch(Policy& policy, const trace::Batch& batch,
+                          double start_s) {
+  tasks_ = &batch.tasks;
+  batch_steals_ = batch_probes_ = batch_transitions_ = 0;
+  const double core_j_before = account_.core_joules();
+
+  policy.batch_start(*this, batch, batch_index_);
+
+  std::priority_queue<Ev, std::vector<Ev>, std::greater<Ev>> pq;
+  std::vector<double> idle_from(cores(), -1.0);
+  std::size_t remaining = batch.tasks.size();
+  double last_completion = start_s;
+
+  // Tasks spawned mid-batch arrive as injection events.
+  for (std::size_t i = 0; i < batch.tasks.size(); ++i) {
+    if (batch.tasks[i].release_s > 0.0) {
+      pq.push(Ev{start_s + batch.tasks[i].release_s, Ev::kInject, 0, i,
+                 0.0});
+    }
+  }
+
+  for (auto& cu : charged_until_) cu = start_s;
+
+  // Start (or idle) one core at `now`; schedules its completion event.
+  auto kick = [&](std::size_t core, double now) {
+    acquire_probes_ = 0;
+    acquire_probe_cost_s_ = 0.0;
+    pending_repoll_s_ = 0.0;
+    const std::size_t pre_rung = rung_[core];
+    const double pre_pending = pending_latency_s_[core];
+    const auto got = policy.acquire(*this, core);
+    // Probe time runs at the pre-acquire frequency...
+    double t = now + acquire_probe_cost_s_;
+    charge(core, now, t, pre_rung, /*active=*/true);
+    // ...then any transition the policy requested stalls the core.
+    const double stall = pending_latency_s_[core];
+    if (stall > 0.0) {
+      charge(core, t, t + stall, rung_[core], /*active=*/true);
+      t += stall;
+      pending_latency_s_[core] = 0.0;
+    }
+    (void)pre_pending;
+    if (got) {
+      const double dispatch = options_.dispatch_overhead_s;
+      const double exec = exec_time(task(*got), rung_[core]);
+      charge(core, t, t + dispatch + exec, rung_[core], /*active=*/true);
+      pq.push(Ev{t + dispatch + exec, Ev::kComplete, core, *got, exec});
+    } else {
+      idle_from[core] = t;
+      if (pending_repoll_s_ > 0.0) {
+        pq.push(Ev{t + pending_repoll_s_, Ev::kWake, core, 0, 0.0});
+      }
+    }
+  };
+
+  // Batch start: every core pays its (possibly just-planned) transition,
+  // then goes hunting for work.
+  for (std::size_t c = 0; c < cores(); ++c) {
+    double t = start_s;
+    const double stall = pending_latency_s_[c];
+    if (stall > 0.0) {
+      charge(c, t, t + stall, rung_[c], /*active=*/true);
+      t += stall;
+      pending_latency_s_[c] = 0.0;
+    }
+    if (remaining > 0) {
+      kick(c, t);
+    } else {
+      idle_from[c] = t;
+    }
+  }
+
+  BatchStats bs;
+  bs.cores_per_rung.assign(ladder().size(), 0);
+  for (std::size_t c = 0; c < cores(); ++c) ++bs.cores_per_rung[rung_[c]];
+
+  while (remaining > 0) {
+    if (pq.empty()) {
+      throw std::logic_error(
+          "Machine: tasks remain but nothing is executing (policy lost "
+          "tasks?)");
+    }
+    const Ev ev = pq.top();
+    pq.pop();
+    switch (ev.kind) {
+      case Ev::kComplete:
+        policy.task_done(*this, ev.core, task(ev.task), ev.exec_s);
+        --remaining;
+        last_completion = ev.t;
+        if (remaining > 0) kick(ev.core, ev.t);
+        else idle_from[ev.core] = ev.t;
+        break;
+      case Ev::kInject:
+        policy.place_task(*this, ev.task);
+        // A fresh task may unblock idle cores; wake them to re-probe.
+        for (std::size_t c = 0; c < cores(); ++c) {
+          if (idle_from[c] >= 0.0) {
+            pq.push(Ev{ev.t, Ev::kWake, c, 0, 0.0});
+          }
+        }
+        break;
+      case Ev::kWake:
+        if (idle_from[ev.core] >= 0.0) {
+          // Charge the idle spin up to now, then go hunting again.
+          charge(ev.core, idle_from[ev.core], ev.t, rung_[ev.core],
+                 /*active=*/!options_.idle_halt);
+          idle_from[ev.core] = -1.0;
+          kick(ev.core, ev.t);
+        }
+        break;
+    }
+  }
+
+  const double makespan_end = batch.tasks.empty() ? start_s : last_completion;
+  // Idle cores spun (or, with idle_halt, slept) until the barrier.
+  for (std::size_t c = 0; c < cores(); ++c) {
+    if (idle_from[c] >= 0.0 && idle_from[c] < makespan_end) {
+      charge(c, idle_from[c], makespan_end, rung_[c],
+             /*active=*/!options_.idle_halt);
+    }
+  }
+
+  const double overhead = policy.batch_end(*this, makespan_end - start_s);
+  const double end_s = makespan_end + overhead;
+  if (overhead > 0.0) {
+    for (std::size_t c = 0; c < cores(); ++c) {
+      charge(c, makespan_end, end_s, rung_[c], /*active=*/true);
+    }
+  }
+
+  bs.span_s = makespan_end - start_s;
+  bs.overhead_s = overhead;
+  bs.steals = batch_steals_;
+  bs.probes = batch_probes_;
+  bs.transitions = batch_transitions_;
+  bs.core_energy_j = account_.core_joules() - core_j_before;
+  bs.energy_j =
+      bs.core_energy_j + options_.power.floor_w() * (end_s - start_s);
+  stats_.push_back(std::move(bs));
+
+  ++batch_index_;
+  tasks_ = nullptr;
+  return end_s;
+}
+
+SimResult Machine::finish(double end_s, std::string policy_name,
+                          std::string workload_name) {
+  account_.set_makespan(end_s);
+  SimResult res;
+  res.policy = std::move(policy_name);
+  res.workload = std::move(workload_name);
+  res.time_s = end_s;
+  res.energy_j = account_.total_joules();
+  res.cpu_energy_j = account_.core_joules();
+  res.steals = total_steals_;
+  res.probes = total_probes_;
+  res.transitions = total_transitions_;
+  res.batches = stats_;
+  res.rung_residency_s.resize(ladder().size());
+  for (std::size_t j = 0; j < ladder().size(); ++j) {
+    res.rung_residency_s[j] = account_.rung_residency_s(j);
+  }
+  return res;
+}
+
+}  // namespace eewa::sim

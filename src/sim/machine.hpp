@@ -1,0 +1,268 @@
+// Discrete-event simulator of a DVFS-capable multi-core machine.
+//
+// This is the substitute for the paper's 16-core Opteron 8380 testbed
+// (see DESIGN.md §2): cores execute trace tasks in
+//   exec(f) = work · (alpha + (1 - alpha) · F0/f)
+// seconds, idle cores spin (burning full dynamic power at their current
+// frequency — the effect the paper's §II example is built on), stealing
+// probes and DVFS transitions cost time, and an EnergyAccount integrates
+// the PowerModel over everything.
+//
+// Scheduling decisions are delegated to a Policy (Cilk, Cilk-D, WATS,
+// EEWA — see policies.hpp); the machine provides the pools, frequency
+// control and clock.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dvfs/frequency_ladder.hpp"
+#include "dvfs/transition_model.hpp"
+#include "energy/energy_account.hpp"
+#include "energy/power_model.hpp"
+#include "trace/task_trace.hpp"
+#include "util/rng.hpp"
+
+namespace eewa::sim {
+
+/// Index of a task within the current batch.
+using TaskId = std::size_t;
+
+/// Simulator configuration.
+struct SimOptions {
+  std::size_t cores = 16;
+  energy::PowerModel power = energy::PowerModel::opteron8380_server();
+  dvfs::TransitionModel transition{};
+  /// Cost of one steal probe (check a victim's deque).
+  double steal_attempt_s = 2e-6;
+  /// Cores per socket (the paper's server is 4 × quad-core Opteron).
+  /// 0 disables topology: every probe costs steal_attempt_s.
+  std::size_t cores_per_socket = 0;
+  /// Probe-cost multiplier when thief and victim sit on different
+  /// sockets (remote cache line transfer).
+  double remote_steal_multiplier = 3.0;
+  /// Fixed dispatch cost per acquired task.
+  double dispatch_overhead_s = 0.5e-6;
+  /// Multiplier on the measured end-of-batch adjuster time (models the
+  /// paper's slower 2008-era cores when reproducing Table III).
+  double adjuster_overhead_scale = 1.0;
+  /// When >= 0, charge this fixed per-batch adjuster overhead instead
+  /// of the host-measured time: the run becomes bit-exactly
+  /// deterministic (the measured default injects microsecond-scale
+  /// host-clock noise into the timeline).
+  double fixed_adjuster_overhead_s = -1.0;
+  /// When true, a core that has given up on finding work halts (mwait)
+  /// instead of spinning, drawing PowerModel's halt power. The paper's
+  /// runtimes all spin (that is the waste EEWA attacks); this switch
+  /// exists for the thrifty-barrier-style ablation.
+  bool idle_halt = false;
+  std::uint64_t seed = 42;
+
+  const dvfs::FrequencyLadder& ladder() const { return power.ladder(); }
+};
+
+/// Per-batch outcome.
+struct BatchStats {
+  double span_s = 0.0;      ///< barrier-to-barrier work time
+  double overhead_s = 0.0;  ///< end-of-batch scheduler overhead
+  std::vector<std::size_t> cores_per_rung;  ///< Fig. 8 series
+  std::size_t steals = 0;
+  std::size_t probes = 0;
+  std::size_t transitions = 0;
+  double core_energy_j = 0.0;  ///< cores only, this batch
+  double energy_j = 0.0;       ///< incl. machine-floor share
+};
+
+/// Whole-run outcome.
+struct SimResult {
+  std::string policy;
+  std::string workload;
+  double time_s = 0.0;
+  double energy_j = 0.0;      ///< whole machine (paper's wall measure)
+  double cpu_energy_j = 0.0;  ///< cores only
+  std::size_t steals = 0;
+  std::size_t probes = 0;
+  std::size_t transitions = 0;
+  std::vector<BatchStats> batches;
+  std::vector<double> rung_residency_s;  ///< core-seconds per rung
+};
+
+class Machine;
+
+/// A scheduling policy drives one simulated run. Policies own all
+/// cross-batch state (profiles, controllers, plans).
+class Policy {
+ public:
+  virtual ~Policy() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Configure pools, distribute the batch's *already released* tasks
+  /// (release_s == 0), and set core frequencies for the coming batch
+  /// (via Machine::configure_pools, push_task, request_rung). Tasks
+  /// with a later release are delivered through place_task when their
+  /// time comes.
+  virtual void batch_start(Machine& m, const trace::Batch& batch,
+                           std::size_t batch_index) = 0;
+
+  /// Place one task that was just spawned mid-batch into some pool
+  /// (same placement rule the policy uses at batch start).
+  virtual void place_task(Machine& m, TaskId id) = 0;
+
+  /// Get the next task for `core`: pop locally, steal, or give up
+  /// (return nullopt — the core then spins at its current frequency
+  /// until the batch barrier). May call Machine::request_rung (Cilk-D's
+  /// drop-to-minimum lives here).
+  virtual std::optional<TaskId> acquire(Machine& m, std::size_t core) = 0;
+
+  /// Called when a task finishes (profiling hook).
+  virtual void task_done(Machine& m, std::size_t core,
+                         const trace::TraceTask& task, double exec_s) = 0;
+
+  /// Called at the batch barrier with the batch's simulated makespan;
+  /// returns the scheduler overhead in simulated seconds to append
+  /// (EEWA's adjuster runs here).
+  virtual double batch_end(Machine& m, double makespan_s) = 0;
+};
+
+/// The simulated machine. Create once per run; call run_batch per batch
+/// (simulate() in simulate.hpp does this for a whole trace).
+class Machine {
+ public:
+  explicit Machine(const SimOptions& options);
+
+  // --- topology / config -------------------------------------------------
+  std::size_t cores() const { return rung_.size(); }
+  const dvfs::FrequencyLadder& ladder() const {
+    return options_.power.ladder();
+  }
+  const SimOptions& options() const { return options_; }
+  util::Xoshiro256& rng() { return rng_; }
+  std::size_t batch_index() const { return batch_index_; }
+
+  // --- pools (policy API, valid during batch_start/acquire) ---------------
+  /// Reset to `groups` pools per core (drops any leftover tasks).
+  void configure_pools(std::size_t groups);
+  std::size_t group_count() const { return group_count_; }
+
+  /// Push a task into `core`'s pool for group `group`.
+  void push_task(std::size_t core, std::size_t group, TaskId id);
+
+  /// LIFO pop from own pool (no locking in the real runtime; free here).
+  std::optional<TaskId> pop_local(std::size_t core, std::size_t group);
+
+  /// Random-victim FIFO steal from other cores' pools of `group`.
+  /// Each probe costs options().steal_attempt_s of simulated time
+  /// (times remote_steal_multiplier across sockets).
+  std::optional<TaskId> steal(std::size_t thief, std::size_t group);
+
+  /// Socket of a core under the configured topology (0 when disabled).
+  std::size_t socket_of(std::size_t core) const {
+    return options_.cores_per_socket == 0
+               ? 0
+               : core / options_.cores_per_socket;
+  }
+
+  /// Tasks currently enqueued for `group` across all cores.
+  std::size_t group_task_count(std::size_t group) const {
+    return group_counts_.at(group);
+  }
+
+  /// FIFO take from a specific pool without probe accounting (the
+  /// task-sharing central-queue model; pair with add_acquire_cost).
+  std::optional<TaskId> take_front(std::size_t core, std::size_t group);
+
+  /// Charge extra acquisition time (lock contention, bookkeeping) to
+  /// the core currently inside Policy::acquire.
+  void add_acquire_cost(double seconds) { acquire_probe_cost_s_ += seconds; }
+
+  /// Called from Policy::acquire when returning nullopt: instead of
+  /// parking until the barrier (or an injection), wake this core again
+  /// after `delay_s` to re-evaluate (reactive governors sample
+  /// periodically). Ignored when a task was returned.
+  void request_repoll(double delay_s) { pending_repoll_s_ = delay_s; }
+
+  // --- frequency (policy API) ---------------------------------------------
+  std::size_t rung(std::size_t core) const { return rung_.at(core); }
+
+  /// Request a frequency change; applied immediately, with the transition
+  /// latency and energy charged to the core at its next activity.
+  void request_rung(std::size_t core, std::size_t new_rung);
+
+  /// The task table of the current batch.
+  const trace::TraceTask& task(TaskId id) const { return (*tasks_).at(id); }
+
+  // --- execution -----------------------------------------------------------
+  /// Execution time of `t` on a core at `rung` (the paper's CPU-bound
+  /// model, extended with the memory-stall fraction alpha).
+  double exec_time(const trace::TraceTask& t, std::size_t core_rung) const;
+
+  /// Run one batch starting at absolute sim time `start_s`; returns the
+  /// absolute end time (barrier + policy overhead). Appends a BatchStats.
+  double run_batch(Policy& policy, const trace::Batch& batch,
+                   double start_s);
+
+  // --- results ---------------------------------------------------------------
+  const energy::EnergyAccount& account() const { return account_; }
+  const std::vector<BatchStats>& batch_stats() const { return stats_; }
+  std::size_t total_steals() const { return total_steals_; }
+  std::size_t total_probes() const { return total_probes_; }
+  std::size_t total_transitions() const { return total_transitions_; }
+
+  /// Finalize accounting at absolute end time `end_s` and build the
+  /// result summary.
+  SimResult finish(double end_s, std::string policy_name,
+                   std::string workload_name);
+
+ private:
+  void charge(std::size_t core, double from_s, double to_s, std::size_t rung,
+              bool active);
+  /// Discrete events: task completions, mid-batch task injections
+  /// (spawns), and wakeups of idle cores after an injection.
+  struct Ev {
+    enum Kind { kComplete, kInject, kWake };
+    double t;
+    Kind kind;
+    std::size_t core;  // kComplete/kWake
+    TaskId task;       // kComplete/kInject
+    double exec_s;     // kComplete
+    bool operator>(const Ev& o) const {
+      if (t != o.t) return t > o.t;
+      if (kind != o.kind) return kind > o.kind;  // inject before wake
+      return core > o.core;
+    }
+  };
+
+  SimOptions options_;
+  energy::EnergyAccount account_;
+  util::Xoshiro256 rng_;
+
+  std::vector<std::size_t> rung_;
+  std::vector<double> pending_latency_s_;  // unpaid DVFS stall per core
+  std::vector<double> charged_until_;      // energy charged up to, per core
+  std::size_t acquire_probes_ = 0;         // probes in the current acquire
+
+  std::size_t group_count_ = 1;
+  // pools_[core * group_count_ + group]
+  std::vector<std::deque<TaskId>> pools_;
+  std::vector<std::size_t> group_counts_;
+  double acquire_probe_cost_s_ = 0.0;  // time cost of the current acquire
+  double pending_repoll_s_ = 0.0;      // repoll request from acquire
+
+  const std::vector<trace::TraceTask>* tasks_ = nullptr;
+  std::size_t batch_index_ = 0;
+
+  std::vector<BatchStats> stats_;
+  std::size_t total_steals_ = 0;
+  std::size_t total_probes_ = 0;
+  std::size_t total_transitions_ = 0;
+  std::size_t batch_steals_ = 0;
+  std::size_t batch_probes_ = 0;
+  std::size_t batch_transitions_ = 0;
+};
+
+}  // namespace eewa::sim

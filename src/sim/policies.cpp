@@ -1,0 +1,406 @@
+#include "sim/policies.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+#include "core/wats_allocation.hpp"
+
+namespace eewa::sim {
+
+void distribute_round_robin(Machine& m, const trace::Batch& batch) {
+  // Shuffle the submission order so deque positions are not correlated
+  // with task size (in a real run spawn order and stealing randomize
+  // this; a fixed generator order would bias LIFO pops systematically).
+  std::vector<TaskId> order;
+  order.reserve(batch.tasks.size());
+  for (std::size_t i = 0; i < batch.tasks.size(); ++i) {
+    if (batch.tasks[i].release_s <= 0.0) order.push_back(i);
+  }
+  for (std::size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1], order[m.rng().bounded(i)]);
+  }
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    m.push_task(i % m.cores(), 0, order[i]);
+  }
+}
+
+/// Mid-batch spawns land on a random core's group-0 pool (in a real
+/// runtime the spawning core pushes locally; a random owner models the
+/// spawner being an arbitrary running worker).
+void place_random(Machine& m, TaskId id, std::size_t group = 0) {
+  m.push_task(m.rng().bounded(m.cores()), group, id);
+}
+
+// ------------------------------------------------------------- Sharing ----
+
+void SharingPolicy::batch_start(Machine& m, const trace::Batch& batch,
+                                std::size_t /*batch_index*/) {
+  for (std::size_t c = 0; c < m.cores(); ++c) m.request_rung(c, 0);
+  m.configure_pools(1);
+  // One central FIFO queue, held on core 0.
+  for (std::size_t i = 0; i < batch.tasks.size(); ++i) {
+    if (batch.tasks[i].release_s <= 0.0) m.push_task(0, 0, i);
+  }
+}
+
+void SharingPolicy::place_task(Machine& m, TaskId id) {
+  m.push_task(0, 0, id);
+}
+
+std::optional<TaskId> SharingPolicy::acquire(Machine& m, std::size_t core) {
+  // Every dequeue serializes on the shared lock; the coarse contention
+  // model scales the critical section with the number of potential
+  // contenders (this is exactly the scalability hazard the paper's §I
+  // cites when motivating distributed task pools).
+  m.add_acquire_cost(lock_base_s_ *
+                     (1.0 + static_cast<double>(m.cores()) / 8.0));
+  (void)core;
+  return m.take_front(0, 0);
+}
+
+void SharingPolicy::task_done(Machine&, std::size_t,
+                              const trace::TraceTask&, double) {}
+
+double SharingPolicy::batch_end(Machine&, double) { return 0.0; }
+
+// ---------------------------------------------------------------- Cilk ----
+
+CilkPolicy::CilkPolicy(std::vector<std::size_t> fixed_rungs)
+    : fixed_rungs_(std::move(fixed_rungs)) {}
+
+void CilkPolicy::batch_start(Machine& m, const trace::Batch& batch,
+                             std::size_t /*batch_index*/) {
+  if (!fixed_rungs_.empty() && fixed_rungs_.size() != m.cores()) {
+    throw std::invalid_argument("CilkPolicy: fixed_rungs/core mismatch");
+  }
+  for (std::size_t c = 0; c < m.cores(); ++c) {
+    m.request_rung(c, fixed_rungs_.empty() ? 0 : fixed_rungs_[c]);
+  }
+  m.configure_pools(1);
+  distribute_round_robin(m, batch);
+}
+
+void CilkPolicy::place_task(Machine& m, TaskId id) {
+  place_random(m, id);
+}
+
+std::optional<TaskId> CilkPolicy::acquire(Machine& m, std::size_t core) {
+  if (auto id = m.pop_local(core, 0)) return id;
+  return m.steal(core, 0);
+}
+
+void CilkPolicy::task_done(Machine&, std::size_t, const trace::TraceTask&,
+                           double) {}
+
+double CilkPolicy::batch_end(Machine&, double) { return 0.0; }
+
+// -------------------------------------------------------------- Cilk-D ----
+
+void CilkDPolicy::batch_start(Machine& m, const trace::Batch& batch,
+                              std::size_t /*batch_index*/) {
+  // Restore every core that parked itself at the bottom last batch.
+  for (std::size_t c = 0; c < m.cores(); ++c) m.request_rung(c, 0);
+  m.configure_pools(1);
+  distribute_round_robin(m, batch);
+}
+
+void CilkDPolicy::place_task(Machine& m, TaskId id) {
+  place_random(m, id);
+}
+
+std::optional<TaskId> CilkDPolicy::acquire(Machine& m, std::size_t core) {
+  auto got = m.pop_local(core, 0);
+  if (!got) got = m.steal(core, 0);
+  if (got) {
+    // A core that parked itself mid-batch ramps back up on new work.
+    if (m.rung(core) != 0) m.request_rung(core, 0);
+    return got;
+  }
+  // Nothing anywhere: self-scale to the lowest frequency until more
+  // work appears or the barrier (the paper's "Cilk-D" baseline).
+  m.request_rung(core, m.ladder().slowest_index());
+  return std::nullopt;
+}
+
+void CilkDPolicy::task_done(Machine&, std::size_t, const trace::TraceTask&,
+                            double) {}
+
+double CilkDPolicy::batch_end(Machine&, double) { return 0.0; }
+
+// ------------------------------------------------------------ Ondemand ----
+
+void OndemandPolicy::batch_start(Machine& m, const trace::Batch& batch,
+                                 std::size_t /*batch_index*/) {
+  for (std::size_t c = 0; c < m.cores(); ++c) m.request_rung(c, 0);
+  m.configure_pools(1);
+  distribute_round_robin(m, batch);
+}
+
+void OndemandPolicy::place_task(Machine& m, TaskId id) {
+  m.push_task(m.rng().bounded(m.cores()), 0, id);
+}
+
+std::optional<TaskId> OndemandPolicy::acquire(Machine& m,
+                                              std::size_t core) {
+  auto got = m.pop_local(core, 0);
+  if (!got) got = m.steal(core, 0);
+  if (got) {
+    if (m.rung(core) != 0) m.request_rung(core, 0);  // jump to max
+    return got;
+  }
+  // Step one rung down per sampling period (gradual,
+  // utilization-driven), re-evaluating at the governor's sampling rate.
+  const std::size_t rung = m.rung(core);
+  if (rung + 1 < m.ladder().size()) {
+    m.request_rung(core, rung + 1);
+    m.request_repoll(10e-3);  // ondemand-style sampling interval
+  }
+  return std::nullopt;
+}
+
+void OndemandPolicy::task_done(Machine&, std::size_t,
+                               const trace::TraceTask&, double) {}
+
+double OndemandPolicy::batch_end(Machine&, double) { return 0.0; }
+
+// ---------------------------------------------------------------- WATS ----
+
+WatsPolicy::WatsPolicy(std::vector<std::size_t> core_rungs,
+                       std::vector<std::string> class_names)
+    : core_rungs_(std::move(core_rungs)),
+      class_names_(std::move(class_names)) {}
+
+void WatsPolicy::build_groups(const Machine& m) {
+  if (core_rungs_.size() != m.cores()) {
+    throw std::invalid_argument("WatsPolicy: core_rungs/core mismatch");
+  }
+  std::map<std::size_t, std::vector<std::size_t>> by_rung;
+  for (std::size_t c = 0; c < core_rungs_.size(); ++c) {
+    by_rung[core_rungs_[c]].push_back(c);
+  }
+  core_group_.assign(m.cores(), 0);
+  for (auto& [rung, cores] : by_rung) {
+    for (std::size_t c : cores) core_group_[c] = group_rung_.size();
+    group_rung_.push_back(rung);
+    group_cores_.push_back(std::move(cores));
+  }
+  // Preference lists over the u fixed groups (WATS's rob-the-weaker-first
+  // lists never change because the frequencies never change).
+  std::vector<dvfs::CGroup> groups;
+  for (std::size_t g = 0; g < group_rung_.size(); ++g) {
+    groups.push_back(dvfs::CGroup{group_rung_[g], group_cores_[g]});
+  }
+  prefs_ = core::PreferenceTable(
+      dvfs::CGroupLayout(std::move(groups), {}, m.cores()));
+  for (const auto& name : class_names_) {
+    class_ids_.push_back(registry_.intern(name));
+  }
+  class_to_group_.assign(registry_.class_count(), 0);
+  groups_built_ = true;
+}
+
+void WatsPolicy::batch_start(Machine& m, const trace::Batch& batch,
+                             std::size_t batch_index) {
+  if (!groups_built_) build_groups(m);
+  for (std::size_t c = 0; c < m.cores(); ++c) {
+    m.request_rung(c, core_rungs_[c]);
+  }
+  registry_.begin_iteration();
+  m.configure_pools(group_cores_.size());
+
+  std::vector<TaskId> order;
+  order.reserve(batch.tasks.size());
+  for (std::size_t i = 0; i < batch.tasks.size(); ++i) {
+    if (batch.tasks[i].release_s <= 0.0) order.push_back(i);
+  }
+  for (std::size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1], order[m.rng().bounded(i)]);
+  }
+  rr_.assign(group_cores_.size(), 0);
+  first_batch_ = batch_index == 0;
+  if (first_batch_) {
+    // No workload knowledge yet: spread over all cores, own-group pools.
+    std::size_t next = 0;
+    for (const TaskId id : order) {
+      const std::size_t core = next++ % m.cores();
+      m.push_task(core, core_group_[core], id);
+    }
+    return;
+  }
+  // Allocate classes to groups (computed at the previous batch_end),
+  // round-robin within the group's cores.
+  for (const TaskId id : order) place_task(m, id);
+}
+
+void WatsPolicy::place_task(Machine& m, TaskId id) {
+  if (first_batch_) {
+    const std::size_t core = m.rng().bounded(m.cores());
+    m.push_task(core, core_group_[core], id);
+    return;
+  }
+  std::size_t g = 0;
+  const std::size_t cid = class_ids_.at(m.task(id).class_id);
+  if (cid < class_to_group_.size()) g = class_to_group_[cid];
+  const auto& cores = group_cores_[g];
+  m.push_task(cores[rr_[g]++ % cores.size()], g, id);
+}
+
+std::optional<TaskId> WatsPolicy::acquire(Machine& m, std::size_t core) {
+  const auto& order = prefs_.for_group(core_group_[core]);
+  for (std::size_t g : order) {
+    if (auto id = m.pop_local(core, g)) return id;
+    if (m.group_task_count(g) > 0) {
+      if (auto id = m.steal(core, g)) return id;
+    }
+  }
+  return std::nullopt;
+}
+
+void WatsPolicy::task_done(Machine& m, std::size_t core,
+                           const trace::TraceTask& task, double exec_s) {
+  registry_.record(class_ids_.at(task.class_id),
+                   core::normalized_workload(exec_s, m.rung(core),
+                                             m.ladder()));
+}
+
+double WatsPolicy::batch_end(Machine& m, double /*makespan_s*/) {
+  // Rank classes by mean workload and pack them into groups fastest
+  // first, proportionally to each group's computational capacity.
+  std::vector<double> capacity(group_cores_.size(), 0.0);
+  for (std::size_t g = 0; g < group_cores_.size(); ++g) {
+    capacity[g] = static_cast<double>(group_cores_[g].size()) *
+                  m.ladder().relative_speed(group_rung_[g]);
+  }
+  class_to_group_ = core::allocate_classes_proportional(
+      registry_.iteration_profile(), capacity, registry_.class_count());
+  return 0.0;
+}
+
+// ---------------------------------------------------------------- EEWA ----
+
+EewaPolicy::EewaPolicy(std::vector<std::string> class_names,
+                       core::ControllerOptions options)
+    : class_names_(std::move(class_names)), options_(options) {}
+
+void EewaPolicy::batch_start(Machine& m, const trace::Batch& batch,
+                             std::size_t /*batch_index*/) {
+  if (!ctrl_) {
+    ctrl_ = std::make_unique<core::EewaController>(m.ladder(), m.cores(),
+                                                   options_);
+    for (const auto& name : class_names_) {
+      class_ids_.push_back(ctrl_->class_id(name));
+    }
+  }
+  ctrl_->begin_batch();
+
+  const core::FrequencyPlan& plan = ctrl_->plan();
+  const dvfs::CGroupLayout& layout = plan.layout;
+  const std::size_t u = layout.group_count();
+  m.configure_pools(u);
+
+  core_group_.assign(m.cores(), 0);
+  for (std::size_t g = 0; g < u; ++g) {
+    for (std::size_t c : layout.group(g).cores) {
+      if (c < m.cores()) {
+        core_group_[c] = g;
+        m.request_rung(c, layout.group(g).freq_index);
+      }
+    }
+  }
+  applied_rungs_.emplace_back();
+  for (std::size_t c = 0; c < m.cores(); ++c) {
+    applied_rungs_.back().push_back(m.rung(c));
+  }
+
+  // Allocate each released task to its class's c-group, round-robin
+  // within the group's cores (in shuffled order, so queue position does
+  // not correlate with generator order); unknown classes go to the
+  // fastest group. Mid-batch spawns flow through place_task.
+  std::vector<TaskId> order;
+  order.reserve(batch.tasks.size());
+  for (std::size_t i = 0; i < batch.tasks.size(); ++i) {
+    if (batch.tasks[i].release_s <= 0.0) order.push_back(i);
+  }
+  for (std::size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1], order[m.rng().bounded(i)]);
+  }
+  rr_.assign(u, 0);
+  for (const TaskId id : order) place_task(m, id);
+}
+
+void EewaPolicy::place_task(Machine& m, TaskId id) {
+  const std::size_t cid = class_ids_.at(m.task(id).class_id);
+  const std::size_t g = ctrl_->group_of_class(cid);
+  const auto& cores = ctrl_->plan().layout.group(g).cores;
+  m.push_task(cores[rr_[g]++ % cores.size()], g, id);
+}
+
+std::optional<TaskId> EewaPolicy::acquire(Machine& m, std::size_t core) {
+  // Feasibility-filtered stealing: a core below F0 refuses tasks whose
+  // class-mean execution time at its frequency would overrun the ideal
+  // iteration time T — the same critical-path rule the planner applies.
+  // Without it, a parked core that grabs a coarse task near the batch
+  // start can stretch the makespan by the full slowdown factor.
+  const double T = ctrl_->ideal_time_s();
+  auto feasible_here = [&](TaskId id) {
+    const std::size_t rung = m.rung(core);
+    // The fastest c-group must take anything, or tasks could strand.
+    if (rung == 0 || core_group_[core] == 0 || T <= 0.0) return true;
+    const std::size_t cid = class_ids_.at(m.task(id).class_id);
+    const double mean_w = ctrl_->registry().mean_workload(cid);
+    const double alpha = ctrl_->registry().mean_alpha(cid);
+    const double eff = alpha + (1.0 - alpha) * m.ladder().slowdown(rung);
+    return mean_w * eff <= T;
+  };
+  const auto& order = ctrl_->preferences().for_group(core_group_[core]);
+  for (std::size_t g : order) {
+    if (auto id = m.pop_local(core, g)) {
+      if (feasible_here(*id)) return id;
+      m.push_task(core, g, *id);  // leave it for a faster thief
+      continue;
+    }
+    if (m.group_task_count(g) > 0) {
+      if (auto id = m.steal(core, g)) {
+        if (feasible_here(*id)) return id;
+        m.push_task(core, g, *id);
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+void EewaPolicy::task_done(Machine& m, std::size_t core,
+                           const trace::TraceTask& task, double exec_s) {
+  ctrl_->record_task(class_ids_.at(task.class_id), exec_s, m.rung(core),
+                     task.cmi, task.mem_alpha);
+}
+
+double EewaPolicy::batch_end(Machine& m, double makespan_s) {
+  ctrl_->end_batch(makespan_s);
+  const double us = ctrl_->adjust_overhead_us() - overhead_us_seen_;
+  overhead_us_seen_ = ctrl_->adjust_overhead_us();
+  if (m.options().fixed_adjuster_overhead_s >= 0.0) {
+    return m.options().fixed_adjuster_overhead_s;
+  }
+  return us * 1e-6 * m.options().adjuster_overhead_scale;
+}
+
+std::vector<std::size_t> EewaPolicy::modal_rungs(const Machine& m) const {
+  if (applied_rungs_.empty()) {
+    return std::vector<std::size_t>(m.cores(), 0);
+  }
+  // The most frequent configuration, ignoring the F0 measurement batch
+  // when anything else exists.
+  std::map<std::vector<std::size_t>, std::size_t> freq;
+  for (std::size_t b = 1; b < applied_rungs_.size(); ++b) {
+    ++freq[applied_rungs_[b]];
+  }
+  if (freq.empty()) return applied_rungs_.front();
+  const auto best = std::max_element(
+      freq.begin(), freq.end(),
+      [](const auto& a, const auto& b) { return a.second < b.second; });
+  return best->first;
+}
+
+}  // namespace eewa::sim

@@ -1,0 +1,183 @@
+// The four schedulers of the paper's evaluation, as simulator policies:
+//
+//  - CilkPolicy:  classic random work-stealing, every core at a fixed
+//                 frequency (F0 by default, or a caller-supplied
+//                 asymmetric configuration for the Fig. 7 experiment).
+//  - CilkDPolicy: Cilk + the "D" energy tweak: a core that finds every
+//                 pool empty scales itself to the lowest frequency; all
+//                 cores are restored to F0 at the next batch.
+//  - WatsPolicy:  workload-aware stealing on a *fixed* asymmetric
+//                 configuration (rob-the-weaker-first preference lists,
+//                 heavy classes allocated to fast c-groups), no DVFS.
+//  - EewaPolicy:  the paper's contribution — wraps core::EewaController:
+//                 measurement batch at F0, then per-batch frequency plans
+//                 plus preference-based stealing.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/eewa_controller.hpp"
+#include "core/preference_list.hpp"
+#include "core/task_class.hpp"
+#include "sim/machine.hpp"
+
+namespace eewa::sim {
+
+/// Task-sharing (the OpenMP-style alternative the paper's §I contrasts
+/// with stealing): one central queue; every acquisition pays a lock
+/// cost that grows with the number of cores contending for it. All
+/// cores stay at F0.
+class SharingPolicy : public Policy {
+ public:
+  /// `lock_base_s`: uncontended pop cost; the effective cost scales
+  /// with the machine size (coarse contention model).
+  explicit SharingPolicy(double lock_base_s = 1e-6)
+      : lock_base_s_(lock_base_s) {}
+
+  std::string name() const override { return "sharing"; }
+  void batch_start(Machine& m, const trace::Batch& batch,
+                   std::size_t batch_index) override;
+  void place_task(Machine& m, TaskId id) override;
+  std::optional<TaskId> acquire(Machine& m, std::size_t core) override;
+  void task_done(Machine& m, std::size_t core, const trace::TraceTask& task,
+                 double exec_s) override;
+  double batch_end(Machine& m, double makespan_s) override;
+
+ private:
+  double lock_base_s_;
+};
+
+/// Plain random work-stealing at fixed frequencies.
+class CilkPolicy : public Policy {
+ public:
+  /// All cores at F0.
+  CilkPolicy() = default;
+
+  /// Fixed per-core rungs (the Fig. 7 asymmetric configuration).
+  explicit CilkPolicy(std::vector<std::size_t> fixed_rungs);
+
+  std::string name() const override { return "cilk"; }
+  void batch_start(Machine& m, const trace::Batch& batch,
+                   std::size_t batch_index) override;
+  void place_task(Machine& m, TaskId id) override;
+  std::optional<TaskId> acquire(Machine& m, std::size_t core) override;
+  void task_done(Machine& m, std::size_t core, const trace::TraceTask& task,
+                 double exec_s) override;
+  double batch_end(Machine& m, double makespan_s) override;
+
+ private:
+  std::vector<std::size_t> fixed_rungs_;  // empty = all F0
+};
+
+/// Cilk with idle cores self-scaling to the lowest frequency.
+class CilkDPolicy : public Policy {
+ public:
+  std::string name() const override { return "cilk-d"; }
+  void batch_start(Machine& m, const trace::Batch& batch,
+                   std::size_t batch_index) override;
+  void place_task(Machine& m, TaskId id) override;
+  std::optional<TaskId> acquire(Machine& m, std::size_t core) override;
+  void task_done(Machine& m, std::size_t core, const trace::TraceTask& task,
+                 double exec_s) override;
+  double batch_end(Machine& m, double makespan_s) override;
+};
+
+/// A per-core reactive governor baseline (Linux "ondemand"-style, the
+/// scheduler-oblivious alternative): random stealing like Cilk, but an
+/// idle core steps one rung down per failed sweep and jumps straight
+/// back to F0 when it gets work. Sits between Cilk-D (one big drop) and
+/// EEWA (planned) in sophistication.
+class OndemandPolicy : public Policy {
+ public:
+  std::string name() const override { return "ondemand"; }
+  void batch_start(Machine& m, const trace::Batch& batch,
+                   std::size_t batch_index) override;
+  void place_task(Machine& m, TaskId id) override;
+  std::optional<TaskId> acquire(Machine& m, std::size_t core) override;
+  void task_done(Machine& m, std::size_t core, const trace::TraceTask& task,
+                 double exec_s) override;
+  double batch_end(Machine& m, double makespan_s) override;
+};
+
+/// Workload-aware task stealing (WATS) on a fixed asymmetric machine.
+class WatsPolicy : public Policy {
+ public:
+  /// `core_rungs[c]` is the fixed ladder rung of core c; `class_names`
+  /// are the trace's class names (profiling identity).
+  WatsPolicy(std::vector<std::size_t> core_rungs,
+             std::vector<std::string> class_names);
+
+  std::string name() const override { return "wats"; }
+  void batch_start(Machine& m, const trace::Batch& batch,
+                   std::size_t batch_index) override;
+  void place_task(Machine& m, TaskId id) override;
+  std::optional<TaskId> acquire(Machine& m, std::size_t core) override;
+  void task_done(Machine& m, std::size_t core, const trace::TraceTask& task,
+                 double exec_s) override;
+  double batch_end(Machine& m, double makespan_s) override;
+
+ private:
+  void build_groups(const Machine& m);
+
+  std::vector<std::size_t> core_rungs_;
+  std::vector<std::string> class_names_;
+  core::TaskClassRegistry registry_;
+  std::vector<std::size_t> class_ids_;  // trace class -> registry id
+
+  // Fixed c-group structure (built once).
+  std::vector<std::vector<std::size_t>> group_cores_;  // fastest first
+  std::vector<std::size_t> group_rung_;
+  std::vector<std::size_t> core_group_;
+  core::PreferenceTable prefs_ = {};
+  bool groups_built_ = false;
+
+  // Allocation computed at each batch end for the next batch.
+  std::vector<std::size_t> class_to_group_;
+  std::vector<std::size_t> rr_;  // round-robin cursor per group
+  bool first_batch_ = true;
+};
+
+/// The EEWA scheduler.
+class EewaPolicy : public Policy {
+ public:
+  /// `class_names` are the trace's class names (the "function names"
+  /// EEWA groups tasks by).
+  explicit EewaPolicy(std::vector<std::string> class_names,
+                      core::ControllerOptions options = {});
+
+  std::string name() const override { return "eewa"; }
+  void batch_start(Machine& m, const trace::Batch& batch,
+                   std::size_t batch_index) override;
+  void place_task(Machine& m, TaskId id) override;
+  std::optional<TaskId> acquire(Machine& m, std::size_t core) override;
+  void task_done(Machine& m, std::size_t core, const trace::TraceTask& task,
+                 double exec_s) override;
+  double batch_end(Machine& m, double makespan_s) override;
+
+  /// The wrapped controller (valid after the first batch_start).
+  const core::EewaController& controller() const { return *ctrl_; }
+
+  /// Most frequently applied cores-per-rung configuration across the
+  /// run so far (the Fig. 7 "most often used frequency configuration").
+  std::vector<std::size_t> modal_rungs(const Machine& m) const;
+
+ private:
+  std::vector<std::string> class_names_;
+  core::ControllerOptions options_;
+  std::unique_ptr<core::EewaController> ctrl_;
+  std::vector<std::size_t> class_ids_;  // trace class -> controller id
+  std::vector<std::size_t> core_group_;
+  std::vector<std::size_t> rr_;  // round-robin cursor per group
+  double overhead_us_seen_ = 0.0;
+  std::vector<std::vector<std::size_t>> applied_rungs_;  // per batch
+};
+
+/// Shared helper: push the *released* tasks of `batch` round-robin over
+/// all cores into pool group 0 (the classic single-pool distribution);
+/// tasks with release_s > 0 arrive later through place_task.
+void distribute_round_robin(Machine& m, const trace::Batch& batch);
+
+}  // namespace eewa::sim

@@ -1,0 +1,45 @@
+#include "sim/simulate.hpp"
+
+#include <stdexcept>
+
+namespace eewa::sim {
+
+SimResult simulate(const trace::TaskTrace& trace, Policy& policy,
+                   const SimOptions& options) {
+  trace.validate();
+  Machine machine(options);
+  double t = 0.0;
+  for (const auto& batch : trace.batches) {
+    t = machine.run_batch(policy, batch, t);
+  }
+  return machine.finish(t, policy.name(), trace.name);
+}
+
+SimResult simulate_named(const trace::TaskTrace& trace,
+                         const std::string& policy_name,
+                         const SimOptions& options) {
+  if (policy_name == "cilk") {
+    CilkPolicy p;
+    return simulate(trace, p, options);
+  }
+  if (policy_name == "cilk-d") {
+    CilkDPolicy p;
+    return simulate(trace, p, options);
+  }
+  if (policy_name == "sharing") {
+    SharingPolicy p;
+    return simulate(trace, p, options);
+  }
+  if (policy_name == "ondemand") {
+    OndemandPolicy p;
+    return simulate(trace, p, options);
+  }
+  if (policy_name == "eewa") {
+    EewaPolicy p(trace.class_names);
+    return simulate(trace, p, options);
+  }
+  throw std::invalid_argument("simulate_named: unknown policy " +
+                              policy_name);
+}
+
+}  // namespace eewa::sim

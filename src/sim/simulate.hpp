@@ -1,0 +1,22 @@
+// One-call experiment driver: run a full task trace under a policy on a
+// fresh simulated machine.
+#pragma once
+
+#include "sim/machine.hpp"
+#include "sim/policies.hpp"
+#include "trace/task_trace.hpp"
+
+namespace eewa::sim {
+
+/// Simulate every batch of `trace` back to back under `policy`.
+SimResult simulate(const trace::TaskTrace& trace, Policy& policy,
+                   const SimOptions& options);
+
+/// Convenience: run the named baseline ("cilk", "cilk-d", "sharing",
+/// "ondemand", "eewa") with default policy construction. WATS needs a
+/// frequency configuration and must be constructed explicitly.
+SimResult simulate_named(const trace::TaskTrace& trace,
+                         const std::string& policy_name,
+                         const SimOptions& options);
+
+}  // namespace eewa::sim

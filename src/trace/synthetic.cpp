@@ -1,0 +1,102 @@
+#include "trace/synthetic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace eewa::trace {
+
+TaskTrace generate(const SyntheticSpec& spec) {
+  if (spec.classes.empty()) {
+    throw std::invalid_argument("synthetic: need at least one class");
+  }
+  TaskTrace trace;
+  trace.name = spec.name;
+  for (const auto& c : spec.classes) trace.class_names.push_back(c.name);
+
+  util::Xoshiro256 rng(spec.seed);
+  for (std::size_t b = 0; b < spec.batches; ++b) {
+    Batch batch;
+    for (std::size_t k = 0; k < spec.classes.size(); ++k) {
+      const ClassSpec& c = spec.classes[k];
+      // Per-batch drift of the class mean.
+      double batch_mean = c.mean_work_s;
+      if (spec.batch_jitter_cv > 0.0) {
+        batch_mean *= std::max(
+            0.1, 1.0 + spec.batch_jitter_cv * rng.normal());
+      }
+      for (std::size_t t = 0; t < c.tasks_per_batch; ++t) {
+        TraceTask task;
+        task.class_id = k;
+        task.work_s = c.cv > 0.0
+                          ? rng.lognormal_mean_cv(batch_mean, c.cv)
+                          : batch_mean;
+        task.work_s = std::max(task.work_s, 1e-9);
+        task.cmi = c.cmi;
+        task.mem_alpha = c.mem_alpha;
+        if (spec.release_window_s > 0.0) {
+          task.release_s = rng.uniform(0.0, spec.release_window_s);
+        }
+        batch.tasks.push_back(task);
+      }
+    }
+    trace.batches.push_back(std::move(batch));
+  }
+  trace.validate();
+  return trace;
+}
+
+TaskTrace geometric_classes(std::size_t k, std::size_t tasks_per_class,
+                            double heaviest_work_s, double spread,
+                            std::size_t batches, std::uint64_t seed,
+                            double cv) {
+  if (k == 0 || spread <= 0.0) {
+    throw std::invalid_argument("geometric_classes: bad parameters");
+  }
+  SyntheticSpec spec;
+  spec.name = "geometric";
+  spec.batches = batches;
+  spec.seed = seed;
+  for (std::size_t i = 0; i < k; ++i) {
+    ClassSpec c;
+    c.name = "class" + std::to_string(i);
+    c.tasks_per_batch = tasks_per_class;
+    const double ratio =
+        k == 1 ? 1.0
+               : std::pow(1.0 / spread,
+                          static_cast<double>(i) / static_cast<double>(k - 1));
+    c.mean_work_s = heaviest_work_s * ratio;
+    c.cv = cv;
+    spec.classes.push_back(std::move(c));
+  }
+  return generate(spec);
+}
+
+TaskTrace balanced(std::size_t tasks_per_batch, double work_s,
+                   std::size_t batches, std::uint64_t seed) {
+  SyntheticSpec spec;
+  spec.name = "balanced";
+  spec.batches = batches;
+  spec.seed = seed;
+  spec.classes.push_back(
+      ClassSpec{"uniform_task", tasks_per_batch, work_s, 0.02, 0.0, 0.0});
+  return generate(spec);
+}
+
+TaskTrace bimodal(std::size_t heavy_tasks, double heavy_work_s,
+                  std::size_t light_tasks, double light_work_s,
+                  std::size_t batches, std::uint64_t seed) {
+  SyntheticSpec spec;
+  spec.name = "bimodal";
+  spec.batches = batches;
+  spec.seed = seed;
+  spec.classes.push_back(
+      ClassSpec{"heavy_task", heavy_tasks, heavy_work_s, 0.1, 0.0, 0.0});
+  spec.classes.push_back(
+      ClassSpec{"light_task", light_tasks, light_work_s, 0.1, 0.0, 0.0});
+  return generate(spec);
+}
+
+}  // namespace eewa::trace

@@ -1,0 +1,58 @@
+// Synthetic trace generators: parameterized batched workloads for tests
+// and ablation benches, plus canned shapes (balanced, bimodal, zipf).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/task_trace.hpp"
+
+namespace eewa::trace {
+
+/// Per-class parameters of a synthetic workload.
+struct ClassSpec {
+  std::string name;
+  std::size_t tasks_per_batch = 0;
+  double mean_work_s = 0.0;  ///< mean normalized work per task
+  double cv = 0.0;           ///< coefficient of variation of task work
+  double cmi = 0.0;          ///< cache-miss intensity attached to tasks
+  double mem_alpha = 0.0;    ///< memory-stall fraction (0 = CPU-bound)
+};
+
+/// A synthetic application: the same classes every batch, with lognormal
+/// per-task jitter and a per-batch multiplicative drift to model the
+/// paper's "workloads change slightly in different iterations".
+struct SyntheticSpec {
+  std::string name = "synthetic";
+  std::vector<ClassSpec> classes;
+  std::size_t batches = 10;
+  double batch_jitter_cv = 0.05;  ///< per-(batch,class) mean drift
+  /// Spread task spawns uniformly over [0, window] seconds after the
+  /// batch start (0 = all tasks available at the barrier). Models
+  /// programs whose batches materialize gradually.
+  double release_window_s = 0.0;
+  std::uint64_t seed = 1;
+};
+
+/// Generate a trace from the spec. Fully deterministic in the seed.
+TaskTrace generate(const SyntheticSpec& spec);
+
+/// k equally-sized classes with geometrically spaced workloads
+/// (heaviest/lightest ratio = `spread`). The workhorse test shape.
+TaskTrace geometric_classes(std::size_t k, std::size_t tasks_per_class,
+                            double heaviest_work_s, double spread,
+                            std::size_t batches, std::uint64_t seed,
+                            double cv = 0.1);
+
+/// One class, perfectly balanced tasks: EEWA should keep most cores fast.
+TaskTrace balanced(std::size_t tasks_per_batch, double work_s,
+                   std::size_t batches, std::uint64_t seed);
+
+/// Two classes, a few heavy tasks and many light ones (high imbalance):
+/// the shape where EEWA saves the most energy.
+TaskTrace bimodal(std::size_t heavy_tasks, double heavy_work_s,
+                  std::size_t light_tasks, double light_work_s,
+                  std::size_t batches, std::uint64_t seed);
+
+}  // namespace eewa::trace

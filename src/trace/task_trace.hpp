@@ -1,0 +1,68 @@
+// Task traces: the batched task sets an iteration-based application
+// produces. A trace abstracts a workload away from its kernel code — the
+// per-task `work_s` is the task's execution time on a core at the fastest
+// frequency F0 (exactly the normalized workload of paper Eq. 1). Traces
+// come from synthetic generators (tests), or from calibrated
+// measurements of the seven real benchmark kernels (experiments).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace eewa::trace {
+
+/// One task instance.
+struct TraceTask {
+  std::size_t class_id = 0;  ///< index into TaskTrace::class_names
+  double work_s = 0.0;       ///< execution time at F0, seconds
+  double cmi = 0.0;          ///< cache misses per instruction (profiling)
+  /// Fraction of execution time that does NOT scale with frequency
+  /// (memory stalls): exec(f) = work_s · (alpha + (1-alpha) · F0/f).
+  /// 0 = perfectly CPU-bound.
+  double mem_alpha = 0.0;
+  /// Seconds after the batch start at which the task is spawned
+  /// (0 = available at the barrier, the classic all-at-once batch).
+  /// Staggered releases model programs whose tasks spawn tasks.
+  double release_s = 0.0;
+};
+
+/// One batch (iteration) of tasks.
+struct Batch {
+  std::vector<TraceTask> tasks;
+
+  /// Sum of work_s over the batch.
+  double total_work_s() const;
+};
+
+/// A complete application trace: named classes and batched tasks.
+struct TaskTrace {
+  std::string name;                       ///< benchmark name
+  std::vector<std::string> class_names;   ///< function names, by class_id
+  std::vector<Batch> batches;
+
+  std::size_t class_count() const { return class_names.size(); }
+  std::size_t batch_count() const { return batches.size(); }
+
+  /// Total tasks across all batches.
+  std::size_t task_count() const;
+
+  /// Sum of work over everything.
+  double total_work_s() const;
+
+  /// Throws std::invalid_argument when any class_id is out of range,
+  /// any work is non-positive, or any mem_alpha is outside [0, 1].
+  void validate() const;
+
+  /// CSV with one row per task: batch,class,work_s,cmi,mem_alpha.
+  std::string to_csv() const;
+
+  /// Parse the to_csv format back into a trace (classes are interned in
+  /// order of first appearance). Throws std::invalid_argument on
+  /// malformed input. Round-trips with to_csv exactly up to float
+  /// printing precision.
+  static TaskTrace from_csv(const std::string& csv,
+                            std::string name = "imported");
+};
+
+}  // namespace eewa::trace

@@ -1,0 +1,27 @@
+// Cache-line isolation for per-worker mutable state (avoids false sharing
+// between worker counters, deque tops, and the energy accounting cells).
+#pragma once
+
+#include <cstddef>
+#include <new>
+
+namespace eewa::util {
+
+// A fixed 64-byte line rather than std::hardware_destructive_
+// interference_size: the constant is ABI-stable across translation
+// units and compiler flags (GCC warns that the std value is not), and
+// 64 is right for every x86-64 and most AArch64 parts.
+inline constexpr std::size_t kCacheLine = 64;
+
+/// Wraps a value so each instance occupies its own cache line(s).
+template <typename T>
+struct alignas(kCacheLine) CachelinePadded {
+  T value{};
+
+  T* operator->() { return &value; }
+  const T* operator->() const { return &value; }
+  T& operator*() { return value; }
+  const T& operator*() const { return value; }
+};
+
+}  // namespace eewa::util

@@ -1,0 +1,46 @@
+#include "util/bit_io.hpp"
+
+#include <cassert>
+
+namespace eewa::util {
+
+void BitWriter::write(std::uint64_t bits, unsigned count) {
+  assert(count <= 57);
+  if (count == 0) return;
+  bits &= (count == 64) ? ~0ULL : ((1ULL << count) - 1);
+  acc_ = (acc_ << count) | bits;
+  nbits_ += count;
+  while (nbits_ >= 8) {
+    nbits_ -= 8;
+    bytes_.push_back(static_cast<std::uint8_t>((acc_ >> nbits_) & 0xffu));
+  }
+}
+
+std::vector<std::uint8_t> BitWriter::take() {
+  if (nbits_ > 0) {
+    bytes_.push_back(
+        static_cast<std::uint8_t>((acc_ << (8 - nbits_)) & 0xffu));
+    nbits_ = 0;
+  }
+  acc_ = 0;
+  std::vector<std::uint8_t> out;
+  out.swap(bytes_);
+  return out;
+}
+
+std::uint64_t BitReader::read(unsigned count) {
+  assert(count <= 57);
+  std::uint64_t out = 0;
+  for (unsigned i = 0; i < count; ++i) {
+    const std::size_t byte = bit_pos_ >> 3;
+    unsigned bit = 0;
+    if (byte < data_.size()) {
+      bit = (data_[byte] >> (7 - (bit_pos_ & 7))) & 1u;
+    }
+    out = (out << 1) | bit;
+    ++bit_pos_;
+  }
+  return out;
+}
+
+}  // namespace eewa::util

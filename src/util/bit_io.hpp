@@ -1,0 +1,58 @@
+// Bit-level I/O over byte buffers. Shared by the entropy coders in the
+// workload kernels (Huffman, DMC's arithmetic coder, LZW's variable-width
+// codes, the JPEG-style encoder).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace eewa::util {
+
+/// Appends bits MSB-first into a growable byte buffer.
+class BitWriter {
+ public:
+  /// Write the `count` low bits of `bits`, most significant first.
+  /// count must be <= 57 (so the accumulator never overflows).
+  void write(std::uint64_t bits, unsigned count);
+
+  /// Write a single bit (0 or 1).
+  void write_bit(unsigned bit) { write(bit & 1u, 1); }
+
+  /// Flush any partial byte (zero-padded) and return the buffer.
+  /// The writer remains usable (further writes start a fresh byte).
+  std::vector<std::uint8_t> take();
+
+  /// Bits written so far (excluding flush padding).
+  std::size_t bit_count() const { return bytes_.size() * 8 + nbits_; }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+  std::uint64_t acc_ = 0;  // pending bits, left-aligned count in nbits_
+  unsigned nbits_ = 0;
+};
+
+/// Reads bits MSB-first from a byte buffer.
+class BitReader {
+ public:
+  explicit BitReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  /// Read `count` bits (<= 57). Reading past the end yields zero bits.
+  std::uint64_t read(unsigned count);
+
+  /// Read a single bit.
+  unsigned read_bit() { return static_cast<unsigned>(read(1)); }
+
+  /// Bits consumed so far.
+  std::size_t bit_position() const { return bit_pos_; }
+
+  /// True when all bits (including padding) are consumed.
+  bool exhausted() const { return bit_pos_ >= data_.size() * 8; }
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t bit_pos_ = 0;
+};
+
+}  // namespace eewa::util

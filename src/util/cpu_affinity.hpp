@@ -1,0 +1,17 @@
+// Thread pinning for the real-thread runtime. On machines with fewer
+// hardware CPUs than workers (like CI containers), pinning degrades to a
+// no-op rather than failing.
+#pragma once
+
+#include <cstddef>
+
+namespace eewa::util {
+
+/// Number of online hardware CPUs (at least 1).
+std::size_t hardware_cpu_count();
+
+/// Pin the calling thread to `cpu` (mod the hardware CPU count).
+/// Returns true on success; false when affinity is unsupported or denied.
+bool pin_current_thread(std::size_t cpu);
+
+}  // namespace eewa::util

@@ -1,0 +1,42 @@
+#include "util/csv.hpp"
+
+#include <stdexcept>
+
+namespace eewa::util {
+
+CsvWriter::CsvWriter(const std::string& path) : to_file_(true) {
+  file_.open(path);
+  if (!file_) {
+    throw std::runtime_error("CsvWriter: cannot open " + path);
+  }
+}
+
+CsvWriter::CsvWriter() = default;
+
+std::string CsvWriter::escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  std::string line;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) line += ',';
+    line += escape(cells[i]);
+  }
+  line += '\n';
+  if (to_file_) {
+    file_ << line;
+  } else {
+    buffer_ << line;
+  }
+  ++rows_;
+}
+
+}  // namespace eewa::util

@@ -1,0 +1,55 @@
+// Minimal CSV writer for exporting experiment series (one file per figure).
+#pragma once
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace eewa::util {
+
+/// Streams rows of a CSV file. Values containing commas, quotes or newlines
+/// are quoted per RFC 4180.
+class CsvWriter {
+ public:
+  /// Open `path` for writing; throws std::runtime_error on failure.
+  explicit CsvWriter(const std::string& path);
+
+  /// Build rows in memory instead (use str() to retrieve).
+  CsvWriter();
+
+  /// Write a full row of string cells.
+  void row(const std::vector<std::string>& cells);
+
+  /// Convenience: write a row of heterogeneous printable values.
+  template <typename... Ts>
+  void row_values(const Ts&... vals) {
+    std::vector<std::string> cells;
+    (cells.push_back(to_cell(vals)), ...);
+    row(cells);
+  }
+
+  /// In-memory contents (only meaningful for the default constructor).
+  std::string str() const { return buffer_.str(); }
+
+  /// Number of rows written.
+  std::size_t rows_written() const { return rows_; }
+
+ private:
+  template <typename T>
+  static std::string to_cell(const T& v) {
+    std::ostringstream os;
+    os.precision(12);  // keep floats round-trippable through import
+    os << v;
+    return os.str();
+  }
+
+  static std::string escape(const std::string& cell);
+
+  std::ofstream file_;
+  std::ostringstream buffer_;
+  bool to_file_ = false;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace eewa::util

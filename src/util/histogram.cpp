@@ -1,0 +1,67 @@
+#include "util/histogram.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+namespace eewa::util {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), bin_width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0.0) {
+  if (!(lo < hi) || bins == 0) {
+    throw std::invalid_argument("Histogram: need lo < hi and bins >= 1");
+  }
+}
+
+void Histogram::add(double x) { add(x, 1.0); }
+
+void Histogram::add(double x, double weight) {
+  std::size_t idx;
+  if (x < lo_) {
+    ++underflow_;
+    idx = 0;
+  } else if (x >= hi_) {
+    ++overflow_;
+    idx = counts_.size() - 1;
+  } else {
+    idx = static_cast<std::size_t>((x - lo_) / bin_width_);
+    idx = std::min(idx, counts_.size() - 1);
+  }
+  counts_[idx] += weight;
+  total_ += weight;
+}
+
+double Histogram::bin_lo(std::size_t i) const {
+  return lo_ + bin_width_ * static_cast<double>(i);
+}
+
+double Histogram::bin_hi(std::size_t i) const {
+  return lo_ + bin_width_ * static_cast<double>(i + 1);
+}
+
+double Histogram::fraction(std::size_t i) const {
+  return total_ == 0.0 ? 0.0 : counts_[i] / total_;
+}
+
+std::string Histogram::ascii(std::size_t width) const {
+  double max_count = 0.0;
+  for (double c : counts_) max_count = std::max(max_count, c);
+  std::string out;
+  char buf[128];
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const auto bar_len =
+        max_count == 0.0
+            ? 0
+            : static_cast<int>(counts_[i] / max_count *
+                               static_cast<double>(width));
+    std::snprintf(buf, sizeof(buf), "[%10.3g, %10.3g) %10.3g |", bin_lo(i),
+                  bin_hi(i), counts_[i]);
+    out += buf;
+    out.append(static_cast<std::size_t>(bar_len), '#');
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace eewa::util

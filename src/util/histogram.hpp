@@ -1,0 +1,49 @@
+// Fixed-bin histogram used for workload-distribution reporting and for the
+// frequency-residency displays in the benchmark harnesses.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace eewa::util {
+
+/// A histogram with uniform bins over [lo, hi). Out-of-range observations
+/// are clamped into the first/last bin and counted separately.
+class Histogram {
+ public:
+  /// Construct with `bins` uniform bins over [lo, hi). Requires lo < hi and
+  /// bins >= 1.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  /// Record one observation.
+  void add(double x);
+
+  /// Record an observation with a weight (e.g. time-weighted residency).
+  void add(double x, double weight);
+
+  std::size_t bin_count() const { return counts_.size(); }
+  double bin_lo(std::size_t i) const;
+  double bin_hi(std::size_t i) const;
+  double count(std::size_t i) const { return counts_[i]; }
+  double total() const { return total_; }
+  std::size_t underflow() const { return underflow_; }
+  std::size_t overflow() const { return overflow_; }
+
+  /// Fraction of the total weight that fell into bin i (0 if empty).
+  double fraction(std::size_t i) const;
+
+  /// Render a simple ASCII bar chart, one line per bin.
+  std::string ascii(std::size_t width = 40) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double bin_width_;
+  std::vector<double> counts_;
+  double total_ = 0.0;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
+};
+
+}  // namespace eewa::util

@@ -1,0 +1,44 @@
+// Leveled logging. Kept deliberately tiny: the runtime's hot paths never
+// log; logging is for harness progress and diagnostics.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace eewa::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Set the global minimum level (default kInfo). Not thread-safe; set once
+/// at startup.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Log a preformatted message at `level` to stderr with a level prefix.
+void log_message(LogLevel level, const std::string& msg);
+
+namespace detail {
+template <typename... Args>
+std::string format(const char* fmt, Args... args) {
+  char buf[1024];
+  std::snprintf(buf, sizeof(buf), fmt, args...);
+  return buf;
+}
+inline std::string format(const char* fmt) { return fmt; }
+}  // namespace detail
+
+#define EEWA_LOG(level, ...)                                              \
+  do {                                                                    \
+    if (static_cast<int>(level) >=                                        \
+        static_cast<int>(::eewa::util::log_level())) {                    \
+      ::eewa::util::log_message(level,                                    \
+                                ::eewa::util::detail::format(__VA_ARGS__)); \
+    }                                                                     \
+  } while (0)
+
+#define EEWA_DEBUG(...) EEWA_LOG(::eewa::util::LogLevel::kDebug, __VA_ARGS__)
+#define EEWA_INFO(...) EEWA_LOG(::eewa::util::LogLevel::kInfo, __VA_ARGS__)
+#define EEWA_WARN(...) EEWA_LOG(::eewa::util::LogLevel::kWarn, __VA_ARGS__)
+#define EEWA_ERROR(...) EEWA_LOG(::eewa::util::LogLevel::kError, __VA_ARGS__)
+
+}  // namespace eewa::util

@@ -1,0 +1,70 @@
+// Streaming and batch statistics used by the profiler, the simulator and
+// the benchmark harnesses.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace eewa::util {
+
+/// Numerically stable streaming mean/variance (Welford's algorithm).
+class RunningStats {
+ public:
+  /// Add one observation.
+  void add(double x);
+
+  /// Number of observations added so far.
+  std::size_t count() const { return n_; }
+
+  /// Mean of observations (0 if empty).
+  double mean() const { return n_ ? mean_ : 0.0; }
+
+  /// Unbiased sample variance (0 if fewer than 2 observations).
+  double variance() const;
+
+  /// Sample standard deviation.
+  double stddev() const;
+
+  /// Coefficient of variation (stddev / mean); 0 when mean is 0.
+  double cv() const;
+
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+  /// Merge another accumulator into this one (parallel reduction).
+  void merge(const RunningStats& other);
+
+  /// Reset to the empty state.
+  void reset();
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Batch summary of a sample: percentiles computed on a sorted copy.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double p25 = 0.0;
+  double median = 0.0;
+  double p75 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+};
+
+/// Compute a Summary over the given values (copied and sorted internally).
+Summary summarize(const std::vector<double>& values);
+
+/// Linear-interpolated percentile of a *sorted* sample, q in [0, 1].
+double percentile_sorted(const std::vector<double>& sorted, double q);
+
+}  // namespace eewa::util

@@ -1,0 +1,58 @@
+#include "util/table_printer.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace eewa::util {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::add_row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::fixed(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return buf;
+}
+
+std::string TablePrinter::str() const {
+  std::size_t ncols = headers_.size();
+  for (const auto& r : rows_) ncols = std::max(ncols, r.size());
+  std::vector<std::size_t> widths(ncols, 0);
+  auto measure = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  };
+  measure(headers_);
+  for (const auto& r : rows_) measure(r);
+
+  auto render = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (std::size_t i = 0; i < ncols; ++i) {
+      const std::string cell = i < row.size() ? row[i] : "";
+      line += "| ";
+      line += cell;
+      line.append(widths[i] - cell.size() + 1, ' ');
+    }
+    line += "|\n";
+    return line;
+  };
+
+  std::string sep;
+  for (std::size_t i = 0; i < ncols; ++i) {
+    sep += "+";
+    sep.append(widths[i] + 2, '-');
+  }
+  sep += "+\n";
+
+  std::string out = sep + render(headers_) + sep;
+  for (const auto& r : rows_) out += render(r);
+  out += sep;
+  return out;
+}
+
+}  // namespace eewa::util

@@ -1,0 +1,57 @@
+// Aligned ASCII tables for the benchmark harnesses. Every bench binary
+// prints the same rows/series the paper's table or figure reports, and this
+// is the shared formatter.
+#pragma once
+
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace eewa::util {
+
+/// Collects rows of string cells and renders them with aligned columns.
+class TablePrinter {
+ public:
+  /// Create a table with the given column headers.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Append a row; the number of cells should match the header count
+  /// (short rows are padded, long rows extend the table).
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: append a row of heterogeneous printable values.
+  template <typename... Ts>
+  void add(const Ts&... vals) {
+    std::vector<std::string> cells;
+    (cells.push_back(format_cell(vals)), ...);
+    add_row(std::move(cells));
+  }
+
+  /// Render the table (header, separator, rows).
+  std::string str() const;
+
+  /// Format a double with the given number of decimals.
+  static std::string fixed(double v, int decimals = 2);
+
+ private:
+  template <typename T>
+  static std::string format_cell(const T& v);
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+template <typename T>
+std::string TablePrinter::format_cell(const T& v) {
+  if constexpr (std::is_same_v<T, std::string>) {
+    return v;
+  } else if constexpr (std::is_convertible_v<T, const char*>) {
+    return std::string(v);
+  } else if constexpr (std::is_floating_point_v<T>) {
+    return fixed(static_cast<double>(v), 3);
+  } else {
+    return std::to_string(v);
+  }
+}
+
+}  // namespace eewa::util

@@ -1,0 +1,66 @@
+#include "workloads/bwc.hpp"
+
+#include <stdexcept>
+
+#include "workloads/bwt.hpp"
+#include "workloads/huffman.hpp"
+#include "workloads/mtf_rle.hpp"
+
+namespace eewa::wl {
+
+namespace {
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+std::uint32_t get_u32(const std::vector<std::uint8_t>& in, std::size_t& i) {
+  if (i + 4 > in.size()) {
+    throw std::invalid_argument("bwc: truncated header");
+  }
+  const std::uint32_t v = (static_cast<std::uint32_t>(in[i]) << 24) |
+                          (static_cast<std::uint32_t>(in[i + 1]) << 16) |
+                          (static_cast<std::uint32_t>(in[i + 2]) << 8) |
+                          static_cast<std::uint32_t>(in[i + 3]);
+  i += 4;
+  return v;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> bwc_compress_block(
+    const std::vector<std::uint8_t>& block) {
+  const BwtResult bwt = bwt_forward(block);
+  const auto mtf = mtf_encode(bwt.last_column);
+  const auto rle = rle_zeros_encode(mtf);
+  const auto huff = huffman_encode(rle);
+
+  std::vector<std::uint8_t> out;
+  out.reserve(huff.size() + 8);
+  put_u32(out, static_cast<std::uint32_t>(bwt.primary_index));
+  put_u32(out, static_cast<std::uint32_t>(huff.size()));
+  out.insert(out.end(), huff.begin(), huff.end());
+  return out;
+}
+
+std::vector<std::uint8_t> bwc_decompress_block(
+    const std::vector<std::uint8_t>& data) {
+  std::size_t i = 0;
+  const std::uint32_t primary = get_u32(data, i);
+  const std::uint32_t huff_size = get_u32(data, i);
+  if (i + huff_size > data.size()) {
+    throw std::invalid_argument("bwc: truncated payload");
+  }
+  const std::vector<std::uint8_t> huff(
+      data.begin() + static_cast<long>(i),
+      data.begin() + static_cast<long>(i + huff_size));
+  const auto rle = huffman_decode(huff);
+  const auto mtf = rle_zeros_decode(rle);
+  const auto last = mtf_decode(mtf);
+  return bwt_inverse(last, primary);
+}
+
+}  // namespace eewa::wl

@@ -1,0 +1,21 @@
+// BWC — Burrows-Wheeler transform compression (paper benchmark #1):
+// block-wise BWT → move-to-front → zero-run RLE → canonical Huffman.
+// Self-describing block format; exact round trip.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace eewa::wl {
+
+/// Compress one block (the task granularity of the BWC benchmark).
+std::vector<std::uint8_t> bwc_compress_block(
+    const std::vector<std::uint8_t>& block);
+
+/// Invert bwc_compress_block. Throws std::invalid_argument on malformed
+/// input.
+std::vector<std::uint8_t> bwc_decompress_block(
+    const std::vector<std::uint8_t>& data);
+
+}  // namespace eewa::wl

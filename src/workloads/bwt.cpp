@@ -1,0 +1,91 @@
+#include "workloads/bwt.hpp"
+
+#include <algorithm>
+#include <array>
+#include <numeric>
+#include <stdexcept>
+#include <utility>
+
+namespace eewa::wl {
+
+std::vector<std::uint32_t> sort_rotations(
+    const std::vector<std::uint8_t>& data) {
+  const std::size_t n = data.size();
+  std::vector<std::uint32_t> sa(n);
+  std::iota(sa.begin(), sa.end(), 0);
+  if (n <= 1) return sa;
+
+  std::vector<std::uint32_t> rank(n), tmp(n);
+  for (std::size_t i = 0; i < n; ++i) rank[i] = data[i];
+
+  for (std::size_t k = 1; k < n; k <<= 1) {
+    auto key = [&](std::uint32_t i) {
+      return std::pair<std::uint32_t, std::uint32_t>(
+          rank[i], rank[(i + k) % n]);
+    };
+    std::sort(sa.begin(), sa.end(),
+              [&](std::uint32_t a, std::uint32_t b) { return key(a) < key(b); });
+    tmp[sa[0]] = 0;
+    for (std::size_t i = 1; i < n; ++i) {
+      tmp[sa[i]] = tmp[sa[i - 1]] + (key(sa[i - 1]) < key(sa[i]) ? 1 : 0);
+    }
+    rank = tmp;
+    if (rank[sa[n - 1]] == n - 1) break;  // all ranks distinct
+  }
+  return sa;
+}
+
+BwtResult bwt_forward(const std::vector<std::uint8_t>& data) {
+  BwtResult res;
+  const std::size_t n = data.size();
+  if (n == 0) return res;
+  const auto sa = sort_rotations(data);
+  res.last_column.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t start = sa[i];
+    res.last_column[i] = data[(start + n - 1) % n];
+    if (start == 0) res.primary_index = i;
+  }
+  return res;
+}
+
+std::vector<std::uint8_t> bwt_inverse(
+    const std::vector<std::uint8_t>& last_column,
+    std::size_t primary_index) {
+  const std::size_t n = last_column.size();
+  if (n == 0) {
+    if (primary_index != 0) {
+      throw std::invalid_argument("bwt_inverse: bad primary index");
+    }
+    return {};
+  }
+  if (primary_index >= n) {
+    throw std::invalid_argument("bwt_inverse: bad primary index");
+  }
+
+  // C[c]: number of symbols < c in the last column.
+  std::array<std::size_t, 257> count{};
+  for (std::uint8_t c : last_column) ++count[static_cast<std::size_t>(c) + 1];
+  for (std::size_t c = 1; c < 257; ++c) count[c] += count[c - 1];
+
+  // P[i]: occurrences of last_column[i] before position i.
+  std::vector<std::size_t> lf(n);
+  {
+    std::array<std::size_t, 256> seen{};
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint8_t c = last_column[i];
+      lf[i] = count[c] + seen[c];
+      ++seen[c];
+    }
+  }
+
+  std::vector<std::uint8_t> out(n);
+  std::size_t row = primary_index;
+  for (std::size_t i = n; i-- > 0;) {
+    out[i] = last_column[row];
+    row = lf[row];
+  }
+  return out;
+}
+
+}  // namespace eewa::wl

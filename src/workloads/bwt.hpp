@@ -1,0 +1,32 @@
+// Burrows–Wheeler transform over cyclic rotations, via prefix-doubling
+// suffix ranking (O(n log² n)). Forward returns the last column plus the
+// primary index (the row of the original string in the sorted rotation
+// matrix); inverse reconstructs with the LF mapping.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace eewa::wl {
+
+/// Forward BWT result.
+struct BwtResult {
+  std::vector<std::uint8_t> last_column;
+  std::size_t primary_index = 0;
+};
+
+/// Forward transform of `data` (empty input allowed).
+BwtResult bwt_forward(const std::vector<std::uint8_t>& data);
+
+/// Inverse transform; `primary_index` must be < last_column.size() (or 0
+/// for empty input). Throws std::invalid_argument otherwise.
+std::vector<std::uint8_t> bwt_inverse(
+    const std::vector<std::uint8_t>& last_column, std::size_t primary_index);
+
+/// The sorted-rotation order used by the forward transform (exposed for
+/// tests): sa[i] is the start offset of the i-th smallest rotation.
+std::vector<std::uint32_t> sort_rotations(
+    const std::vector<std::uint8_t>& data);
+
+}  // namespace eewa::wl

@@ -1,0 +1,62 @@
+#include "workloads/bzip2ish.hpp"
+
+#include <stdexcept>
+
+#include "workloads/bwt.hpp"
+#include "workloads/huffman.hpp"
+#include "workloads/mtf_rle.hpp"
+
+namespace eewa::wl {
+
+namespace {
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+std::uint32_t get_u32(const std::vector<std::uint8_t>& in, std::size_t& i) {
+  if (i + 4 > in.size()) {
+    throw std::invalid_argument("bzip2ish: truncated header");
+  }
+  const std::uint32_t v = (static_cast<std::uint32_t>(in[i]) << 24) |
+                          (static_cast<std::uint32_t>(in[i + 1]) << 16) |
+                          (static_cast<std::uint32_t>(in[i + 2]) << 8) |
+                          static_cast<std::uint32_t>(in[i + 3]);
+  i += 4;
+  return v;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> bzip2ish_compress_block(
+    const std::vector<std::uint8_t>& block) {
+  const auto rle1 = rle_literal_encode(block);
+  const BwtResult bwt = bwt_forward(rle1);
+  const auto mtf = mtf_encode(bwt.last_column);
+  const auto rle2 = rle_zeros_encode(mtf);
+  const auto huff = huffman_encode(rle2);
+
+  std::vector<std::uint8_t> out;
+  out.reserve(huff.size() + 4);
+  put_u32(out, static_cast<std::uint32_t>(bwt.primary_index));
+  out.insert(out.end(), huff.begin(), huff.end());
+  return out;
+}
+
+std::vector<std::uint8_t> bzip2ish_decompress_block(
+    const std::vector<std::uint8_t>& data) {
+  std::size_t i = 0;
+  const std::uint32_t primary = get_u32(data, i);
+  const std::vector<std::uint8_t> huff(data.begin() + static_cast<long>(i),
+                                       data.end());
+  const auto rle2 = huffman_decode(huff);
+  const auto mtf = rle_zeros_decode(rle2);
+  const auto last = mtf_decode(mtf);
+  const auto rle1 = bwt_inverse(last, primary);
+  return rle_literal_decode(rle1);
+}
+
+}  // namespace eewa::wl

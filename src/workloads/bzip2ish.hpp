@@ -1,0 +1,20 @@
+// Bzip-2 style compressor (paper benchmark #2): the bzip2 pipeline
+// RLE1 → BWT → MTF → zero-run RLE → canonical Huffman, per block.
+// (Bit-stream layout is ours, not the .bz2 format — the benchmark
+// exercises the same computation.)
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace eewa::wl {
+
+/// Compress one block through the full bzip2-style pipeline.
+std::vector<std::uint8_t> bzip2ish_compress_block(
+    const std::vector<std::uint8_t>& block);
+
+/// Exact inverse. Throws std::invalid_argument on malformed input.
+std::vector<std::uint8_t> bzip2ish_decompress_block(
+    const std::vector<std::uint8_t>& data);
+
+}  // namespace eewa::wl

@@ -1,0 +1,121 @@
+#include "workloads/container.hpp"
+
+#include <stdexcept>
+
+#include "workloads/bwc.hpp"
+#include "workloads/bzip2ish.hpp"
+#include "workloads/dmc.hpp"
+#include "workloads/lzw.hpp"
+
+namespace eewa::wl {
+
+namespace {
+
+constexpr std::uint8_t kMagic[4] = {'E', 'E', 'W', 'C'};
+
+using Bytes = std::vector<std::uint8_t>;
+
+void put_u32(Bytes& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+std::uint32_t get_u32(const Bytes& in, std::size_t& i) {
+  if (i + 4 > in.size()) {
+    throw std::invalid_argument("container: truncated");
+  }
+  const std::uint32_t v = (static_cast<std::uint32_t>(in[i]) << 24) |
+                          (static_cast<std::uint32_t>(in[i + 1]) << 16) |
+                          (static_cast<std::uint32_t>(in[i + 2]) << 8) |
+                          static_cast<std::uint32_t>(in[i + 3]);
+  i += 4;
+  return v;
+}
+
+Bytes compress_block(ContainerCodec codec, const Bytes& block) {
+  switch (codec) {
+    case ContainerCodec::kBwc:
+      return bwc_compress_block(block);
+    case ContainerCodec::kBzip2ish:
+      return bzip2ish_compress_block(block);
+    case ContainerCodec::kDmc:
+      return dmc_compress_block(block);
+    case ContainerCodec::kLzw:
+      return lzw_compress(block);
+  }
+  throw std::invalid_argument("container: unknown codec");
+}
+
+Bytes decompress_block(ContainerCodec codec, const Bytes& block) {
+  switch (codec) {
+    case ContainerCodec::kBwc:
+      return bwc_decompress_block(block);
+    case ContainerCodec::kBzip2ish:
+      return bzip2ish_decompress_block(block);
+    case ContainerCodec::kDmc:
+      return dmc_decompress_block(block);
+    case ContainerCodec::kLzw:
+      return lzw_decompress(block);
+  }
+  throw std::invalid_argument("container: unknown codec");
+}
+
+}  // namespace
+
+Bytes container_compress(const Bytes& data, ContainerCodec codec,
+                         std::size_t block_size) {
+  if (block_size == 0) {
+    throw std::invalid_argument("container: block_size must be >= 1");
+  }
+  const std::size_t blocks =
+      data.empty() ? 0 : (data.size() + block_size - 1) / block_size;
+  Bytes out;
+  for (std::uint8_t m : kMagic) out.push_back(m);
+  out.push_back(static_cast<std::uint8_t>(codec));
+  put_u32(out, static_cast<std::uint32_t>(blocks));
+  for (std::size_t b = 0; b < blocks; ++b) {
+    const std::size_t lo = b * block_size;
+    const std::size_t hi = std::min(lo + block_size, data.size());
+    const Bytes block(data.begin() + static_cast<long>(lo),
+                      data.begin() + static_cast<long>(hi));
+    const Bytes packed = compress_block(codec, block);
+    put_u32(out, static_cast<std::uint32_t>(packed.size()));
+    if (!packed.empty()) {
+      out.insert(out.end(), packed.begin(), packed.end());
+    }
+  }
+  return out;
+}
+
+Bytes container_decompress(const Bytes& container) {
+  std::size_t i = 0;
+  if (container.size() < 9 || container[0] != kMagic[0] ||
+      container[1] != kMagic[1] || container[2] != kMagic[2] ||
+      container[3] != kMagic[3]) {
+    throw std::invalid_argument("container: bad magic");
+  }
+  i = 4;
+  const std::uint8_t codec_raw = container[i++];
+  if (codec_raw > static_cast<std::uint8_t>(ContainerCodec::kLzw)) {
+    throw std::invalid_argument("container: unknown codec");
+  }
+  const auto codec = static_cast<ContainerCodec>(codec_raw);
+  const std::uint32_t blocks = get_u32(container, i);
+  Bytes out;
+  for (std::uint32_t b = 0; b < blocks; ++b) {
+    const std::uint32_t size = get_u32(container, i);
+    if (i + size > container.size()) {
+      throw std::invalid_argument("container: truncated block");
+    }
+    const Bytes packed(container.begin() + static_cast<long>(i),
+                       container.begin() + static_cast<long>(i + size));
+    i += size;
+    const Bytes block = decompress_block(codec, packed);
+    out.insert(out.end(), block.begin(), block.end());
+  }
+  return out;
+}
+
+}  // namespace eewa::wl

@@ -1,0 +1,33 @@
+// A multi-block container so the compressors handle arbitrary-size
+// inputs: the data is chunked, each block goes through the selected
+// codec independently (which is also what makes the codecs natural
+// task-parallel workloads), and a self-describing header ties it
+// together. Exact round trip for every codec.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace eewa::wl {
+
+/// Which block codec the container uses.
+enum class ContainerCodec : std::uint8_t {
+  kBwc = 0,
+  kBzip2ish = 1,
+  kDmc = 2,
+  kLzw = 3,
+};
+
+/// Chunk `data` into `block_size`-byte blocks and compress each.
+/// block_size must be >= 1. Empty input yields a valid empty container.
+std::vector<std::uint8_t> container_compress(
+    const std::vector<std::uint8_t>& data, ContainerCodec codec,
+    std::size_t block_size = 64 * 1024);
+
+/// Exact inverse of container_compress. Throws std::invalid_argument on
+/// malformed input (bad magic, unknown codec, truncation).
+std::vector<std::uint8_t> container_decompress(
+    const std::vector<std::uint8_t>& container);
+
+}  // namespace eewa::wl

@@ -1,0 +1,116 @@
+#include "workloads/data_gen.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace eewa::wl {
+
+std::vector<std::uint8_t> markov_text(std::size_t bytes,
+                                      std::uint64_t seed) {
+  // Order-1 model: after a vowel prefer consonants and vice versa; spaces
+  // every ~5 letters; occasional punctuation and newlines.
+  static constexpr char vowels[] = "aeiou";
+  static constexpr char consonants[] = "bcdfghjklmnpqrstvwxyz";
+  util::Xoshiro256 rng(seed);
+  std::vector<std::uint8_t> out;
+  out.reserve(bytes);
+  bool last_vowel = false;
+  std::size_t word_len = 0;
+  while (out.size() < bytes) {
+    if (word_len > 2 && rng.chance(0.22)) {
+      if (rng.chance(0.08)) {
+        out.push_back('.');
+        if (out.size() < bytes && rng.chance(0.3)) out.push_back('\n');
+      }
+      if (out.size() < bytes) out.push_back(' ');
+      word_len = 0;
+      continue;
+    }
+    char c;
+    if (last_vowel) {
+      c = consonants[rng.bounded(sizeof(consonants) - 1)];
+      last_vowel = rng.chance(0.15);
+    } else {
+      c = vowels[rng.bounded(sizeof(vowels) - 1)];
+      last_vowel = !rng.chance(0.2);
+    }
+    if (word_len == 0 && rng.chance(0.05)) {
+      c = static_cast<char>(c - 'a' + 'A');
+    }
+    out.push_back(static_cast<std::uint8_t>(c));
+    ++word_len;
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> skewed_bytes(std::size_t bytes,
+                                       std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  const util::ZipfSampler zipf(256, 1.2);
+  // Shuffle the rank→byte mapping so runs differ per seed.
+  std::vector<std::uint8_t> alphabet(256);
+  for (std::size_t i = 0; i < 256; ++i) {
+    alphabet[i] = static_cast<std::uint8_t>(i);
+  }
+  for (std::size_t i = 255; i > 0; --i) {
+    std::swap(alphabet[i], alphabet[rng.bounded(i + 1)]);
+  }
+  std::vector<std::uint8_t> out(bytes);
+  for (auto& b : out) b = alphabet[zipf.sample(rng)];
+  return out;
+}
+
+std::vector<std::uint8_t> random_bytes(std::size_t bytes,
+                                       std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::vector<std::uint8_t> out(bytes);
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng.next() & 0xff);
+  return out;
+}
+
+std::vector<std::uint8_t> synthetic_image(std::size_t width,
+                                          std::size_t height,
+                                          std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::vector<std::uint8_t> img(width * height * 3);
+  const double fx = rng.uniform(0.005, 0.03);
+  const double fy = rng.uniform(0.005, 0.03);
+  for (std::size_t y = 0; y < height; ++y) {
+    for (std::size_t x = 0; x < width; ++x) {
+      const double g1 =
+          127.5 + 100.0 * std::sin(fx * static_cast<double>(x)) *
+                      std::cos(fy * static_cast<double>(y));
+      const double g2 = 255.0 * static_cast<double>(x) /
+                        static_cast<double>(width ? width : 1);
+      const double g3 = 255.0 * static_cast<double>(y) /
+                        static_cast<double>(height ? height : 1);
+      const std::size_t i = (y * width + x) * 3;
+      auto noisy = [&](double v) {
+        v += rng.normal(0.0, 4.0);
+        return static_cast<std::uint8_t>(std::clamp(v, 0.0, 255.0));
+      };
+      img[i + 0] = noisy(g1);
+      img[i + 1] = noisy(g2);
+      img[i + 2] = noisy(g3);
+    }
+  }
+  // A few flat rectangles (hard edges → high-frequency DCT content).
+  for (int r = 0; r < 4; ++r) {
+    const std::size_t x0 = rng.bounded(width ? width : 1);
+    const std::size_t y0 = rng.bounded(height ? height : 1);
+    const std::size_t w = std::min(width - x0, std::size_t{24});
+    const std::size_t h = std::min(height - y0, std::size_t{24});
+    const std::uint8_t shade = static_cast<std::uint8_t>(rng.bounded(256));
+    for (std::size_t y = y0; y < y0 + h; ++y) {
+      for (std::size_t x = x0; x < x0 + w; ++x) {
+        const std::size_t i = (y * width + x) * 3;
+        img[i] = img[i + 1] = img[i + 2] = shade;
+      }
+    }
+  }
+  return img;
+}
+
+}  // namespace eewa::wl

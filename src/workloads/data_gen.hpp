@@ -1,0 +1,32 @@
+// Deterministic synthetic corpora for the benchmark kernels. The paper's
+// benchmarks consume files from "official websites"; we substitute
+// seeded generators with realistic statistics: Markov-chain English-like
+// text (compressible, for the compressors) and a smooth-gradient RGB
+// image with noise (for the JPEG encoder).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace eewa::wl {
+
+/// English-like bytes from a small order-1 Markov model over letters,
+/// spaces and punctuation. Compressible (entropy ≈ 2-3 bits/byte).
+std::vector<std::uint8_t> markov_text(std::size_t bytes, std::uint64_t seed);
+
+/// Bytes with a skewed (Zipf-ish) symbol distribution over the full byte
+/// alphabet; stresses entropy coders differently than text.
+std::vector<std::uint8_t> skewed_bytes(std::size_t bytes, std::uint64_t seed);
+
+/// Uniform random bytes (incompressible; worst case for the codecs).
+std::vector<std::uint8_t> random_bytes(std::size_t bytes, std::uint64_t seed);
+
+/// An RGB image (width*height*3 bytes, row-major) of smooth gradients
+/// plus seeded noise and a few rectangles — enough structure for DCT
+/// energy compaction to be observable.
+std::vector<std::uint8_t> synthetic_image(std::size_t width,
+                                          std::size_t height,
+                                          std::uint64_t seed);
+
+}  // namespace eewa::wl

@@ -1,0 +1,251 @@
+#include "workloads/dmc.hpp"
+
+#include <cstddef>
+#include <stdexcept>
+
+#include "util/bit_io.hpp"
+
+namespace eewa::wl {
+
+namespace {
+
+// ------------------------------------------------------------ DMC model --
+
+struct DmcNode {
+  std::uint32_t next[2];
+  float count[2];
+};
+
+/// The shared predictor; encoder and decoder must evolve identically.
+class DmcModel {
+ public:
+  explicit DmcModel(const DmcOptions& opt) : opt_(opt) { reset(); }
+
+  /// Probability counts for the next bit in the current state, as
+  /// integer weights for the arithmetic coder (always >= 1 each).
+  void weights(std::uint32_t& w0, std::uint32_t& w1) const {
+    const DmcNode& s = nodes_[state_];
+    w0 = static_cast<std::uint32_t>(s.count[0] * 16.0f) + 1;
+    w1 = static_cast<std::uint32_t>(s.count[1] * 16.0f) + 1;
+  }
+
+  /// Advance the model on the observed bit (with cloning).
+  void update(unsigned bit) {
+    // Index-based access throughout: push_back below may reallocate.
+    const std::uint32_t t = nodes_[state_].next[bit];
+    const float from_count = nodes_[state_].count[bit];
+    const float to_total = nodes_[t].count[0] + nodes_[t].count[1];
+    if (from_count > opt_.clone_threshold_from &&
+        to_total - from_count > opt_.clone_threshold_rest &&
+        nodes_.size() < opt_.max_nodes) {
+      // Clone the target: split its statistics proportionally to how
+      // much of its traffic comes through this edge.
+      const float r = from_count / to_total;
+      DmcNode clone;
+      clone.next[0] = nodes_[t].next[0];
+      clone.next[1] = nodes_[t].next[1];
+      clone.count[0] = nodes_[t].count[0] * r;
+      clone.count[1] = nodes_[t].count[1] * r;
+      nodes_[t].count[0] -= clone.count[0];
+      nodes_[t].count[1] -= clone.count[1];
+      nodes_.push_back(clone);
+      nodes_[state_].next[bit] =
+          static_cast<std::uint32_t>(nodes_.size() - 1);
+    }
+    DmcNode& s = nodes_[state_];
+    s.count[bit] += 1.0f;
+    if (s.count[bit] > 4096.0f) {
+      s.count[0] *= 0.5f;
+      s.count[1] *= 0.5f;
+    }
+    state_ = s.next[bit];
+    if (nodes_.size() >= opt_.max_nodes) reset();
+  }
+
+  std::size_t node_count() const { return nodes_.size(); }
+
+ private:
+  void reset() {
+    // Depth-8 bit-tree braid: heap-indexed nodes 1..255; edges below the
+    // leaves wrap back to the root, so byte boundaries share the root.
+    nodes_.assign(256, DmcNode{{1, 1}, {0.2f, 0.2f}});
+    for (std::uint32_t i = 1; i < 256; ++i) {
+      for (unsigned b = 0; b < 2; ++b) {
+        const std::uint32_t child = 2 * i + b;
+        nodes_[i].next[b] = child < 256 ? child : 1;
+      }
+    }
+    state_ = 1;
+  }
+
+  DmcOptions opt_;
+  std::vector<DmcNode> nodes_;
+  std::uint32_t state_ = 1;
+};
+
+// -------------------------------------------- binary arithmetic coder --
+
+constexpr std::uint64_t kTopValue = 0xFFFFFFFFULL;
+constexpr std::uint64_t kHalf = 0x80000000ULL;
+constexpr std::uint64_t kQuarter = 0x40000000ULL;
+constexpr std::uint64_t kThreeQuarter = 0xC0000000ULL;
+
+class ArithEncoder {
+ public:
+  void encode(unsigned bit, std::uint32_t w0, std::uint32_t w1) {
+    const std::uint64_t range = high_ - low_ + 1;
+    const std::uint64_t total = static_cast<std::uint64_t>(w0) + w1;
+    const std::uint64_t mid = low_ + range * w0 / total - 1;
+    if (bit == 0) {
+      high_ = mid;
+    } else {
+      low_ = mid + 1;
+    }
+    for (;;) {
+      if (high_ < kHalf) {
+        emit(0);
+      } else if (low_ >= kHalf) {
+        emit(1);
+        low_ -= kHalf;
+        high_ -= kHalf;
+      } else if (low_ >= kQuarter && high_ < kThreeQuarter) {
+        ++pending_;
+        low_ -= kQuarter;
+        high_ -= kQuarter;
+      } else {
+        break;
+      }
+      low_ <<= 1;
+      high_ = (high_ << 1) | 1;
+    }
+  }
+
+  std::vector<std::uint8_t> finish() {
+    ++pending_;
+    emit(low_ >= kQuarter ? 1 : 0);
+    return bw_.take();
+  }
+
+ private:
+  void emit(unsigned bit) {
+    bw_.write_bit(bit);
+    for (; pending_ > 0; --pending_) bw_.write_bit(bit ^ 1u);
+  }
+
+  util::BitWriter bw_;
+  std::uint64_t low_ = 0;
+  std::uint64_t high_ = kTopValue;
+  std::size_t pending_ = 0;
+};
+
+class ArithDecoder {
+ public:
+  explicit ArithDecoder(util::BitReader& br) : br_(br) {
+    for (int i = 0; i < 32; ++i) value_ = (value_ << 1) | br_.read_bit();
+  }
+
+  unsigned decode(std::uint32_t w0, std::uint32_t w1) {
+    const std::uint64_t range = high_ - low_ + 1;
+    const std::uint64_t total = static_cast<std::uint64_t>(w0) + w1;
+    const std::uint64_t mid = low_ + range * w0 / total - 1;
+    unsigned bit;
+    if (value_ <= mid) {
+      bit = 0;
+      high_ = mid;
+    } else {
+      bit = 1;
+      low_ = mid + 1;
+    }
+    for (;;) {
+      if (high_ < kHalf) {
+        // nothing
+      } else if (low_ >= kHalf) {
+        low_ -= kHalf;
+        high_ -= kHalf;
+        value_ -= kHalf;
+      } else if (low_ >= kQuarter && high_ < kThreeQuarter) {
+        low_ -= kQuarter;
+        high_ -= kQuarter;
+        value_ -= kQuarter;
+      } else {
+        break;
+      }
+      low_ <<= 1;
+      high_ = (high_ << 1) | 1;
+      value_ = (value_ << 1) | br_.read_bit();
+    }
+    return bit;
+  }
+
+ private:
+  util::BitReader& br_;
+  std::uint64_t low_ = 0;
+  std::uint64_t high_ = kTopValue;
+  std::uint64_t value_ = 0;
+};
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> dmc_compress_block(
+    const std::vector<std::uint8_t>& block, const DmcOptions& opt) {
+  DmcModel model(opt);
+  ArithEncoder enc;
+  for (std::uint8_t byte : block) {
+    for (int i = 7; i >= 0; --i) {
+      const unsigned bit = (byte >> i) & 1u;
+      std::uint32_t w0, w1;
+      model.weights(w0, w1);
+      enc.encode(bit, w0, w1);
+      model.update(bit);
+    }
+  }
+  auto payload = enc.finish();
+  std::vector<std::uint8_t> out;
+  out.reserve(payload.size() + 4);
+  put_u32(out, static_cast<std::uint32_t>(block.size()));
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+std::vector<std::uint8_t> dmc_decompress_block(
+    const std::vector<std::uint8_t>& data, const DmcOptions& opt) {
+  if (data.size() < 4) {
+    throw std::invalid_argument("dmc: truncated header");
+  }
+  const std::size_t n = (static_cast<std::size_t>(data[0]) << 24) |
+                        (static_cast<std::size_t>(data[1]) << 16) |
+                        (static_cast<std::size_t>(data[2]) << 8) |
+                        static_cast<std::size_t>(data[3]);
+  // Arithmetic coding cannot legitimately expand 8 input bits into more
+  // than ~2^10 output bytes under this model; use a generous cap so a
+  // corrupted header cannot trigger a multi-gigabyte allocation.
+  if (n > (data.size() - 4 + 64) * 1024) {
+    throw std::invalid_argument("dmc: implausible decoded size");
+  }
+  util::BitReader br({data.data() + 4, data.size() - 4});
+  DmcModel model(opt);
+  ArithDecoder dec(br);
+  std::vector<std::uint8_t> out;
+  out.reserve(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    unsigned byte = 0;
+    for (int i = 0; i < 8; ++i) {
+      std::uint32_t w0, w1;
+      model.weights(w0, w1);
+      const unsigned bit = dec.decode(w0, w1);
+      model.update(bit);
+      byte = (byte << 1) | bit;
+    }
+    out.push_back(static_cast<std::uint8_t>(byte));
+  }
+  return out;
+}
+
+}  // namespace eewa::wl

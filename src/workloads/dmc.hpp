@@ -1,0 +1,30 @@
+// DMC — Dynamic Markov Coding (Cormack & Horspool 1987), the paper's
+// benchmark #3: a bit-level finite-state predictor grown by state
+// cloning, driving a binary arithmetic coder (Witten–Neal–Cleary).
+// The model starts as a depth-8 bit-tree braid and clones states as
+// transition counts warrant; when the node pool is exhausted the model
+// resets (as real DMC implementations do).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace eewa::wl {
+
+/// Tuning knobs (exposed for tests/benches).
+struct DmcOptions {
+  std::size_t max_nodes = 1u << 16;  ///< model reset threshold
+  double clone_threshold_from = 2.0;
+  double clone_threshold_rest = 2.0;
+};
+
+/// Compress a block. Output embeds the byte count header.
+std::vector<std::uint8_t> dmc_compress_block(
+    const std::vector<std::uint8_t>& block, const DmcOptions& opt = {});
+
+/// Exact inverse of dmc_compress_block (same options required).
+/// Throws std::invalid_argument on malformed input.
+std::vector<std::uint8_t> dmc_decompress_block(
+    const std::vector<std::uint8_t>& data, const DmcOptions& opt = {});
+
+}  // namespace eewa::wl

@@ -1,0 +1,180 @@
+#include "workloads/huffman.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+#include "util/bit_io.hpp"
+
+namespace eewa::wl {
+
+namespace {
+
+/// Plain Huffman tree depth computation.
+std::array<std::uint8_t, 256> tree_depths(
+    const std::array<std::uint64_t, 256>& freq) {
+  struct Node {
+    std::uint64_t weight;
+    int left = -1, right = -1;
+    int symbol = -1;
+  };
+  std::vector<Node> nodes;
+  using Entry = std::pair<std::uint64_t, int>;  // (weight, node index)
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> pq;
+  for (int s = 0; s < 256; ++s) {
+    if (freq[static_cast<std::size_t>(s)] > 0) {
+      nodes.push_back(Node{freq[static_cast<std::size_t>(s)], -1, -1, s});
+      pq.emplace(nodes.back().weight, static_cast<int>(nodes.size()) - 1);
+    }
+  }
+  std::array<std::uint8_t, 256> depth{};
+  if (nodes.empty()) return depth;
+  if (nodes.size() == 1) {
+    depth[static_cast<std::size_t>(nodes[0].symbol)] = 1;
+    return depth;
+  }
+  while (pq.size() > 1) {
+    const auto [wa, a] = pq.top();
+    pq.pop();
+    const auto [wb, b] = pq.top();
+    pq.pop();
+    nodes.push_back(Node{wa + wb, a, b, -1});
+    pq.emplace(wa + wb, static_cast<int>(nodes.size()) - 1);
+  }
+  // DFS to assign depths.
+  std::vector<std::pair<int, std::uint8_t>> stack{{pq.top().second, 0}};
+  while (!stack.empty()) {
+    const auto [idx, d] = stack.back();
+    stack.pop_back();
+    const Node& node = nodes[static_cast<std::size_t>(idx)];
+    if (node.symbol >= 0) {
+      depth[static_cast<std::size_t>(node.symbol)] = d;
+    } else {
+      stack.push_back({node.left, static_cast<std::uint8_t>(d + 1)});
+      stack.push_back({node.right, static_cast<std::uint8_t>(d + 1)});
+    }
+  }
+  return depth;
+}
+
+/// Canonical codes from lengths: code[s] for every symbol with len > 0.
+std::array<std::uint32_t, 256> canonical_codes(
+    const std::array<std::uint8_t, 256>& len) {
+  std::array<std::uint32_t, 256> code{};
+  std::array<std::uint32_t, kHuffMaxCodeLen + 2> count{};
+  for (auto l : len) ++count[l];
+  count[0] = 0;
+  std::array<std::uint32_t, kHuffMaxCodeLen + 2> next{};
+  std::uint32_t c = 0;
+  for (unsigned bits = 1; bits <= kHuffMaxCodeLen; ++bits) {
+    c = (c + count[bits - 1]) << 1;
+    next[bits] = c;
+  }
+  for (int s = 0; s < 256; ++s) {
+    const auto l = len[static_cast<std::size_t>(s)];
+    if (l > 0) code[static_cast<std::size_t>(s)] = next[l]++;
+  }
+  return code;
+}
+
+}  // namespace
+
+std::array<std::uint8_t, 256> huffman_code_lengths(
+    const std::array<std::uint64_t, 256>& freq) {
+  std::array<std::uint64_t, 256> f = freq;
+  for (int iter = 0; iter < 64; ++iter) {
+    const auto depth = tree_depths(f);
+    const auto max_d = *std::max_element(depth.begin(), depth.end());
+    if (max_d <= kHuffMaxCodeLen) return depth;
+    // Damp the distribution and retry: halve (keeping nonzero symbols
+    // nonzero), which flattens the tree.
+    for (auto& v : f) {
+      if (v > 0) v = (v + 1) / 2;
+    }
+  }
+  throw std::logic_error("huffman_code_lengths: damping failed to converge");
+}
+
+std::vector<std::uint8_t> huffman_encode(
+    const std::vector<std::uint8_t>& data) {
+  std::array<std::uint64_t, 256> freq{};
+  for (std::uint8_t b : data) ++freq[b];
+  const auto len = huffman_code_lengths(freq);
+  const auto code = canonical_codes(len);
+
+  util::BitWriter bw;
+  // Header: symbol count (32 bits) then 256 5-bit code lengths.
+  bw.write(static_cast<std::uint64_t>(data.size()), 32);
+  for (auto l : len) bw.write(l, 5);
+  for (std::uint8_t b : data) bw.write(code[b], len[b]);
+  return bw.take();
+}
+
+std::vector<std::uint8_t> huffman_decode(
+    const std::vector<std::uint8_t>& data) {
+  util::BitReader br({data.data(), data.size()});
+  const auto n = static_cast<std::size_t>(br.read(32));
+  // Header-declared size sanity: a valid stream encodes each symbol in
+  // at least one bit, so n can never exceed the remaining bit count.
+  if (n > data.size() * 8) {
+    throw std::invalid_argument("huffman_decode: implausible symbol count");
+  }
+  std::array<std::uint8_t, 256> len{};
+  for (auto& l : len) l = static_cast<std::uint8_t>(br.read(5));
+  if (n == 0) return {};
+
+  // Canonical decode tables: first code and first symbol index per length.
+  std::array<std::uint32_t, kHuffMaxCodeLen + 2> count{};
+  for (auto l : len) {
+    if (l > kHuffMaxCodeLen) {
+      throw std::invalid_argument("huffman_decode: bad code length");
+    }
+    ++count[l];
+  }
+  count[0] = 0;
+  std::vector<std::uint8_t> symbols;  // sorted by (length, symbol)
+  for (unsigned bits = 1; bits <= kHuffMaxCodeLen; ++bits) {
+    for (int s = 0; s < 256; ++s) {
+      if (len[static_cast<std::size_t>(s)] == bits) {
+        symbols.push_back(static_cast<std::uint8_t>(s));
+      }
+    }
+  }
+  if (symbols.empty()) {
+    throw std::invalid_argument("huffman_decode: no symbols");
+  }
+  std::array<std::uint32_t, kHuffMaxCodeLen + 2> first_code{};
+  std::array<std::uint32_t, kHuffMaxCodeLen + 2> first_sym{};
+  std::uint32_t c = 0, sym_index = 0;
+  for (unsigned bits = 1; bits <= kHuffMaxCodeLen; ++bits) {
+    c = (c + count[bits - 1]) << 1;
+    first_code[bits] = c;
+    first_sym[bits] = sym_index;
+    sym_index += count[bits];
+  }
+
+  std::vector<std::uint8_t> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint32_t acc = 0;
+    unsigned bits = 0;
+    for (;;) {
+      if (br.exhausted() && bits > kHuffMaxCodeLen) {
+        throw std::invalid_argument("huffman_decode: truncated stream");
+      }
+      acc = (acc << 1) | br.read_bit();
+      ++bits;
+      if (bits > kHuffMaxCodeLen) {
+        throw std::invalid_argument("huffman_decode: invalid code");
+      }
+      if (count[bits] > 0 && acc >= first_code[bits] &&
+          acc - first_code[bits] < count[bits]) {
+        out.push_back(symbols[first_sym[bits] + (acc - first_code[bits])]);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace eewa::wl

@@ -1,0 +1,32 @@
+// Canonical Huffman coder over the byte alphabet. Code lengths are
+// limited to kMaxCodeLen by iterative frequency damping (rebuilding with
+// halved counts until the tree fits), the stream is self-describing
+// (length table + bit count header), and decoding uses the canonical
+// first-code tables.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace eewa::wl {
+
+/// Maximum code length the encoder will emit.
+inline constexpr unsigned kHuffMaxCodeLen = 20;
+
+/// Canonical code lengths (one per byte symbol, 0 = absent) for the
+/// given frequency table, all <= kHuffMaxCodeLen.
+std::array<std::uint8_t, 256> huffman_code_lengths(
+    const std::array<std::uint64_t, 256>& freq);
+
+/// Encode `data`; output embeds the header. Empty input encodes to a
+/// minimal valid stream.
+std::vector<std::uint8_t> huffman_encode(
+    const std::vector<std::uint8_t>& data);
+
+/// Decode a stream produced by huffman_encode. Throws
+/// std::invalid_argument on malformed input.
+std::vector<std::uint8_t> huffman_decode(
+    const std::vector<std::uint8_t>& data);
+
+}  // namespace eewa::wl

@@ -1,0 +1,378 @@
+#include "workloads/jpeg_enc.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/bit_io.hpp"
+#include "workloads/huffman.hpp"
+
+namespace eewa::wl {
+
+namespace {
+
+// Annex K luminance/chrominance quantization tables.
+constexpr std::array<int, 64> kLumaQ = {
+    16, 11, 10, 16, 24,  40,  51,  61,  12, 12, 14, 19, 26,  58,  60,  55,
+    14, 13, 16, 24, 40,  57,  69,  56,  14, 17, 22, 29, 51,  87,  80,  62,
+    18, 22, 37, 56, 68,  109, 103, 77,  24, 35, 55, 64, 81,  104, 113, 92,
+    49, 64, 78, 87, 103, 121, 120, 101, 72, 92, 95, 98, 112, 100, 103, 99};
+constexpr std::array<int, 64> kChromaQ = {
+    17, 18, 24, 47, 99, 99, 99, 99, 18, 21, 26, 66, 99, 99, 99, 99,
+    24, 26, 56, 99, 99, 99, 99, 99, 47, 66, 99, 99, 99, 99, 99, 99,
+    99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99,
+    99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99};
+
+constexpr std::array<int, 64> kZigzag = {
+    0,  1,  8,  16, 9,  2,  3,  10, 17, 24, 32, 25, 18, 11, 4,  5,
+    12, 19, 26, 33, 40, 48, 41, 34, 27, 20, 13, 6,  7,  14, 21, 28,
+    35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51,
+    58, 59, 52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63};
+
+std::array<int, 64> scaled_table(const std::array<int, 64>& base,
+                                 int quality) {
+  quality = std::clamp(quality, 1, 100);
+  const int scale = quality < 50 ? 5000 / quality : 200 - 2 * quality;
+  std::array<int, 64> out{};
+  for (int i = 0; i < 64; ++i) {
+    out[static_cast<std::size_t>(i)] = std::clamp(
+        (base[static_cast<std::size_t>(i)] * scale + 50) / 100, 1, 255);
+  }
+  return out;
+}
+
+void fdct8(const double in[64], double out[64]) {
+  // Separable reference DCT-II, orthonormal scaling.
+  static double cosv[8][8];
+  static bool init = false;
+  if (!init) {
+    for (int k = 0; k < 8; ++k) {
+      for (int x = 0; x < 8; ++x) {
+        cosv[k][x] = std::cos((2.0 * x + 1.0) * k * M_PI / 16.0);
+      }
+    }
+    init = true;
+  }
+  double tmp[64];
+  for (int y = 0; y < 8; ++y) {
+    for (int k = 0; k < 8; ++k) {
+      double s = 0.0;
+      for (int x = 0; x < 8; ++x) s += in[y * 8 + x] * cosv[k][x];
+      tmp[y * 8 + k] = s * (k == 0 ? std::sqrt(1.0 / 8.0)
+                                   : std::sqrt(2.0 / 8.0));
+    }
+  }
+  for (int k = 0; k < 8; ++k) {
+    for (int l = 0; l < 8; ++l) {
+      double s = 0.0;
+      for (int y = 0; y < 8; ++y) s += tmp[y * 8 + l] * cosv[k][y];
+      out[k * 8 + l] =
+          s * (k == 0 ? std::sqrt(1.0 / 8.0) : std::sqrt(2.0 / 8.0));
+    }
+  }
+}
+
+void idct8(const double in[64], double out[64]) {
+  static double cosv[8][8];
+  static bool init = false;
+  if (!init) {
+    for (int k = 0; k < 8; ++k) {
+      for (int x = 0; x < 8; ++x) {
+        cosv[k][x] = std::cos((2.0 * x + 1.0) * k * M_PI / 16.0);
+      }
+    }
+    init = true;
+  }
+  double tmp[64];
+  for (int k = 0; k < 8; ++k) {
+    for (int x = 0; x < 8; ++x) {
+      double s = 0.0;
+      for (int l = 0; l < 8; ++l) {
+        s += in[k * 8 + l] * cosv[l][x] *
+             (l == 0 ? std::sqrt(1.0 / 8.0) : std::sqrt(2.0 / 8.0));
+      }
+      tmp[k * 8 + x] = s;
+    }
+  }
+  for (int x = 0; x < 8; ++x) {
+    for (int y = 0; y < 8; ++y) {
+      double s = 0.0;
+      for (int k = 0; k < 8; ++k) {
+        s += tmp[k * 8 + x] * cosv[k][y] *
+             (k == 0 ? std::sqrt(1.0 / 8.0) : std::sqrt(2.0 / 8.0));
+      }
+      out[y * 8 + x] = s;
+    }
+  }
+}
+
+unsigned size_category(int v) {
+  unsigned s = 0;
+  unsigned a = static_cast<unsigned>(v < 0 ? -v : v);
+  while (a) {
+    ++s;
+    a >>= 1;
+  }
+  return s;
+}
+
+void put_amplitude(util::BitWriter& bw, int v, unsigned size) {
+  if (size == 0) return;
+  const int bits = v >= 0 ? v : v + (1 << size) - 1;
+  bw.write(static_cast<std::uint64_t>(bits), size);
+}
+
+int get_amplitude(util::BitReader& br, unsigned size) {
+  if (size == 0) return 0;
+  const int bits = static_cast<int>(br.read(size));
+  if (bits < (1 << (size - 1))) {
+    return bits - (1 << size) + 1;
+  }
+  return bits;
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+std::uint32_t get_u32(const std::vector<std::uint8_t>& in, std::size_t& i) {
+  if (i + 4 > in.size()) {
+    throw std::invalid_argument("jpeg: truncated stream");
+  }
+  const std::uint32_t v = (static_cast<std::uint32_t>(in[i]) << 24) |
+                          (static_cast<std::uint32_t>(in[i + 1]) << 16) |
+                          (static_cast<std::uint32_t>(in[i + 2]) << 8) |
+                          static_cast<std::uint32_t>(in[i + 3]);
+  i += 4;
+  return v;
+}
+
+struct Planes {
+  std::size_t w8 = 0, h8 = 0;  // padded dims
+  std::vector<double> y, cb, cr;
+};
+
+Planes to_ycbcr(const Image& img) {
+  Planes p;
+  p.w8 = (img.width + 7) / 8 * 8;
+  p.h8 = (img.height + 7) / 8 * 8;
+  p.y.resize(p.w8 * p.h8);
+  p.cb.resize(p.w8 * p.h8);
+  p.cr.resize(p.w8 * p.h8);
+  for (std::size_t yy = 0; yy < p.h8; ++yy) {
+    const std::size_t sy = std::min(yy, img.height - 1);
+    for (std::size_t xx = 0; xx < p.w8; ++xx) {
+      const std::size_t sx = std::min(xx, img.width - 1);
+      const std::size_t i = (sy * img.width + sx) * 3;
+      const double r = img.rgb[i], g = img.rgb[i + 1], b = img.rgb[i + 2];
+      const std::size_t o = yy * p.w8 + xx;
+      p.y[o] = 0.299 * r + 0.587 * g + 0.114 * b - 128.0;
+      p.cb[o] = -0.168736 * r - 0.331264 * g + 0.5 * b;
+      p.cr[o] = 0.5 * r - 0.418688 * g - 0.081312 * b;
+    }
+  }
+  return p;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> jpeg_encode(const Image& image,
+                                      const JpegOptions& opt) {
+  if (!image.valid() || image.width == 0 || image.height == 0) {
+    throw std::invalid_argument("jpeg_encode: invalid image");
+  }
+  const Planes planes = to_ycbcr(image);
+  const auto lq = scaled_table(kLumaQ, opt.quality);
+  const auto cq = scaled_table(kChromaQ, opt.quality);
+
+  std::vector<std::uint8_t> symbols;  // DC size cats + AC (run,size)
+  util::BitWriter bits;               // amplitude bits
+
+  auto encode_plane = [&](const std::vector<double>& plane,
+                          const std::array<int, 64>& q) {
+    int prev_dc = 0;
+    for (std::size_t by = 0; by < planes.h8; by += 8) {
+      for (std::size_t bx = 0; bx < planes.w8; bx += 8) {
+        double block[64], coef[64];
+        for (int yy = 0; yy < 8; ++yy) {
+          for (int xx = 0; xx < 8; ++xx) {
+            block[yy * 8 + xx] =
+                plane[(by + static_cast<std::size_t>(yy)) * planes.w8 + bx +
+                      static_cast<std::size_t>(xx)];
+          }
+        }
+        fdct8(block, coef);
+        int zz[64];
+        for (int i = 0; i < 64; ++i) {
+          const int src = kZigzag[static_cast<std::size_t>(i)];
+          zz[i] = static_cast<int>(std::lround(
+              coef[src] / q[static_cast<std::size_t>(src)]));
+        }
+        // DC delta.
+        const int diff = zz[0] - prev_dc;
+        prev_dc = zz[0];
+        const unsigned dsz = size_category(diff);
+        symbols.push_back(static_cast<std::uint8_t>(dsz));
+        put_amplitude(bits, diff, dsz);
+        // AC run-length symbols.
+        int run = 0;
+        for (int i = 1; i < 64; ++i) {
+          if (zz[i] == 0) {
+            ++run;
+            continue;
+          }
+          while (run >= 16) {
+            symbols.push_back(0xF0);  // ZRL
+            run -= 16;
+          }
+          const unsigned asz = size_category(zz[i]);
+          symbols.push_back(
+              static_cast<std::uint8_t>((run << 4) | asz));
+          put_amplitude(bits, zz[i], asz);
+          run = 0;
+        }
+        if (run > 0) symbols.push_back(0x00);  // EOB
+      }
+    }
+  };
+  encode_plane(planes.y, lq);
+  encode_plane(planes.cb, cq);
+  encode_plane(planes.cr, cq);
+
+  const auto sym_huff = huffman_encode(symbols);
+  const auto bit_bytes = bits.take();
+
+  std::vector<std::uint8_t> out;
+  put_u32(out, static_cast<std::uint32_t>(image.width));
+  put_u32(out, static_cast<std::uint32_t>(image.height));
+  out.push_back(static_cast<std::uint8_t>(std::clamp(opt.quality, 1, 100)));
+  put_u32(out, static_cast<std::uint32_t>(sym_huff.size()));
+  out.insert(out.end(), sym_huff.begin(), sym_huff.end());
+  put_u32(out, static_cast<std::uint32_t>(bit_bytes.size()));
+  out.insert(out.end(), bit_bytes.begin(), bit_bytes.end());
+  return out;
+}
+
+Image jpeg_decode(const std::vector<std::uint8_t>& data) {
+  std::size_t pos = 0;
+  Image img;
+  img.width = get_u32(data, pos);
+  img.height = get_u32(data, pos);
+  if (img.width == 0 || img.height == 0 ||
+      img.width > (1u << 16) || img.height > (1u << 16) ||
+      img.width * img.height > (1u << 26)) {
+    throw std::invalid_argument("jpeg_decode: implausible dimensions");
+  }
+  if (pos >= data.size()) {
+    throw std::invalid_argument("jpeg_decode: truncated stream");
+  }
+  const int quality = data[pos++];
+  const std::uint32_t sym_len = get_u32(data, pos);
+  if (pos + sym_len > data.size()) {
+    throw std::invalid_argument("jpeg_decode: truncated symbols");
+  }
+  const std::vector<std::uint8_t> sym_huff(
+      data.begin() + static_cast<long>(pos),
+      data.begin() + static_cast<long>(pos + sym_len));
+  pos += sym_len;
+  const std::uint32_t bit_len = get_u32(data, pos);
+  if (pos + bit_len > data.size()) {
+    throw std::invalid_argument("jpeg_decode: truncated bits");
+  }
+  util::BitReader bits({data.data() + pos, bit_len});
+
+  const auto symbols = huffman_decode(sym_huff);
+  const auto lq = scaled_table(kLumaQ, quality);
+  const auto cq = scaled_table(kChromaQ, quality);
+
+  const std::size_t w8 = (img.width + 7) / 8 * 8;
+  const std::size_t h8 = (img.height + 7) / 8 * 8;
+  std::vector<double> y(w8 * h8), cb(w8 * h8), cr(w8 * h8);
+
+  std::size_t sp = 0;  // symbol cursor
+  auto decode_plane = [&](std::vector<double>& plane,
+                          const std::array<int, 64>& q) {
+    int prev_dc = 0;
+    for (std::size_t by = 0; by < h8; by += 8) {
+      for (std::size_t bx = 0; bx < w8; bx += 8) {
+        int zz[64] = {};
+        if (sp >= symbols.size()) {
+          throw std::invalid_argument("jpeg_decode: symbol underrun");
+        }
+        const unsigned dsz = symbols[sp++];
+        prev_dc += get_amplitude(bits, dsz);
+        zz[0] = prev_dc;
+        int i = 1;
+        while (i < 64) {
+          if (sp >= symbols.size()) {
+            throw std::invalid_argument("jpeg_decode: symbol underrun");
+          }
+          const std::uint8_t s = symbols[sp++];
+          if (s == 0x00) break;  // EOB
+          if (s == 0xF0) {
+            i += 16;
+            continue;
+          }
+          i += s >> 4;
+          if (i >= 64) {
+            throw std::invalid_argument("jpeg_decode: AC index overflow");
+          }
+          zz[i++] = get_amplitude(bits, s & 0x0F);
+        }
+        double coef[64], block[64];
+        for (int k = 0; k < 64; ++k) {
+          const int dst = kZigzag[static_cast<std::size_t>(k)];
+          coef[dst] = static_cast<double>(zz[k]) *
+                      q[static_cast<std::size_t>(dst)];
+        }
+        idct8(coef, block);
+        for (int yy = 0; yy < 8; ++yy) {
+          for (int xx = 0; xx < 8; ++xx) {
+            plane[(by + static_cast<std::size_t>(yy)) * w8 + bx +
+                  static_cast<std::size_t>(xx)] = block[yy * 8 + xx];
+          }
+        }
+      }
+    }
+  };
+  decode_plane(y, lq);
+  decode_plane(cb, cq);
+  decode_plane(cr, cq);
+
+  img.rgb.resize(img.width * img.height * 3);
+  for (std::size_t yy = 0; yy < img.height; ++yy) {
+    for (std::size_t xx = 0; xx < img.width; ++xx) {
+      const std::size_t o = yy * w8 + xx;
+      const double Y = y[o] + 128.0, Cb = cb[o], Cr = cr[o];
+      auto clamp8 = [](double v) {
+        return static_cast<std::uint8_t>(std::clamp(v, 0.0, 255.0));
+      };
+      const std::size_t i = (yy * img.width + xx) * 3;
+      img.rgb[i + 0] = clamp8(Y + 1.402 * Cr);
+      img.rgb[i + 1] = clamp8(Y - 0.344136 * Cb - 0.714136 * Cr);
+      img.rgb[i + 2] = clamp8(Y + 1.772 * Cb);
+    }
+  }
+  return img;
+}
+
+double psnr(const Image& a, const Image& b) {
+  if (a.width != b.width || a.height != b.height || !a.valid() ||
+      !b.valid()) {
+    throw std::invalid_argument("psnr: image mismatch");
+  }
+  double mse = 0.0;
+  for (std::size_t i = 0; i < a.rgb.size(); ++i) {
+    const double d = static_cast<double>(a.rgb[i]) - b.rgb[i];
+    mse += d * d;
+  }
+  mse /= static_cast<double>(a.rgb.size());
+  if (mse <= 0.0) return 99.0;
+  return 10.0 * std::log10(255.0 * 255.0 / mse);
+}
+
+}  // namespace eewa::wl

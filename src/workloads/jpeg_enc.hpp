@@ -1,0 +1,39 @@
+// JE — JPEG encoding (paper benchmark #4): the full JPEG baseline
+// computation — RGB→YCbCr, 8×8 forward DCT, quality-scaled quantization,
+// zigzag, DC delta coding, (run,size) AC symbols with amplitude bits and
+// canonical Huffman entropy coding — plus the matching decoder for
+// round-trip/PSNR validation. The container layout is our own (not
+// JFIF); the arithmetic is the JPEG baseline pipeline.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace eewa::wl {
+
+/// An interleaved 8-bit RGB image.
+struct Image {
+  std::size_t width = 0;
+  std::size_t height = 0;
+  std::vector<std::uint8_t> rgb;  ///< width*height*3 bytes
+
+  bool valid() const { return rgb.size() == width * height * 3; }
+};
+
+/// Encoder settings.
+struct JpegOptions {
+  int quality = 75;  ///< 1 (worst) .. 100 (best), libjpeg-style scaling
+};
+
+/// Encode an image. Throws std::invalid_argument on invalid input.
+std::vector<std::uint8_t> jpeg_encode(const Image& image,
+                                      const JpegOptions& opt = {});
+
+/// Decode a stream from jpeg_encode back to RGB (lossy round trip).
+Image jpeg_decode(const std::vector<std::uint8_t>& data);
+
+/// Peak signal-to-noise ratio between two same-sized images, in dB.
+double psnr(const Image& a, const Image& b);
+
+}  // namespace eewa::wl

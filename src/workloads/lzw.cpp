@@ -1,0 +1,121 @@
+#include "workloads/lzw.hpp"
+
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+
+#include "util/bit_io.hpp"
+
+namespace eewa::wl {
+
+namespace {
+
+constexpr std::uint32_t kClearCode = 256;
+constexpr std::uint32_t kStopCode = 257;
+constexpr std::uint32_t kFirstFree = 258;
+constexpr unsigned kMinBits = 9;
+constexpr unsigned kMaxBits = 16;
+constexpr std::uint32_t kMaxEntries = 1u << kMaxBits;
+
+}  // namespace
+
+std::vector<std::uint8_t> lzw_compress(
+    const std::vector<std::uint8_t>& data) {
+  util::BitWriter bw;
+  std::unordered_map<std::string, std::uint32_t> dict;
+  dict.reserve(kMaxEntries * 2);
+  auto reset_dict = [&] {
+    dict.clear();
+    for (std::uint32_t c = 0; c < 256; ++c) {
+      dict.emplace(std::string(1, static_cast<char>(c)), c);
+    }
+  };
+  reset_dict();
+  std::uint32_t next_code = kFirstFree;
+  unsigned bits = kMinBits;
+
+  std::string current;
+  for (std::uint8_t byte : data) {
+    std::string candidate = current;
+    candidate.push_back(static_cast<char>(byte));
+    if (dict.count(candidate)) {
+      current = std::move(candidate);
+      continue;
+    }
+    bw.write(dict.at(current), bits);
+    if (next_code < kMaxEntries) {
+      dict.emplace(std::move(candidate), next_code++);
+      if (next_code > (1u << bits) && bits < kMaxBits) ++bits;
+    } else {
+      bw.write(kClearCode, bits);
+      reset_dict();
+      next_code = kFirstFree;
+      bits = kMinBits;
+    }
+    current.assign(1, static_cast<char>(byte));
+  }
+  if (!current.empty()) {
+    bw.write(dict.at(current), bits);
+    // Mirror the per-code width bookkeeping (the decoder inserts an entry
+    // after this code and checks the width) so STOP uses the same width.
+    if (next_code < kMaxEntries) {
+      ++next_code;
+      if (next_code > (1u << bits) && bits < kMaxBits) ++bits;
+    }
+  }
+  bw.write(kStopCode, bits);
+  return bw.take();
+}
+
+std::vector<std::uint8_t> lzw_decompress(
+    const std::vector<std::uint8_t>& data) {
+  util::BitReader br({data.data(), data.size()});
+  std::vector<std::string> dict;
+  auto reset_dict = [&] {
+    dict.clear();
+    dict.reserve(kMaxEntries);
+    for (std::uint32_t c = 0; c < 256; ++c) {
+      dict.emplace_back(1, static_cast<char>(c));
+    }
+    dict.emplace_back();  // CLEAR
+    dict.emplace_back();  // STOP
+  };
+  reset_dict();
+  unsigned bits = kMinBits;
+  std::vector<std::uint8_t> out;
+  std::string previous;
+
+  for (;;) {
+    if (br.exhausted()) {
+      throw std::invalid_argument("lzw_decompress: missing stop code");
+    }
+    const auto code = static_cast<std::uint32_t>(br.read(bits));
+    if (code == kStopCode) break;
+    if (code == kClearCode) {
+      reset_dict();
+      bits = kMinBits;
+      previous.clear();
+      continue;
+    }
+    std::string entry;
+    if (code < dict.size() && !(code == kClearCode || code == kStopCode)) {
+      entry = dict[code];
+    } else if (code == dict.size() && !previous.empty()) {
+      entry = previous + previous[0];  // the KwKwK special case
+    } else {
+      throw std::invalid_argument("lzw_decompress: invalid code");
+    }
+    out.insert(out.end(), entry.begin(), entry.end());
+    if (!previous.empty() && dict.size() < kMaxEntries) {
+      dict.push_back(previous + entry[0]);
+    }
+    // The encoder's next_code runs one entry ahead of this dictionary
+    // (it inserts after every emitted code, we insert from the second
+    // code on), so the width bump must anticipate by one.
+    if (dict.size() + 1 > (1u << bits) && bits < kMaxBits) ++bits;
+    previous = std::move(entry);
+  }
+  return out;
+}
+
+}  // namespace eewa::wl

@@ -1,0 +1,18 @@
+// LZW — Lempel–Ziv–Welch dictionary compression (paper benchmark #5).
+// Variable-width codes from 9 up to 16 bits; the dictionary resets via an
+// explicit CLEAR code when full, so arbitrarily long inputs round-trip.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace eewa::wl {
+
+/// Compress a block (self-describing stream).
+std::vector<std::uint8_t> lzw_compress(const std::vector<std::uint8_t>& data);
+
+/// Exact inverse. Throws std::invalid_argument on malformed input.
+std::vector<std::uint8_t> lzw_decompress(
+    const std::vector<std::uint8_t>& data);
+
+}  // namespace eewa::wl

@@ -1,0 +1,46 @@
+// MD5 message digest (RFC 1321), paper benchmark #6. Incremental API
+// plus a one-shot helper; validated against the RFC test vectors.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace eewa::wl {
+
+/// Incremental MD5 context.
+class Md5 {
+ public:
+  Md5() { reset(); }
+
+  /// Reinitialize to the empty message.
+  void reset();
+
+  /// Absorb `len` bytes.
+  void update(const std::uint8_t* data, std::size_t len);
+  void update(const std::vector<std::uint8_t>& data) {
+    update(data.data(), data.size());
+  }
+
+  /// Finalize and return the 16-byte digest (context must be reset to
+  /// reuse).
+  std::array<std::uint8_t, 16> digest();
+
+ private:
+  void process_block(const std::uint8_t block[64]);
+
+  std::array<std::uint32_t, 4> state_{};
+  std::uint64_t length_ = 0;  // bytes absorbed
+  std::array<std::uint8_t, 64> buffer_{};
+  std::size_t buffered_ = 0;
+};
+
+/// One-shot digest.
+std::array<std::uint8_t, 16> md5(const std::vector<std::uint8_t>& data);
+
+/// Lower-case hex of a digest.
+std::string md5_hex(const std::vector<std::uint8_t>& data);
+
+}  // namespace eewa::wl

@@ -1,0 +1,131 @@
+#include "workloads/mtf_rle.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace eewa::wl {
+
+namespace {
+
+std::vector<std::uint8_t> identity_alphabet() {
+  std::vector<std::uint8_t> a(256);
+  std::iota(a.begin(), a.end(), 0);
+  return a;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> mtf_encode(const std::vector<std::uint8_t>& data) {
+  auto alphabet = identity_alphabet();
+  std::vector<std::uint8_t> out;
+  out.reserve(data.size());
+  for (std::uint8_t b : data) {
+    std::size_t idx = 0;
+    while (alphabet[idx] != b) ++idx;
+    out.push_back(static_cast<std::uint8_t>(idx));
+    for (std::size_t i = idx; i > 0; --i) alphabet[i] = alphabet[i - 1];
+    alphabet[0] = b;
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> mtf_decode(const std::vector<std::uint8_t>& data) {
+  auto alphabet = identity_alphabet();
+  std::vector<std::uint8_t> out;
+  out.reserve(data.size());
+  for (std::uint8_t idx : data) {
+    const std::uint8_t b = alphabet[idx];
+    out.push_back(b);
+    for (std::size_t i = idx; i > 0; --i) alphabet[i] = alphabet[i - 1];
+    alphabet[0] = b;
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> rle_literal_encode(
+    const std::vector<std::uint8_t>& data) {
+  std::vector<std::uint8_t> out;
+  out.reserve(data.size());
+  std::size_t i = 0;
+  while (i < data.size()) {
+    const std::uint8_t b = data[i];
+    std::size_t run = 1;
+    while (i + run < data.size() && data[i + run] == b && run < 259) ++run;
+    if (run >= 4) {
+      out.insert(out.end(), 4, b);
+      out.push_back(static_cast<std::uint8_t>(run - 4));
+    } else {
+      out.insert(out.end(), run, b);
+    }
+    i += run;
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> rle_literal_decode(
+    const std::vector<std::uint8_t>& data) {
+  std::vector<std::uint8_t> out;
+  out.reserve(data.size());
+  std::size_t i = 0;
+  while (i < data.size()) {
+    const std::uint8_t b = data[i];
+    std::size_t run = 1;
+    while (run < 4 && i + run < data.size() && data[i + run] == b) ++run;
+    if (run == 4) {
+      if (i + 4 >= data.size()) {
+        throw std::invalid_argument("rle_literal_decode: truncated run");
+      }
+      const std::size_t extra = data[i + 4];
+      out.insert(out.end(), 4 + extra, b);
+      i += 5;
+    } else {
+      out.insert(out.end(), run, b);
+      i += run;
+    }
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> rle_zeros_encode(
+    const std::vector<std::uint8_t>& data) {
+  std::vector<std::uint8_t> out;
+  out.reserve(data.size());
+  std::size_t i = 0;
+  while (i < data.size()) {
+    if (data[i] == 0) {
+      std::size_t run = 1;
+      while (i + run < data.size() && data[i + run] == 0 && run < 256) {
+        ++run;
+      }
+      out.push_back(0);
+      out.push_back(static_cast<std::uint8_t>(run - 1));
+      i += run;
+    } else {
+      out.push_back(data[i]);
+      ++i;
+    }
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> rle_zeros_decode(
+    const std::vector<std::uint8_t>& data) {
+  std::vector<std::uint8_t> out;
+  out.reserve(data.size());
+  std::size_t i = 0;
+  while (i < data.size()) {
+    if (data[i] == 0) {
+      if (i + 1 >= data.size()) {
+        throw std::invalid_argument("rle_zeros_decode: truncated run");
+      }
+      out.insert(out.end(), static_cast<std::size_t>(data[i + 1]) + 1, 0);
+      i += 2;
+    } else {
+      out.push_back(data[i]);
+      ++i;
+    }
+  }
+  return out;
+}
+
+}  // namespace eewa::wl

@@ -1,0 +1,36 @@
+// Move-to-front recoding and two run-length schemes:
+//  - rle_literal: bzip2's RLE1 — a run of 4+ identical bytes becomes the
+//    4 bytes plus one extra-count byte (runs longer than 259 split).
+//  - rle_zeros:   zero-run coding for post-MTF streams, where 0 dominates:
+//    a run of k zeros becomes {0x00, k-1} with k capped at 256.
+// All transforms are exactly invertible.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace eewa::wl {
+
+/// Move-to-front encode (byte alphabet).
+std::vector<std::uint8_t> mtf_encode(const std::vector<std::uint8_t>& data);
+
+/// Move-to-front decode.
+std::vector<std::uint8_t> mtf_decode(const std::vector<std::uint8_t>& data);
+
+/// bzip2-style RLE1 encode.
+std::vector<std::uint8_t> rle_literal_encode(
+    const std::vector<std::uint8_t>& data);
+
+/// bzip2-style RLE1 decode. Throws std::invalid_argument on truncation.
+std::vector<std::uint8_t> rle_literal_decode(
+    const std::vector<std::uint8_t>& data);
+
+/// Zero-run encode (for MTF output).
+std::vector<std::uint8_t> rle_zeros_encode(
+    const std::vector<std::uint8_t>& data);
+
+/// Zero-run decode. Throws std::invalid_argument on truncation.
+std::vector<std::uint8_t> rle_zeros_decode(
+    const std::vector<std::uint8_t>& data);
+
+}  // namespace eewa::wl

@@ -1,0 +1,118 @@
+#include "workloads/sha1.hpp"
+
+#include <algorithm>
+
+namespace eewa::wl {
+
+namespace {
+
+std::uint32_t rotl(std::uint32_t x, std::uint32_t n) {
+  return (x << n) | (x >> (32 - n));
+}
+
+}  // namespace
+
+void Sha1::reset() {
+  state_ = {0x67452301u, 0xEFCDAB89u, 0x98BADCFEu, 0x10325476u, 0xC3D2E1F0u};
+  length_ = 0;
+  buffered_ = 0;
+}
+
+void Sha1::process_block(const std::uint8_t block[64]) {
+  std::uint32_t w[80];
+  for (int i = 0; i < 16; ++i) {
+    w[i] = (static_cast<std::uint32_t>(block[i * 4]) << 24) |
+           (static_cast<std::uint32_t>(block[i * 4 + 1]) << 16) |
+           (static_cast<std::uint32_t>(block[i * 4 + 2]) << 8) |
+           static_cast<std::uint32_t>(block[i * 4 + 3]);
+  }
+  for (int i = 16; i < 80; ++i) {
+    w[i] = rotl(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);
+  }
+  std::uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3],
+                e = state_[4];
+  for (int i = 0; i < 80; ++i) {
+    std::uint32_t f, k;
+    if (i < 20) {
+      f = (b & c) | (~b & d);
+      k = 0x5A827999;
+    } else if (i < 40) {
+      f = b ^ c ^ d;
+      k = 0x6ED9EBA1;
+    } else if (i < 60) {
+      f = (b & c) | (b & d) | (c & d);
+      k = 0x8F1BBCDC;
+    } else {
+      f = b ^ c ^ d;
+      k = 0xCA62C1D6;
+    }
+    const std::uint32_t tmp = rotl(a, 5) + f + e + k + w[i];
+    e = d;
+    d = c;
+    c = rotl(b, 30);
+    b = a;
+    a = tmp;
+  }
+  state_[0] += a;
+  state_[1] += b;
+  state_[2] += c;
+  state_[3] += d;
+  state_[4] += e;
+}
+
+void Sha1::update(const std::uint8_t* data, std::size_t len) {
+  length_ += len;
+  while (len > 0) {
+    const std::size_t take = std::min(len, buffer_.size() - buffered_);
+    std::copy(data, data + take,
+              buffer_.begin() + static_cast<long>(buffered_));
+    buffered_ += take;
+    data += take;
+    len -= take;
+    if (buffered_ == buffer_.size()) {
+      process_block(buffer_.data());
+      buffered_ = 0;
+    }
+  }
+}
+
+std::array<std::uint8_t, 20> Sha1::digest() {
+  const std::uint64_t bit_len = length_ * 8;
+  const std::uint8_t pad = 0x80;
+  update(&pad, 1);
+  const std::uint8_t zero = 0x00;
+  while (buffered_ != 56) update(&zero, 1);
+  std::uint8_t len_be[8];
+  for (int i = 0; i < 8; ++i) {
+    len_be[i] = static_cast<std::uint8_t>(bit_len >> (8 * (7 - i)));
+  }
+  update(len_be, 8);
+  std::array<std::uint8_t, 20> out{};
+  for (int i = 0; i < 5; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      out[static_cast<std::size_t>(i * 4 + j)] = static_cast<std::uint8_t>(
+          state_[static_cast<std::size_t>(i)] >> (8 * (3 - j)));
+    }
+  }
+  return out;
+}
+
+std::array<std::uint8_t, 20> sha1(const std::vector<std::uint8_t>& data) {
+  Sha1 ctx;
+  ctx.update(data);
+  return ctx.digest();
+}
+
+std::string sha1_hex(const std::vector<std::uint8_t>& data) {
+  static constexpr char hex[] = "0123456789abcdef";
+  const auto d = sha1(data);
+  std::string out;
+  out.reserve(40);
+  for (std::uint8_t b : d) {
+    out.push_back(hex[b >> 4]);
+    out.push_back(hex[b & 15]);
+  }
+  return out;
+}
+
+}  // namespace eewa::wl

@@ -1,0 +1,42 @@
+// SHA-1 (FIPS 180-1), paper benchmark #7. Incremental API plus one-shot
+// helpers; validated against the FIPS test vectors.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace eewa::wl {
+
+/// Incremental SHA-1 context.
+class Sha1 {
+ public:
+  Sha1() { reset(); }
+
+  void reset();
+  void update(const std::uint8_t* data, std::size_t len);
+  void update(const std::vector<std::uint8_t>& data) {
+    update(data.data(), data.size());
+  }
+
+  /// Finalize and return the 20-byte digest.
+  std::array<std::uint8_t, 20> digest();
+
+ private:
+  void process_block(const std::uint8_t block[64]);
+
+  std::array<std::uint32_t, 5> state_{};
+  std::uint64_t length_ = 0;
+  std::array<std::uint8_t, 64> buffer_{};
+  std::size_t buffered_ = 0;
+};
+
+/// One-shot digest.
+std::array<std::uint8_t, 20> sha1(const std::vector<std::uint8_t>& data);
+
+/// Lower-case hex of a digest.
+std::string sha1_hex(const std::vector<std::uint8_t>& data);
+
+}  // namespace eewa::wl

@@ -1,0 +1,102 @@
+// The benchmark suite (paper Table II): seven CPU-bound, batch-structured
+// applications built from the kernels in this library. Each benchmark is
+// a set of task classes (function names) with per-class task counts and
+// block-size distributions; ~128 tasks launch per batch as the paper's
+// programs do.
+//
+// Two consumption modes:
+//  * make_batch()  — real closures for the thread runtime / examples.
+//  * build_trace() — a simulator TaskTrace whose per-task work is
+//    `bytes × ns_per_byte(kernel)` with per-byte costs measured on this
+//    host by calibrate(); class cost *ratios* (the thing the scheduler
+//    reacts to) therefore come from real kernel executions.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "trace/task_trace.hpp"
+
+namespace eewa::wl {
+
+/// Which kernel a task class runs.
+enum class KernelKind {
+  kBwcBwtStage,      // BWT forward transform of a text block
+  kBwcEntropyStage,  // MTF + zero-run RLE of a text block
+  kBzCompress,       // full bzip2-style pipeline
+  kDmcCompress,      // dynamic Markov coding
+  kJeEncode,         // JPEG-encode an image tile, quality 75
+  kJeThumbnail,      // JPEG-encode a small tile, quality 35
+  kLzwCompress,      // LZW
+  kMd5Hash,          // MD5 digest
+  kSha1Hash,         // SHA-1 digest
+};
+
+/// One task class of a benchmark.
+struct ClassDef {
+  std::string class_name;
+  KernelKind kernel;
+  std::size_t tasks_per_batch;
+  double mean_bytes;  ///< mean input size per task
+  double cv;          ///< lognormal coefficient of variation of sizes
+};
+
+/// One benchmark (one row of Table II).
+struct BenchmarkDef {
+  std::string name;
+  std::string description;
+  std::vector<ClassDef> classes;
+};
+
+/// All seven benchmarks, in the paper's order.
+const std::vector<BenchmarkDef>& suite();
+
+/// Lookup by name ("BWC", "Bzip-2", "DMC", "JE", "LZW", "MD5", "SHA-1").
+/// Throws std::invalid_argument when unknown.
+const BenchmarkDef& find_benchmark(std::string_view name);
+
+/// Execute the kernel on `bytes` of deterministic seeded input; returns
+/// a checksum-ish value so the work cannot be optimized away.
+std::uint64_t run_kernel(KernelKind kernel, std::size_t bytes,
+                         std::uint64_t seed);
+
+/// Host calibration: measured per-byte cost of each kernel.
+struct Calibration {
+  std::map<KernelKind, double> ns_per_byte;
+
+  double cost_s(KernelKind k, double bytes) const {
+    return ns_per_byte.at(k) * bytes * 1e-9;
+  }
+};
+
+/// Measure every kernel on `sample_bytes` of data, `reps` repetitions
+/// (minimum taken). Deterministic inputs; timing is host-dependent.
+Calibration calibrate(std::size_t sample_bytes = 16384, int reps = 3);
+
+/// A built-in calibration (measured on the reference dev machine) so the
+/// simulator experiments are reproducible without timing noise.
+Calibration reference_calibration();
+
+/// Build a simulator trace: `batches` batches of the benchmark's task
+/// mix with seeded size sampling and slight per-batch drift.
+trace::TaskTrace build_trace(const BenchmarkDef& bench,
+                             const Calibration& cal, std::size_t batches,
+                             std::uint64_t seed);
+
+/// One real, runnable task.
+struct SuiteTask {
+  std::string class_name;
+  std::size_t bytes;
+  std::function<std::uint64_t()> run;
+};
+
+/// Materialize one batch of real tasks (closures over seeded data).
+std::vector<SuiteTask> make_batch(const BenchmarkDef& bench,
+                                  std::size_t batch_index,
+                                  std::uint64_t seed);
+
+}  // namespace eewa::wl

@@ -1,0 +1,108 @@
+// Tests for the CC table (paper Table I): the CC[j][i] formula, the
+// Fig. 3 worked example, ordering requirements, and the ceiling rule.
+#include <gtest/gtest.h>
+
+#include "core/cc_table.hpp"
+
+namespace eewa::core {
+namespace {
+
+const dvfs::FrequencyLadder kLadder = dvfs::FrequencyLadder::opteron8380();
+
+std::vector<ClassProfile> two_classes() {
+  // heavy: 8 tasks × 2 s; light: 16 tasks × 0.5 s.
+  return {{0, "heavy", 8, 2.0}, {1, "light", 16, 0.5}};
+}
+
+TEST(CCTable, TopRowIsWorkOverT) {
+  const auto cc = CCTable::build(two_classes(), kLadder, 4.0);
+  EXPECT_EQ(cc.rows(), 4u);
+  EXPECT_EQ(cc.cols(), 2u);
+  EXPECT_NEAR(cc.at(0, 0), 8 * 2.0 / 4.0, 1e-12);   // 4 cores
+  EXPECT_NEAR(cc.at(0, 1), 16 * 0.5 / 4.0, 1e-12);  // 2 cores
+}
+
+TEST(CCTable, LowerRowsScaleBySlowdown) {
+  const auto cc = CCTable::build(two_classes(), kLadder, 4.0);
+  for (std::size_t j = 0; j < 4; ++j) {
+    for (std::size_t i = 0; i < 2; ++i) {
+      EXPECT_NEAR(cc.at(j, i), kLadder.slowdown(j) * cc.at(0, i), 1e-12);
+    }
+  }
+  // Slowest row needs the most cores.
+  EXPECT_GT(cc.at(3, 0), cc.at(0, 0));
+}
+
+TEST(CCTable, Figure3Example) {
+  // The paper's Fig. 3: 4 task classes, 4 frequencies, 16 cores. We
+  // reproduce the matrix exactly as printed.
+  const auto cc = CCTable::from_matrix({{2, 3, 1, 1},
+                                        {4, 6, 2, 2},
+                                        {6, 9, 3, 3},
+                                        {8, 12, 4, 4}});
+  EXPECT_EQ(cc.rows(), 4u);
+  EXPECT_EQ(cc.cols(), 4u);
+  EXPECT_DOUBLE_EQ(cc.at(1, 1), 6.0);
+  EXPECT_DOUBLE_EQ(cc.at(3, 0), 8.0);
+  EXPECT_EQ(cc.ceil_at(2, 2), 3u);
+}
+
+TEST(CCTable, CeilRoundsUpAndKeepsMinimumOne) {
+  const auto cc = CCTable::from_matrix({{0.2, 2.0, 3.01}});
+  EXPECT_EQ(cc.ceil_at(0, 0), 1u);  // fractional demand still needs a core
+  EXPECT_EQ(cc.ceil_at(0, 1), 2u);  // exact integers stay
+  EXPECT_EQ(cc.ceil_at(0, 2), 4u);
+}
+
+TEST(CCTable, CeilOfZeroIsZero) {
+  const auto cc = CCTable::from_matrix({{0.0}});
+  EXPECT_EQ(cc.ceil_at(0, 0), 0u);
+}
+
+TEST(CCTable, RequiresDescendingClassOrder) {
+  std::vector<ClassProfile> wrong = {{0, "light", 16, 0.5},
+                                     {1, "heavy", 8, 2.0}};
+  EXPECT_THROW(CCTable::build(wrong, kLadder, 4.0), std::invalid_argument);
+}
+
+TEST(CCTable, ValidatesInputs) {
+  EXPECT_THROW(CCTable::build({}, kLadder, 4.0), std::invalid_argument);
+  EXPECT_THROW(CCTable::build(two_classes(), kLadder, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(CCTable::from_matrix({}), std::invalid_argument);
+  EXPECT_THROW(CCTable::from_matrix({{1.0, 2.0}, {3.0}}),
+               std::invalid_argument);
+  const auto cc = CCTable::build(two_classes(), kLadder, 4.0);
+  EXPECT_THROW(cc.at(9, 0), std::out_of_range);
+  EXPECT_THROW(cc.at(0, 9), std::out_of_range);
+}
+
+TEST(CCTable, KeepsClassMetadata) {
+  const auto cc = CCTable::build(two_classes(), kLadder, 4.0);
+  ASSERT_EQ(cc.classes().size(), 2u);
+  EXPECT_EQ(cc.classes()[0].name, "heavy");
+  EXPECT_DOUBLE_EQ(cc.ideal_time_s(), 4.0);
+}
+
+TEST(CCTable, ToStringRendersAllCells) {
+  const auto cc = CCTable::build(two_classes(), kLadder, 4.0);
+  const std::string s = cc.to_string();
+  EXPECT_NE(s.find("heavy"), std::string::npos);
+  EXPECT_NE(s.find("F0"), std::string::npos);
+  EXPECT_NE(s.find("F3"), std::string::npos);
+}
+
+// The real pipeline: profiles from a registry produce a valid table.
+TEST(CCTable, BuildsFromRegistryProfile) {
+  TaskClassRegistry reg;
+  const auto a = reg.intern("a");
+  const auto b = reg.intern("b");
+  for (int i = 0; i < 10; ++i) reg.record(a, 1.0);
+  for (int i = 0; i < 10; ++i) reg.record(b, 0.25);
+  const auto cc = CCTable::build(reg.iteration_profile(), kLadder, 2.0);
+  EXPECT_NEAR(cc.at(0, 0), 5.0, 1e-12);   // class a: 10·1/2
+  EXPECT_NEAR(cc.at(0, 1), 1.25, 1e-12);  // class b: 10·0.25/2
+}
+
+}  // namespace
+}  // namespace eewa::core

@@ -1,0 +1,277 @@
+// Tests for the codec building blocks: BWT, MTF, the two RLE schemes and
+// canonical Huffman — exact round trips over structured, adversarial and
+// randomized inputs (parameterized sweeps), plus known-answer checks.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <numeric>
+
+#include "util/rng.hpp"
+#include "workloads/bwt.hpp"
+#include "workloads/data_gen.hpp"
+#include "workloads/huffman.hpp"
+#include "workloads/mtf_rle.hpp"
+
+namespace eewa::wl {
+namespace {
+
+using Bytes = std::vector<std::uint8_t>;
+
+Bytes from_string(const std::string& s) {
+  return Bytes(s.begin(), s.end());
+}
+
+// ---------------------------------------------------------------- BWT ----
+
+TEST(Bwt, KnownExampleBanana) {
+  // Sorted rotations of "banana": abanan, anaban, ananab, banana,
+  // nabana, nanaba -> last column "nnbaaa", original at row 3.
+  const auto res = bwt_forward(from_string("banana"));
+  EXPECT_EQ(std::string(res.last_column.begin(), res.last_column.end()),
+            "nnbaaa");
+  EXPECT_EQ(res.primary_index, 3u);
+  EXPECT_EQ(bwt_inverse(res.last_column, res.primary_index),
+            from_string("banana"));
+}
+
+TEST(Bwt, EmptyAndSingleByte) {
+  const auto empty = bwt_forward({});
+  EXPECT_TRUE(empty.last_column.empty());
+  EXPECT_EQ(bwt_inverse({}, 0), Bytes{});
+  const auto one = bwt_forward({42});
+  EXPECT_EQ(one.last_column, Bytes{42});
+  EXPECT_EQ(bwt_inverse(one.last_column, one.primary_index), Bytes{42});
+}
+
+TEST(Bwt, AllEqualBytes) {
+  const Bytes data(257, 7);
+  const auto res = bwt_forward(data);
+  EXPECT_EQ(bwt_inverse(res.last_column, res.primary_index), data);
+}
+
+TEST(Bwt, PeriodicData) {
+  Bytes data;
+  for (int i = 0; i < 300; ++i) data.push_back(static_cast<std::uint8_t>(i % 3));
+  const auto res = bwt_forward(data);
+  EXPECT_EQ(bwt_inverse(res.last_column, res.primary_index), data);
+}
+
+TEST(Bwt, InverseRejectsBadPrimary) {
+  EXPECT_THROW(bwt_inverse({1, 2, 3}, 5), std::invalid_argument);
+  EXPECT_THROW(bwt_inverse({}, 1), std::invalid_argument);
+}
+
+TEST(Bwt, SortRotationsIsPermutation) {
+  const auto data = markov_text(500, 9);
+  const auto sa = sort_rotations(data);
+  std::vector<std::uint32_t> sorted = sa;
+  std::sort(sorted.begin(), sorted.end());
+  for (std::uint32_t i = 0; i < sorted.size(); ++i) EXPECT_EQ(sorted[i], i);
+}
+
+TEST(Bwt, GroupsSimilarContext) {
+  // BWT of English-like text should have longer same-byte runs than the
+  // input (that is why MTF+RLE compress it).
+  const auto data = markov_text(4000, 5);
+  const auto res = bwt_forward(data);
+  auto runs = [](const Bytes& b) {
+    std::size_t r = 1;
+    for (std::size_t i = 1; i < b.size(); ++i) r += b[i] != b[i - 1];
+    return r;
+  };
+  EXPECT_LT(runs(res.last_column), runs(data));
+}
+
+// ---------------------------------------------------------------- MTF ----
+
+TEST(Mtf, KnownSmallExample) {
+  // "aab": 'a'=97 -> 97; 'a' now front -> 0; 'b'=98 shifted to 98.
+  const auto enc = mtf_encode(from_string("aab"));
+  EXPECT_EQ(enc, (Bytes{97, 0, 98}));
+  EXPECT_EQ(mtf_decode(enc), from_string("aab"));
+}
+
+TEST(Mtf, RepeatedSymbolsBecomeZeros) {
+  const auto enc = mtf_encode(from_string("aaaaaa"));
+  for (std::size_t i = 1; i < enc.size(); ++i) EXPECT_EQ(enc[i], 0);
+}
+
+TEST(Mtf, EmptyInput) {
+  EXPECT_TRUE(mtf_encode({}).empty());
+  EXPECT_TRUE(mtf_decode({}).empty());
+}
+
+// ---------------------------------------------------------------- RLE ----
+
+TEST(RleLiteral, ShortRunsPassThrough) {
+  const auto data = from_string("abcabc");
+  EXPECT_EQ(rle_literal_encode(data), data);
+  EXPECT_EQ(rle_literal_decode(data), data);
+}
+
+TEST(RleLiteral, LongRunsCompressed) {
+  const Bytes data(100, 'x');
+  const auto enc = rle_literal_encode(data);
+  EXPECT_LT(enc.size(), data.size());
+  EXPECT_EQ(rle_literal_decode(enc), data);
+}
+
+TEST(RleLiteral, RunOfExactlyFour) {
+  const Bytes data(4, 'y');
+  const auto enc = rle_literal_encode(data);
+  ASSERT_EQ(enc.size(), 5u);
+  EXPECT_EQ(enc[4], 0);  // 4 bytes + count 0
+  EXPECT_EQ(rle_literal_decode(enc), data);
+}
+
+TEST(RleLiteral, VeryLongRunSplits) {
+  const Bytes data(1000, 'z');
+  EXPECT_EQ(rle_literal_decode(rle_literal_encode(data)), data);
+}
+
+TEST(RleLiteral, TruncatedRunThrows) {
+  const Bytes bad(4, 'q');  // 4 equal bytes but missing the count byte
+  EXPECT_THROW(rle_literal_decode(bad), std::invalid_argument);
+}
+
+TEST(RleZeros, CompressesZeroRuns) {
+  Bytes data(50, 0);
+  data.push_back(7);
+  const auto enc = rle_zeros_encode(data);
+  EXPECT_LT(enc.size(), data.size());
+  EXPECT_EQ(rle_zeros_decode(enc), data);
+}
+
+TEST(RleZeros, NonZeroBytesUntouched) {
+  const auto data = from_string("hello");
+  EXPECT_EQ(rle_zeros_encode(data), data);
+}
+
+TEST(RleZeros, TruncatedThrows) {
+  EXPECT_THROW(rle_zeros_decode({0}), std::invalid_argument);
+}
+
+// ------------------------------------------------------------- Huffman ----
+
+TEST(Huffman, RoundTripsText) {
+  const auto data = markov_text(5000, 3);
+  const auto enc = huffman_encode(data);
+  EXPECT_EQ(huffman_decode(enc), data);
+  EXPECT_LT(enc.size(), data.size());  // text is compressible
+}
+
+TEST(Huffman, EmptyInput) {
+  const auto enc = huffman_encode({});
+  EXPECT_EQ(huffman_decode(enc), Bytes{});
+}
+
+TEST(Huffman, SingleSymbolAlphabet) {
+  const Bytes data(100, 'a');
+  const auto enc = huffman_encode(data);
+  EXPECT_EQ(huffman_decode(enc), data);
+  EXPECT_LT(enc.size(), 200u);
+}
+
+TEST(Huffman, CodeLengthsSatisfyKraft) {
+  std::array<std::uint64_t, 256> freq{};
+  util::Xoshiro256 rng(17);
+  for (auto& f : freq) f = rng.bounded(1000);
+  const auto len = huffman_code_lengths(freq);
+  double kraft = 0.0;
+  for (int s = 0; s < 256; ++s) {
+    const auto l = len[static_cast<std::size_t>(s)];
+    if (freq[static_cast<std::size_t>(s)] > 0) {
+      EXPECT_GT(l, 0u);
+      EXPECT_LE(l, kHuffMaxCodeLen);
+      kraft += std::pow(2.0, -static_cast<double>(l));
+    } else {
+      EXPECT_EQ(l, 0u);
+    }
+  }
+  EXPECT_LE(kraft, 1.0 + 1e-9);
+}
+
+TEST(Huffman, LengthLimitHoldsUnderExtremeSkew) {
+  // Fibonacci-like frequencies would produce degenerate depths without
+  // the damping loop.
+  std::array<std::uint64_t, 256> freq{};
+  std::uint64_t a = 1, b = 1;
+  for (int s = 0; s < 40; ++s) {
+    freq[static_cast<std::size_t>(s)] = a;
+    const std::uint64_t next = a + b;
+    a = b;
+    b = next;
+  }
+  const auto len = huffman_code_lengths(freq);
+  for (auto l : len) EXPECT_LE(l, kHuffMaxCodeLen);
+}
+
+TEST(Huffman, DecodeRejectsGarbage) {
+  Bytes garbage(100, 0xFF);
+  EXPECT_THROW(huffman_decode(garbage), std::invalid_argument);
+}
+
+// ------------------------------------------- randomized round-trip sweep --
+
+struct CodecCase {
+  const char* generator;
+  std::size_t size;
+  std::uint64_t seed;
+};
+
+class CodecRoundTrip : public ::testing::TestWithParam<CodecCase> {
+ protected:
+  Bytes input() const {
+    const auto& p = GetParam();
+    const std::string g = p.generator;
+    if (g == "text") return markov_text(p.size, p.seed);
+    if (g == "skewed") return skewed_bytes(p.size, p.seed);
+    if (g == "random") return random_bytes(p.size, p.seed);
+    if (g == "zeros") return Bytes(p.size, 0);
+    return {};
+  }
+};
+
+TEST_P(CodecRoundTrip, Bwt) {
+  const auto data = input();
+  const auto res = bwt_forward(data);
+  EXPECT_EQ(bwt_inverse(res.last_column, res.primary_index), data);
+}
+
+TEST_P(CodecRoundTrip, Mtf) {
+  const auto data = input();
+  EXPECT_EQ(mtf_decode(mtf_encode(data)), data);
+}
+
+TEST_P(CodecRoundTrip, RleLiteral) {
+  const auto data = input();
+  EXPECT_EQ(rle_literal_decode(rle_literal_encode(data)), data);
+}
+
+TEST_P(CodecRoundTrip, RleZeros) {
+  const auto data = input();
+  EXPECT_EQ(rle_zeros_decode(rle_zeros_encode(data)), data);
+}
+
+TEST_P(CodecRoundTrip, Huffman) {
+  const auto data = input();
+  EXPECT_EQ(huffman_decode(huffman_encode(data)), data);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CodecRoundTrip,
+    ::testing::Values(CodecCase{"text", 100, 1}, CodecCase{"text", 4096, 2},
+                      CodecCase{"skewed", 333, 3},
+                      CodecCase{"skewed", 2048, 4},
+                      CodecCase{"random", 1000, 5},
+                      CodecCase{"zeros", 512, 6}, CodecCase{"text", 1, 7},
+                      CodecCase{"random", 2, 8}),
+    [](const auto& info) {
+      return std::string(info.param.generator) + "_" +
+             std::to_string(info.param.size);
+    });
+
+}  // namespace
+}  // namespace eewa::wl

@@ -1,0 +1,241 @@
+// Tests for the adjuster pipeline, the CPU/memory-bound classifier, the
+// WATS allocation helper, and the EewaController batch state machine
+// (paper Fig. 2): measurement batch at F0, replanning, DVFS application,
+// overhead accounting, and the §IV-D memory-bound fallback.
+#include <gtest/gtest.h>
+
+#include "core/adjuster.hpp"
+#include "core/classifier.hpp"
+#include "core/eewa_controller.hpp"
+#include "core/wats_allocation.hpp"
+#include "dvfs/trace_backend.hpp"
+
+namespace eewa::core {
+namespace {
+
+const dvfs::FrequencyLadder kLadder = dvfs::FrequencyLadder::opteron8380();
+
+TEST(Adjuster, FullPipelineProducesPlannedLayout) {
+  Adjuster adj(kLadder, 16);
+  // Low overall load: 16 tasks × 0.5 s of F0 work against T = 2 s needs
+  // only 4 F0-cores, so the adjuster can downclock.
+  std::vector<ClassProfile> classes = {{0, "f", 16, 0.5}};
+  const auto out = adj.adjust(classes, 1, 2.0);
+  EXPECT_TRUE(out.attempted);
+  ASSERT_TRUE(out.search.found);
+  ASSERT_TRUE(out.plan.planned);
+  // Some cores must be below F0 (that is the whole point).
+  const auto per_rung = out.plan.layout.cores_per_rung(kLadder.size());
+  EXPECT_LT(per_rung[0], 16u);
+}
+
+TEST(Adjuster, EmptyProfileFallsBackToUniform) {
+  Adjuster adj(kLadder, 8);
+  const auto out = adj.adjust({}, 0, 1.0);
+  EXPECT_FALSE(out.attempted);
+  EXPECT_FALSE(out.plan.planned);
+  EXPECT_EQ(out.plan.layout.group_count(), 1u);
+}
+
+TEST(Adjuster, RejectsZeroCores) {
+  EXPECT_THROW(Adjuster(kLadder, 0), std::invalid_argument);
+}
+
+TEST(Adjuster, ExhaustiveOptionUsesModel) {
+  const auto model = energy::PowerModel::opteron8380_server();
+  AdjusterOptions opt;
+  opt.search = SearchKind::kExhaustive;
+  opt.model = &model;
+  Adjuster adj(kLadder, 16, opt);
+  std::vector<ClassProfile> classes = {{0, "a", 8, 1.0}, {1, "b", 8, 0.25}};
+  const auto out = adj.adjust(classes, 2, 2.0);
+  ASSERT_TRUE(out.search.found);
+  EXPECT_TRUE(tuple_is_valid(out.cc, out.search.tuple, 16));
+}
+
+TEST(Classifier, ThresholdsWork) {
+  BoundednessClassifier c(0.01, 0.5);
+  c.record(5, 1000);    // cmi 0.005 -> cpu-bound
+  c.record(50, 1000);   // cmi 0.05  -> memory-bound
+  c.record(0, 0);       // no instructions -> cpu-bound
+  EXPECT_EQ(c.task_count(), 3u);
+  EXPECT_EQ(c.memory_bound_count(), 1u);
+  EXPECT_NEAR(c.memory_bound_fraction(), 1.0 / 3.0, 1e-12);
+  EXPECT_FALSE(c.application_memory_bound());
+  c.record_cmi(0.2);
+  c.record_cmi(0.2);
+  EXPECT_TRUE(c.application_memory_bound());
+  c.reset();
+  EXPECT_EQ(c.task_count(), 0u);
+  EXPECT_FALSE(c.application_memory_bound());
+}
+
+TEST(WatsAllocation, HeavyClassesGoToFastGroups) {
+  std::vector<ClassProfile> profile = {{0, "heavy", 10, 4.0},
+                                       {1, "mid", 10, 1.0},
+                                       {2, "light", 10, 0.2}};
+  // Two groups with equal capacity: the heavy class alone exceeds the
+  // fast group's half share, so mid and light fall to the slow group.
+  const auto map = allocate_classes_proportional(profile, {1.0, 1.0}, 3);
+  EXPECT_EQ(map[0], 0u);
+  EXPECT_EQ(map[1], 1u);
+  EXPECT_EQ(map[2], 1u);
+}
+
+TEST(WatsAllocation, SingleGroupTakesEverything) {
+  std::vector<ClassProfile> profile = {{0, "a", 1, 1.0}, {1, "b", 1, 0.5}};
+  const auto map = allocate_classes_proportional(profile, {2.0}, 2);
+  EXPECT_EQ(map[0], 0u);
+  EXPECT_EQ(map[1], 0u);
+}
+
+TEST(WatsAllocation, EmptyProfileMapsToFastest) {
+  const auto map = allocate_classes_proportional({}, {1.0, 1.0}, 3);
+  for (auto g : map) EXPECT_EQ(g, 0u);
+}
+
+TEST(WatsAllocation, RejectsNoGroups) {
+  EXPECT_THROW(allocate_classes_proportional({}, {}, 0),
+               std::invalid_argument);
+}
+
+// ------------------------------------------------------ EewaController --
+
+TEST(EewaController, FirstBatchIsMeasurementAtF0) {
+  EewaController ctrl(kLadder, 16);
+  EXPECT_FALSE(ctrl.plan().planned);
+  EXPECT_EQ(ctrl.plan().layout.group(0).freq_index, 0u);
+  EXPECT_DOUBLE_EQ(ctrl.ideal_time_s(), 0.0);
+}
+
+TEST(EewaController, RecordsIdealTimeAndReplans) {
+  EewaController ctrl(kLadder, 16);
+  const auto f = ctrl.class_id("f");
+  ctrl.begin_batch();
+  // 16 tasks, 0.5 s each at F0, against a 2 s makespan: underutilized.
+  for (int i = 0; i < 16; ++i) ctrl.record_task(f, 0.5, 0);
+  const auto& plan = ctrl.end_batch(2.0);
+  EXPECT_DOUBLE_EQ(ctrl.ideal_time_s(), 2.0);
+  EXPECT_EQ(ctrl.batches_completed(), 1u);
+  ASSERT_TRUE(plan.planned);
+  const auto per_rung = plan.layout.cores_per_rung(kLadder.size());
+  EXPECT_LT(per_rung[0], 16u);  // downclocked something
+  EXPECT_GT(ctrl.adjust_overhead_us(), 0.0);
+}
+
+TEST(EewaController, NormalizesBySlowCoreRung) {
+  EewaController ctrl(kLadder, 4);
+  const auto f = ctrl.class_id("f");
+  ctrl.begin_batch();
+  // Task ran 2.5 s on the 0.8 GHz rung: normalized w = 0.8 s.
+  ctrl.record_task(f, 2.5, 3);
+  ctrl.end_batch(2.5);
+  EXPECT_NEAR(ctrl.registry().mean_workload(f), 2.5 * 0.8 / 2.5, 1e-12);
+}
+
+TEST(EewaController, IdealTimeFixedAfterFirstBatch) {
+  EewaController ctrl(kLadder, 8);
+  const auto f = ctrl.class_id("f");
+  for (int batch = 0; batch < 3; ++batch) {
+    ctrl.begin_batch();
+    for (int i = 0; i < 8; ++i) ctrl.record_task(f, 0.1, 0);
+    ctrl.end_batch(batch == 0 ? 1.0 : 5.0);
+  }
+  EXPECT_DOUBLE_EQ(ctrl.ideal_time_s(), 1.0);
+  EXPECT_EQ(ctrl.batches_completed(), 3u);
+}
+
+TEST(EewaController, AppliesPlanToBackend) {
+  EewaController ctrl(kLadder, 16);
+  const auto f = ctrl.class_id("f");
+  ctrl.begin_batch();
+  for (int i = 0; i < 16; ++i) ctrl.record_task(f, 0.25, 0);
+  ctrl.end_batch(2.0);
+  dvfs::TraceBackend backend(kLadder, 16);
+  EXPECT_EQ(ctrl.apply(backend), 16u);
+  // Backend rungs now match the plan layout.
+  for (const auto& g : ctrl.plan().layout.groups()) {
+    for (std::size_t c : g.cores) {
+      EXPECT_EQ(backend.frequency_index(c), g.freq_index);
+    }
+  }
+}
+
+TEST(EewaController, GroupOfClassRoutesUnknownToFastest) {
+  EewaController ctrl(kLadder, 16);
+  const auto f = ctrl.class_id("f");
+  ctrl.begin_batch();
+  for (int i = 0; i < 16; ++i) ctrl.record_task(f, 0.25, 0);
+  ctrl.end_batch(2.0);
+  const auto g = ctrl.class_id("new_class");  // interned after planning
+  EXPECT_EQ(ctrl.group_of_class(g), 0u);
+}
+
+TEST(EewaController, MemoryBoundGateDisablesPlanning) {
+  ControllerOptions opt;
+  opt.memory_gate_enabled = true;
+  opt.task_cmi_threshold = 0.01;
+  opt.app_memory_fraction = 0.5;
+  EewaController ctrl(kLadder, 16, opt);
+  const auto f = ctrl.class_id("f");
+  ctrl.begin_batch();
+  for (int i = 0; i < 16; ++i) ctrl.record_task(f, 0.25, 0, /*cmi=*/0.1);
+  ctrl.end_batch(2.0);
+  EXPECT_TRUE(ctrl.memory_bound_mode());
+  EXPECT_FALSE(ctrl.plan().planned);
+  // Later batches stay at uniform F0 no matter what.
+  ctrl.begin_batch();
+  for (int i = 0; i < 16; ++i) ctrl.record_task(f, 0.25, 0, 0.0);
+  ctrl.end_batch(2.0);
+  EXPECT_FALSE(ctrl.plan().planned);
+}
+
+TEST(EewaController, CpuBoundAppsPassTheGate) {
+  EewaController ctrl(kLadder, 16);
+  const auto f = ctrl.class_id("f");
+  ctrl.begin_batch();
+  for (int i = 0; i < 16; ++i) ctrl.record_task(f, 0.25, 0, /*cmi=*/0.001);
+  ctrl.end_batch(2.0);
+  EXPECT_FALSE(ctrl.memory_bound_mode());
+  EXPECT_TRUE(ctrl.plan().planned);
+}
+
+TEST(EewaController, GateCanBeDisabled) {
+  ControllerOptions opt;
+  opt.memory_gate_enabled = false;
+  EewaController ctrl(kLadder, 16, opt);
+  const auto f = ctrl.class_id("f");
+  ctrl.begin_batch();
+  for (int i = 0; i < 16; ++i) ctrl.record_task(f, 0.25, 0, /*cmi=*/0.5);
+  ctrl.end_batch(2.0);
+  EXPECT_FALSE(ctrl.memory_bound_mode());
+  EXPECT_TRUE(ctrl.plan().planned);
+}
+
+TEST(EewaController, PreferencesMatchPlanGroups) {
+  EewaController ctrl(kLadder, 16);
+  const auto heavy = ctrl.class_id("heavy");
+  const auto light = ctrl.class_id("light");
+  ctrl.begin_batch();
+  for (int i = 0; i < 8; ++i) ctrl.record_task(heavy, 0.5, 0);
+  for (int i = 0; i < 8; ++i) ctrl.record_task(light, 0.05, 0);
+  ctrl.end_batch(2.0);
+  EXPECT_EQ(ctrl.preferences().group_count(),
+            ctrl.plan().layout.group_count());
+}
+
+TEST(EewaController, HeavierClassNeverOnSlowerGroupThanLighter) {
+  EewaController ctrl(kLadder, 16);
+  const auto heavy = ctrl.class_id("heavy");
+  const auto light = ctrl.class_id("light");
+  ctrl.begin_batch();
+  for (int i = 0; i < 6; ++i) ctrl.record_task(heavy, 0.9, 0);
+  for (int i = 0; i < 20; ++i) ctrl.record_task(light, 0.1, 0);
+  ctrl.end_batch(2.0);
+  if (ctrl.plan().planned) {
+    EXPECT_LE(ctrl.group_of_class(heavy), ctrl.group_of_class(light));
+  }
+}
+
+}  // namespace
+}  // namespace eewa::core

@@ -1,0 +1,110 @@
+// Known-answer tests for MD5 (RFC 1321 §A.5) and SHA-1 (FIPS 180-1),
+// plus incremental-update equivalence and multi-block coverage.
+#include <gtest/gtest.h>
+
+#include "workloads/md5.hpp"
+#include "workloads/sha1.hpp"
+
+namespace eewa::wl {
+namespace {
+
+std::vector<std::uint8_t> bytes(const std::string& s) {
+  return {s.begin(), s.end()};
+}
+
+TEST(Md5, Rfc1321TestSuite) {
+  EXPECT_EQ(md5_hex(bytes("")), "d41d8cd98f00b204e9800998ecf8427e");
+  EXPECT_EQ(md5_hex(bytes("a")), "0cc175b9c0f1b6a831c399e269772661");
+  EXPECT_EQ(md5_hex(bytes("abc")), "900150983cd24fb0d6963f7d28e17f72");
+  EXPECT_EQ(md5_hex(bytes("message digest")),
+            "f96b697d7cb7938d525a2f31aaf161d0");
+  EXPECT_EQ(md5_hex(bytes("abcdefghijklmnopqrstuvwxyz")),
+            "c3fcd3d76192e4007dfb496cca67e13b");
+  EXPECT_EQ(md5_hex(bytes("ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstu"
+                          "vwxyz0123456789")),
+            "d174ab98d277d9f5a5611c2c9f419d9f");
+  EXPECT_EQ(md5_hex(bytes("1234567890123456789012345678901234567890123456"
+                          "7890123456789012345678901234567890")),
+            "57edf4a22be3c955ac49da2e2107b67a");
+}
+
+TEST(Md5, IncrementalMatchesOneShot) {
+  const auto data = bytes("the quick brown fox jumps over the lazy dog");
+  Md5 ctx;
+  for (std::uint8_t b : data) ctx.update(&b, 1);
+  EXPECT_EQ(ctx.digest(), md5(data));
+}
+
+TEST(Md5, MultiBlockMessage) {
+  std::vector<std::uint8_t> data(1000, 'x');
+  Md5 a;
+  a.update(data.data(), 400);
+  a.update(data.data() + 400, 600);
+  EXPECT_EQ(a.digest(), md5(data));
+}
+
+TEST(Md5, ResetReusesContext) {
+  Md5 ctx;
+  ctx.update(bytes("junk"));
+  (void)ctx.digest();
+  ctx.reset();
+  ctx.update(bytes("abc"));
+  EXPECT_EQ(ctx.digest(), md5(bytes("abc")));
+}
+
+TEST(Md5, ExactBlockBoundaries) {
+  for (std::size_t n : {55u, 56u, 57u, 63u, 64u, 65u, 128u}) {
+    const std::vector<std::uint8_t> data(n, 'b');
+    Md5 split;
+    split.update(data.data(), n / 2);
+    split.update(data.data() + n / 2, n - n / 2);
+    EXPECT_EQ(split.digest(), md5(data)) << "length " << n;
+  }
+}
+
+TEST(Sha1, Fips180TestVectors) {
+  EXPECT_EQ(sha1_hex(bytes("abc")),
+            "a9993e364706816aba3e25717850c26c9cd0d89d");
+  EXPECT_EQ(sha1_hex(bytes(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1");
+  EXPECT_EQ(sha1_hex(bytes("")),
+            "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+  // One million 'a' (FIPS 180-1 third vector).
+  const std::vector<std::uint8_t> million(1000000, 'a');
+  EXPECT_EQ(sha1_hex(million), "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+}
+
+TEST(Sha1, IncrementalMatchesOneShot) {
+  const auto data = bytes("the quick brown fox jumps over the lazy dog");
+  Sha1 ctx;
+  for (std::uint8_t b : data) ctx.update(&b, 1);
+  EXPECT_EQ(ctx.digest(), sha1(data));
+}
+
+TEST(Sha1, ExactBlockBoundaries) {
+  for (std::size_t n : {55u, 56u, 57u, 63u, 64u, 65u, 128u}) {
+    const std::vector<std::uint8_t> data(n, 's');
+    Sha1 split;
+    split.update(data.data(), n / 3);
+    split.update(data.data() + n / 3, n - n / 3);
+    EXPECT_EQ(split.digest(), sha1(data)) << "length " << n;
+  }
+}
+
+TEST(Sha1, ResetReusesContext) {
+  Sha1 ctx;
+  ctx.update(bytes("junk"));
+  (void)ctx.digest();
+  ctx.reset();
+  ctx.update(bytes("abc"));
+  EXPECT_EQ(ctx.digest(), sha1(bytes("abc")));
+}
+
+TEST(Digests, DifferentInputsDifferentDigests) {
+  EXPECT_NE(md5(bytes("abc")), md5(bytes("abd")));
+  EXPECT_NE(sha1(bytes("abc")), sha1(bytes("abd")));
+}
+
+}  // namespace
+}  // namespace eewa::wl

@@ -1,0 +1,240 @@
+// Unit tests for the DVFS library: frequency ladders, the recording
+// TraceBackend, c-group layouts, and the sysfs cpufreq backend exercised
+// against a fake sysfs tree.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "dvfs/cgroup.hpp"
+#include "dvfs/frequency_ladder.hpp"
+#include "dvfs/sysfs_backend.hpp"
+#include "dvfs/trace_backend.hpp"
+#include "dvfs/transition_model.hpp"
+
+namespace eewa::dvfs {
+namespace {
+
+namespace fs = std::filesystem;
+
+TEST(FrequencyLadder, SortsDescendingAndValidates) {
+  FrequencyLadder l({1.3, 2.5, 0.8, 1.8});
+  EXPECT_EQ(l.size(), 4u);
+  EXPECT_DOUBLE_EQ(l.ghz(0), 2.5);
+  EXPECT_DOUBLE_EQ(l.ghz(3), 0.8);
+  EXPECT_DOUBLE_EQ(l.fastest(), 2.5);
+  EXPECT_DOUBLE_EQ(l.slowest(), 0.8);
+  EXPECT_EQ(l.slowest_index(), 3u);
+}
+
+TEST(FrequencyLadder, RejectsBadInput) {
+  EXPECT_THROW(FrequencyLadder({}), std::invalid_argument);
+  EXPECT_THROW(FrequencyLadder({1.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(FrequencyLadder({-1.0}), std::invalid_argument);
+  EXPECT_THROW(FrequencyLadder({0.0, 2.0}), std::invalid_argument);
+}
+
+TEST(FrequencyLadder, SlowdownAndRelativeSpeed) {
+  const auto l = FrequencyLadder::opteron8380();
+  EXPECT_DOUBLE_EQ(l.slowdown(0), 1.0);
+  EXPECT_NEAR(l.slowdown(3), 2.5 / 0.8, 1e-12);
+  EXPECT_NEAR(l.relative_speed(1), 1.8 / 2.5, 1e-12);
+}
+
+TEST(FrequencyLadder, IndexOfFindsExactRungs) {
+  const auto l = FrequencyLadder::opteron8380();
+  EXPECT_EQ(l.index_of(2.5), 0u);
+  EXPECT_EQ(l.index_of(0.8), 3u);
+  EXPECT_THROW(l.index_of(1.0), std::out_of_range);
+}
+
+TEST(FrequencyLadder, NearestAtLeast) {
+  const auto l = FrequencyLadder::opteron8380();
+  EXPECT_EQ(l.nearest_at_least(2.0), 0u);   // 2.5 is the slowest rung >= 2.0
+  EXPECT_EQ(l.nearest_at_least(2.6), 0u);   // clamped to fastest
+  EXPECT_EQ(l.nearest_at_least(0.8), 3u);
+  EXPECT_EQ(l.nearest_at_least(1.0), 2u);   // 1.3 is slowest >= 1.0
+}
+
+TEST(FrequencyLadder, LinearPreset) {
+  const auto l = FrequencyLadder::linear(1.0, 3.0, 5);
+  EXPECT_EQ(l.size(), 5u);
+  EXPECT_DOUBLE_EQ(l.fastest(), 3.0);
+  EXPECT_DOUBLE_EQ(l.slowest(), 1.0);
+  EXPECT_THROW(FrequencyLadder::linear(2.0, 1.0, 3), std::invalid_argument);
+}
+
+TEST(FrequencyLadder, ToStringMentionsUnits) {
+  EXPECT_NE(FrequencyLadder::opteron8380().to_string().find("GHz"),
+            std::string::npos);
+}
+
+TEST(TraceBackend, RecordsTransitionsWithState) {
+  TraceBackend b(FrequencyLadder::opteron8380(), 4);
+  EXPECT_EQ(b.core_count(), 4u);
+  EXPECT_FALSE(b.is_live());
+  EXPECT_EQ(b.frequency_index(2), 0u);
+  EXPECT_TRUE(b.set_frequency(2, 3));
+  EXPECT_EQ(b.frequency_index(2), 3u);
+  EXPECT_EQ(b.transition_count(), 1u);
+  const auto log = b.transitions();
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0].core, 2u);
+  EXPECT_EQ(log[0].freq_index, 3u);
+  EXPECT_GE(log[0].time_s, 0.0);
+}
+
+TEST(TraceBackend, NoopWhenAlreadyAtRung) {
+  TraceBackend b(FrequencyLadder::opteron8380(), 2);
+  EXPECT_TRUE(b.set_frequency(0, 0));
+  EXPECT_EQ(b.transition_count(), 0u);
+}
+
+TEST(TraceBackend, RejectsOutOfRange) {
+  TraceBackend b(FrequencyLadder::opteron8380(), 2);
+  EXPECT_FALSE(b.set_frequency(5, 0));
+  EXPECT_FALSE(b.set_frequency(0, 9));
+  EXPECT_THROW(TraceBackend(FrequencyLadder::opteron8380(), 0),
+               std::invalid_argument);
+  EXPECT_THROW(TraceBackend(FrequencyLadder::opteron8380(), 2, 7),
+               std::invalid_argument);
+}
+
+TEST(TraceBackend, SetAllSetsEveryCore) {
+  TraceBackend b(FrequencyLadder::opteron8380(), 8);
+  EXPECT_EQ(b.set_all(2), 8u);
+  for (std::size_t c = 0; c < 8; ++c) EXPECT_EQ(b.frequency_index(c), 2u);
+}
+
+TEST(CGroupLayout, UniformCoversAllCores) {
+  const auto l = CGroupLayout::uniform(4, 3, 1);
+  EXPECT_EQ(l.group_count(), 1u);
+  EXPECT_EQ(l.freq_index(0), 1u);
+  EXPECT_EQ(l.class_count(), 3u);
+  for (std::size_t c = 0; c < 4; ++c) {
+    EXPECT_TRUE(l.core_assigned(c));
+    EXPECT_EQ(l.group_of_core(c), 0u);
+  }
+}
+
+TEST(CGroupLayout, ValidatesStructure) {
+  // Unordered groups rejected.
+  EXPECT_THROW(CGroupLayout({CGroup{2, {0}}, CGroup{1, {1}}}, {}, 2),
+               std::invalid_argument);
+  // Core in two groups rejected.
+  EXPECT_THROW(CGroupLayout({CGroup{0, {0}}, CGroup{1, {0}}}, {}, 2),
+               std::invalid_argument);
+  // Out-of-range core rejected.
+  EXPECT_THROW(CGroupLayout({CGroup{0, {5}}}, {}, 2), std::invalid_argument);
+  // Class mapped to missing group rejected.
+  EXPECT_THROW(CGroupLayout({CGroup{0, {0, 1}}}, {3}, 2),
+               std::invalid_argument);
+  // Empty layout rejected.
+  EXPECT_THROW(CGroupLayout({}, {}, 2), std::invalid_argument);
+}
+
+TEST(CGroupLayout, CoresPerRungCountsCorrectly) {
+  CGroupLayout l({CGroup{1, {0, 1, 2}}, CGroup{3, {3, 4}}}, {0, 1}, 5);
+  const auto counts = l.cores_per_rung(4);
+  EXPECT_EQ(counts[0], 0u);
+  EXPECT_EQ(counts[1], 3u);
+  EXPECT_EQ(counts[2], 0u);
+  EXPECT_EQ(counts[3], 2u);
+  EXPECT_EQ(l.group_of_class(1), 1u);
+  EXPECT_EQ(l.group_of_core(4), 1u);
+}
+
+TEST(CGroupLayout, PartialCoverageDetected) {
+  CGroupLayout l({CGroup{0, {0}}}, {}, 3);
+  EXPECT_TRUE(l.core_assigned(0));
+  EXPECT_FALSE(l.core_assigned(2));
+  EXPECT_THROW(l.group_of_core(2), std::out_of_range);
+}
+
+TEST(TransitionModel, DefaultsAndFree) {
+  const TransitionModel m;
+  EXPECT_GT(m.latency_s, 0.0);
+  EXPECT_GT(m.energy_j, 0.0);
+  const auto f = TransitionModel::free();
+  EXPECT_EQ(f.latency_s, 0.0);
+  EXPECT_EQ(f.energy_j, 0.0);
+}
+
+// ----------------------------------------------------- sysfs (fake tree) --
+
+class SysfsFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = fs::temp_directory_path() /
+            ("eewa_sysfs_" + std::to_string(::getpid()) + "_" +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    for (int c = 0; c < 4; ++c) {
+      const fs::path dir = root_ / ("cpu" + std::to_string(c)) / "cpufreq";
+      fs::create_directories(dir);
+      write(dir / "scaling_available_frequencies",
+            "2500000 1800000 1300000 800000\n");
+      write(dir / "scaling_governor", "ondemand\n");
+      write(dir / "scaling_setspeed", "2500000\n");
+      write(dir / "scaling_max_freq", "2500000\n");
+    }
+  }
+
+  void TearDown() override {
+    std::error_code ec;
+    fs::remove_all(root_, ec);
+  }
+
+  static void write(const fs::path& p, const std::string& v) {
+    std::ofstream out(p);
+    out << v;
+  }
+
+  static std::string read(const fs::path& p) {
+    std::ifstream in(p);
+    std::string s;
+    std::getline(in, s);
+    return s;
+  }
+
+  fs::path root_;
+};
+
+TEST_F(SysfsFixture, ProbeDiscoversCoresAndLadder) {
+  auto backend = SysfsBackend::probe(root_.string());
+  ASSERT_TRUE(backend.has_value());
+  EXPECT_EQ(backend->core_count(), 4u);
+  EXPECT_EQ(backend->ladder().size(), 4u);
+  EXPECT_NEAR(backend->ladder().ghz(0), 2.5, 1e-9);
+  EXPECT_NEAR(backend->ladder().ghz(3), 0.8, 1e-9);
+  EXPECT_EQ(backend->khz(1), 1800000u);
+  EXPECT_TRUE(backend->is_live());
+  EXPECT_TRUE(backend->userspace_governor());
+  // Probe switched every core's governor.
+  EXPECT_EQ(read(root_ / "cpu3" / "cpufreq" / "scaling_governor"),
+            "userspace");
+}
+
+TEST_F(SysfsFixture, SetFrequencyWritesSetspeed) {
+  auto backend = SysfsBackend::probe(root_.string());
+  ASSERT_TRUE(backend.has_value());
+  EXPECT_TRUE(backend->set_frequency(1, 2));
+  EXPECT_EQ(backend->frequency_index(1), 2u);
+  EXPECT_EQ(backend->transition_count(), 1u);
+  EXPECT_EQ(read(root_ / "cpu1" / "cpufreq" / "scaling_setspeed"),
+            "1300000");
+}
+
+TEST_F(SysfsFixture, RejectsOutOfRangeRequests) {
+  auto backend = SysfsBackend::probe(root_.string());
+  ASSERT_TRUE(backend.has_value());
+  EXPECT_FALSE(backend->set_frequency(9, 0));
+  EXPECT_FALSE(backend->set_frequency(0, 9));
+}
+
+TEST(SysfsBackend, ProbeFailsGracefullyWithoutTree) {
+  EXPECT_FALSE(
+      SysfsBackend::probe("/nonexistent/definitely/not/here").has_value());
+}
+
+}  // namespace
+}  // namespace eewa::dvfs

@@ -1,0 +1,232 @@
+// Unit tests for the energy library: the power model's physics
+// invariants, the energy account's integration, the model-based meter
+// replaying a DVFS trace, and RAPL against a fake powercap tree.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <thread>
+
+#include "dvfs/trace_backend.hpp"
+#include "energy/energy_account.hpp"
+#include "energy/model_meter.hpp"
+#include "energy/power_model.hpp"
+#include "energy/rapl_meter.hpp"
+
+namespace eewa::energy {
+namespace {
+
+namespace fs = std::filesystem;
+
+TEST(PowerModel, OpteronPresetIsMonotonic) {
+  const auto m = PowerModel::opteron8380_server();
+  EXPECT_TRUE(m.monotonic());
+  EXPECT_GT(m.floor_w(), 0.0);
+  // Top rung draws much more than bottom rung.
+  EXPECT_GT(m.core_power_w(0, true), 2.5 * m.core_power_w(3, true));
+}
+
+TEST(PowerModel, HaltCheaperThanSpin) {
+  const auto m = PowerModel::opteron8380_server();
+  for (std::size_t j = 0; j < m.ladder().size(); ++j) {
+    EXPECT_LT(m.core_power_w(j, false), m.core_power_w(j, true));
+  }
+}
+
+TEST(PowerModel, DynamicScalesWithFV2) {
+  const auto m = PowerModel::opteron8380_server();
+  const double expected_ratio =
+      (2.5 * 1.35 * 1.35) / (0.8 * 0.95 * 0.95);
+  EXPECT_NEAR(m.dynamic_power_w(0) / m.dynamic_power_w(3), expected_ratio,
+              1e-9);
+}
+
+TEST(PowerModel, DownclockedWorkCostsLessEnergy) {
+  // The defining property for EEWA: the same amount of work consumes
+  // less energy at a lower rung (V² dominates the stretched runtime).
+  const auto m = PowerModel::opteron8380_server();
+  for (std::size_t j = 1; j < m.ladder().size(); ++j) {
+    const double energy_per_work_at_j =
+        m.core_power_w(j, true) * m.ladder().slowdown(j);
+    EXPECT_LT(energy_per_work_at_j, m.core_power_w(0, true)) << "rung " << j;
+  }
+}
+
+TEST(PowerModel, MachineAllActive) {
+  const auto m = PowerModel::opteron8380_server();
+  EXPECT_NEAR(m.machine_all_active_w(16, 0),
+              m.floor_w() + 16.0 * m.core_power_w(0, true), 1e-9);
+}
+
+TEST(PowerModel, CpuOnlyVariantHasNoFloor) {
+  EXPECT_EQ(PowerModel::opteron8380_cpu_only().floor_w(), 0.0);
+}
+
+TEST(PowerModel, AllPresetsAreMonotonic) {
+  EXPECT_TRUE(PowerModel::opteron8380_server().monotonic());
+  EXPECT_TRUE(PowerModel::opteron8380_cpu_only().monotonic());
+  EXPECT_TRUE(PowerModel::modern_server().monotonic());
+  EXPECT_TRUE(PowerModel::embedded().monotonic());
+}
+
+TEST(PowerModel, VoltageRangeDrivesPerWorkSavings) {
+  // Energy per unit of work at the bottom rung relative to F0 — the
+  // wide-range embedded part saves the most, the narrow-range modern
+  // server the least.
+  auto per_work_ratio = [](const PowerModel& m) {
+    const std::size_t bottom = m.ladder().slowest_index();
+    return m.core_power_w(bottom, true) * m.ladder().slowdown(bottom) /
+           m.core_power_w(0, true);
+  };
+  const double k10 = per_work_ratio(PowerModel::opteron8380_server());
+  const double modern = per_work_ratio(PowerModel::modern_server());
+  const double embedded = per_work_ratio(PowerModel::embedded());
+  EXPECT_LT(embedded, k10);
+  EXPECT_LT(k10, modern);
+  EXPECT_LT(embedded, 1.0);  // downclocked work is cheaper everywhere
+  EXPECT_LT(k10, 1.0);
+}
+
+TEST(PowerModel, ValidatesInputs) {
+  const auto ladder = dvfs::FrequencyLadder::opteron8380();
+  EXPECT_THROW(PowerModel(ladder, {1.0, 1.0}, 1.0, 1.0, 1.0),
+               std::invalid_argument);  // volts size mismatch
+  EXPECT_THROW(
+      PowerModel(ladder, {1.0, 1.1, 1.2, 1.3}, 1.0, 1.0, 1.0),
+      std::invalid_argument);  // voltage increasing down the ladder
+  EXPECT_THROW(PowerModel(ladder, {1.3, 1.2, 1.1, 1.0}, -1.0, 1.0, 1.0),
+               std::invalid_argument);
+}
+
+TEST(EnergyAccount, IntegratesPowerOverSegments) {
+  const auto m = PowerModel::opteron8380_server();
+  EnergyAccount acc(m, 2);
+  acc.add_core_time(0, 10.0, 0, true);
+  acc.add_core_time(1, 10.0, 3, true);
+  acc.set_makespan(10.0);
+  const double expected = m.core_power_w(0, true) * 10.0 +
+                          m.core_power_w(3, true) * 10.0 +
+                          m.floor_w() * 10.0;
+  EXPECT_NEAR(acc.total_joules(), expected, 1e-9);
+  EXPECT_NEAR(acc.residency_s(0, 0), 10.0, 1e-12);
+  EXPECT_NEAR(acc.rung_residency_s(3), 10.0, 1e-12);
+  EXPECT_NEAR(acc.active_s(), 20.0, 1e-12);
+}
+
+TEST(EnergyAccount, HaltedTimeTracked) {
+  const auto m = PowerModel::opteron8380_server();
+  EnergyAccount acc(m, 1);
+  acc.add_core_time(0, 5.0, 1, false);
+  EXPECT_NEAR(acc.halted_s(), 5.0, 1e-12);
+  EXPECT_NEAR(acc.core_joules(), m.core_power_w(1, false) * 5.0, 1e-9);
+}
+
+TEST(EnergyAccount, ExtrasAndValidation) {
+  const auto m = PowerModel::opteron8380_server();
+  EnergyAccount acc(m, 1);
+  acc.add_extra_joules(2.5);
+  EXPECT_NEAR(acc.core_joules(), 2.5, 1e-12);
+  EXPECT_THROW(acc.add_core_time(0, -1.0, 0, true), std::invalid_argument);
+  EXPECT_THROW(acc.add_core_time(5, 1.0, 0, true), std::out_of_range);
+  EXPECT_THROW(acc.add_core_time(0, 1.0, 9, true), std::out_of_range);
+  EXPECT_THROW(EnergyAccount(m, 0), std::invalid_argument);
+}
+
+TEST(EnergyAccount, LowerFrequencyLowersEnergyForSameTime) {
+  const auto m = PowerModel::opteron8380_server();
+  EnergyAccount fast(m, 1), slow(m, 1);
+  fast.add_core_time(0, 1.0, 0, true);
+  slow.add_core_time(0, 1.0, 3, true);
+  EXPECT_LT(slow.core_joules(), fast.core_joules());
+}
+
+TEST(ModelMeter, IntegratesTraceSegments) {
+  const auto m = PowerModel::opteron8380_server();
+  dvfs::TraceBackend backend(m.ladder(), 2);
+  ModelMeter meter(m, backend);
+  ASSERT_TRUE(meter.available());
+  meter.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  backend.set_frequency(0, 3);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double joules = meter.stop_joules();
+  // Between all-fast and all-slow bounds for the elapsed interval.
+  const double elapsed_lo = 0.04;
+  const double hi = (m.floor_w() + 2 * m.core_power_w(0, true)) * 1.0;
+  const double lo =
+      (m.floor_w() + 2 * m.core_power_w(3, true)) * elapsed_lo;
+  EXPECT_GT(joules, lo * 0.9);
+  EXPECT_LT(joules, hi);
+}
+
+TEST(ModelMeter, RejectsMismatchedLadder) {
+  const auto m = PowerModel::opteron8380_server();
+  dvfs::TraceBackend backend(dvfs::FrequencyLadder({2.0, 1.0}), 2);
+  EXPECT_THROW(ModelMeter(m, backend), std::invalid_argument);
+}
+
+// ------------------------------------------------------ RAPL (fake tree) --
+
+class RaplFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = fs::temp_directory_path() /
+            ("eewa_rapl_" + std::to_string(::getpid()));
+    fs::create_directories(root_ / "intel-rapl:0");
+    fs::create_directories(root_ / "intel-rapl:0:0");  // subdomain: skipped
+    fs::create_directories(root_ / "intel-rapl:1");
+    write(root_ / "intel-rapl:0" / "energy_uj", "1000000");
+    write(root_ / "intel-rapl:0" / "max_energy_range_uj", "262143328850");
+    write(root_ / "intel-rapl:0:0" / "energy_uj", "999");
+    write(root_ / "intel-rapl:1" / "energy_uj", "2000000");
+    write(root_ / "intel-rapl:1" / "max_energy_range_uj", "262143328850");
+  }
+
+  void TearDown() override {
+    std::error_code ec;
+    fs::remove_all(root_, ec);
+  }
+
+  static void write(const fs::path& p, const std::string& v) {
+    std::ofstream out(p);
+    out << v;
+  }
+
+  fs::path root_;
+};
+
+TEST_F(RaplFixture, DiscoversPackageDomainsOnly) {
+  RaplMeter meter(root_.string());
+  EXPECT_TRUE(meter.available());
+  EXPECT_EQ(meter.domain_count(), 2u);
+}
+
+TEST_F(RaplFixture, MeasuresDeltaAcrossDomains) {
+  RaplMeter meter(root_.string());
+  meter.start();
+  write(root_ / "intel-rapl:0" / "energy_uj", "1500000");
+  write(root_ / "intel-rapl:1" / "energy_uj", "2250000");
+  EXPECT_NEAR(meter.stop_joules(), 0.75, 1e-9);
+}
+
+TEST_F(RaplFixture, HandlesCounterWraparound) {
+  RaplMeter meter(root_.string());
+  write(root_ / "intel-rapl:0" / "energy_uj", "262143328000");
+  write(root_ / "intel-rapl:1" / "energy_uj", "1000000");
+  meter.start();
+  write(root_ / "intel-rapl:0" / "energy_uj", "500");  // wrapped
+  write(root_ / "intel-rapl:1" / "energy_uj", "1000000");
+  const double joules = meter.stop_joules();
+  EXPECT_NEAR(joules, (262143328850.0 - 262143328000.0 + 500.0) * 1e-6,
+              1e-6);
+}
+
+TEST(RaplMeter, UnavailableWithoutTree) {
+  RaplMeter meter("/nonexistent/powercap");
+  EXPECT_FALSE(meter.available());
+  meter.start();
+  EXPECT_EQ(meter.stop_joules(), 0.0);
+}
+
+}  // namespace
+}  // namespace eewa::energy

@@ -1,0 +1,205 @@
+// Tests for Algorithm 1 (backtracking k-tuple search) and its ablation
+// variants: the paper's Fig. 3 worked example, the three constraints as
+// properties over randomized tables, and the relationships between the
+// greedy / backtracking / exhaustive searchers.
+#include <gtest/gtest.h>
+
+#include "core/ktuple_search.hpp"
+#include "util/rng.hpp"
+
+namespace eewa::core {
+namespace {
+
+CCTable fig3() {
+  return CCTable::from_matrix(
+      {{2, 3, 1, 1}, {4, 6, 2, 2}, {6, 9, 3, 3}, {8, 12, 4, 4}});
+}
+
+TEST(Backtracking, ReproducesFigure3Tuple) {
+  const auto res = search_backtracking(fig3(), 16);
+  ASSERT_TRUE(res.found);
+  EXPECT_EQ(res.tuple, (std::vector<std::size_t>{1, 1, 2, 2}));
+  EXPECT_EQ(res.cores_used, 16u);
+  // Per the paper, 10 cores end up at F1 and 6 at F2.
+  EXPECT_EQ(fig3().ceil_at(1, 0) + fig3().ceil_at(1, 1), 10u);
+  EXPECT_EQ(fig3().ceil_at(2, 2) + fig3().ceil_at(2, 3), 6u);
+}
+
+TEST(Backtracking, AllTopRowWhenCapacityTight) {
+  // With exactly the F0 demand available, only the all-F0 tuple fits.
+  const auto cc = fig3();
+  const std::size_t top = cc.ceil_at(0, 0) + cc.ceil_at(0, 1) +
+                          cc.ceil_at(0, 2) + cc.ceil_at(0, 3);
+  const auto res = search_backtracking(cc, top);
+  ASSERT_TRUE(res.found);
+  EXPECT_EQ(res.tuple, (std::vector<std::size_t>{0, 0, 0, 0}));
+}
+
+TEST(Backtracking, FailsWhenEvenTopRowExceedsCapacity) {
+  const auto res = search_backtracking(fig3(), 6);  // top row needs 7
+  EXPECT_FALSE(res.found);
+  EXPECT_TRUE(res.tuple.empty());
+}
+
+TEST(Backtracking, PicksSlowestRowWithAbundantCores) {
+  const auto res = search_backtracking(fig3(), 100);
+  ASSERT_TRUE(res.found);
+  EXPECT_EQ(res.tuple, (std::vector<std::size_t>{3, 3, 3, 3}));
+}
+
+TEST(Backtracking, SingleClassSingleRung) {
+  const auto cc = CCTable::from_matrix({{3.0}});
+  const auto res = search_backtracking(cc, 4);
+  ASSERT_TRUE(res.found);
+  EXPECT_EQ(res.tuple, (std::vector<std::size_t>{0}));
+  EXPECT_EQ(res.cores_used, 3u);
+}
+
+TEST(Backtracking, ReportsSearchEffort) {
+  const auto res = search_backtracking(fig3(), 16);
+  EXPECT_GT(res.nodes_visited, 0u);
+  EXPECT_GE(res.elapsed_us, 0.0);
+}
+
+TEST(Greedy, MatchesBacktrackingOnEasyInstances) {
+  const auto g = search_greedy(fig3(), 100);
+  const auto b = search_backtracking(fig3(), 100);
+  ASSERT_TRUE(g.found);
+  EXPECT_EQ(g.tuple, b.tuple);
+}
+
+TEST(Greedy, CanFailWhereBacktrackingSucceeds) {
+  // Greedy descends to the deepest feasible rung for column 0, which
+  // strands column 1; backtracking recovers.
+  const auto cc = CCTable::from_matrix({{2, 2}, {3, 3}, {4, 9}});
+  const auto g = search_greedy(cc, 8);
+  const auto b = search_backtracking(cc, 8);
+  EXPECT_FALSE(g.found);
+  ASSERT_TRUE(b.found);
+  EXPECT_TRUE(tuple_is_valid(cc, b.tuple, 8));
+}
+
+TEST(Exhaustive, FindsFeasibleOptimum) {
+  const auto res = search_exhaustive(fig3(), 16);
+  ASSERT_TRUE(res.found);
+  EXPECT_TRUE(tuple_is_valid(fig3(), res.tuple, 16));
+}
+
+TEST(Exhaustive, EnergyNeverWorseThanBacktracking) {
+  const auto cc = fig3();
+  const auto b = search_backtracking(cc, 16);
+  const auto e = search_exhaustive(cc, 16);
+  ASSERT_TRUE(b.found);
+  ASSERT_TRUE(e.found);
+  EXPECT_LE(tuple_energy_estimate(cc, e.tuple, 16),
+            tuple_energy_estimate(cc, b.tuple, 16) + 1e-9);
+}
+
+TEST(TupleIsValid, ChecksAllThreeConstraints) {
+  const auto cc = fig3();
+  EXPECT_TRUE(tuple_is_valid(cc, {1, 1, 2, 2}, 16));
+  EXPECT_FALSE(tuple_is_valid(cc, {2, 1, 2, 2}, 16));   // decreasing
+  EXPECT_FALSE(tuple_is_valid(cc, {3, 3, 3, 3}, 16));   // over capacity
+  EXPECT_FALSE(tuple_is_valid(cc, {1, 1, 2}, 16));      // wrong arity
+  EXPECT_FALSE(tuple_is_valid(cc, {1, 1, 2, 9}, 16));   // rung range
+}
+
+TEST(SearchKtuple, DispatchesOnKind) {
+  const auto cc = fig3();
+  EXPECT_EQ(search_ktuple(cc, 16, SearchKind::kBacktracking).tuple,
+            search_backtracking(cc, 16).tuple);
+  EXPECT_EQ(search_ktuple(cc, 16, SearchKind::kGreedy).found,
+            search_greedy(cc, 16).found);
+  EXPECT_EQ(search_ktuple(cc, 16, SearchKind::kExhaustive).found,
+            search_exhaustive(cc, 16).found);
+}
+
+// ------------------------------------------------ randomized properties --
+
+struct RandomCase {
+  std::size_t r, k, cores;
+  std::uint64_t seed;
+};
+
+class RandomizedSearch : public ::testing::TestWithParam<RandomCase> {};
+
+CCTable random_table(const RandomCase& rc) {
+  util::Xoshiro256 rng(rc.seed);
+  // Build descending frequencies, then the exact CC scaling structure.
+  std::vector<double> slowdown(rc.r, 1.0);
+  for (std::size_t j = 1; j < rc.r; ++j) {
+    slowdown[j] = slowdown[j - 1] * rng.uniform(1.1, 1.8);
+  }
+  std::vector<std::vector<double>> rows(rc.r, std::vector<double>(rc.k));
+  for (std::size_t i = 0; i < rc.k; ++i) {
+    const double base = rng.uniform(0.2, 4.0);
+    for (std::size_t j = 0; j < rc.r; ++j) {
+      rows[j][i] = base * slowdown[j];
+    }
+  }
+  return CCTable::from_matrix(rows);
+}
+
+TEST_P(RandomizedSearch, FoundTuplesSatisfyAllConstraints) {
+  const auto rc = GetParam();
+  const auto cc = random_table(rc);
+  const auto res = search_backtracking(cc, rc.cores);
+  if (res.found) {
+    EXPECT_TRUE(tuple_is_valid(cc, res.tuple, rc.cores));
+    EXPECT_LE(res.cores_used, rc.cores);
+  }
+}
+
+TEST_P(RandomizedSearch, BacktrackingFindsWheneverExhaustiveDoes) {
+  const auto rc = GetParam();
+  const auto cc = random_table(rc);
+  const auto e = search_exhaustive(cc, rc.cores);
+  const auto b = search_backtracking(cc, rc.cores);
+  EXPECT_EQ(b.found, e.found);
+}
+
+TEST_P(RandomizedSearch, ExhaustiveEnergyIsMinimal) {
+  const auto rc = GetParam();
+  const auto cc = random_table(rc);
+  const auto e = search_exhaustive(cc, rc.cores);
+  const auto b = search_backtracking(cc, rc.cores);
+  if (e.found && b.found) {
+    EXPECT_LE(tuple_energy_estimate(cc, e.tuple, rc.cores),
+              tuple_energy_estimate(cc, b.tuple, rc.cores) + 1e-9);
+  }
+}
+
+TEST_P(RandomizedSearch, GreedySuccessImpliesBacktrackingSuccess) {
+  const auto rc = GetParam();
+  const auto cc = random_table(rc);
+  const auto g = search_greedy(cc, rc.cores);
+  if (g.found) {
+    EXPECT_TRUE(search_backtracking(cc, rc.cores).found);
+    EXPECT_TRUE(tuple_is_valid(cc, g.tuple, rc.cores));
+  }
+}
+
+std::vector<RandomCase> random_cases() {
+  std::vector<RandomCase> cases;
+  std::uint64_t seed = 1;
+  for (std::size_t r : {2u, 3u, 4u, 6u}) {
+    for (std::size_t k : {1u, 2u, 3u, 5u}) {
+      for (std::size_t cores : {4u, 16u, 64u}) {
+        cases.push_back(RandomCase{r, k, cores, seed++});
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RandomizedSearch,
+                         ::testing::ValuesIn(random_cases()),
+                         [](const auto& info) {
+                           const auto& p = info.param;
+                           return "r" + std::to_string(p.r) + "k" +
+                                  std::to_string(p.k) + "m" +
+                                  std::to_string(p.cores);
+                         });
+
+}  // namespace
+}  // namespace eewa::core

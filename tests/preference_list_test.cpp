@@ -1,0 +1,91 @@
+// Tests for rob-the-weaker-first preference lists (paper Fig. 5): the
+// exact order {G_i, G_{i+1}, ..., G_{u-1}, G_{i-1}, ..., G_0} and the
+// per-layout table, plus permutation properties over a sweep of u.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/preference_list.hpp"
+
+namespace eewa::core {
+namespace {
+
+TEST(PreferenceList, MatchesPaperFigure5Order) {
+  // u = 4, core in G_1: {G1, G2, G3, G0}.
+  EXPECT_EQ(preference_list(1, 4), (std::vector<std::size_t>{1, 2, 3, 0}));
+  // Fastest group robs the weaker ones in order.
+  EXPECT_EQ(preference_list(0, 4), (std::vector<std::size_t>{0, 1, 2, 3}));
+  // Slowest group: itself, then faster groups nearest-first.
+  EXPECT_EQ(preference_list(3, 4), (std::vector<std::size_t>{3, 2, 1, 0}));
+}
+
+TEST(PreferenceList, SingleGroup) {
+  EXPECT_EQ(preference_list(0, 1), (std::vector<std::size_t>{0}));
+}
+
+TEST(PreferenceList, RejectsOutOfRange) {
+  EXPECT_THROW(preference_list(4, 4), std::invalid_argument);
+  EXPECT_THROW(preference_list(0, 0), std::invalid_argument);
+}
+
+class PreferenceSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PreferenceSweep, IsPermutationStartingWithSelf) {
+  const std::size_t u = GetParam();
+  for (std::size_t g = 0; g < u; ++g) {
+    const auto order = preference_list(g, u);
+    ASSERT_EQ(order.size(), u);
+    EXPECT_EQ(order.front(), g);
+    auto sorted = order;
+    std::sort(sorted.begin(), sorted.end());
+    for (std::size_t i = 0; i < u; ++i) EXPECT_EQ(sorted[i], i);
+  }
+}
+
+TEST_P(PreferenceSweep, WeakerGroupsComeBeforeStrongerOnes) {
+  const std::size_t u = GetParam();
+  for (std::size_t g = 0; g < u; ++g) {
+    const auto order = preference_list(g, u);
+    // All groups slower than g (index > g) appear before all groups
+    // faster than g (index < g).
+    std::size_t last_weaker = 0, first_stronger = order.size();
+    for (std::size_t pos = 0; pos < order.size(); ++pos) {
+      if (order[pos] > g) last_weaker = pos;
+      if (order[pos] < g && pos < first_stronger) first_stronger = pos;
+    }
+    if (g + 1 < u && g > 0) {
+      EXPECT_LT(last_weaker, first_stronger);
+    }
+  }
+}
+
+TEST_P(PreferenceSweep, StrongerGroupsNearestFirst) {
+  const std::size_t u = GetParam();
+  for (std::size_t g = 1; g < u; ++g) {
+    const auto order = preference_list(g, u);
+    // The faster-group suffix is G_{g-1}, ..., G_0 in that order.
+    std::vector<std::size_t> suffix(order.end() - static_cast<long>(g),
+                                    order.end());
+    for (std::size_t i = 0; i < g; ++i) {
+      EXPECT_EQ(suffix[i], g - 1 - i);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(U, PreferenceSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 8, 16));
+
+TEST(PreferenceTable, BuildsOneListPerGroup) {
+  dvfs::CGroupLayout layout({dvfs::CGroup{0, {0, 1}},
+                             dvfs::CGroup{2, {2, 3}},
+                             dvfs::CGroup{3, {4}}},
+                            {0, 1, 2}, 5);
+  const PreferenceTable table(layout);
+  EXPECT_EQ(table.group_count(), 3u);
+  EXPECT_EQ(table.for_group(0), (std::vector<std::size_t>{0, 1, 2}));
+  EXPECT_EQ(table.for_group(1), (std::vector<std::size_t>{1, 2, 0}));
+  EXPECT_EQ(table.for_group(2), (std::vector<std::size_t>{2, 1, 0}));
+}
+
+}  // namespace
+}  // namespace eewa::core

@@ -1,0 +1,279 @@
+// Failure-injection and edge-case tests across modules: policies that
+// lose tasks, degraded sysfs trees, runtime lifecycle corner cases,
+// determinism guarantees, and stress across many batch generations.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+
+#include "core/eewa_controller.hpp"
+#include "dvfs/sysfs_backend.hpp"
+#include "energy/rapl_meter.hpp"
+#include "runtime/runtime.hpp"
+#include "sim/simulate.hpp"
+#include "trace/synthetic.hpp"
+
+namespace eewa {
+namespace {
+
+namespace fs = std::filesystem;
+
+// ------------------------------------------------ simulator hardening --
+
+/// A deliberately broken policy that never distributes the batch.
+class LosingPolicy : public sim::Policy {
+ public:
+  std::string name() const override { return "losing"; }
+  void batch_start(sim::Machine& m, const trace::Batch&,
+                   std::size_t) override {
+    m.configure_pools(1);  // ...and forgets to push any tasks
+  }
+  void place_task(sim::Machine&, sim::TaskId) override {}  // drops those too
+  std::optional<sim::TaskId> acquire(sim::Machine& m,
+                                     std::size_t core) override {
+    return m.pop_local(core, 0);
+  }
+  void task_done(sim::Machine&, std::size_t, const trace::TraceTask&,
+                 double) override {}
+  double batch_end(sim::Machine&, double) override { return 0.0; }
+};
+
+TEST(SimHardening, PolicyThatLosesTasksIsDetected) {
+  const auto t = trace::balanced(8, 0.01, 1, 1);
+  LosingPolicy p;
+  sim::SimOptions opt;
+  opt.cores = 2;
+  EXPECT_THROW(sim::simulate(t, p, opt), std::logic_error);
+}
+
+TEST(SimHardening, SingleCoreMachineRunsEverything) {
+  const auto t = trace::bimodal(2, 0.05, 10, 0.005, 3, 2);
+  sim::SimOptions opt;
+  opt.cores = 1;
+  opt.seed = 3;
+  sim::CilkPolicy cilk;
+  const auto a = sim::simulate(t, cilk, opt);
+  // Serial lower bound: makespan >= total work.
+  EXPECT_GE(a.time_s, t.total_work_s() * 0.999);
+  sim::EewaPolicy eewa(t.class_names);
+  EXPECT_NO_THROW(sim::simulate(t, eewa, opt));
+}
+
+TEST(SimHardening, CilkKeepsFixedAsymmetricRungsAcrossBatches) {
+  const auto t = trace::balanced(20, 0.005, 4, 5);
+  std::vector<std::size_t> rungs{0, 1, 2, 3};
+  sim::CilkPolicy cilk(rungs);
+  sim::SimOptions opt;
+  opt.cores = 4;
+  const auto res = sim::simulate(t, cilk, opt);
+  for (const auto& b : res.batches) {
+    EXPECT_EQ(b.cores_per_rung, (std::vector<std::size_t>{1, 1, 1, 1}));
+  }
+}
+
+TEST(SimHardening, WatsWithUniformRungsDegeneratesGracefully) {
+  const auto t = trace::bimodal(2, 0.05, 14, 0.005, 3, 6);
+  std::vector<std::size_t> rungs(8, 0);  // single c-group
+  sim::WatsPolicy wats(rungs, t.class_names);
+  sim::SimOptions opt;
+  opt.cores = 8;
+  const auto res = sim::simulate(t, wats, opt);
+  EXPECT_EQ(res.batches.back().cores_per_rung[0], 8u);
+}
+
+TEST(SimHardening, EewaDeterministicWithFixedOverhead) {
+  const auto t = trace::bimodal(4, 0.08, 30, 0.004, 5, 8);
+  sim::SimOptions opt;
+  opt.cores = 16;
+  opt.seed = 13;
+  opt.fixed_adjuster_overhead_s = 50e-6;  // remove host-clock noise
+  sim::EewaPolicy a(t.class_names), b(t.class_names);
+  const auto ra = sim::simulate(t, a, opt);
+  const auto rb = sim::simulate(t, b, opt);
+  EXPECT_DOUBLE_EQ(ra.time_s, rb.time_s);
+  EXPECT_DOUBLE_EQ(ra.energy_j, rb.energy_j);
+  for (std::size_t i = 0; i < ra.batches.size(); ++i) {
+    EXPECT_EQ(ra.batches[i].cores_per_rung, rb.batches[i].cores_per_rung);
+  }
+}
+
+TEST(SimHardening, EewaNearDeterministicWithMeasuredOverhead) {
+  // With measured adjuster time the only noise is microseconds of host
+  // clock per batch: totals agree to well under a percent.
+  const auto t = trace::bimodal(4, 0.08, 30, 0.004, 5, 8);
+  sim::SimOptions opt;
+  opt.cores = 16;
+  opt.seed = 13;
+  sim::EewaPolicy a(t.class_names), b(t.class_names);
+  const auto ra = sim::simulate(t, a, opt);
+  const auto rb = sim::simulate(t, b, opt);
+  EXPECT_NEAR(ra.time_s / rb.time_s, 1.0, 0.02);
+  EXPECT_NEAR(ra.energy_j / rb.energy_j, 1.0, 0.02);
+}
+
+TEST(SimHardening, TransitionsAccumulateAcrossBatches) {
+  const auto t = trace::bimodal(4, 0.08, 30, 0.004, 6, 9);
+  sim::SimOptions opt;
+  opt.cores = 16;
+  sim::EewaPolicy eewa(t.class_names);
+  const auto res = sim::simulate(t, eewa, opt);
+  std::size_t per_batch = 0;
+  for (const auto& b : res.batches) per_batch += b.transitions;
+  EXPECT_EQ(per_batch, res.transitions);
+}
+
+// ------------------------------------------------- runtime lifecycle --
+
+TEST(RuntimeLifecycle, ConstructDestructWithoutBatches) {
+  rt::RuntimeOptions opt;
+  opt.workers = 3;
+  { rt::Runtime runtime(opt); }  // must join cleanly
+  SUCCEED();
+}
+
+TEST(RuntimeLifecycle, ManyGenerationsWithSpawns) {
+  rt::RuntimeOptions opt;
+  opt.workers = 4;
+  opt.kind = rt::SchedulerKind::kEewa;
+  rt::Runtime runtime(opt);
+  std::atomic<int> counter{0};
+  rt::Runtime* rtp = &runtime;
+  for (int batch = 0; batch < 20; ++batch) {
+    std::vector<rt::TaskDesc> tasks;
+    for (int i = 0; i < 10; ++i) {
+      tasks.push_back({"parent", [rtp, &counter, i] {
+                         counter.fetch_add(1);
+                         if (i % 3 == 0) {
+                           rtp->spawn("child",
+                                      [&counter] { counter.fetch_add(1); });
+                         }
+                       }});
+    }
+    runtime.run_batch(std::move(tasks));
+  }
+  EXPECT_EQ(counter.load(), 20 * (10 + 4));
+  EXPECT_EQ(runtime.batches_run(), 20u);
+}
+
+TEST(RuntimeLifecycle, SingleWorkerRuntimeWorks) {
+  rt::RuntimeOptions opt;
+  opt.workers = 1;
+  rt::Runtime runtime(opt);
+  std::atomic<int> counter{0};
+  std::vector<rt::TaskDesc> tasks;
+  for (int i = 0; i < 8; ++i) {
+    tasks.push_back({"t", [&counter] { counter.fetch_add(1); }});
+  }
+  runtime.run_batch(std::move(tasks));
+  EXPECT_EQ(counter.load(), 8);
+}
+
+TEST(RuntimeLifecycle, PmcCanBeDisabled) {
+  rt::RuntimeOptions opt;
+  opt.workers = 2;
+  opt.enable_pmc = false;
+  rt::Runtime runtime(opt);
+  std::atomic<int> counter{0};
+  runtime.run_batch({{"t", [&counter] { counter.fetch_add(1); }}});
+  EXPECT_EQ(counter.load(), 1);
+}
+
+// ------------------------------------------------ degraded sysfs/RAPL --
+
+class DegradedSysfs : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = fs::temp_directory_path() /
+            ("eewa_degraded_" + std::to_string(::getpid()));
+    const fs::path dir = root_ / "cpu0" / "cpufreq";
+    fs::create_directories(dir);
+    write(dir / "scaling_available_frequencies", "2500000 800000\n");
+    // Make the governor un-writable by making it a directory: probe's
+    // governor write fails and the backend must fall back to the
+    // scaling_max_freq clamp.
+    fs::create_directories(dir / "scaling_governor");
+    write(dir / "scaling_max_freq", "2500000\n");
+  }
+
+  void TearDown() override {
+    std::error_code ec;
+    fs::remove_all(root_, ec);
+  }
+
+  static void write(const fs::path& p, const std::string& v) {
+    std::ofstream out(p);
+    out << v;
+  }
+
+  fs::path root_;
+};
+
+TEST_F(DegradedSysfs, FallsBackToMaxFreqClamp) {
+  auto backend = dvfs::SysfsBackend::probe(root_.string());
+  ASSERT_TRUE(backend.has_value());
+  EXPECT_FALSE(backend->userspace_governor());
+  EXPECT_TRUE(backend->set_frequency(0, 1));
+  std::ifstream in(root_ / "cpu0" / "cpufreq" / "scaling_max_freq");
+  std::string value;
+  std::getline(in, value);
+  EXPECT_EQ(value, "800000");
+}
+
+TEST(RaplDegraded, DomainWithoutMaxRangeStillReads) {
+  const fs::path root = fs::temp_directory_path() /
+                        ("eewa_rapl_nomax_" + std::to_string(::getpid()));
+  fs::create_directories(root / "intel-rapl:0");
+  {
+    std::ofstream out(root / "intel-rapl:0" / "energy_uj");
+    out << "1000";
+  }
+  energy::RaplMeter meter(root.string());
+  ASSERT_TRUE(meter.available());
+  meter.start();
+  {
+    std::ofstream out(root / "intel-rapl:0" / "energy_uj");
+    out << "3000";
+  }
+  EXPECT_NEAR(meter.stop_joules(), 0.002, 1e-9);
+  std::error_code ec;
+  fs::remove_all(root, ec);
+}
+
+// -------------------------------------------------- controller abuse --
+
+TEST(ControllerAbuse, EndBatchWithoutTasksIsSafe) {
+  core::EewaController ctrl(dvfs::FrequencyLadder::opteron8380(), 8);
+  ctrl.begin_batch();
+  const auto& plan = ctrl.end_batch(1.0);  // nothing recorded
+  EXPECT_FALSE(plan.planned);
+  EXPECT_EQ(plan.layout.group_count(), 1u);
+}
+
+TEST(ControllerAbuse, RejectsBadObservations) {
+  core::EewaController ctrl(dvfs::FrequencyLadder::opteron8380(), 8);
+  const auto f = ctrl.class_id("f");
+  ctrl.begin_batch();
+  EXPECT_THROW(ctrl.record_task(f, 1.0, 99), std::out_of_range);
+  EXPECT_THROW(ctrl.record_task(f + 10, 1.0, 0), std::out_of_range);
+}
+
+TEST(ControllerAbuse, PlanStableUnderRepeatedIdenticalBatches) {
+  core::EewaController ctrl(dvfs::FrequencyLadder::opteron8380(), 16);
+  const auto heavy = ctrl.class_id("heavy");
+  const auto light = ctrl.class_id("light");
+  std::vector<std::size_t> first_tuple;
+  for (int batch = 0; batch < 5; ++batch) {
+    ctrl.begin_batch();
+    for (int i = 0; i < 5; ++i) ctrl.record_task(heavy, 0.4, 0);
+    for (int i = 0; i < 30; ++i) ctrl.record_task(light, 0.02, 0);
+    ctrl.end_batch(0.5);
+    if (batch == 1) first_tuple = ctrl.plan().tuple;
+    if (batch > 1) {
+      EXPECT_EQ(ctrl.plan().tuple, first_tuple);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace eewa

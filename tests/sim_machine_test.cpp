@@ -1,0 +1,172 @@
+// Tests for the discrete-event machine itself: pools, frequency
+// requests, execution-time model, and conservation properties (every
+// task runs once, makespan bounds, energy = ∫P dt bounds).
+#include <gtest/gtest.h>
+
+#include "sim/machine.hpp"
+#include "sim/policies.hpp"
+#include "sim/simulate.hpp"
+#include "trace/synthetic.hpp"
+
+namespace eewa::sim {
+namespace {
+
+SimOptions small_options(std::size_t cores = 4) {
+  SimOptions opt;
+  opt.cores = cores;
+  opt.seed = 7;
+  return opt;
+}
+
+TEST(Machine, PoolsPushPopSteal) {
+  Machine m(small_options());
+  m.configure_pools(2);
+  m.push_task(0, 0, 11);
+  m.push_task(0, 0, 12);
+  m.push_task(1, 1, 13);
+  EXPECT_EQ(m.group_task_count(0), 2u);
+  EXPECT_EQ(m.group_task_count(1), 1u);
+  // Local pop is LIFO.
+  EXPECT_EQ(m.pop_local(0, 0), std::optional<TaskId>(12));
+  EXPECT_EQ(m.group_task_count(0), 1u);
+  // Steal takes the oldest from a victim.
+  const auto stolen = m.steal(2, 0);
+  EXPECT_EQ(stolen, std::optional<TaskId>(11));
+  EXPECT_EQ(m.total_steals(), 1u);
+  EXPECT_GT(m.total_probes(), 0u);
+  // Empty group steals return nothing immediately.
+  EXPECT_FALSE(m.steal(2, 0).has_value());
+  EXPECT_FALSE(m.pop_local(3, 1).has_value());
+}
+
+TEST(Machine, RequestRungValidatesAndCounts) {
+  Machine m(small_options());
+  EXPECT_EQ(m.rung(0), 0u);
+  m.request_rung(0, 3);
+  EXPECT_EQ(m.rung(0), 3u);
+  EXPECT_EQ(m.total_transitions(), 1u);
+  m.request_rung(0, 3);  // no-op
+  EXPECT_EQ(m.total_transitions(), 1u);
+  EXPECT_THROW(m.request_rung(0, 9), std::out_of_range);
+}
+
+TEST(Machine, ExecTimeModel) {
+  Machine m(small_options());
+  trace::TraceTask cpu{0, 1.0, 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(m.exec_time(cpu, 0), 1.0);
+  EXPECT_NEAR(m.exec_time(cpu, 3), 2.5 / 0.8, 1e-12);
+  // Fully memory-bound work does not scale with frequency.
+  trace::TraceTask mem{0, 1.0, 0.0, 1.0};
+  EXPECT_DOUBLE_EQ(m.exec_time(mem, 3), 1.0);
+  // Half-memory-bound is in between.
+  trace::TraceTask half{0, 1.0, 0.0, 0.5};
+  EXPECT_NEAR(m.exec_time(half, 3), 0.5 + 0.5 * 2.5 / 0.8, 1e-12);
+}
+
+TEST(Machine, RejectsZeroCoresOrPools) {
+  auto opt = small_options(0);
+  EXPECT_THROW(Machine m(opt), std::invalid_argument);
+  Machine m(small_options());
+  EXPECT_THROW(m.configure_pools(0), std::invalid_argument);
+}
+
+// ------------------------------------------------ conservation checks --
+
+TEST(Simulate, EveryTaskRunsExactlyOnce) {
+  const auto t = trace::balanced(40, 0.01, 3, 1);
+  CilkPolicy p;
+  const auto res = simulate(t, p, small_options());
+  // All work accounted: active core time >= total work (spin included).
+  EXPECT_GE(res.time_s, 0.0);
+  // The per-batch span must be at least total-work / capacity.
+  for (std::size_t b = 0; b < t.batch_count(); ++b) {
+    const double lower =
+        t.batches[b].total_work_s() / static_cast<double>(4);
+    EXPECT_GE(res.batches[b].span_s, lower * 0.999);
+  }
+}
+
+TEST(Simulate, MakespanAtLeastCriticalPath) {
+  // One giant task dominates: makespan >= its execution time.
+  trace::TaskTrace t;
+  t.name = "crit";
+  t.class_names = {"c"};
+  t.batches.resize(1);
+  t.batches[0].tasks = {{0, 5.0, 0, 0}, {0, 0.1, 0, 0}, {0, 0.1, 0, 0}};
+  CilkPolicy p;
+  const auto res = simulate(t, p, small_options());
+  EXPECT_GE(res.time_s, 5.0);
+  EXPECT_LT(res.time_s, 5.5);
+}
+
+TEST(Simulate, EnergyBoundedByPowerEnvelope) {
+  const auto t = trace::balanced(32, 0.01, 2, 2);
+  CilkPolicy p;
+  const auto opt = small_options();
+  const auto res = simulate(t, p, opt);
+  const double hi = opt.power.machine_all_active_w(4, 0) * res.time_s;
+  const double lo = opt.power.floor_w() * res.time_s;
+  EXPECT_LE(res.energy_j, hi * 1.0001);
+  EXPECT_GE(res.energy_j, lo);
+  EXPECT_GT(res.cpu_energy_j, 0.0);
+  EXPECT_LT(res.cpu_energy_j, res.energy_j);
+}
+
+TEST(Simulate, ResidencySumsToCoreTime) {
+  const auto t = trace::balanced(32, 0.01, 2, 3);
+  CilkPolicy p;
+  const auto res = simulate(t, p, small_options());
+  double residency = 0.0;
+  for (double r : res.rung_residency_s) residency += r;
+  // Every core is accounted from batch start to barrier each batch
+  // (spin included), so total residency ~= cores × span total.
+  double span_total = 0.0;
+  for (const auto& b : res.batches) span_total += b.span_s + b.overhead_s;
+  EXPECT_NEAR(residency, 4.0 * span_total, 0.05 * residency + 1e-9);
+}
+
+TEST(Simulate, EmptyBatchesAreHandled) {
+  trace::TaskTrace t;
+  t.name = "empty";
+  t.class_names = {"c"};
+  t.batches.resize(2);  // two empty batches
+  CilkPolicy p;
+  const auto res = simulate(t, p, small_options());
+  EXPECT_EQ(res.batches.size(), 2u);
+  EXPECT_DOUBLE_EQ(res.batches[0].span_s, 0.0);
+}
+
+TEST(Simulate, DeterministicForFixedSeed) {
+  const auto t = trace::bimodal(4, 0.2, 28, 0.02, 3, 9);
+  CilkPolicy p1, p2;
+  const auto a = simulate(t, p1, small_options());
+  const auto b = simulate(t, p2, small_options());
+  EXPECT_DOUBLE_EQ(a.time_s, b.time_s);
+  EXPECT_DOUBLE_EQ(a.energy_j, b.energy_j);
+  EXPECT_EQ(a.steals, b.steals);
+}
+
+TEST(Simulate, BatchStatsRecorded) {
+  const auto t = trace::balanced(32, 0.01, 3, 4);
+  CilkPolicy p;
+  const auto res = simulate(t, p, small_options());
+  ASSERT_EQ(res.batches.size(), 3u);
+  for (const auto& b : res.batches) {
+    EXPECT_GT(b.span_s, 0.0);
+    EXPECT_EQ(b.cores_per_rung.size(), 4u);
+    EXPECT_EQ(b.cores_per_rung[0], 4u);  // Cilk keeps everyone at F0
+    EXPECT_GT(b.energy_j, 0.0);
+  }
+}
+
+TEST(Simulate, NamedFactoryWorks) {
+  const auto t = trace::balanced(16, 0.01, 2, 5);
+  const auto opt = small_options();
+  EXPECT_EQ(simulate_named(t, "cilk", opt).policy, "cilk");
+  EXPECT_EQ(simulate_named(t, "cilk-d", opt).policy, "cilk-d");
+  EXPECT_EQ(simulate_named(t, "eewa", opt).policy, "eewa");
+  EXPECT_THROW(simulate_named(t, "nope", opt), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace eewa::sim

@@ -1,0 +1,156 @@
+// Parameterized conservation sweeps: every scheduling policy, across
+// machine sizes, trace shapes and seeds, must satisfy the simulator's
+// physical invariants — all work executed, makespan above the
+// capacity/critical-path lower bounds, energy inside the power
+// envelope, and residency accounting that adds up.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "sim/simulate.hpp"
+#include "trace/synthetic.hpp"
+
+namespace eewa::sim {
+namespace {
+
+struct SweepCase {
+  const char* policy;
+  const char* shape;
+  std::size_t cores;
+  std::uint64_t seed;
+};
+
+trace::TaskTrace make_trace(const SweepCase& sc) {
+  const std::string shape = sc.shape;
+  if (shape == "balanced") {
+    return trace::balanced(48, 0.004, 4, sc.seed);
+  }
+  if (shape == "bimodal") {
+    return trace::bimodal(4, 0.06, 36, 0.003, 4, sc.seed);
+  }
+  if (shape == "geometric") {
+    return trace::geometric_classes(4, 10, 0.03, 8.0, 4, sc.seed);
+  }
+  // staggered: tasks spawn over a window
+  trace::SyntheticSpec spec;
+  spec.classes = {{"a", 6, 0.02, 0.2, 0, 0}, {"b", 30, 0.002, 0.2, 0, 0}};
+  spec.batches = 4;
+  spec.seed = sc.seed;
+  spec.release_window_s = 0.01;
+  return trace::generate(spec);
+}
+
+std::unique_ptr<Policy> make_policy(const SweepCase& sc,
+                                    const trace::TaskTrace& t) {
+  const std::string p = sc.policy;
+  if (p == "cilk") return std::make_unique<CilkPolicy>();
+  if (p == "cilk-d") return std::make_unique<CilkDPolicy>();
+  if (p == "sharing") return std::make_unique<SharingPolicy>();
+  if (p == "ondemand") return std::make_unique<OndemandPolicy>();
+  if (p == "eewa") return std::make_unique<EewaPolicy>(t.class_names);
+  // wats: half fast, half slow
+  std::vector<std::size_t> rungs(sc.cores, 3);
+  for (std::size_t c = 0; c < sc.cores / 2 + 1; ++c) rungs[c] = 0;
+  return std::make_unique<WatsPolicy>(rungs, t.class_names);
+}
+
+class PolicySweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(PolicySweep, ConservationInvariantsHold) {
+  const auto sc = GetParam();
+  const auto t = make_trace(sc);
+  auto policy = make_policy(sc, t);
+  SimOptions opt;
+  opt.cores = sc.cores;
+  opt.seed = sc.seed ^ 0xabcdef;
+  opt.fixed_adjuster_overhead_s = 20e-6;  // keep runs bit-deterministic
+  const auto res = simulate(t, *policy, opt);
+
+  // 1. One BatchStats per batch, spans non-negative.
+  ASSERT_EQ(res.batches.size(), t.batch_count());
+  double span_total = 0.0;
+  for (const auto& b : res.batches) {
+    EXPECT_GE(b.span_s, 0.0);
+    span_total += b.span_s + b.overhead_s;
+  }
+  EXPECT_NEAR(res.time_s, span_total, 1e-9);
+
+  // 2. Makespan lower bounds: per batch, work/capacity at F0 and the
+  //    largest single task (critical path) plus its release time.
+  for (std::size_t b = 0; b < t.batch_count(); ++b) {
+    double max_task = 0.0;
+    for (const auto& task : t.batches[b].tasks) {
+      max_task = std::max(max_task, task.work_s + task.release_s);
+    }
+    const double capacity_bound =
+        t.batches[b].total_work_s() / static_cast<double>(sc.cores);
+    EXPECT_GE(res.batches[b].span_s + 1e-9,
+              std::max(capacity_bound * 0.999, max_task * 0.999))
+        << "batch " << b;
+  }
+
+  // 3. Energy envelope: between floor-only and all-cores-max-power.
+  const double hi = opt.power.machine_all_active_w(sc.cores, 0) *
+                    res.time_s * 1.001 +
+                    static_cast<double>(res.transitions) * 1e-3;
+  EXPECT_GT(res.energy_j, opt.power.floor_w() * res.time_s * 0.999);
+  EXPECT_LE(res.energy_j, hi);
+
+  // 4. Residency adds to cores x wall time (every core always has a
+  //    frequency, spinning or working or halted).
+  double residency = 0.0;
+  for (double r : res.rung_residency_s) residency += r;
+  EXPECT_NEAR(residency, static_cast<double>(sc.cores) * res.time_s,
+              0.01 * residency + 1e-9);
+
+  // 5. Determinism: the identical run reproduces exactly.
+  auto policy2 = make_policy(sc, t);
+  const auto res2 = simulate(t, *policy2, opt);
+  EXPECT_DOUBLE_EQ(res.time_s, res2.time_s);
+  EXPECT_DOUBLE_EQ(res.energy_j, res2.energy_j);
+  EXPECT_EQ(res.steals, res2.steals);
+}
+
+std::vector<SweepCase> sweep_cases() {
+  std::vector<SweepCase> cases;
+  std::uint64_t seed = 100;
+  for (const char* policy :
+       {"cilk", "cilk-d", "sharing", "ondemand", "wats", "eewa"}) {
+    for (const char* shape :
+         {"balanced", "bimodal", "geometric", "staggered"}) {
+      for (std::size_t cores : {2u, 5u, 16u}) {
+        cases.push_back(SweepCase{policy, shape, cores, seed++});
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, PolicySweep,
+                         ::testing::ValuesIn(sweep_cases()),
+                         [](const auto& info) {
+                           const auto& p = info.param;
+                           std::string name = std::string(p.policy) + "_" +
+                                              p.shape + "_" +
+                                              std::to_string(p.cores);
+                           std::replace(name.begin(), name.end(), '-', '_');
+                           return name;
+                         });
+
+TEST(SharingPolicy, CentralQueueCompletesEverythingButScalesWorse) {
+  // Fine-grained tasks: the shared lock's serialization shows up as a
+  // longer makespan versus stealing on the same trace.
+  const auto t = trace::balanced(400, 0.0001, 2, 21);
+  SimOptions opt;
+  opt.cores = 16;
+  opt.seed = 22;
+  SharingPolicy sharing(/*lock_base_s=*/5e-6);
+  CilkPolicy cilk;
+  const auto rs = simulate(t, sharing, opt);
+  const auto rc = simulate(t, cilk, opt);
+  EXPECT_GT(rs.time_s, rc.time_s);
+}
+
+}  // namespace
+}  // namespace eewa::sim

@@ -1,0 +1,137 @@
+// Tests for the benchmark suite: Table II coverage, kernel execution,
+// calibration, trace building, and real-batch materialization.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "workloads/suite.hpp"
+
+namespace eewa::wl {
+namespace {
+
+TEST(Suite, CoversAllSevenPaperBenchmarks) {
+  const auto& all = suite();
+  ASSERT_EQ(all.size(), 7u);
+  const char* expected[] = {"BWC", "Bzip-2", "DMC", "JE",
+                            "LZW", "MD5",    "SHA-1"};
+  for (std::size_t i = 0; i < 7; ++i) {
+    EXPECT_EQ(all[i].name, expected[i]);
+    EXPECT_FALSE(all[i].classes.empty());
+    EXPECT_FALSE(all[i].description.empty());
+  }
+}
+
+TEST(Suite, BatchesLaunchManyTasks) {
+  // Dozens of tasks per batch (the paper suggests "many, e.g. 128"; our
+  // mixes use coarse critical-path blocks plus fine filler, so counts
+  // land lower while preserving the underutilization its Fig. 3 shows).
+  for (const auto& b : suite()) {
+    std::size_t tasks = 0;
+    for (const auto& c : b.classes) tasks += c.tasks_per_batch;
+    EXPECT_GE(tasks, 24u) << b.name;
+    EXPECT_LE(tasks, 160u) << b.name;
+  }
+}
+
+TEST(Suite, FindBenchmarkLookup) {
+  EXPECT_EQ(find_benchmark("MD5").name, "MD5");
+  EXPECT_THROW(find_benchmark("nope"), std::invalid_argument);
+}
+
+TEST(Suite, RunKernelExecutesEveryKind) {
+  for (const auto& b : suite()) {
+    for (const auto& c : b.classes) {
+      EXPECT_NO_THROW(run_kernel(c.kernel, 2048, 1)) << c.class_name;
+    }
+  }
+}
+
+TEST(Suite, RunKernelDeterministicInSeed) {
+  const auto a = run_kernel(KernelKind::kSha1Hash, 4096, 5);
+  const auto b = run_kernel(KernelKind::kSha1Hash, 4096, 5);
+  const auto c = run_kernel(KernelKind::kSha1Hash, 4096, 6);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(Suite, CalibrationProducesPositiveCosts) {
+  const auto cal = calibrate(/*sample_bytes=*/4096, /*reps=*/1);
+  ASSERT_EQ(cal.ns_per_byte.size(), 9u);
+  for (const auto& [k, ns] : cal.ns_per_byte) {
+    EXPECT_GT(ns, 0.0);
+  }
+  // Hashing is at least an order of magnitude cheaper per byte than the
+  // BWT-based compressors.
+  EXPECT_LT(cal.ns_per_byte.at(KernelKind::kSha1Hash),
+            cal.ns_per_byte.at(KernelKind::kBzCompress));
+}
+
+TEST(Suite, ReferenceCalibrationCoversAllKernels) {
+  const auto cal = reference_calibration();
+  EXPECT_EQ(cal.ns_per_byte.size(), 9u);
+  EXPECT_GT(cal.cost_s(KernelKind::kMd5Hash, 1e6), 0.0);
+}
+
+TEST(Suite, BuildTraceShapesMatchDefinition) {
+  const auto& bench = find_benchmark("JE");
+  const auto trace = build_trace(bench, reference_calibration(), 4, 9);
+  EXPECT_EQ(trace.name, "JE");
+  EXPECT_EQ(trace.batch_count(), 4u);
+  EXPECT_EQ(trace.class_names.size(), bench.classes.size());
+  std::size_t expected = 0;
+  for (const auto& c : bench.classes) expected += c.tasks_per_batch;
+  EXPECT_EQ(trace.batches[0].tasks.size(), expected);
+  EXPECT_NO_THROW(trace.validate());
+}
+
+TEST(Suite, BuildTraceDeterministic) {
+  const auto& bench = find_benchmark("MD5");
+  const auto cal = reference_calibration();
+  const auto a = build_trace(bench, cal, 2, 7);
+  const auto b = build_trace(bench, cal, 2, 7);
+  EXPECT_DOUBLE_EQ(a.batches[0].tasks[0].work_s,
+                   b.batches[0].tasks[0].work_s);
+}
+
+TEST(Suite, SkewedBenchmarksHaveHighVariance) {
+  const auto cal = reference_calibration();
+  auto cv_of = [&](const char* name) {
+    const auto t = build_trace(find_benchmark(name), cal, 1, 3);
+    double sum = 0, sum2 = 0;
+    for (const auto& task : t.batches[0].tasks) {
+      sum += task.work_s;
+      sum2 += task.work_s * task.work_s;
+    }
+    const double n = static_cast<double>(t.batches[0].tasks.size());
+    const double mean = sum / n;
+    return std::sqrt(std::max(0.0, sum2 / n - mean * mean)) / mean;
+  };
+  EXPECT_GT(cv_of("MD5"), cv_of("DMC"));
+}
+
+TEST(Suite, MakeBatchProducesRunnableTasks) {
+  const auto& bench = find_benchmark("SHA-1");
+  auto tasks = make_batch(bench, 0, 11);
+  ASSERT_FALSE(tasks.empty());
+  EXPECT_EQ(tasks[0].class_name, "sha1_large_file");
+  EXPECT_GE(tasks[0].bytes, 64u);
+  EXPECT_NO_THROW(tasks[0].run());
+}
+
+TEST(Suite, MakeBatchDeterministicPerBatchIndex) {
+  const auto& bench = find_benchmark("LZW");
+  const auto a = make_batch(bench, 0, 5);
+  const auto b = make_batch(bench, 0, 5);
+  const auto c = make_batch(bench, 1, 5);
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(a[0].bytes, b[0].bytes);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < std::min(a.size(), c.size()); ++i) {
+    any_diff = any_diff || a[i].bytes != c[i].bytes;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+}  // namespace
+}  // namespace eewa::wl

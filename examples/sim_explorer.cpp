@@ -4,6 +4,12 @@
 //
 // Usage: ./examples/sim_explorer [--benchmark NAME] [--policy cilk|cilk-d|
 //        wats|eewa] [--cores N] [--batches N] [--seed N] [--margin X]
+//        [--fail-p P] [--drift-p P] [--stuck LIST]
+//
+// --fail-p/--drift-p/--stuck inject seeded DVFS actuation faults
+// (transient write failures, one-rung drift, permanently stuck cores);
+// under --policy eewa the run then prints the controller's HealthReport
+// (retries, reconciliations, degradations).
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -20,6 +26,7 @@ int main(int argc, char** argv) {
   std::size_t batches = 20;
   std::uint64_t seed = 42;
   double margin = 0.15;
+  dvfs::FaultSpec faults;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> std::string {
@@ -31,10 +38,23 @@ int main(int argc, char** argv) {
     else if (arg == "--batches") batches = std::stoul(next());
     else if (arg == "--seed") seed = std::stoull(next());
     else if (arg == "--margin") margin = std::stod(next());
-    else {
+    else if (arg == "--fail-p") faults.transient_failure_p = std::stod(next());
+    else if (arg == "--drift-p") faults.drift_p = std::stod(next());
+    else if (arg == "--stuck") {
+      // Comma-separated core list, e.g. --stuck 0,3,7.
+      std::string list = next();
+      std::size_t pos = 0;
+      while (pos < list.size()) {
+        std::size_t end = list.find(',', pos);
+        if (end == std::string::npos) end = list.size();
+        faults.stuck_cores.push_back(std::stoul(list.substr(pos, end - pos)));
+        pos = end + 1;
+      }
+    } else {
       std::printf(
           "usage: sim_explorer [--benchmark B] [--policy P] [--cores N]\n"
           "                    [--batches N] [--seed N] [--margin X]\n"
+          "                    [--fail-p P] [--drift-p P] [--stuck LIST]\n"
           "benchmarks:");
       for (const auto& b : wl::suite()) std::printf(" %s", b.name.c_str());
       std::printf("\npolicies: cilk cilk-d sharing ondemand wats eewa\n");
@@ -48,8 +68,11 @@ int main(int argc, char** argv) {
   sim::SimOptions opt;
   opt.cores = cores;
   opt.seed = seed;
+  faults.seed = seed ^ 0x9e3779b97f4a7c15ULL;
+  opt.faults = faults;
 
   sim::SimResult res;
+  std::string health;
   if (policy_name == "cilk" || policy_name == "cilk-d" ||
       policy_name == "sharing" || policy_name == "ondemand") {
     res = sim::simulate_named(trace, policy_name, opt);
@@ -64,6 +87,7 @@ int main(int argc, char** argv) {
     copts.adjuster.time_margin = margin;
     sim::EewaPolicy p(trace.class_names, copts);
     res = sim::simulate(trace, p, opt);
+    health = p.controller().health().to_string();
   } else {
     std::fprintf(stderr, "unknown policy %s\n", policy_name.c_str());
     return 1;
@@ -79,5 +103,6 @@ int main(int argc, char** argv) {
     std::printf("  F%zu (%.1f GHz): %.3f core-seconds\n", j,
                 opt.ladder().ghz(j), res.rung_residency_s[j]);
   }
+  if (!health.empty()) std::printf("  health: %s\n", health.c_str());
   return 0;
 }

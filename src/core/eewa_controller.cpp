@@ -31,6 +31,19 @@ void EewaController::record_task(std::size_t class_id, double exec_time_s,
 
 const FrequencyPlan& EewaController::end_batch(double batch_makespan_s) {
   const auto t0 = std::chrono::steady_clock::now();
+  // Watchdog: a batch that blows past the ideal time by the configured
+  // factor is a strike; enough consecutive strikes degrade the run.
+  if (options_.watchdog.enabled && batches_ > 0 && ideal_time_s_ > 0.0 &&
+      batch_makespan_s >
+          options_.watchdog.makespan_blowup_factor * ideal_time_s_) {
+    ++health_.makespan_blowups;
+    if (++consecutive_blowups_ >= options_.watchdog.max_consecutive_blowups &&
+        !degraded_) {
+      degrade(nullptr);
+    }
+  } else {
+    consecutive_blowups_ = 0;
+  }
   if (batches_ > 0 && options_.ideal_time == IdealTimeMode::kRollingMin &&
       batch_makespan_s > 0.0 && batch_makespan_s < ideal_time_s_) {
     ideal_time_s_ = batch_makespan_s;
@@ -47,7 +60,7 @@ const FrequencyPlan& EewaController::end_batch(double batch_makespan_s) {
   }
   ++batches_;
 
-  if (memory_bound_mode_) {
+  if (memory_bound_mode_ || degraded_) {
     plan_ = uniform_plan(total_cores(), registry_.class_count());
   } else {
     last_ = adjuster_.adjust(registry_.iteration_profile(),
@@ -79,6 +92,82 @@ std::size_t EewaController::apply(dvfs::DvfsBackend& backend) const {
     }
   }
   return ok;
+}
+
+const ActuationOutcome& EewaController::apply_supervised(
+    dvfs::DvfsBackend& backend) {
+  ActuationSupervisor supervisor(options_.actuation);
+  last_outcome_ = supervisor.apply(plan_, backend);
+  health_.writes += last_outcome_.writes;
+  health_.retries += last_outcome_.retries;
+  health_.write_failures += last_outcome_.write_failures;
+
+  // Per-core failure streaks: a core that misses its rung in
+  // stuck_core_threshold consecutive actuations is reported stuck.
+  if (core_failure_streak_.size() < backend.core_count()) {
+    core_failure_streak_.resize(backend.core_count(), 0);
+  }
+  std::vector<bool> failed(core_failure_streak_.size(), false);
+  for (std::size_t c : last_outcome_.failed_cores) {
+    if (c < failed.size()) failed[c] = true;
+  }
+  health_.stuck_cores = 0;
+  for (std::size_t c = 0; c < core_failure_streak_.size(); ++c) {
+    core_failure_streak_[c] = failed[c] ? core_failure_streak_[c] + 1 : 0;
+    if (core_failure_streak_[c] >= options_.watchdog.stuck_core_threshold) {
+      ++health_.stuck_cores;
+    }
+  }
+
+  if (!last_outcome_.ok()) {
+    health_.failed_cores += last_outcome_.failed_cores.size();
+    ++consecutive_actuation_failures_;
+    // Reconcile: regroup the plan around what the hardware reached, so
+    // Eq. 1 normalization and the stealing order match reality.
+    plan_ = reconcile_plan(plan_, last_outcome_.achieved);
+    prefs_ = PreferenceTable(plan_.layout);
+    ++health_.reconciliations;
+    if (options_.watchdog.enabled && !degraded_ &&
+        consecutive_actuation_failures_ >=
+            options_.watchdog.max_consecutive_actuation_failures) {
+      degrade(&backend);
+    }
+  } else {
+    consecutive_actuation_failures_ = 0;
+  }
+  health_.degraded = degraded_;
+  return last_outcome_;
+}
+
+void EewaController::note_task_failures(std::size_t count) {
+  if (count == 0) return;
+  health_.task_exceptions += count;
+  if (options_.watchdog.enabled && !degraded_ &&
+      health_.task_exceptions >= options_.watchdog.max_task_exceptions) {
+    degrade(nullptr);
+    health_.degraded = true;
+  }
+}
+
+void EewaController::degrade(dvfs::DvfsBackend* backend) {
+  degraded_ = true;
+  ++health_.degradations;
+  health_.degraded = true;
+  plan_ = uniform_plan(total_cores(), registry_.class_count());
+  if (backend != nullptr) {
+    // Best-effort push to the safe all-F0 configuration; cores that
+    // still cannot switch are reconciled around one more time.
+    ActuationSupervisor supervisor(options_.actuation);
+    const auto out = supervisor.apply(plan_, *backend);
+    health_.writes += out.writes;
+    health_.retries += out.retries;
+    health_.write_failures += out.write_failures;
+    if (!out.ok()) {
+      plan_ = reconcile_plan(plan_, out.achieved);
+      ++health_.reconciliations;
+    }
+  }
+  prefs_ = PreferenceTable(plan_.layout);
 }
 
 }  // namespace eewa::core

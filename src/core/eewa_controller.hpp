@@ -19,6 +19,9 @@
 #include <cstddef>
 #include <string_view>
 
+#include <vector>
+
+#include "core/actuation.hpp"
 #include "core/adjuster.hpp"
 #include "core/classifier.hpp"
 #include "core/frequency_plan.hpp"
@@ -39,6 +42,26 @@ enum class IdealTimeMode {
   kRollingMin,
 };
 
+/// Batch watchdog thresholds. The watchdog tracks consecutive actuation
+/// failures, makespan blowups versus the ideal time T, and task
+/// exceptions; past a threshold it trips a degraded mode — all cores
+/// forced to F0 with plain work-stealing, the same safe configuration
+/// as the §IV-D memory gate — instead of keeping a plan the hardware
+/// demonstrably cannot run.
+struct WatchdogOptions {
+  bool enabled = true;
+  /// Consecutive batches with >= 1 core missing its rung before degrade.
+  std::size_t max_consecutive_actuation_failures = 3;
+  /// A batch slower than blowup_factor * T counts as a blowup strike.
+  double makespan_blowup_factor = 4.0;
+  std::size_t max_consecutive_blowups = 3;
+  /// Cumulative task exceptions before degrade.
+  std::size_t max_task_exceptions = 64;
+  /// Consecutive per-core actuation failures before the core is
+  /// reported stuck in HealthReport.
+  std::size_t stuck_core_threshold = 2;
+};
+
 /// Controller configuration.
 struct ControllerOptions {
   AdjusterOptions adjuster;
@@ -48,6 +71,9 @@ struct ControllerOptions {
   bool memory_gate_enabled = true;
   double task_cmi_threshold = 0.01;
   double app_memory_fraction = 0.5;
+  /// Retry/backoff policy for apply_supervised().
+  ActuationOptions actuation;
+  WatchdogOptions watchdog;
 };
 
 /// Drives EEWA across batches.
@@ -87,7 +113,32 @@ class EewaController {
   std::size_t group_of_class(std::size_t class_id) const;
 
   /// Apply plan() to a DVFS backend; returns cores successfully set.
+  /// Raw fire-and-forget path — prefer apply_supervised() anywhere the
+  /// writes can fail.
   std::size_t apply(dvfs::DvfsBackend& backend) const;
+
+  /// Fault-tolerant actuation of plan(): retry each core's write with
+  /// exponential backoff, read back achieved rungs, and on failure
+  /// reconcile the plan (cores regroup by achieved rung, classes and
+  /// preference lists follow) so profiling normalization and stealing
+  /// order stay consistent with reality. Feeds the watchdog: enough
+  /// consecutive failed actuations trip degraded mode.
+  const ActuationOutcome& apply_supervised(dvfs::DvfsBackend& backend);
+
+  /// Report task exceptions observed in the running batch; enough of
+  /// them trip the watchdog into degraded mode.
+  void note_task_failures(std::size_t count);
+
+  /// Fault-tolerance counters (retries, reconciliations, degradations).
+  const HealthReport& health() const { return health_; }
+
+  /// Outcome of the most recent apply_supervised().
+  const ActuationOutcome& last_actuation() const { return last_outcome_; }
+
+  /// True when the watchdog tripped: all cores forced to F0, plain
+  /// work-stealing (the §IV-D memory-gate configuration) until the run
+  /// ends.
+  bool degraded() const { return degraded_; }
 
   /// Ideal iteration time T (0 until the first batch completes).
   double ideal_time_s() const { return ideal_time_s_; }
@@ -111,6 +162,8 @@ class EewaController {
   const TaskClassRegistry& registry() const { return registry_; }
 
  private:
+  void degrade(dvfs::DvfsBackend* backend);
+
   Adjuster adjuster_;
   ControllerOptions options_;
   TaskClassRegistry registry_;
@@ -122,6 +175,14 @@ class EewaController {
   std::size_t batches_ = 0;
   bool memory_bound_mode_ = false;
   double overhead_us_ = 0.0;
+
+  // Fault-tolerance state.
+  ActuationOutcome last_outcome_;
+  HealthReport health_;
+  std::vector<std::size_t> core_failure_streak_;
+  std::size_t consecutive_actuation_failures_ = 0;
+  std::size_t consecutive_blowups_ = 0;
+  bool degraded_ = false;
 };
 
 }  // namespace eewa::core

@@ -1,0 +1,44 @@
+#include "dvfs/fault_backend.hpp"
+
+#include <algorithm>
+
+namespace eewa::dvfs {
+
+FaultInjectingBackend::FaultInjectingBackend(DvfsBackend& inner,
+                                             FaultSpec spec)
+    : inner_(inner), spec_(std::move(spec)), rng_(spec_.seed) {}
+
+bool FaultInjectingBackend::chance(double p) {
+  if (p <= 0.0) return false;
+  const double u = static_cast<double>(rng_.next() >> 11) * 0x1.0p-53;
+  return u < p;
+}
+
+bool FaultInjectingBackend::set_frequency(std::size_t core,
+                                          std::size_t freq_index) {
+  ++writes_;
+  if (spec_.is_stuck(core)) {
+    ++stuck_rejections_;
+    return false;
+  }
+  if (chance(spec_.transient_failure_p)) {
+    ++transient_failures_;
+    return false;
+  }
+  std::size_t target = freq_index;
+  if (chance(spec_.drift_p)) {
+    // Land one rung slower; the write still reports success, so only a
+    // readback catches it (exactly how cpufreq policy clamps behave).
+    const std::size_t drifted =
+        std::min(freq_index + 1, inner_.ladder().size() - 1);
+    if (drifted != target) {
+      target = drifted;
+      ++drifts_;
+    }
+  }
+  const bool ok = inner_.set_frequency(core, target);
+  if (ok) modeled_latency_s_ += spec_.extra_latency_s;
+  return ok;
+}
+
+}  // namespace eewa::dvfs

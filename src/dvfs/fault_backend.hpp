@@ -1,0 +1,88 @@
+// Fault injection for DVFS actuation. Real /sys cpufreq trees fail
+// transiently all the time (governor races, offline CPUs, permission
+// flaps), so the actuation path must survive writes that bounce, cores
+// that never switch, and cores that land one rung off. FaultSpec
+// describes those failure modes; FaultInjectingBackend decorates any
+// DvfsBackend with them, seeded so every test run is reproducible. The
+// simulator's Machine consumes the same FaultSpec for its request_rung
+// hook, so the retry/reconcile/degrade ladder is exercised identically
+// against real backends and simulated cores.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dvfs/dvfs_backend.hpp"
+#include "util/rng.hpp"
+
+namespace eewa::dvfs {
+
+/// Seeded, deterministic failure modes for frequency writes.
+struct FaultSpec {
+  /// Probability that a write bounces (returns false, core unchanged).
+  double transient_failure_p = 0.0;
+  /// Probability that a "successful" write lands one rung slower than
+  /// requested (the caller only notices on readback).
+  double drift_p = 0.0;
+  /// Cores that never leave their current rung (every write fails).
+  std::vector<std::size_t> stuck_cores;
+  /// Seed of the fault stream (independent of scheduling randomness).
+  std::uint64_t seed = 0x5eedULL;
+  /// Modeled per-transition stall accumulated by the decorator (the
+  /// simulator charges its own TransitionModel instead).
+  double extra_latency_s = 0.0;
+
+  bool enabled() const {
+    return transient_failure_p > 0.0 || drift_p > 0.0 ||
+           !stuck_cores.empty();
+  }
+
+  bool is_stuck(std::size_t core) const {
+    for (std::size_t s : stuck_cores) {
+      if (s == core) return true;
+    }
+    return false;
+  }
+};
+
+/// Decorator injecting FaultSpec failures into any DvfsBackend.
+class FaultInjectingBackend : public DvfsBackend {
+ public:
+  /// `inner` must outlive this decorator.
+  FaultInjectingBackend(DvfsBackend& inner, FaultSpec spec);
+
+  const FrequencyLadder& ladder() const override { return inner_.ladder(); }
+  std::size_t core_count() const override { return inner_.core_count(); }
+  bool set_frequency(std::size_t core, std::size_t freq_index) override;
+  std::size_t frequency_index(std::size_t core) const override {
+    return inner_.frequency_index(core);
+  }
+  bool is_live() const override { return inner_.is_live(); }
+  std::size_t transition_count() const override {
+    return inner_.transition_count();
+  }
+
+  const FaultSpec& spec() const { return spec_; }
+
+  /// Injection counters (writes attempted through the decorator).
+  std::size_t writes() const { return writes_; }
+  std::size_t transient_failures() const { return transient_failures_; }
+  std::size_t stuck_rejections() const { return stuck_rejections_; }
+  std::size_t drifts() const { return drifts_; }
+  /// Total modeled transition stall (extra_latency_s per applied write).
+  double modeled_latency_s() const { return modeled_latency_s_; }
+
+ private:
+  bool chance(double p);
+
+  DvfsBackend& inner_;
+  FaultSpec spec_;
+  util::SplitMix64 rng_;
+  std::size_t writes_ = 0;
+  std::size_t transient_failures_ = 0;
+  std::size_t stuck_rejections_ = 0;
+  std::size_t drifts_ = 0;
+  double modeled_latency_s_ = 0.0;
+};
+
+}  // namespace eewa::dvfs

@@ -1,6 +1,7 @@
 #include "dvfs/sysfs_backend.hpp"
 
 #include <algorithm>
+#include <cctype>
 #include <filesystem>
 #include <fstream>
 #include <functional>
@@ -9,6 +10,18 @@
 namespace eewa::dvfs {
 
 namespace fs = std::filesystem;
+
+namespace {
+
+std::string trim(std::string s) {
+  const auto is_space = [](unsigned char c) { return std::isspace(c) != 0; };
+  while (!s.empty() && is_space(s.back())) s.pop_back();
+  std::size_t i = 0;
+  while (i < s.size() && is_space(s[i])) ++i;
+  return s.substr(i);
+}
+
+}  // namespace
 
 std::optional<std::string> SysfsBackend::read_file(const std::string& path) {
   std::ifstream in(path);
@@ -29,19 +42,36 @@ bool SysfsBackend::write_file(const std::string& path,
 
 std::string SysfsBackend::cpufreq_path(std::size_t core,
                                        const std::string& file) const {
-  return root_ + "/cpu" + std::to_string(core) + "/cpufreq/" + file;
+  return root_ + "/cpu" + std::to_string(cpu_ids_.at(core)) + "/cpufreq/" +
+         file;
 }
 
 std::optional<SysfsBackend> SysfsBackend::probe(const std::string& root) {
-  // Count consecutive cpuN directories that expose cpufreq.
-  std::size_t cores = 0;
-  while (fs::exists(root + "/cpu" + std::to_string(cores) + "/cpufreq")) {
-    ++cores;
+  // Enumerate cpuN directories exposing cpufreq. Offline or hotplugged
+  // CPUs leave holes in the numbering, so scan the directory instead of
+  // counting consecutively from cpu0.
+  std::vector<std::size_t> cpu_ids;
+  std::error_code ec;
+  for (fs::directory_iterator it(root, ec), end; !ec && it != end;
+       it.increment(ec)) {
+    const std::string name = it->path().filename().string();
+    if (name.size() <= 3 || name.compare(0, 3, "cpu") != 0) continue;
+    const std::string digits = name.substr(3);
+    if (!std::all_of(digits.begin(), digits.end(), [](unsigned char c) {
+          return std::isdigit(c) != 0;
+        })) {
+      continue;  // cpuidle, cpufreq, ...
+    }
+    std::error_code sub_ec;
+    if (!fs::exists(it->path() / "cpufreq", sub_ec)) continue;
+    cpu_ids.push_back(std::stoul(digits));
   }
-  if (cores == 0) return std::nullopt;
+  if (cpu_ids.empty()) return std::nullopt;
+  std::sort(cpu_ids.begin(), cpu_ids.end());
 
   const auto avail =
-      read_file(root + "/cpu0/cpufreq/scaling_available_frequencies");
+      read_file(root + "/cpu" + std::to_string(cpu_ids.front()) +
+                "/cpufreq/scaling_available_frequencies");
   if (!avail) return std::nullopt;
   std::vector<std::uint64_t> khz;
   std::istringstream ss(*avail);
@@ -51,23 +81,38 @@ std::optional<SysfsBackend> SysfsBackend::probe(const std::string& root) {
   khz.erase(std::unique(khz.begin(), khz.end()), khz.end());
   if (khz.empty()) return std::nullopt;
 
+  // Capture every core's original governor and max-frequency clamp
+  // before touching anything, so restore() can undo the takeover.
+  std::vector<SavedCoreState> saved;
+  saved.reserve(cpu_ids.size());
+  for (std::size_t id : cpu_ids) {
+    const std::string base = root + "/cpu" + std::to_string(id) + "/cpufreq/";
+    SavedCoreState state;
+    state.governor = trim(read_file(base + "scaling_governor").value_or(""));
+    state.max_freq = trim(read_file(base + "scaling_max_freq").value_or(""));
+    saved.push_back(std::move(state));
+  }
+
   // Try to select the userspace governor everywhere.
   bool userspace = true;
-  for (std::size_t c = 0; c < cores; ++c) {
+  for (std::size_t id : cpu_ids) {
     const std::string gov =
-        root + "/cpu" + std::to_string(c) + "/cpufreq/scaling_governor";
+        root + "/cpu" + std::to_string(id) + "/cpufreq/scaling_governor";
     if (!write_file(gov, "userspace")) {
       userspace = false;
       break;
     }
   }
-  return SysfsBackend(root, cores, std::move(khz), userspace);
+  return SysfsBackend(root, std::move(cpu_ids), std::move(saved),
+                      std::move(khz), userspace);
 }
 
-SysfsBackend::SysfsBackend(std::string root, std::size_t cores,
+SysfsBackend::SysfsBackend(std::string root, std::vector<std::size_t> cpu_ids,
+                           std::vector<SavedCoreState> saved,
                            std::vector<std::uint64_t> khz, bool userspace)
     : root_(std::move(root)),
-      cores_(cores),
+      cpu_ids_(std::move(cpu_ids)),
+      saved_(std::move(saved)),
       khz_(std::move(khz)),
       ladder_([&] {
         std::vector<double> ghz;
@@ -76,10 +121,54 @@ SysfsBackend::SysfsBackend(std::string root, std::size_t cores,
         return FrequencyLadder(std::move(ghz));
       }()),
       userspace_(userspace),
-      current_(cores, 0) {}
+      current_(cpu_ids_.size(), 0) {}
+
+SysfsBackend::SysfsBackend(SysfsBackend&& other) noexcept
+    : root_(std::move(other.root_)),
+      cpu_ids_(std::move(other.cpu_ids_)),
+      saved_(std::move(other.saved_)),
+      khz_(std::move(other.khz_)),
+      ladder_(std::move(other.ladder_)),
+      userspace_(other.userspace_),
+      current_(std::move(other.current_)),
+      transitions_(other.transitions_) {
+  // The moved-from backend must not restore the tree on destruction.
+  other.saved_.clear();
+}
+
+SysfsBackend& SysfsBackend::operator=(SysfsBackend&& other) noexcept {
+  if (this != &other) {
+    restore();  // put the tree we managed so far back first
+    root_ = std::move(other.root_);
+    cpu_ids_ = std::move(other.cpu_ids_);
+    saved_ = std::move(other.saved_);
+    khz_ = std::move(other.khz_);
+    ladder_ = std::move(other.ladder_);
+    userspace_ = other.userspace_;
+    current_ = std::move(other.current_);
+    transitions_ = other.transitions_;
+    other.saved_.clear();
+  }
+  return *this;
+}
+
+SysfsBackend::~SysfsBackend() { restore(); }
+
+void SysfsBackend::restore() {
+  for (std::size_t core = 0; core < saved_.size(); ++core) {
+    const SavedCoreState& state = saved_[core];
+    if (!state.governor.empty()) {
+      write_file(cpufreq_path(core, "scaling_governor"), state.governor);
+    }
+    if (!state.max_freq.empty()) {
+      write_file(cpufreq_path(core, "scaling_max_freq"), state.max_freq);
+    }
+  }
+  saved_.clear();
+}
 
 bool SysfsBackend::set_frequency(std::size_t core, std::size_t freq_index) {
-  if (core >= cores_ || freq_index >= khz_.size()) return false;
+  if (core >= cpu_ids_.size() || freq_index >= khz_.size()) return false;
   const std::string value = std::to_string(khz_[freq_index]);
   bool ok;
   if (userspace_) {

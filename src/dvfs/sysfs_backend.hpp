@@ -3,6 +3,12 @@
 // (falling back to clamping scaling_max_freq when userspace is
 // unavailable). The sysfs root is injectable so tests run against a fake
 // tree and the code path is fully exercised without hardware.
+//
+// Robustness notes: probe() tolerates holes in the cpuN numbering
+// (offline/hotplugged CPUs), saves each core's original governor and
+// max-frequency clamp, and restore() (also run by the destructor) puts
+// them back, so a finished or crashed run never leaves the machine
+// pinned to `userspace` at a low rung.
 #pragma once
 
 #include <cstdint>
@@ -19,11 +25,19 @@ class SysfsBackend : public DvfsBackend {
  public:
   /// Probe `root` (default "/sys/devices/system/cpu"). Returns nullopt when
   /// the tree is missing, has no cpufreq nodes, or exposes no frequencies.
+  /// cpuN directories need not be consecutive; cores are indexed in
+  /// ascending cpu-id order.
   static std::optional<SysfsBackend> probe(
       const std::string& root = "/sys/devices/system/cpu");
 
+  ~SysfsBackend() override;
+  SysfsBackend(SysfsBackend&& other) noexcept;
+  SysfsBackend& operator=(SysfsBackend&& other) noexcept;
+  SysfsBackend(const SysfsBackend&) = delete;
+  SysfsBackend& operator=(const SysfsBackend&) = delete;
+
   const FrequencyLadder& ladder() const override { return ladder_; }
-  std::size_t core_count() const override { return cores_; }
+  std::size_t core_count() const override { return cpu_ids_.size(); }
   bool set_frequency(std::size_t core, std::size_t freq_index) override;
   std::size_t frequency_index(std::size_t core) const override;
   bool is_live() const override { return true; }
@@ -36,8 +50,24 @@ class SysfsBackend : public DvfsBackend {
   /// false means the scaling_max_freq clamp fallback is in use.
   bool userspace_governor() const { return userspace_; }
 
+  /// Kernel cpu id behind logical core index `core` (ids can have holes).
+  std::size_t cpu_id(std::size_t core) const { return cpu_ids_.at(core); }
+
+  /// Write back every core's original scaling_governor and
+  /// scaling_max_freq as captured at probe(). Idempotent; also invoked
+  /// from the destructor.
+  void restore();
+
  private:
-  SysfsBackend(std::string root, std::size_t cores,
+  /// Original per-core cpufreq settings captured before probe() touches
+  /// the tree (empty fields were unreadable and are left alone).
+  struct SavedCoreState {
+    std::string governor;
+    std::string max_freq;
+  };
+
+  SysfsBackend(std::string root, std::vector<std::size_t> cpu_ids,
+               std::vector<SavedCoreState> saved,
                std::vector<std::uint64_t> khz, bool userspace);
 
   std::string cpufreq_path(std::size_t core, const std::string& file) const;
@@ -45,7 +75,8 @@ class SysfsBackend : public DvfsBackend {
   static bool write_file(const std::string& path, const std::string& value);
 
   std::string root_;
-  std::size_t cores_;
+  std::vector<std::size_t> cpu_ids_;  // ascending kernel cpu ids
+  std::vector<SavedCoreState> saved_;
   std::vector<std::uint64_t> khz_;  // descending, parallel to ladder_
   FrequencyLadder ladder_;
   bool userspace_;

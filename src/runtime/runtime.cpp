@@ -133,7 +133,11 @@ void Runtime::prepare_batch(std::vector<TaskDesc>& tasks) {
       break;
     }
     case SchedulerKind::kEewa: {
-      controller_->apply(*backend_);
+      // Supervised actuation: retries with backoff, readback, and plan
+      // reconciliation when cores miss their rung — the layout below is
+      // the post-reconciliation one, so worker groups and preference
+      // lists always describe what the hardware actually runs.
+      controller_->apply_supervised(*backend_);
       const auto& layout = controller_->plan().layout;
       group_workers.resize(layout.group_count());
       for (std::size_t g = 0; g < layout.group_count(); ++g) {
@@ -247,6 +251,12 @@ void Runtime::finish_batch(double makespan_s) {
       recorded_.class_names.push_back(reg.name(id));
     }
   }
+  // Feed the watchdog the batch's task exceptions before replanning;
+  // enough of them degrade the run to the safe all-F0 configuration.
+  const std::size_t failed_now =
+      failed_tasks_.load(std::memory_order_relaxed);
+  controller_->note_task_failures(failed_now - failed_seen_);
+  failed_seen_ = failed_now;
   controller_->end_batch(makespan_s);
   ++batches_;
   tasks_run_ += batch_tasks_.size() + spawned_tasks_.size();

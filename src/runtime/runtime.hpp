@@ -122,6 +122,10 @@ class Runtime {
     return failed_tasks_.load(std::memory_order_relaxed);
   }
 
+  /// Fault-tolerance counters from the controller (retries,
+  /// reconciliations, stuck cores, degradations).
+  const core::HealthReport& health() const { return controller_->health(); }
+
  private:
   struct WorkerPools {
     // One deque per c-group (allocated for the full ladder size; a batch
@@ -160,6 +164,7 @@ class Runtime {
   std::mutex failure_mu_;
   std::exception_ptr first_failure_;
   std::atomic<std::size_t> failed_tasks_{0};
+  std::size_t failed_seen_ = 0;  // failures already reported to watchdog
 
   // Batch lifecycle.
   std::mutex mu_;

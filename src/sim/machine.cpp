@@ -1,5 +1,6 @@
 #include "sim/machine.hpp"
 
+#include <algorithm>
 #include <queue>
 #include <stdexcept>
 
@@ -9,6 +10,7 @@ Machine::Machine(const SimOptions& options)
     : options_(options),
       account_(options_.power, options.cores),
       rng_(options.seed),
+      fault_rng_(options.faults.seed),
       rung_(options.cores, 0),
       pending_latency_s_(options.cores, 0.0),
       charged_until_(options.cores, 0.0),
@@ -92,16 +94,41 @@ std::optional<TaskId> Machine::steal(std::size_t thief, std::size_t group) {
   return std::nullopt;
 }
 
-void Machine::request_rung(std::size_t core, std::size_t new_rung) {
+bool Machine::fault_chance(double p) {
+  if (p <= 0.0) return false;
+  const double u = static_cast<double>(fault_rng_.next() >> 11) * 0x1.0p-53;
+  return u < p;
+}
+
+bool Machine::request_rung(std::size_t core, std::size_t new_rung) {
   if (new_rung >= ladder().size()) {
     throw std::out_of_range("Machine: rung out of range");
   }
-  if (rung_.at(core) == new_rung) return;
+  if (options_.faults.enabled()) {
+    if (options_.faults.is_stuck(core)) {
+      ++fault_rejections_;
+      return false;
+    }
+    if (fault_chance(options_.faults.transient_failure_p)) {
+      ++fault_rejections_;
+      return false;
+    }
+    if (fault_chance(options_.faults.drift_p)) {
+      const std::size_t drifted =
+          std::min(new_rung + 1, ladder().size() - 1);
+      if (drifted != new_rung) {
+        new_rung = drifted;
+        ++fault_drifts_;
+      }
+    }
+  }
+  if (rung_.at(core) == new_rung) return true;
   rung_[core] = new_rung;
   pending_latency_s_[core] += options_.transition.latency_s;
   account_.add_extra_joules(options_.transition.energy_j);
   ++batch_transitions_;
   ++total_transitions_;
+  return true;
 }
 
 double Machine::exec_time(const trace::TraceTask& t,

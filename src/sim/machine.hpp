@@ -20,6 +20,8 @@
 #include <string>
 #include <vector>
 
+#include "dvfs/dvfs_backend.hpp"
+#include "dvfs/fault_backend.hpp"
 #include "dvfs/frequency_ladder.hpp"
 #include "dvfs/transition_model.hpp"
 #include "energy/energy_account.hpp"
@@ -60,6 +62,12 @@ struct SimOptions {
   /// runtimes all spin (that is the waste EEWA attacks); this switch
   /// exists for the thrifty-barrier-style ablation.
   bool idle_halt = false;
+  /// Seeded DVFS actuation faults (transient write failures, stuck
+  /// cores, rung drift) applied to request_rung — the deterministic
+  /// test hook for the retry/reconcile/degrade ladder. The fault stream
+  /// has its own seed so enabling faults does not perturb scheduling
+  /// randomness.
+  dvfs::FaultSpec faults{};
   std::uint64_t seed = 42;
 
   const dvfs::FrequencyLadder& ladder() const { return power.ladder(); }
@@ -191,7 +199,15 @@ class Machine {
 
   /// Request a frequency change; applied immediately, with the transition
   /// latency and energy charged to the core at its next activity.
-  void request_rung(std::size_t core, std::size_t new_rung);
+  /// Returns false when SimOptions::faults rejected the write (stuck
+  /// core or transient failure); a drift fault reports success but the
+  /// core lands one rung slower — read rung() back to notice, exactly
+  /// as on real cpufreq.
+  bool request_rung(std::size_t core, std::size_t new_rung);
+
+  /// Writes rejected / drifted by the configured FaultSpec so far.
+  std::size_t fault_rejections() const { return fault_rejections_; }
+  std::size_t fault_drifts() const { return fault_drifts_; }
 
   /// The task table of the current batch.
   const trace::TraceTask& task(TaskId id) const { return (*tasks_).at(id); }
@@ -237,9 +253,14 @@ class Machine {
     }
   };
 
+  bool fault_chance(double p);
+
   SimOptions options_;
   energy::EnergyAccount account_;
   util::Xoshiro256 rng_;
+  util::SplitMix64 fault_rng_;
+  std::size_t fault_rejections_ = 0;
+  std::size_t fault_drifts_ = 0;
 
   std::vector<std::size_t> rung_;
   std::vector<double> pending_latency_s_;  // unpaid DVFS stall per core
@@ -263,6 +284,33 @@ class Machine {
   std::size_t batch_steals_ = 0;
   std::size_t batch_probes_ = 0;
   std::size_t batch_transitions_ = 0;
+};
+
+/// DvfsBackend view over a Machine's frequency controls, so the
+/// EewaController's fault-tolerant actuation path (retry, readback,
+/// reconcile) drives simulated cores through the exact same interface
+/// as real cpufreq hardware. The Machine must outlive the adapter.
+class MachineDvfsBackend : public dvfs::DvfsBackend {
+ public:
+  explicit MachineDvfsBackend(Machine& m) : m_(m) {}
+
+  const dvfs::FrequencyLadder& ladder() const override {
+    return m_.ladder();
+  }
+  std::size_t core_count() const override { return m_.cores(); }
+  bool set_frequency(std::size_t core, std::size_t freq_index) override {
+    return m_.request_rung(core, freq_index);
+  }
+  std::size_t frequency_index(std::size_t core) const override {
+    return m_.rung(core);
+  }
+  bool is_live() const override { return true; }
+  std::size_t transition_count() const override {
+    return m_.total_transitions();
+  }
+
+ private:
+  Machine& m_;
 };
 
 }  // namespace eewa::sim

@@ -294,6 +294,13 @@ void EewaPolicy::batch_start(Machine& m, const trace::Batch& batch,
   }
   ctrl_->begin_batch();
 
+  // Fault-tolerant actuation: retries, readback, and — when a core
+  // cannot reach its assigned rung — plan reconciliation, all through
+  // the same supervisor the real runtime uses. After this call plan()
+  // describes the machine as it actually is.
+  MachineDvfsBackend backend(m);
+  ctrl_->apply_supervised(backend);
+
   const core::FrequencyPlan& plan = ctrl_->plan();
   const dvfs::CGroupLayout& layout = plan.layout;
   const std::size_t u = layout.group_count();
@@ -302,15 +309,18 @@ void EewaPolicy::batch_start(Machine& m, const trace::Batch& batch,
   core_group_.assign(m.cores(), 0);
   for (std::size_t g = 0; g < u; ++g) {
     for (std::size_t c : layout.group(g).cores) {
-      if (c < m.cores()) {
-        core_group_[c] = g;
-        m.request_rung(c, layout.group(g).freq_index);
-      }
+      if (c < m.cores()) core_group_[c] = g;
     }
   }
   applied_rungs_.emplace_back();
   for (std::size_t c = 0; c < m.cores(); ++c) {
     applied_rungs_.back().push_back(m.rung(c));
+  }
+  planned_rungs_.emplace_back(m.cores(), 0);
+  for (std::size_t g = 0; g < u; ++g) {
+    for (std::size_t c : layout.group(g).cores) {
+      if (c < m.cores()) planned_rungs_.back()[c] = layout.group(g).freq_index;
+    }
   }
 
   // Allocate each released task to its class's c-group, round-robin

@@ -164,6 +164,19 @@ class EewaPolicy : public Policy {
   /// run so far (the Fig. 7 "most often used frequency configuration").
   std::vector<std::size_t> modal_rungs(const Machine& m) const;
 
+  /// Per-batch, per-core rungs recorded by the (possibly reconciled)
+  /// plan at each batch start.
+  const std::vector<std::vector<std::size_t>>& planned_rungs() const {
+    return planned_rungs_;
+  }
+
+  /// Per-batch, per-core rungs the simulated machine actually reached.
+  /// Matches planned_rungs() whenever supervised actuation reconciled
+  /// the plan to reality.
+  const std::vector<std::vector<std::size_t>>& applied_rungs() const {
+    return applied_rungs_;
+  }
+
  private:
   std::vector<std::string> class_names_;
   core::ControllerOptions options_;
@@ -173,6 +186,7 @@ class EewaPolicy : public Policy {
   std::vector<std::size_t> rr_;  // round-robin cursor per group
   double overhead_us_seen_ = 0.0;
   std::vector<std::vector<std::size_t>> applied_rungs_;  // per batch
+  std::vector<std::vector<std::size_t>> planned_rungs_;  // per batch
 };
 
 /// Shared helper: push the *released* tasks of `batch` round-robin over

@@ -6,9 +6,14 @@
 #include <atomic>
 #include <filesystem>
 #include <fstream>
+#include <stdexcept>
+#include <tuple>
 
+#include "core/actuation.hpp"
 #include "core/eewa_controller.hpp"
+#include "dvfs/fault_backend.hpp"
 #include "dvfs/sysfs_backend.hpp"
+#include "dvfs/trace_backend.hpp"
 #include "energy/rapl_meter.hpp"
 #include "runtime/runtime.hpp"
 #include "sim/simulate.hpp"
@@ -273,6 +278,413 @@ TEST(ControllerAbuse, PlanStableUnderRepeatedIdenticalBatches) {
       EXPECT_EQ(ctrl.plan().tuple, first_tuple);
     }
   }
+}
+
+// --------------------------------------------- fault-tolerant DVFS --
+
+/// A controller with a real multi-group plan (heavy class fast, light
+/// class slower, leftovers parked at the bottom) built from one
+/// synthetic measurement batch.
+core::EewaController planned_controller(
+    std::size_t cores = 16, core::ControllerOptions copts = {}) {
+  core::EewaController ctrl(dvfs::FrequencyLadder::opteron8380(), cores,
+                            copts);
+  const auto heavy = ctrl.class_id("heavy");
+  const auto light = ctrl.class_id("light");
+  ctrl.begin_batch();
+  for (int i = 0; i < 5; ++i) ctrl.record_task(heavy, 0.4, 0);
+  for (int i = 0; i < 30; ++i) ctrl.record_task(light, 0.02, 0);
+  ctrl.end_batch(0.5);
+  return ctrl;
+}
+
+TEST(FaultTolerantDvfs, FaultBackendIsSeededAndReproducible) {
+  const auto ladder = dvfs::FrequencyLadder::opteron8380();
+  dvfs::FaultSpec spec;
+  spec.transient_failure_p = 0.5;
+  spec.drift_p = 0.2;
+  spec.stuck_cores = {2};
+  spec.seed = 99;
+  auto run = [&] {
+    dvfs::TraceBackend inner(ladder, 4);
+    dvfs::FaultInjectingBackend faulty(inner, spec);
+    std::vector<int> results;
+    for (std::size_t i = 0; i < 60; ++i) {
+      results.push_back(
+          faulty.set_frequency(i % 4, (i * 7) % ladder.size()) ? 1 : 0);
+    }
+    std::vector<std::size_t> rungs;
+    for (std::size_t c = 0; c < 4; ++c) rungs.push_back(faulty.frequency_index(c));
+    return std::tuple(results, rungs, faulty.transient_failures(),
+                      faulty.drifts(), faulty.stuck_rejections());
+  };
+  const auto a = run();
+  EXPECT_EQ(a, run());  // same seed, same injected fault stream
+  EXPECT_GT(std::get<2>(a), 0u);
+  EXPECT_GT(std::get<3>(a), 0u);
+  EXPECT_GT(std::get<4>(a), 0u);
+  // The stuck core never moved.
+  EXPECT_EQ(std::get<1>(a)[2], 0u);
+}
+
+TEST(FaultTolerantDvfs, TransientFailuresHealedByRetries) {
+  auto ctrl = planned_controller();
+  ASSERT_TRUE(ctrl.plan().planned);
+  ASSERT_GE(ctrl.plan().layout.group_count(), 2u);
+
+  dvfs::TraceBackend inner(ctrl.ladder(), 16);
+  dvfs::FaultSpec spec;
+  spec.transient_failure_p = 0.5;
+  spec.seed = 7;
+  dvfs::FaultInjectingBackend faulty(inner, spec);
+
+  core::ActuationOptions aopt;
+  aopt.max_attempts = 16;  // p=0.5 cannot plausibly survive 16 tries
+  const core::ActuationSupervisor supervisor(aopt);
+  const auto out = supervisor.apply(ctrl.plan(), faulty);
+
+  EXPECT_TRUE(out.ok());
+  EXPECT_GT(out.retries, 0u);
+  EXPECT_GT(out.write_failures, 0u);
+  EXPECT_GT(out.backoff_s, 0.0);
+  // Every core really sits at its planned rung now.
+  const auto& layout = ctrl.plan().layout;
+  for (std::size_t g = 0; g < layout.group_count(); ++g) {
+    for (std::size_t c : layout.group(g).cores) {
+      EXPECT_EQ(inner.frequency_index(c), layout.freq_index(g));
+    }
+  }
+}
+
+TEST(FaultTolerantDvfs, StuckCoreTriggersPlanReconciliation) {
+  auto ctrl = planned_controller();
+  ASSERT_TRUE(ctrl.plan().planned);
+  // The plan parks the last core away from F0; the hardware refuses.
+  const auto& intended = ctrl.plan().layout;
+  ASSERT_NE(intended.freq_index(intended.group_of_core(15)), 0u);
+
+  dvfs::TraceBackend inner(ctrl.ladder(), 16);
+  dvfs::FaultSpec spec;
+  spec.stuck_cores = {15};
+  dvfs::FaultInjectingBackend faulty(inner, spec);
+
+  const auto& out = ctrl.apply_supervised(faulty);
+  EXPECT_FALSE(out.ok());
+  EXPECT_EQ(out.failed_cores, std::vector<std::size_t>{15});
+  EXPECT_EQ(ctrl.health().reconciliations, 1u);
+  EXPECT_EQ(ctrl.health().failed_cores, 1u);
+
+  // The reconciled plan passed CGroupLayout validation on construction
+  // and its recorded rungs match what the cores actually run at — core
+  // 15 is now grouped at the rung it is stuck on.
+  const auto& layout = ctrl.plan().layout;
+  for (std::size_t g = 0; g < layout.group_count(); ++g) {
+    for (std::size_t c : layout.group(g).cores) {
+      EXPECT_EQ(inner.frequency_index(c), layout.freq_index(g));
+    }
+  }
+  EXPECT_EQ(layout.freq_index(layout.group_of_core(15)),
+            inner.frequency_index(15));
+  // A second supervised apply of the reconciled plan succeeds: it only
+  // asks for rungs the machine can actually hold.
+  EXPECT_TRUE(ctrl.apply_supervised(faulty).ok());
+}
+
+TEST(FaultTolerantDvfs, ReconcilePlanRegroupsByAchievedRung) {
+  core::FrequencyPlan intended;
+  intended.planned = true;
+  intended.layout =
+      dvfs::CGroupLayout({{0, {0, 1}}, {2, {2, 3}}}, {0, 1}, 4);
+  // Core 1 drifted to rung 1; everyone else reached their target.
+  const std::vector<std::size_t> achieved{0, 1, 2, 2};
+  const auto r = core::reconcile_plan(intended, achieved);
+  EXPECT_TRUE(r.planned);
+  ASSERT_EQ(r.layout.group_count(), 3u);
+  EXPECT_EQ(r.layout.freq_index(0), 0u);
+  EXPECT_EQ(r.layout.freq_index(1), 1u);
+  EXPECT_EQ(r.layout.freq_index(2), 2u);
+  EXPECT_EQ(r.layout.group_of_core(1), 1u);
+  EXPECT_EQ(r.layout.group_of_core(3), 2u);
+  // Class 0 wanted rung 0 and keeps it; class 1 wanted rung 2, still
+  // available.
+  EXPECT_EQ(r.layout.group_of_class(0), 0u);
+  EXPECT_EQ(r.layout.group_of_class(1), 2u);
+}
+
+TEST(FaultTolerantDvfs, ReconcilePlanTieBreaksToFasterGroup) {
+  core::FrequencyPlan intended;
+  intended.planned = true;
+  intended.layout = dvfs::CGroupLayout({{1, {0, 1, 2, 3}}}, {0}, 4);
+  // The intended rung 1 vanished: cores ended up at rungs 0 and 2,
+  // both one rung away. The class must go to the faster group.
+  const std::vector<std::size_t> achieved{0, 0, 2, 2};
+  const auto r = core::reconcile_plan(intended, achieved);
+  ASSERT_EQ(r.layout.group_count(), 2u);
+  EXPECT_EQ(r.layout.group_of_class(0), 0u);
+}
+
+TEST(FaultTolerantDvfs, WatchdogDegradesAfterConsecutiveActuationFailures) {
+  core::ControllerOptions copts;
+  copts.watchdog.max_consecutive_actuation_failures = 3;
+  core::EewaController ctrl(dvfs::FrequencyLadder::opteron8380(), 16, copts);
+  const auto heavy = ctrl.class_id("heavy");
+  const auto light = ctrl.class_id("light");
+
+  dvfs::TraceBackend inner(ctrl.ladder(), 16);
+  dvfs::FaultSpec spec;
+  spec.transient_failure_p = 1.0;  // every frequency write bounces
+  dvfs::FaultInjectingBackend faulty(inner, spec);
+
+  int batches = 0;
+  for (; batches < 10 && !ctrl.degraded(); ++batches) {
+    ctrl.begin_batch();
+    for (int i = 0; i < 5; ++i) ctrl.record_task(heavy, 0.4, 0);
+    for (int i = 0; i < 30; ++i) ctrl.record_task(light, 0.02, 0);
+    ctrl.end_batch(0.5);
+    ctrl.apply_supervised(faulty);
+  }
+
+  EXPECT_TRUE(ctrl.degraded());
+  EXPECT_EQ(batches, 3);  // exactly 3 consecutive failed actuations
+  EXPECT_EQ(ctrl.health().degradations, 1u);
+  EXPECT_TRUE(ctrl.health().degraded);
+  EXPECT_GE(ctrl.health().stuck_cores, 1u);
+  // Degraded mode is the §IV-D safe configuration: one c-group at F0.
+  EXPECT_EQ(ctrl.plan().layout.group_count(), 1u);
+  EXPECT_EQ(ctrl.plan().layout.freq_index(0), 0u);
+  // ...and it is sticky: further batches keep the uniform plan.
+  ctrl.begin_batch();
+  for (int i = 0; i < 5; ++i) ctrl.record_task(heavy, 0.4, 0);
+  ctrl.end_batch(0.5);
+  EXPECT_EQ(ctrl.plan().layout.group_count(), 1u);
+  EXPECT_EQ(ctrl.plan().layout.freq_index(0), 0u);
+}
+
+TEST(FaultTolerantDvfs, TaskExceptionWatchdogTripsDegradedMode) {
+  core::ControllerOptions copts;
+  copts.watchdog.max_task_exceptions = 4;
+  auto ctrl = planned_controller(16, copts);
+  ASSERT_GE(ctrl.plan().layout.group_count(), 2u);
+  ctrl.note_task_failures(3);
+  EXPECT_FALSE(ctrl.degraded());
+  ctrl.note_task_failures(1);
+  EXPECT_TRUE(ctrl.degraded());
+  EXPECT_EQ(ctrl.health().task_exceptions, 4u);
+  EXPECT_EQ(ctrl.plan().layout.group_count(), 1u);
+}
+
+TEST(FaultTolerantDvfs, DeterministicEndToEndWithTransientFaults) {
+  // The acceptance run: 20% of frequency writes bounce and one core is
+  // permanently stuck, yet a multi-batch simulated run completes with
+  // no lost tasks, a plan that always matches the machine, and health
+  // counters that are bit-identical across same-seed runs.
+  const auto t = trace::bimodal(4, 0.08, 30, 0.004, 6, 8);
+  sim::SimOptions opt;
+  opt.cores = 16;
+  opt.seed = 13;
+  opt.fixed_adjuster_overhead_s = 50e-6;  // remove host-clock noise
+  opt.faults.transient_failure_p = 0.2;
+  opt.faults.stuck_cores = {15};
+  opt.faults.seed = 1234;
+
+  sim::EewaPolicy a(t.class_names), b(t.class_names);
+  const auto ra = sim::simulate(t, a, opt);
+  const auto rb = sim::simulate(t, b, opt);
+
+  // No lost tasks: simulate() throws on dropped work, and every trace
+  // batch produced a batch result.
+  EXPECT_EQ(ra.batches.size(), t.batches.size());
+
+  // Bit-identical timeline and fault handling across runs.
+  EXPECT_DOUBLE_EQ(ra.time_s, rb.time_s);
+  EXPECT_DOUBLE_EQ(ra.energy_j, rb.energy_j);
+  const auto& ha = a.controller().health();
+  const auto& hb = b.controller().health();
+  EXPECT_EQ(ha.to_string(), hb.to_string());
+
+  // The faults were really exercised and really healed.
+  EXPECT_GT(ha.retries, 0u);
+  EXPECT_GT(ha.write_failures, 0u);
+  EXPECT_GE(ha.reconciliations, 1u);
+
+  // The plan never lies: per batch, the rungs it records are exactly
+  // the rungs the machine ran at.
+  ASSERT_EQ(a.planned_rungs().size(), t.batches.size());
+  for (std::size_t i = 0; i < a.planned_rungs().size(); ++i) {
+    EXPECT_EQ(a.planned_rungs()[i], a.applied_rungs()[i]) << "batch " << i;
+  }
+}
+
+TEST(FaultTolerantDvfs, SimRunWithStuckCoreCompletesAndDegrades) {
+  // A core that can never leave F0 fails its actuation every batch;
+  // after the consecutive-failure threshold the watchdog parks the
+  // whole machine at F0 and the run still completes.
+  const auto t = trace::bimodal(4, 0.08, 30, 0.004, 8, 8);
+  sim::SimOptions opt;
+  opt.cores = 16;
+  opt.seed = 13;
+  opt.fixed_adjuster_overhead_s = 50e-6;
+  opt.faults.stuck_cores = {15};
+
+  sim::EewaPolicy p(t.class_names);
+  const auto res = sim::simulate(t, p, opt);
+  EXPECT_EQ(res.batches.size(), t.batches.size());
+  const auto& h = p.controller().health();
+  EXPECT_GE(h.reconciliations, 3u);
+  EXPECT_EQ(h.degradations, 1u);
+  EXPECT_TRUE(p.controller().degraded());
+  // Post-degrade batches run the whole machine at F0.
+  EXPECT_EQ(res.batches.back().cores_per_rung[0], 16u);
+}
+
+TEST(FaultTolerantDvfs, RuntimeHealsTransientFaultsWithoutLosingTasks) {
+  const auto ladder = dvfs::FrequencyLadder::opteron8380();
+  // Workers start parked at the slowest rung so the very first (F0)
+  // actuation must really transition every core through faulty writes.
+  dvfs::TraceBackend inner(ladder, 4, ladder.slowest_index());
+  dvfs::FaultSpec spec;
+  spec.transient_failure_p = 0.5;
+  spec.seed = 77;
+  dvfs::FaultInjectingBackend faulty(inner, spec);
+
+  rt::RuntimeOptions opt;
+  opt.workers = 4;
+  opt.kind = rt::SchedulerKind::kEewa;
+  opt.backend = &faulty;
+  rt::Runtime runtime(opt);
+  std::atomic<int> counter{0};
+  for (int batch = 0; batch < 8; ++batch) {
+    std::vector<rt::TaskDesc> tasks;
+    for (int i = 0; i < 12; ++i) {
+      tasks.push_back({"t", [&counter] { counter.fetch_add(1); }});
+    }
+    runtime.run_batch(std::move(tasks));
+  }
+
+  EXPECT_EQ(counter.load(), 8 * 12);  // zero lost tasks
+  EXPECT_EQ(runtime.failed_tasks(), 0u);
+  const auto& h = runtime.health();
+  EXPECT_GT(h.writes, 0u);
+  EXPECT_GT(h.retries, 0u);
+  EXPECT_GT(faulty.transient_failures(), 0u);
+}
+
+TEST(FaultTolerantDvfs, RuntimeTaskExceptionsTripWatchdog) {
+  rt::RuntimeOptions opt;
+  opt.workers = 2;
+  opt.kind = rt::SchedulerKind::kEewa;
+  opt.controller.watchdog.max_task_exceptions = 4;
+  rt::Runtime runtime(opt);
+  std::atomic<int> counter{0};
+  for (int batch = 0; batch < 6; ++batch) {
+    std::vector<rt::TaskDesc> tasks;
+    tasks.push_back({"bad", [] { throw std::runtime_error("boom"); }});
+    for (int i = 0; i < 5; ++i) {
+      tasks.push_back({"ok", [&counter] { counter.fetch_add(1); }});
+    }
+    EXPECT_THROW(runtime.run_batch(std::move(tasks)), std::runtime_error);
+  }
+  // Healthy tasks still ran — a throwing task never takes the batch
+  // down with it…
+  EXPECT_EQ(counter.load(), 6 * 5);
+  EXPECT_EQ(runtime.failed_tasks(), 6u);
+  // …and the accumulated exceptions tripped the watchdog.
+  EXPECT_GE(runtime.health().task_exceptions, 4u);
+  EXPECT_TRUE(runtime.controller().degraded());
+  EXPECT_EQ(runtime.controller().plan().layout.group_count(), 1u);
+}
+
+// ----------------------------------------------- sysfs housekeeping --
+
+class FakeSysfs : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = fs::temp_directory_path() /
+            ("eewa_sysfs_" + std::to_string(::getpid()) + "_" +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(root_);
+  }
+
+  void TearDown() override {
+    std::error_code ec;
+    fs::remove_all(root_, ec);
+  }
+
+  void make_cpu(std::size_t id) {
+    const fs::path dir = root_ / ("cpu" + std::to_string(id)) / "cpufreq";
+    fs::create_directories(dir);
+    write(dir / "scaling_available_frequencies", "2500000 1800000 800000\n");
+    write(dir / "scaling_governor", "ondemand\n");
+    write(dir / "scaling_max_freq", "2500000\n");
+    write(dir / "scaling_setspeed", "<unsupported>\n");
+  }
+
+  static void write(const fs::path& p, const std::string& v) {
+    std::ofstream out(p);
+    out << v;
+  }
+
+  std::string read(const fs::path& p) const {
+    std::ifstream in(root_ / p);
+    std::string value;
+    std::getline(in, value);
+    return value;
+  }
+
+  fs::path root_;
+};
+
+TEST_F(FakeSysfs, RestoresGovernorAndClampOnDestruction) {
+  make_cpu(0);
+  make_cpu(1);
+  {
+    auto backend = dvfs::SysfsBackend::probe(root_.string());
+    ASSERT_TRUE(backend.has_value());
+    EXPECT_TRUE(backend->userspace_governor());
+    EXPECT_EQ(read("cpu0/cpufreq/scaling_governor"), "userspace");
+    EXPECT_TRUE(backend->set_frequency(0, 2));
+    EXPECT_TRUE(backend->set_frequency(1, 1));
+  }
+  // Destruction put the tree back the way probe() found it.
+  EXPECT_EQ(read("cpu0/cpufreq/scaling_governor"), "ondemand");
+  EXPECT_EQ(read("cpu1/cpufreq/scaling_governor"), "ondemand");
+  EXPECT_EQ(read("cpu0/cpufreq/scaling_max_freq"), "2500000");
+  EXPECT_EQ(read("cpu1/cpufreq/scaling_max_freq"), "2500000");
+}
+
+TEST_F(FakeSysfs, RestoreIsIdempotentAndMoveSafe) {
+  make_cpu(0);
+  auto backend = dvfs::SysfsBackend::probe(root_.string());
+  ASSERT_TRUE(backend.has_value());
+  // Move the backend: only the destination may restore the tree.
+  dvfs::SysfsBackend moved = std::move(*backend);
+  backend.reset();  // destroys the moved-from shell — must not restore
+  EXPECT_EQ(read("cpu0/cpufreq/scaling_governor"), "userspace");
+  moved.restore();
+  EXPECT_EQ(read("cpu0/cpufreq/scaling_governor"), "ondemand");
+  // Restoring twice (explicitly, then from the destructor) is safe.
+  write(root_ / "cpu0/cpufreq/scaling_governor", "schedutil\n");
+  moved.restore();
+  EXPECT_EQ(read("cpu0/cpufreq/scaling_governor"), "schedutil");
+}
+
+TEST_F(FakeSysfs, ProbeToleratesHolesInCpuNumbering) {
+  // cpu2 is offline (no directory); decoy entries must be skipped.
+  make_cpu(0);
+  make_cpu(1);
+  make_cpu(3);
+  fs::create_directories(root_ / "cpufreq");
+  fs::create_directories(root_ / "cpuidle");
+  auto backend = dvfs::SysfsBackend::probe(root_.string());
+  ASSERT_TRUE(backend.has_value());
+  EXPECT_EQ(backend->core_count(), 3u);
+  EXPECT_EQ(backend->cpu_id(0), 0u);
+  EXPECT_EQ(backend->cpu_id(1), 1u);
+  EXPECT_EQ(backend->cpu_id(2), 3u);
+  // Logical core 2 drives kernel cpu3.
+  EXPECT_TRUE(backend->set_frequency(2, 2));
+  EXPECT_EQ(read("cpu3/cpufreq/scaling_setspeed"), "800000");
+  EXPECT_EQ(backend->frequency_index(2), 2u);
 }
 
 }  // namespace

@@ -7,11 +7,19 @@
 // hardware the same binary drives real frequency scaling.
 //
 // Usage: bench_suite_runtime [--batches N] [--workers N] [--scale X]
+//                            [--metrics] [--trace-out FILE]
+//
+// --metrics prints each run's aggregated BatchReport (pops vs. steals
+// vs. cross-group robs, per-class exec-time stats); --trace-out attaches
+// an event tracer to the EEWA runs and writes chrome://tracing JSON.
 #include <cstdio>
+#include <fstream>
+#include <memory>
 #include <string>
 
 #include "energy/model_meter.hpp"
 #include "energy/power_model.hpp"
+#include "obs/tracer.hpp"
 #include "runtime/runtime.hpp"
 #include "util/table_printer.hpp"
 #include "workloads/suite.hpp"
@@ -28,10 +36,12 @@ struct Outcome {
 };
 
 Outcome run_real(const wl::BenchmarkDef& bench, rt::SchedulerKind kind,
-                 std::size_t batches, std::size_t workers, double scale) {
+                 std::size_t batches, std::size_t workers, double scale,
+                 bool metrics, obs::EventTracer* tracer) {
   rt::RuntimeOptions options;
   options.workers = workers;
   options.kind = kind;
+  options.tracer = tracer;
   rt::Runtime runtime(options);
   const auto power = energy::PowerModel::opteron8380_server();
   energy::ModelMeter meter(power, *runtime.trace_backend());
@@ -64,6 +74,16 @@ Outcome run_real(const wl::BenchmarkDef& bench, rt::SchedulerKind kind,
   out.joules = meter.stop_joules();
   out.steals = runtime.total_steals();
   out.plan = runtime.controller().plan().layout.to_string();
+  if (metrics) {
+    const auto& reg = runtime.controller().registry();
+    std::vector<std::string> names;
+    for (std::size_t id = 0; id < reg.class_count(); ++id) {
+      names.push_back(std::string(reg.name(id)));
+    }
+    std::printf("%s/%s run totals:\n%s\n", bench.name.c_str(),
+                kind == rt::SchedulerKind::kEewa ? "eewa" : "cilk",
+                runtime.metrics().totals().to_string(names).c_str());
+  }
   return out;
 }
 
@@ -71,11 +91,24 @@ int run(int argc, char** argv) {
   std::size_t batches = 3;
   std::size_t workers = 4;
   double scale = 0.1;
+  bool metrics = false;
+  std::string trace_out;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--batches" && i + 1 < argc) batches = std::stoul(argv[++i]);
     if (arg == "--workers" && i + 1 < argc) workers = std::stoul(argv[++i]);
     if (arg == "--scale" && i + 1 < argc) scale = std::stod(argv[++i]);
+    if (arg == "--metrics") metrics = true;
+    if (arg == "--trace-out" && i + 1 < argc) trace_out = argv[++i];
+  }
+
+  std::unique_ptr<obs::EventTracer> tracer;
+  if (!trace_out.empty()) {
+    tracer = std::make_unique<obs::EventTracer>(workers + 1);
+    for (std::size_t w = 0; w < workers; ++w) {
+      tracer->set_track_name(w, "worker " + std::to_string(w));
+    }
+    tracer->set_track_name(workers, "control");
   }
 
   std::printf(
@@ -86,15 +119,26 @@ int run(int argc, char** argv) {
                             "steals", "final plan"});
   for (const char* name : {"MD5", "SHA-1", "LZW"}) {
     const auto& bench = wl::find_benchmark(name);
-    const auto cilk =
-        run_real(bench, rt::SchedulerKind::kCilk, batches, workers, scale);
-    const auto eewa =
-        run_real(bench, rt::SchedulerKind::kEewa, batches, workers, scale);
+    const auto cilk = run_real(bench, rt::SchedulerKind::kCilk, batches,
+                               workers, scale, metrics, nullptr);
+    const auto eewa = run_real(bench, rt::SchedulerKind::kEewa, batches,
+                               workers, scale, metrics, tracer.get());
     table.add(name, "cilk", cilk.seconds, cilk.joules, cilk.steals, "-");
     table.add(name, "eewa", eewa.seconds, eewa.joules, eewa.steals,
               eewa.plan);
   }
   std::printf("%s\n", table.str().c_str());
+  if (tracer != nullptr) {
+    std::ofstream out(trace_out);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", trace_out.c_str());
+      return 1;
+    }
+    out << tracer->chrome_json();
+    std::printf("trace: %zu events -> %s (%llu dropped)\n\n",
+                tracer->event_count(), trace_out.c_str(),
+                static_cast<unsigned long long>(tracer->dropped()));
+  }
   std::printf(
       "Note: on hosts without per-core DVFS the energy column prices the\n"
       "recorded frequency decisions through the power model; makespans\n"

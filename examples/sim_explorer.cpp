@@ -12,8 +12,11 @@
 // (retries, reconciliations, degradations).
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <memory>
 #include <string>
 
+#include "obs/tracer.hpp"
 #include "sim/simulate.hpp"
 #include "workloads/suite.hpp"
 
@@ -26,6 +29,8 @@ int main(int argc, char** argv) {
   std::size_t batches = 20;
   std::uint64_t seed = 42;
   double margin = 0.15;
+  bool metrics = false;
+  std::string trace_out;
   dvfs::FaultSpec faults;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -38,6 +43,8 @@ int main(int argc, char** argv) {
     else if (arg == "--batches") batches = std::stoul(next());
     else if (arg == "--seed") seed = std::stoull(next());
     else if (arg == "--margin") margin = std::stod(next());
+    else if (arg == "--metrics") metrics = true;
+    else if (arg == "--trace-out") trace_out = next();
     else if (arg == "--fail-p") faults.transient_failure_p = std::stod(next());
     else if (arg == "--drift-p") faults.drift_p = std::stod(next());
     else if (arg == "--stuck") {
@@ -54,6 +61,7 @@ int main(int argc, char** argv) {
       std::printf(
           "usage: sim_explorer [--benchmark B] [--policy P] [--cores N]\n"
           "                    [--batches N] [--seed N] [--margin X]\n"
+          "                    [--metrics] [--trace-out FILE[.json|.csv]]\n"
           "                    [--fail-p P] [--drift-p P] [--stuck LIST]\n"
           "benchmarks:");
       for (const auto& b : wl::suite()) std::printf(" %s", b.name.c_str());
@@ -70,6 +78,17 @@ int main(int argc, char** argv) {
   opt.seed = seed;
   faults.seed = seed ^ 0x9e3779b97f4a7c15ULL;
   opt.faults = faults;
+
+  std::unique_ptr<obs::EventTracer> tracer;
+  if (!trace_out.empty()) {
+    tracer = std::make_unique<obs::EventTracer>(cores + 1);
+    for (std::size_t c = 0; c < cores; ++c) {
+      tracer->set_track_name(c, "core " + std::to_string(c));
+    }
+    tracer->set_track_name(cores, "control");
+    tracer->set_class_names(trace.class_names);
+    opt.tracer = tracer.get();
+  }
 
   sim::SimResult res;
   std::string health;
@@ -104,5 +123,28 @@ int main(int argc, char** argv) {
                 opt.ladder().ghz(j), res.rung_residency_s[j]);
   }
   if (!health.empty()) std::printf("  health: %s\n", health.c_str());
+  if (metrics) {
+    std::printf(
+        "  batch  span_ms  ovh_us  steals  probes  trans  energy_J\n");
+    for (std::size_t b = 0; b < res.batches.size(); ++b) {
+      const auto& bs = res.batches[b];
+      std::printf("  %5zu %8.3f %7.1f %7zu %7zu %6zu %9.2f\n", b,
+                  bs.span_s * 1e3, bs.overhead_s * 1e6, bs.steals,
+                  bs.probes, bs.transitions, bs.energy_j);
+    }
+  }
+  if (tracer != nullptr) {
+    const bool csv = trace_out.size() > 4 &&
+                     trace_out.compare(trace_out.size() - 4, 4, ".csv") == 0;
+    std::ofstream out(trace_out);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", trace_out.c_str());
+      return 1;
+    }
+    out << (csv ? tracer->csv() : tracer->chrome_json());
+    std::printf("  trace: %zu events -> %s (%llu dropped)\n",
+                tracer->event_count(), trace_out.c_str(),
+                static_cast<unsigned long long>(tracer->dropped()));
+  }
   return 0;
 }

@@ -1,5 +1,6 @@
 #include "core/eewa_controller.hpp"
 
+#include <algorithm>
 #include <chrono>
 
 namespace eewa::core {
@@ -70,9 +71,24 @@ const FrequencyPlan& EewaController::end_batch(double batch_makespan_s) {
   prefs_ = PreferenceTable(plan_.layout);
   // The whole end-of-batch pipeline (profile sort, CC build, search, plan,
   // preference lists) is the adjuster overhead Table III reports.
-  overhead_us_ += std::chrono::duration<double, std::micro>(
-                      std::chrono::steady_clock::now() - t0)
-                      .count();
+  const double pipeline_us = std::chrono::duration<double, std::micro>(
+                                 std::chrono::steady_clock::now() - t0)
+                                 .count();
+  overhead_us_ += pipeline_us;
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    const double end_us = tracer_->now_us();
+    const bool searched = !memory_bound_mode_ && !degraded_;
+    tracer_->phase(control_track_, end_us - pipeline_us, pipeline_us,
+                   obs::PhaseKind::kPlan, registry_.class_count());
+    if (searched) {
+      // The k-tuple search nests inside the plan span; it ends when the
+      // pipeline hands the plan over, so anchor it at the tail.
+      const double search_us =
+          std::min(last_.search.elapsed_us, pipeline_us);
+      tracer_->phase(control_track_, end_us - search_us, search_us,
+                     obs::PhaseKind::kSearch, last_.search.nodes_visited);
+    }
+  }
   return plan_;
 }
 
@@ -96,8 +112,15 @@ std::size_t EewaController::apply(dvfs::DvfsBackend& backend) const {
 
 const ActuationOutcome& EewaController::apply_supervised(
     dvfs::DvfsBackend& backend) {
+  const bool tracing = tracer_ != nullptr && tracer_->enabled();
+  const double actuate_ts = tracing ? tracer_->now_us() : 0.0;
   ActuationSupervisor supervisor(options_.actuation);
   last_outcome_ = supervisor.apply(plan_, backend);
+  if (tracing) {
+    tracer_->phase(control_track_, actuate_ts,
+                   tracer_->now_us() - actuate_ts, obs::PhaseKind::kActuate,
+                   last_outcome_.writes);
+  }
   health_.writes += last_outcome_.writes;
   health_.retries += last_outcome_.retries;
   health_.write_failures += last_outcome_.write_failures;
@@ -127,6 +150,11 @@ const ActuationOutcome& EewaController::apply_supervised(
     plan_ = reconcile_plan(plan_, last_outcome_.achieved);
     prefs_ = PreferenceTable(plan_.layout);
     ++health_.reconciliations;
+    if (tracing) {
+      tracer_->phase(control_track_, tracer_->now_us(), -1.0,
+                     obs::PhaseKind::kReconcile,
+                     last_outcome_.failed_cores.size());
+    }
     if (options_.watchdog.enabled && !degraded_ &&
         consecutive_actuation_failures_ >=
             options_.watchdog.max_consecutive_actuation_failures) {

@@ -29,6 +29,7 @@
 #include "core/task_class.hpp"
 #include "dvfs/dvfs_backend.hpp"
 #include "dvfs/frequency_ladder.hpp"
+#include "obs/tracer.hpp"
 
 namespace eewa::core {
 
@@ -157,6 +158,17 @@ class EewaController {
   /// Total microseconds spent in the adjuster so far (Table III metric).
   double adjust_overhead_us() const { return overhead_us_; }
 
+  /// Attach an event tracer; controller phases (plan, k-tuple search,
+  /// actuation, reconciliation) are emitted on `control_track`. Pass
+  /// nullptr to detach. Timestamps come from the tracer's own clock, so
+  /// only attach from hosts living on the same timeline as the other
+  /// tracks (the real runtime — never the simulator, whose tracks carry
+  /// simulated time).
+  void set_tracer(obs::EventTracer* tracer, std::size_t control_track) {
+    tracer_ = tracer;
+    control_track_ = control_track;
+  }
+
   const dvfs::FrequencyLadder& ladder() const { return adjuster_.ladder(); }
   std::size_t total_cores() const { return adjuster_.total_cores(); }
   const TaskClassRegistry& registry() const { return registry_; }
@@ -175,6 +187,8 @@ class EewaController {
   std::size_t batches_ = 0;
   bool memory_bound_mode_ = false;
   double overhead_us_ = 0.0;
+  obs::EventTracer* tracer_ = nullptr;
+  std::size_t control_track_ = 0;
 
   // Fault-tolerance state.
   ActuationOutcome last_outcome_;

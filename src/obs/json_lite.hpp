@@ -1,0 +1,51 @@
+// A minimal, dependency-free JSON parser — just enough to validate the
+// tracer's chrome://tracing exports in tests and tools. Full JSON value
+// model (object/array/string/number/bool/null), UTF-8 passthrough,
+// \uXXXX escapes decoded for the BMP. Not built for speed; do not put
+// it on a hot path.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace eewa::obs {
+
+/// Thrown by parse_json on malformed input (message includes offset).
+class JsonParseError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// One parsed JSON value.
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  bool is_null() const { return type == Type::kNull; }
+  bool is_object() const { return type == Type::kObject; }
+  bool is_array() const { return type == Type::kArray; }
+  bool is_string() const { return type == Type::kString; }
+  bool is_number() const { return type == Type::kNumber; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* find(std::string_view key) const;
+
+  /// Member that must exist; throws std::out_of_range otherwise.
+  const JsonValue& at(std::string_view key) const;
+};
+
+/// Parse a complete JSON document (trailing whitespace allowed, trailing
+/// garbage rejected). Throws JsonParseError on malformed input.
+JsonValue parse_json(std::string_view text);
+
+}  // namespace eewa::obs

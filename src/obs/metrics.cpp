@@ -1,0 +1,172 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace eewa::obs {
+
+std::size_t exec_bucket(double exec_s) {
+  const double us = exec_s * 1e6;
+  if (us < 1.0) return 0;
+  const auto b = static_cast<std::size_t>(std::log2(us));
+  return std::min(b, kExecBuckets - 1);
+}
+
+double exec_bucket_lo_s(std::size_t i) {
+  return i == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(i)) * 1e-6;
+}
+
+void ClassExecStats::observe(double exec_s, bool task_failed) {
+  if (count == 0 || exec_s < min_s) min_s = exec_s;
+  if (exec_s > max_s) max_s = exec_s;
+  ++count;
+  if (task_failed) ++failed;
+  total_s += exec_s;
+  ++hist[exec_bucket(exec_s)];
+}
+
+void ClassExecStats::merge(const ClassExecStats& other) {
+  if (other.count == 0) return;
+  if (count == 0 || other.min_s < min_s) min_s = other.min_s;
+  if (other.max_s > max_s) max_s = other.max_s;
+  count += other.count;
+  failed += other.failed;
+  total_s += other.total_s;
+  for (std::size_t i = 0; i < kExecBuckets; ++i) hist[i] += other.hist[i];
+}
+
+void WorkerCounters::reset(std::size_t groups) {
+  tasks = spawns = idle_sweeps = failed_sweeps = probes = 0;
+  pops.assign(groups, 0);
+  steals.assign(groups, 0);
+  robs.assign(groups, 0);
+  classes.clear();
+}
+
+ClassExecStats& WorkerCounters::cls(std::size_t class_id) {
+  if (class_id >= classes.size()) classes.resize(class_id + 1);
+  return classes[class_id];
+}
+
+void BatchReport::merge(const BatchReport& other) {
+  groups = std::max(groups, other.groups);
+  tasks += other.tasks;
+  spawns += other.spawns;
+  pops += other.pops;
+  local_steals += other.local_steals;
+  cross_robs += other.cross_robs;
+  failed_sweeps += other.failed_sweeps;
+  probes += other.probes;
+  idle_sweeps += other.idle_sweeps;
+  auto grow_add = [](std::vector<std::uint64_t>& into,
+                     const std::vector<std::uint64_t>& from) {
+    if (into.size() < from.size()) into.resize(from.size(), 0);
+    for (std::size_t i = 0; i < from.size(); ++i) into[i] += from[i];
+  };
+  grow_add(pops_by_group, other.pops_by_group);
+  grow_add(steals_by_group, other.steals_by_group);
+  grow_add(robs_by_group, other.robs_by_group);
+  if (classes.size() < other.classes.size()) {
+    classes.resize(other.classes.size());
+  }
+  for (std::size_t i = 0; i < other.classes.size(); ++i) {
+    classes[i].merge(other.classes[i]);
+  }
+}
+
+std::string BatchReport::to_string(
+    const std::vector<std::string>& class_names) const {
+  std::ostringstream os;
+  char line[256];
+  std::snprintf(line, sizeof(line),
+                "batch %zu: tasks=%llu (spawned %llu) pops=%llu "
+                "steals=%llu robs=%llu failed_sweeps=%llu probes=%llu "
+                "idle_sweeps=%llu\n",
+                batch_index, static_cast<unsigned long long>(tasks),
+                static_cast<unsigned long long>(spawns),
+                static_cast<unsigned long long>(pops),
+                static_cast<unsigned long long>(local_steals),
+                static_cast<unsigned long long>(cross_robs),
+                static_cast<unsigned long long>(failed_sweeps),
+                static_cast<unsigned long long>(probes),
+                static_cast<unsigned long long>(idle_sweeps));
+  os << line;
+  for (std::size_t g = 0; g < pops_by_group.size(); ++g) {
+    std::snprintf(line, sizeof(line),
+                  "  group %zu: pops=%llu steals=%llu robs=%llu\n", g,
+                  static_cast<unsigned long long>(pops_by_group[g]),
+                  static_cast<unsigned long long>(steals_by_group[g]),
+                  static_cast<unsigned long long>(robs_by_group[g]));
+    os << line;
+  }
+  for (std::size_t c = 0; c < classes.size(); ++c) {
+    const auto& cs = classes[c];
+    if (cs.count == 0) continue;
+    const std::string label = c < class_names.size()
+                                  ? class_names[c]
+                                  : "class " + std::to_string(c);
+    std::snprintf(line, sizeof(line),
+                  "  %s: n=%llu failed=%llu mean=%.3f ms min=%.3f ms "
+                  "max=%.3f ms\n",
+                  label.c_str(), static_cast<unsigned long long>(cs.count),
+                  static_cast<unsigned long long>(cs.failed),
+                  1e3 * cs.total_s / static_cast<double>(cs.count),
+                  1e3 * cs.min_s, 1e3 * cs.max_s);
+    os << line;
+  }
+  return os.str();
+}
+
+MetricsRegistry::MetricsRegistry(std::size_t workers)
+    : counters_(workers) {
+  for (auto& c : counters_) c->reset(1);
+}
+
+void MetricsRegistry::begin_batch(std::size_t groups) {
+  groups_ = groups == 0 ? 1 : groups;
+  for (auto& c : counters_) c->reset(groups_);
+}
+
+const BatchReport& MetricsRegistry::finalize_batch() {
+  BatchReport r;
+  r.batch_index = next_batch_++;
+  r.groups = groups_;
+  r.pops_by_group.assign(groups_, 0);
+  r.steals_by_group.assign(groups_, 0);
+  r.robs_by_group.assign(groups_, 0);
+  for (const auto& padded : counters_) {
+    const WorkerCounters& w = *padded;
+    r.tasks += w.tasks;
+    r.spawns += w.spawns;
+    r.idle_sweeps += w.idle_sweeps;
+    r.failed_sweeps += w.failed_sweeps;
+    r.probes += w.probes;
+    for (std::size_t g = 0; g < groups_ && g < w.pops.size(); ++g) {
+      r.pops_by_group[g] += w.pops[g];
+      r.steals_by_group[g] += w.steals[g];
+      r.robs_by_group[g] += w.robs[g];
+      r.pops += w.pops[g];
+      r.local_steals += w.steals[g];
+      r.cross_robs += w.robs[g];
+    }
+    if (r.classes.size() < w.classes.size()) {
+      r.classes.resize(w.classes.size());
+    }
+    for (std::size_t i = 0; i < w.classes.size(); ++i) {
+      r.classes[i].merge(w.classes[i]);
+    }
+  }
+  reports_.push_back(std::move(r));
+  return reports_.back();
+}
+
+BatchReport MetricsRegistry::totals() const {
+  BatchReport total;
+  total.batch_index = reports_.size();
+  for (const auto& r : reports_) total.merge(r);
+  return total;
+}
+
+}  // namespace eewa::obs

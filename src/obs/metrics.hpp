@@ -1,0 +1,133 @@
+// Per-worker scheduler counters (paper-facing observability). Every
+// quantity EEWA's evaluation argues from — pops vs. steals vs.
+// cross-group robs per c-group, failed sweeps, per-class execution-time
+// distributions — is counted here, lock-free, by the single worker that
+// owns the slot, and aggregated into a BatchReport at the batch barrier.
+//
+// The counters are always compiled in: they are plain increments on
+// cacheline-isolated memory, cheap enough for the hot path (the event
+// tracer in tracer.hpp is the gateable, higher-overhead layer).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/aligned.hpp"
+
+namespace eewa::obs {
+
+/// Number of log2 execution-time buckets (microseconds): bucket i counts
+/// tasks with exec time in [2^i, 2^{i+1}) us; the last bucket absorbs
+/// everything >= 2^{kExecBuckets-1} us (~134 s).
+inline constexpr std::size_t kExecBuckets = 28;
+
+/// Log2-of-microseconds bucket index for an execution time in seconds.
+std::size_t exec_bucket(double exec_s);
+
+/// Lower bound of bucket `i` in seconds.
+double exec_bucket_lo_s(std::size_t i);
+
+/// Online execution-time statistics for one task class.
+struct ClassExecStats {
+  std::uint64_t count = 0;   ///< tasks completed (including failed)
+  std::uint64_t failed = 0;  ///< tasks that threw
+  double total_s = 0.0;
+  double min_s = 0.0;  ///< 0 until the first observation
+  double max_s = 0.0;
+  std::array<std::uint64_t, kExecBuckets> hist{};  ///< log2-us buckets
+
+  void observe(double exec_s, bool task_failed);
+  void merge(const ClassExecStats& other);
+};
+
+/// One worker's counters for the current batch. Single writer (the
+/// owning worker); read only at the batch barrier.
+struct WorkerCounters {
+  std::uint64_t tasks = 0;          ///< tasks executed
+  std::uint64_t spawns = 0;         ///< tasks spawned mid-batch
+  std::uint64_t idle_sweeps = 0;    ///< full acquire sweeps that found nothing
+  std::uint64_t failed_sweeps = 0;  ///< steal sweeps that probed and gave up
+  std::uint64_t probes = 0;         ///< individual victim probes
+  std::vector<std::uint64_t> pops;    ///< local deque pops, by c-group
+  std::vector<std::uint64_t> steals;  ///< steals within own c-group, by group
+  std::vector<std::uint64_t> robs;    ///< cross-group steals, by victim group
+  std::vector<ClassExecStats> classes;  ///< by class id, grown on demand
+
+  /// Zero everything and size the per-group vectors for `groups`.
+  void reset(std::size_t groups);
+
+  /// Class slot, grown on demand (worker-local, no locking needed).
+  ClassExecStats& cls(std::size_t class_id);
+};
+
+/// Aggregate of all workers' counters for one batch.
+struct BatchReport {
+  std::size_t batch_index = 0;
+  std::size_t groups = 0;
+  std::uint64_t tasks = 0;
+  std::uint64_t spawns = 0;
+  std::uint64_t pops = 0;          ///< local deque pops (all groups)
+  std::uint64_t local_steals = 0;  ///< steals within the thief's own group
+  std::uint64_t cross_robs = 0;    ///< steals from another c-group
+  std::uint64_t failed_sweeps = 0;
+  std::uint64_t probes = 0;
+  std::uint64_t idle_sweeps = 0;
+  std::vector<std::uint64_t> pops_by_group;
+  std::vector<std::uint64_t> steals_by_group;  ///< local, by group
+  std::vector<std::uint64_t> robs_by_group;    ///< cross, by victim group
+  std::vector<ClassExecStats> classes;         ///< by class id
+
+  /// Every executed task was acquired exactly once; in a consistent
+  /// report acquires() == tasks.
+  std::uint64_t acquires() const { return pops + local_steals + cross_robs; }
+
+  /// Multi-line human-readable summary. `class_names[i]` labels class i
+  /// when provided (ids are printed otherwise).
+  std::string to_string(
+      const std::vector<std::string>& class_names = {}) const;
+
+  /// Accumulate another report (for whole-run totals).
+  void merge(const BatchReport& other);
+};
+
+/// Registry of per-worker counters with batch-barrier aggregation.
+/// Thread contract: worker(i) is written only by worker i between
+/// begin_batch() and finalize_batch(); both batch calls run on the
+/// control thread while workers are parked.
+class MetricsRegistry {
+ public:
+  explicit MetricsRegistry(std::size_t workers);
+
+  std::size_t worker_count() const { return counters_.size(); }
+
+  /// Reset all per-worker counters for a batch over `groups` c-groups.
+  void begin_batch(std::size_t groups);
+
+  /// Worker `id`'s counter slot (cacheline-isolated).
+  WorkerCounters& worker(std::size_t id) { return *counters_[id]; }
+  const WorkerCounters& worker(std::size_t id) const {
+    return *counters_[id];
+  }
+
+  /// Aggregate all workers into a BatchReport, append it to reports(),
+  /// and return it. Leaves the per-worker counters untouched (the next
+  /// begin_batch resets them).
+  const BatchReport& finalize_batch();
+
+  /// All finalized batch reports, in order.
+  const std::vector<BatchReport>& reports() const { return reports_; }
+
+  /// Sum of all finalized reports (batch_index = number of batches).
+  BatchReport totals() const;
+
+ private:
+  std::vector<util::CachelinePadded<WorkerCounters>> counters_;
+  std::vector<BatchReport> reports_;
+  std::size_t groups_ = 1;
+  std::size_t next_batch_ = 0;
+};
+
+}  // namespace eewa::obs

@@ -1,0 +1,195 @@
+#include "obs/tracer.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace eewa::obs {
+
+namespace {
+
+const char* kind_name(EventKind k) {
+  switch (k) {
+    case EventKind::kTask: return "task";
+    case EventKind::kSteal: return "steal";
+    case EventKind::kRob: return "rob";
+    case EventKind::kRung: return "rung";
+    case EventKind::kPhase: return "phase";
+  }
+  return "?";
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* phase_name(PhaseKind p) {
+  switch (p) {
+    case PhaseKind::kPrepare: return "prepare_batch";
+    case PhaseKind::kProfile: return "profile_collect";
+    case PhaseKind::kPlan: return "plan";
+    case PhaseKind::kSearch: return "ktuple_search";
+    case PhaseKind::kActuate: return "actuation";
+    case PhaseKind::kReconcile: return "reconcile";
+    case PhaseKind::kBatch: return "batch";
+  }
+  return "?";
+}
+
+EventTracer::EventTracer(std::size_t tracks, std::size_t capacity)
+    : epoch_(std::chrono::steady_clock::now()),
+      tracks_(tracks == 0 ? 1 : tracks),
+      track_names_(tracks == 0 ? 1 : tracks) {
+  const std::size_t cap = capacity == 0 ? 1 : capacity;
+  for (std::size_t i = 0; i < tracks_.size(); ++i) {
+    tracks_[i]->buf.resize(cap);
+    track_names_[i] = "track " + std::to_string(i);
+  }
+}
+
+void EventTracer::set_track_name(std::size_t track, std::string name) {
+  track_names_.at(track) = std::move(name);
+}
+
+std::vector<TraceEvent> EventTracer::events(std::size_t track) const {
+  const Track& t = *tracks_.at(track);
+  const std::size_t cap = t.buf.size();
+  const std::size_t n = static_cast<std::size_t>(
+      std::min<std::uint64_t>(t.head, cap));
+  std::vector<TraceEvent> out;
+  out.reserve(n);
+  const std::uint64_t first = t.head - n;
+  for (std::uint64_t i = first; i < t.head; ++i) {
+    out.push_back(t.buf[i % cap]);
+  }
+  return out;
+}
+
+std::size_t EventTracer::event_count() const {
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < tracks_.size(); ++i) {
+    const Track& t = *tracks_[i];
+    n += static_cast<std::size_t>(
+        std::min<std::uint64_t>(t.head, t.buf.size()));
+  }
+  return n;
+}
+
+std::uint64_t EventTracer::dropped() const {
+  std::uint64_t n = 0;
+  for (const auto& t : tracks_) n += t->dropped;
+  return n;
+}
+
+std::string EventTracer::chrome_json() const {
+  std::ostringstream os;
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  char buf[512];
+  auto emit = [&](const std::string& line) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n" << line;
+  };
+  // Thread-name metadata so Perfetto labels the tracks.
+  for (std::size_t tid = 0; tid < tracks_.size(); ++tid) {
+    std::snprintf(buf, sizeof(buf),
+                  "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,"
+                  "\"tid\":%zu,\"args\":{\"name\":\"%s\"}}",
+                  tid, json_escape(track_names_[tid]).c_str());
+    emit(buf);
+  }
+  for (std::size_t tid = 0; tid < tracks_.size(); ++tid) {
+    for (const TraceEvent& ev : events(tid)) {
+      std::string name;
+      std::string args;
+      switch (ev.kind) {
+        case EventKind::kTask:
+          name = ev.a < class_names_.size()
+                     ? json_escape(class_names_[ev.a])
+                     : "class " + std::to_string(ev.a);
+          std::snprintf(buf, sizeof(buf),
+                        "{\"class\":%u,\"rung\":%u,\"failed\":%llu}", ev.a,
+                        ev.b, static_cast<unsigned long long>(ev.c));
+          args = buf;
+          break;
+        case EventKind::kSteal:
+        case EventKind::kRob:
+          name = kind_name(ev.kind);
+          std::snprintf(buf, sizeof(buf),
+                        "{\"group\":%u,\"victim\":%u}", ev.a, ev.b);
+          args = buf;
+          break;
+        case EventKind::kRung:
+          name = "rung";
+          std::snprintf(buf, sizeof(buf), "{\"core\":%u,\"rung\":%u}",
+                        ev.a, ev.b);
+          args = buf;
+          break;
+        case EventKind::kPhase:
+          name = phase_name(static_cast<PhaseKind>(ev.a));
+          std::snprintf(buf, sizeof(buf), "{\"detail\":%llu}",
+                        static_cast<unsigned long long>(ev.c));
+          args = buf;
+          break;
+      }
+      if (ev.dur_us >= 0.0) {
+        std::snprintf(buf, sizeof(buf),
+                      "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\","
+                      "\"ts\":%.3f,\"dur\":%.3f,\"pid\":0,\"tid\":%zu,"
+                      "\"args\":%s}",
+                      name.c_str(), kind_name(ev.kind), ev.ts_us,
+                      ev.dur_us, tid, args.c_str());
+      } else {
+        std::snprintf(buf, sizeof(buf),
+                      "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"i\","
+                      "\"s\":\"t\",\"ts\":%.3f,\"pid\":0,\"tid\":%zu,"
+                      "\"args\":%s}",
+                      name.c_str(), kind_name(ev.kind), ev.ts_us, tid,
+                      args.c_str());
+      }
+      emit(buf);
+    }
+  }
+  os << "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{\"dropped\":"
+     << dropped() << "}}\n";
+  return os.str();
+}
+
+std::string EventTracer::csv() const {
+  std::ostringstream os;
+  os << "track,ts_us,dur_us,kind,a,b,c\n";
+  char buf[256];
+  for (std::size_t tid = 0; tid < tracks_.size(); ++tid) {
+    for (const TraceEvent& ev : events(tid)) {
+      std::snprintf(buf, sizeof(buf), "%zu,%.3f,%.3f,%s,%u,%u,%llu\n",
+                    tid, ev.ts_us, ev.dur_us, kind_name(ev.kind), ev.a,
+                    ev.b, static_cast<unsigned long long>(ev.c));
+      os << buf;
+    }
+  }
+  return os.str();
+}
+
+}  // namespace eewa::obs

@@ -1,0 +1,164 @@
+// Low-overhead event tracer: per-track ring buffers of fixed-size
+// events, exported as chrome://tracing / Perfetto JSON or CSV.
+//
+// Tracks are single-writer: the runtime gives each worker its own track
+// (plus one control track for batch-level phases), the simulator one
+// track per simulated core. Emission is gated twice:
+//
+//   - compile time: build with -DEEWA_ENABLE_TRACING=0 (CMake option
+//     EEWA_TRACING=OFF) and every emitter folds to nothing;
+//   - run time: enabled() is a relaxed atomic load; a constructed but
+//     disabled tracer costs one predictable branch per call site.
+//
+// Rings overwrite their oldest events when full (dropped() reports how
+// many); exporting is only valid while writers are quiescent — at a
+// batch barrier or after the run.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/aligned.hpp"
+
+#ifndef EEWA_ENABLE_TRACING
+#define EEWA_ENABLE_TRACING 1
+#endif
+
+namespace eewa::obs {
+
+/// What an event records.
+enum class EventKind : std::uint8_t {
+  kTask,   ///< task span: a=class id, b=rung, c=1 when the task threw
+  kSteal,  ///< successful steal within the thief's group: a=group, b=victim
+  kRob,    ///< successful cross-group steal: a=victim group, b=victim
+  kRung,   ///< DVFS transition: a=core, b=new rung
+  kPhase,  ///< controller/runtime phase span: a=PhaseKind, c=detail
+};
+
+/// Controller / runtime phases traced as kPhase spans.
+enum class PhaseKind : std::uint8_t {
+  kPrepare = 0,    ///< prepare_batch: actuation + task distribution
+  kProfile = 1,    ///< batch-barrier profile merge into the controller
+  kPlan = 2,       ///< end_batch: profile sort + CC build + plan
+  kSearch = 3,     ///< Algorithm 1 k-tuple search (detail = nodes visited)
+  kActuate = 4,    ///< supervised DVFS actuation (detail = retries)
+  kReconcile = 5,  ///< plan reconciliation (detail = failed cores)
+  kBatch = 6,      ///< one whole batch (detail = batch index)
+};
+
+const char* phase_name(PhaseKind p);
+
+/// One trace event. `dur_us < 0` marks an instant event.
+struct TraceEvent {
+  double ts_us = 0.0;
+  double dur_us = -1.0;
+  EventKind kind = EventKind::kTask;
+  std::uint32_t a = 0;
+  std::uint32_t b = 0;
+  std::uint64_t c = 0;
+};
+
+class EventTracer {
+ public:
+  static constexpr bool kCompiledIn = EEWA_ENABLE_TRACING != 0;
+
+  /// `tracks` single-writer tracks, each a ring of `capacity` events.
+  explicit EventTracer(std::size_t tracks, std::size_t capacity = 1 << 14);
+
+  EventTracer(const EventTracer&) = delete;
+  EventTracer& operator=(const EventTracer&) = delete;
+
+  std::size_t track_count() const { return tracks_.size(); }
+
+  bool enabled() const {
+    if constexpr (!kCompiledIn) return false;
+    return enabled_.load(std::memory_order_relaxed);
+  }
+  void set_enabled(bool on) {
+    if constexpr (kCompiledIn) {
+      enabled_.store(on, std::memory_order_relaxed);
+    }
+  }
+
+  /// Microseconds since tracer construction (the trace time base).
+  double now_us() const {
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+  }
+  /// Convert a steady_clock time point to the trace time base.
+  double to_us(std::chrono::steady_clock::time_point t) const {
+    return std::chrono::duration<double, std::micro>(t - epoch_).count();
+  }
+
+  // --- emitters (single writer per track; no-ops when disabled) ----------
+  void task(std::size_t track, double ts_us, double dur_us,
+            std::uint32_t class_id, std::uint32_t rung, bool failed) {
+    record(track, TraceEvent{ts_us, dur_us, EventKind::kTask, class_id,
+                             rung, failed ? 1u : 0u});
+  }
+  void steal(std::size_t track, double ts_us, std::uint32_t group,
+             std::uint32_t victim, bool cross_group) {
+    record(track,
+           TraceEvent{ts_us, -1.0,
+                      cross_group ? EventKind::kRob : EventKind::kSteal,
+                      group, victim, 0});
+  }
+  void rung(std::size_t track, double ts_us, std::uint32_t core,
+            std::uint32_t new_rung) {
+    record(track,
+           TraceEvent{ts_us, -1.0, EventKind::kRung, core, new_rung, 0});
+  }
+  void phase(std::size_t track, double ts_us, double dur_us, PhaseKind p,
+             std::uint64_t detail = 0) {
+    record(track, TraceEvent{ts_us, dur_us, EventKind::kPhase,
+                             static_cast<std::uint32_t>(p), 0, detail});
+  }
+
+  void record(std::size_t track, TraceEvent ev) {
+    if (!enabled()) return;
+    Track& t = *tracks_[track];
+    if (t.head >= t.buf.size()) ++t.dropped;  // overwriting the oldest
+    t.buf[t.head % t.buf.size()] = ev;
+    ++t.head;
+  }
+
+  /// Class names used to label kTask events in exports.
+  void set_class_names(std::vector<std::string> names) {
+    class_names_ = std::move(names);
+  }
+
+  /// Label a track in exports (defaults to "track N").
+  void set_track_name(std::size_t track, std::string name);
+
+  // --- export (writers must be quiescent) --------------------------------
+  /// Valid chrome://tracing JSON ({"traceEvents": [...]}).
+  std::string chrome_json() const;
+  /// CSV with one row per event: track,ts_us,dur_us,kind,a,b,c.
+  std::string csv() const;
+
+  std::size_t event_count() const;
+  std::uint64_t dropped() const;
+
+  /// Oldest-to-newest snapshot of one track's ring.
+  std::vector<TraceEvent> events(std::size_t track) const;
+
+ private:
+  struct Track {
+    std::vector<TraceEvent> buf;
+    std::uint64_t head = 0;
+    std::uint64_t dropped = 0;
+  };
+
+  std::chrono::steady_clock::time_point epoch_;
+  std::atomic<bool> enabled_{true};
+  std::vector<util::CachelinePadded<Track>> tracks_;
+  std::vector<std::string> track_names_;
+  std::vector<std::string> class_names_;
+};
+
+}  // namespace eewa::obs

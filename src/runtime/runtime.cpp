@@ -34,6 +34,11 @@ Runtime::Runtime(RuntimeOptions options) : options_(std::move(options)) {
   if (options_.kind == SchedulerKind::kWats && options_.fixed_rungs.empty()) {
     throw std::invalid_argument("Runtime: kWats requires fixed_rungs");
   }
+  if (options_.tracer != nullptr && options_.tracer->track_count() < n + 1) {
+    throw std::invalid_argument(
+        "Runtime: tracer needs workers + 1 tracks (one per worker plus "
+        "the control track)");
+  }
 
   if (options_.backend != nullptr) {
     backend_ = options_.backend;
@@ -44,6 +49,11 @@ Runtime::Runtime(RuntimeOptions options) : options_(std::move(options)) {
   }
   controller_ = std::make_unique<core::EewaController>(
       options_.ladder, n, options_.controller);
+  // Controller phases (plan, k-tuple search, actuation, reconciliation)
+  // land on the control track, after the per-worker tracks.
+  controller_->set_tracer(options_.tracer, n);
+  metrics_ = std::make_unique<obs::MetricsRegistry>(n);
+  steal_rng_ = std::vector<util::CachelinePadded<std::uint64_t>>(n);
 
   pools_.resize(n);
   for (auto& wp : pools_) {
@@ -81,7 +91,32 @@ std::size_t Runtime::group_of_worker(std::size_t id) const {
   return worker_group_[id];
 }
 
+std::pair<std::size_t, std::size_t> distribution_target(
+    const std::vector<std::vector<std::size_t>>& group_workers,
+    std::vector<std::size_t>& rr, std::size_t group) {
+  std::size_t g = group;
+  if (g >= group_workers.size() || group_workers[g].empty()) {
+    // Fastest (lowest-index) non-empty group takes the orphaned tasks.
+    g = group_workers.size();
+    for (std::size_t cand = 0; cand < group_workers.size(); ++cand) {
+      if (!group_workers[cand].empty()) {
+        g = cand;
+        break;
+      }
+    }
+    if (g == group_workers.size()) {
+      throw std::logic_error(
+          "distribution_target: no c-group has any worker");
+    }
+  }
+  const auto& workers = group_workers[g];
+  return {g, workers[rr[g]++ % workers.size()]};
+}
+
 void Runtime::prepare_batch(std::vector<TaskDesc>& tasks) {
+  obs::EventTracer* tracer = options_.tracer;
+  const bool tracing = tracer != nullptr && tracer->enabled();
+  const double prep_ts = tracing ? tracer->now_us() : 0.0;
   controller_->begin_batch();
   const std::size_t n = pools_.size();
 
@@ -158,6 +193,16 @@ void Runtime::prepare_batch(std::vector<TaskDesc>& tasks) {
     pref_lists_.push_back(core::preference_list(g, group_count_));
   }
   for (auto& gc : group_counts_) gc->store(0, std::memory_order_relaxed);
+  metrics_->begin_batch(group_count_);
+  if (tracing) {
+    // Snapshot the per-core rungs this batch runs at (the DVFS series a
+    // trace viewer shows alongside the task spans).
+    const double ts = tracer->now_us();
+    for (std::size_t c = 0; c < n; ++c) {
+      tracer->rung(n, ts, static_cast<std::uint32_t>(c),
+                   static_cast<std::uint32_t>(backend_->frequency_index(c)));
+    }
+  }
 
   // 2. Intern classes and materialize tasks.
   batch_tasks_.clear();
@@ -184,13 +229,19 @@ void Runtime::prepare_batch(std::vector<TaskDesc>& tasks) {
       g = class_to_group[task.class_id];
     }
     if (g >= group_count_) g = 0;
-    const auto& workers = group_workers[g];
-    const std::size_t w = workers[rr[g]++ % workers.size()];
-    pools_[w].deques[g]->push(&task);
-    group_counts_[g]->fetch_add(1, std::memory_order_relaxed);
+    // A reconciled layout can leave a group with no workers below n;
+    // distribution_target then reroutes to the fastest non-empty group
+    // instead of taking worker % 0.
+    const auto [dg, w] = distribution_target(group_workers, rr, g);
+    pools_[w].deques[dg]->push(&task);
+    group_counts_[dg]->fetch_add(1, std::memory_order_relaxed);
   }
   remaining_.store(static_cast<std::int64_t>(batch_tasks_.size()),
                    std::memory_order_release);
+  if (tracing) {
+    tracer->phase(n, prep_ts, tracer->now_us() - prep_ts,
+                  obs::PhaseKind::kPrepare, batch_tasks_.size());
+  }
 }
 
 double Runtime::run_batch(std::vector<TaskDesc> tasks) {
@@ -219,6 +270,9 @@ double Runtime::run_batch(std::vector<TaskDesc> tasks) {
 }
 
 void Runtime::finish_batch(double makespan_s) {
+  obs::EventTracer* tracer = options_.tracer;
+  const bool tracing = tracer != nullptr && tracer->enabled();
+  const double profile_ts = tracing ? tracer->now_us() : 0.0;
   trace::Batch* recording = nullptr;
   if (options_.record_trace) {
     recorded_.batches.emplace_back();
@@ -251,6 +305,11 @@ void Runtime::finish_batch(double makespan_s) {
       recorded_.class_names.push_back(reg.name(id));
     }
   }
+  if (tracing) {
+    tracer->phase(pools_.size(), profile_ts, tracer->now_us() - profile_ts,
+                  obs::PhaseKind::kProfile, batch_tasks_.size());
+  }
+  metrics_->finalize_batch();
   // Feed the watchdog the batch's task exceptions before replanning;
   // enough of them degrade the run to the safe all-F0 configuration.
   const std::size_t failed_now =
@@ -285,6 +344,7 @@ void Runtime::spawn(std::string_view class_name, std::function<void()> fn) {
   remaining_.fetch_add(1, std::memory_order_acq_rel);
   pools_[id].deques[g]->push(raw);
   group_counts_[g]->fetch_add(1, std::memory_order_release);
+  ++metrics_->worker(id).spawns;
 }
 
 std::optional<Task*> Runtime::steal_from_group(std::size_t id,
@@ -293,22 +353,39 @@ std::optional<Task*> Runtime::steal_from_group(std::size_t id,
     return std::nullopt;
   }
   const std::size_t n = pools_.size();
+  obs::WorkerCounters& wc = metrics_->worker(id);
   // Random victim probing, bounded per sweep; callers loop while work
-  // remains, so a failed sweep is retried from the top-level loop.
-  std::uint64_t state = (static_cast<std::uint64_t>(id) << 32) ^
-                        static_cast<std::uint64_t>(
-                            Clock::now().time_since_epoch().count());
+  // remains, so a failed sweep is retried from the top-level loop. The
+  // RNG state persists across calls (seeded once in worker_main): a
+  // per-call clock reseed is a syscall-adjacent read in the hottest
+  // path, and coarse clocks hand concurrent sweeps identical victim
+  // sequences — correlated probing the paper's analysis assumes away.
+  std::uint64_t& state = *steal_rng_[id];
   for (std::size_t attempt = 0; attempt < 2 * n; ++attempt) {
     state = util::mix64(state);
     std::size_t victim = state % n;
     if (victim == id && n > 1) victim = (victim + 1) % n;
+    ++wc.probes;
     if (auto t = pools_[victim].deques[group]->steal()) {
       group_counts_[group]->fetch_sub(1, std::memory_order_acq_rel);
       steals_.fetch_add(1, std::memory_order_relaxed);
+      const bool cross = group != worker_group_[id];
+      if (cross) {
+        ++wc.robs[group];
+      } else {
+        ++wc.steals[group];
+      }
+      if (obs::EventTracer* tracer = options_.tracer;
+          tracer != nullptr && tracer->enabled()) {
+        tracer->steal(id, tracer->now_us(),
+                      static_cast<std::uint32_t>(group),
+                      static_cast<std::uint32_t>(victim), cross);
+      }
       return t;
     }
     if (group_counts_[group]->load(std::memory_order_acquire) <= 0) break;
   }
+  ++wc.failed_sweeps;
   return std::nullopt;
 }
 
@@ -317,6 +394,7 @@ std::optional<Task*> Runtime::acquire(std::size_t id) {
   for (std::size_t g : order) {
     if (auto t = pools_[id].deques[g]->pop()) {
       group_counts_[g]->fetch_sub(1, std::memory_order_acq_rel);
+      ++metrics_->worker(id).pops[g];
       return t;
     }
     if (auto t = steal_from_group(id, g)) return t;
@@ -336,18 +414,35 @@ bool Runtime::run_one_task(std::size_t id, PerfCounters* pmc) {
   const std::size_t rung = backend_->frequency_index(id);
   if (pmc != nullptr) pmc->start();
   const auto t0 = Clock::now();
+  bool failed = false;
   try {
     task->fn();
   } catch (...) {
     // A throwing task must not take the worker (and the batch barrier)
     // down with it; capture the first failure for run_batch to rethrow.
+    failed = true;
     failed_tasks_.fetch_add(1, std::memory_order_relaxed);
     std::lock_guard<std::mutex> lock(failure_mu_);
     if (!first_failure_) first_failure_ = std::current_exception();
   }
   const double exec_s = seconds_since(t0);
   const double cmi = pmc != nullptr ? pmc->stop().cmi() : 0.0;
-  profiles_[id].record(task->class_id, exec_s, rung, cmi);
+  if (!failed) {
+    // Failed tasks are excluded from the profile (and their CMI from
+    // the §IV-D gate): a task that threw early looks ultra-fast and
+    // would drag its class's Eq. 1 workload mean down, corrupting the
+    // CC table the next plan is built from.
+    profiles_[id].record(task->class_id, exec_s, rung, cmi);
+  }
+  obs::WorkerCounters& wc = metrics_->worker(id);
+  ++wc.tasks;
+  wc.cls(task->class_id).observe(exec_s, failed);
+  if (obs::EventTracer* tracer = options_.tracer;
+      tracer != nullptr && tracer->enabled()) {
+    tracer->task(id, tracer->to_us(t0), exec_s * 1e6,
+                 static_cast<std::uint32_t>(task->class_id),
+                 static_cast<std::uint32_t>(rung), failed);
+  }
   remaining_.fetch_sub(1, std::memory_order_acq_rel);
   return true;
 }
@@ -355,6 +450,9 @@ bool Runtime::run_one_task(std::size_t id, PerfCounters* pmc) {
 void Runtime::worker_main(std::size_t id) {
   tl_worker_id = id;
   tl_runtime = this;
+  // Seed the persistent victim-selection RNG exactly once per worker;
+  // distinct non-zero seeds keep concurrent sweeps decorrelated.
+  *steal_rng_[id] = util::mix64(static_cast<std::uint64_t>(id) + 1);
   if (options_.pin_threads) util::pin_current_thread(id);
   PerfCounters pmc_storage;
   PerfCounters* pmc =
@@ -379,6 +477,7 @@ void Runtime::worker_main(std::size_t id) {
         continue;
       }
       ++idle_sweeps;
+      ++metrics_->worker(id).idle_sweeps;
       if (options_.kind == SchedulerKind::kCilkD && idle_sweeps == 2 &&
           backend_->frequency_index(id) !=
               options_.ladder.slowest_index()) {

@@ -29,12 +29,15 @@
 #include <optional>
 #include <string_view>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "core/eewa_controller.hpp"
 #include "dvfs/dvfs_backend.hpp"
 #include "dvfs/frequency_ladder.hpp"
 #include "dvfs/trace_backend.hpp"
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
 #include "runtime/chase_lev_deque.hpp"
 #include "runtime/pmc.hpp"
 #include "runtime/profiler.hpp"
@@ -68,7 +71,24 @@ struct RuntimeOptions {
   /// CMI, estimated stall fractions) retrievable via recorded_trace():
   /// profile an application here, replay it on any simulated machine.
   bool record_trace = false;
+  /// Optional event tracer (task spans, steal/DVFS events, controller
+  /// phases). Must have at least workers + 1 tracks: one per worker plus
+  /// a control track. The runtime never enables/disables it — callers
+  /// own the gate. Null = no tracing (scheduler counters in metrics()
+  /// are always collected; they are cheap).
+  obs::EventTracer* tracer = nullptr;
 };
+
+/// Round-robin distribution target for one task bound to c-group
+/// `group`: {group, worker}. When the group has no workers (possible
+/// after plan reconciliation leaves a layout group whose cores all
+/// exceed the worker count), the task falls back to the fastest
+/// non-empty group rather than computing worker % 0. `rr` holds the
+/// per-group round-robin cursors. Throws std::logic_error when every
+/// group is empty.
+std::pair<std::size_t, std::size_t> distribution_target(
+    const std::vector<std::vector<std::size_t>>& group_workers,
+    std::vector<std::size_t>& rr, std::size_t group);
 
 /// Work-stealing runtime with batch (iteration) semantics.
 class Runtime {
@@ -126,6 +146,19 @@ class Runtime {
   /// reconciliations, stuck cores, degradations).
   const core::HealthReport& health() const { return controller_->health(); }
 
+  /// Per-worker scheduler counters (always collected; aggregated into a
+  /// BatchReport at each batch barrier).
+  const obs::MetricsRegistry& metrics() const { return *metrics_; }
+
+  /// The report of the most recently completed batch; throws
+  /// std::out_of_range before the first batch finishes.
+  const obs::BatchReport& last_batch_report() const {
+    return metrics_->reports().at(metrics_->reports().size() - 1);
+  }
+
+  /// The event tracer passed in RuntimeOptions (null when none).
+  obs::EventTracer* tracer() const { return options_.tracer; }
+
  private:
   struct WorkerPools {
     // One deque per c-group (allocated for the full ladder size; a batch
@@ -149,6 +182,12 @@ class Runtime {
 
   std::vector<WorkerPools> pools_;
   std::vector<WorkerProfile> profiles_;
+  std::unique_ptr<obs::MetricsRegistry> metrics_;
+  // Per-worker victim-selection RNG state, seeded once per worker in
+  // worker_main (never reseeded from the clock: coarse clock reads in
+  // the steal path are both slow and correlate victim sequences across
+  // concurrent sweeps, defeating the paper's random-stealing assumption).
+  std::vector<util::CachelinePadded<std::uint64_t>> steal_rng_;
   std::vector<util::CachelinePadded<std::atomic<std::int64_t>>>
       group_counts_;
   std::size_t group_count_ = 1;

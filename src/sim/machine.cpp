@@ -19,6 +19,12 @@ Machine::Machine(const SimOptions& options)
   if (options.cores == 0) {
     throw std::invalid_argument("Machine: need at least one core");
   }
+  if (options.tracer != nullptr &&
+      options.tracer->track_count() < options.cores + 1) {
+    throw std::invalid_argument(
+        "Machine: tracer needs cores + 1 tracks (one per core plus the "
+        "control track)");
+  }
 }
 
 void Machine::configure_pools(std::size_t groups) {
@@ -66,6 +72,11 @@ std::optional<TaskId> Machine::steal(std::size_t thief, std::size_t group) {
     --group_counts_[group];
     ++batch_steals_;
     ++total_steals_;
+    if (obs::EventTracer* tr = options_.tracer;
+        tr != nullptr && tr->enabled()) {
+      tr->steal(thief, sim_now_s_ * 1e6, static_cast<std::uint32_t>(group),
+                static_cast<std::uint32_t>(victim), /*cross_group=*/false);
+    }
     return id;
   };
   auto probe = [&](std::size_t victim) {
@@ -124,6 +135,11 @@ bool Machine::request_rung(std::size_t core, std::size_t new_rung) {
   }
   if (rung_.at(core) == new_rung) return true;
   rung_[core] = new_rung;
+  if (obs::EventTracer* tr = options_.tracer;
+      tr != nullptr && tr->enabled()) {
+    tr->rung(core, sim_now_s_ * 1e6, static_cast<std::uint32_t>(core),
+             static_cast<std::uint32_t>(new_rung));
+  }
   pending_latency_s_[core] += options_.transition.latency_s;
   account_.add_extra_joules(options_.transition.energy_j);
   ++batch_transitions_;
@@ -149,7 +165,9 @@ double Machine::run_batch(Policy& policy, const trace::Batch& batch,
                           double start_s) {
   tasks_ = &batch.tasks;
   batch_steals_ = batch_probes_ = batch_transitions_ = 0;
+  sim_now_s_ = start_s;
   const double core_j_before = account_.core_joules();
+  obs::EventTracer* tr = options_.tracer;
 
   policy.batch_start(*this, batch, batch_index_);
 
@@ -170,6 +188,7 @@ double Machine::run_batch(Policy& policy, const trace::Batch& batch,
 
   // Start (or idle) one core at `now`; schedules its completion event.
   auto kick = [&](std::size_t core, double now) {
+    sim_now_s_ = now;
     acquire_probes_ = 0;
     acquire_probe_cost_s_ = 0.0;
     pending_repoll_s_ = 0.0;
@@ -229,8 +248,15 @@ double Machine::run_batch(Policy& policy, const trace::Batch& batch,
     }
     const Ev ev = pq.top();
     pq.pop();
+    sim_now_s_ = ev.t;
     switch (ev.kind) {
       case Ev::kComplete:
+        if (tr != nullptr && tr->enabled()) {
+          tr->task(ev.core, (ev.t - ev.exec_s) * 1e6, ev.exec_s * 1e6,
+                   static_cast<std::uint32_t>(task(ev.task).class_id),
+                   static_cast<std::uint32_t>(rung_[ev.core]),
+                   /*failed=*/false);
+        }
         policy.task_done(*this, ev.core, task(ev.task), ev.exec_s);
         --remaining;
         last_completion = ev.t;
@@ -267,8 +293,19 @@ double Machine::run_batch(Policy& policy, const trace::Batch& batch,
     }
   }
 
+  sim_now_s_ = makespan_end;
   const double overhead = policy.batch_end(*this, makespan_end - start_s);
   const double end_s = makespan_end + overhead;
+  if (tr != nullptr && tr->enabled()) {
+    // The policy's end-of-batch work (EEWA: the Table III adjuster)
+    // nests at the tail of the batch span, on the control track.
+    if (overhead > 0.0) {
+      tr->phase(cores(), makespan_end * 1e6, overhead * 1e6,
+                obs::PhaseKind::kPlan, batch_index_);
+    }
+    tr->phase(cores(), start_s * 1e6, (end_s - start_s) * 1e6,
+              obs::PhaseKind::kBatch, batch_index_);
+  }
   if (overhead > 0.0) {
     for (std::size_t c = 0; c < cores(); ++c) {
       charge(c, makespan_end, end_s, rung_[c], /*active=*/true);

@@ -26,6 +26,7 @@
 #include "dvfs/transition_model.hpp"
 #include "energy/energy_account.hpp"
 #include "energy/power_model.hpp"
+#include "obs/tracer.hpp"
 #include "trace/task_trace.hpp"
 #include "util/rng.hpp"
 
@@ -69,6 +70,11 @@ struct SimOptions {
   /// randomness.
   dvfs::FaultSpec faults{};
   std::uint64_t seed = 42;
+  /// Optional event tracer. Needs cores + 1 tracks (one per core plus a
+  /// control track). All timestamps are *simulated* time converted to
+  /// microseconds — never mix a Machine and a wall-clock host (the real
+  /// Runtime) in one tracer, the timelines are incommensurable.
+  obs::EventTracer* tracer = nullptr;
 
   const dvfs::FrequencyLadder& ladder() const { return power.ladder(); }
 };
@@ -276,6 +282,7 @@ class Machine {
 
   const std::vector<trace::TraceTask>* tasks_ = nullptr;
   std::size_t batch_index_ = 0;
+  double sim_now_s_ = 0.0;  // sim time of the activity being processed
 
   std::vector<BatchStats> stats_;
   std::size_t total_steals_ = 0;

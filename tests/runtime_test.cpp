@@ -4,7 +4,9 @@
 // and Cilk-D's self-scaling observed through the DVFS trace.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <cstdint>
 #include <set>
 #include <thread>
 
@@ -89,6 +91,55 @@ TEST(ChaseLevDeque, ConcurrentStealersGetEveryItemOnce) {
   }
 }
 
+TEST(ChaseLevDeque, ManyThievesChecksumEveryElementExactlyOnce) {
+  // 1 owner interleaving pushes and pops vs. 7 thieves; the checksum
+  // (sum of values) and the count both have to come out exact, so a
+  // lost, duplicated, or torn element is caught even if per-item
+  // tracking would miss it.
+  constexpr std::size_t kItems = 30000;
+  constexpr int kThieves = 7;
+  ChaseLevDeque<std::size_t*> d;
+  std::vector<std::size_t> vals(kItems);
+  for (std::size_t i = 0; i < kItems; ++i) vals[i] = i + 1;
+  const std::uint64_t expected_sum =
+      static_cast<std::uint64_t>(kItems) * (kItems + 1) / 2;
+
+  std::atomic<std::uint64_t> sum{0};
+  std::atomic<std::size_t> count{0};
+  auto consume = [&](std::size_t* v) {
+    sum.fetch_add(*v, std::memory_order_relaxed);
+    count.fetch_add(1, std::memory_order_relaxed);
+  };
+
+  std::atomic<bool> done{false};
+  std::vector<std::thread> thieves;
+  for (int t = 0; t < kThieves; ++t) {
+    thieves.emplace_back([&] {
+      while (!done.load(std::memory_order_acquire)) {
+        if (auto v = d.steal()) consume(*v);
+      }
+      while (auto v = d.steal()) consume(*v);
+    });
+  }
+  // Owner: push in bursts, pop in between (the Chase–Lev hot pattern
+  // where bottom and top chase each other around empty).
+  std::size_t next = 0;
+  while (next < kItems) {
+    const std::size_t burst = std::min<std::size_t>(37, kItems - next);
+    for (std::size_t i = 0; i < burst; ++i) d.push(&vals[next++]);
+    for (std::size_t i = 0; i < burst / 2; ++i) {
+      if (auto v = d.pop()) consume(*v);
+    }
+  }
+  while (auto v = d.pop()) consume(*v);
+  done.store(true, std::memory_order_release);
+  for (auto& t : thieves) t.join();
+  while (auto v = d.steal()) consume(*v);
+
+  EXPECT_EQ(count.load(), kItems);
+  EXPECT_EQ(sum.load(), expected_sum);
+}
+
 RuntimeOptions small_runtime(SchedulerKind kind, std::size_t workers = 4) {
   RuntimeOptions opt;
   opt.workers = workers;
@@ -133,6 +184,54 @@ TEST(Runtime, MultipleBatchesAccumulate) {
 TEST(Runtime, EmptyBatchCompletes) {
   Runtime rt(small_runtime(SchedulerKind::kCilk));
   EXPECT_GE(rt.run_batch({}), 0.0);
+}
+
+TEST(Runtime, ZeroTaskBatchesCompleteUnderEveryScheduler) {
+  for (const auto kind :
+       {SchedulerKind::kCilk, SchedulerKind::kCilkD, SchedulerKind::kWats,
+        SchedulerKind::kEewa}) {
+    RuntimeOptions opt = small_runtime(kind, 2);
+    if (kind == SchedulerKind::kWats) opt.fixed_rungs = {0, 3};
+    Runtime rt(opt);
+    // Twice: the second empty batch runs under whatever plan the first
+    // one produced (EEWA plans from an empty profile).
+    EXPECT_GE(rt.run_batch({}), 0.0);
+    EXPECT_GE(rt.run_batch({}), 0.0);
+    EXPECT_EQ(rt.tasks_run(), 0u);
+    const auto& report = rt.last_batch_report();
+    EXPECT_EQ(report.tasks, 0u);
+    EXPECT_EQ(report.acquires(), 0u);
+    // The runtime stays usable afterwards.
+    std::atomic<int> counter{0};
+    rt.run_batch(counting_tasks(counter, 8));
+    EXPECT_EQ(counter.load(), 8);
+  }
+}
+
+TEST(Runtime, RecursiveSpawnsRunWithinBatch) {
+  // Spawns from spawned tasks (grandchildren) must still run before the
+  // batch barrier releases.
+  Runtime rt(small_runtime(SchedulerKind::kCilk, 2));
+  std::atomic<int> counter{0};
+  Runtime* rtp = &rt;
+  std::vector<TaskDesc> tasks;
+  for (int i = 0; i < 4; ++i) {
+    tasks.push_back(TaskDesc{"parent", [rtp, &counter] {
+      counter.fetch_add(1);
+      rtp->spawn("child", [rtp, &counter] {
+        counter.fetch_add(10);
+        rtp->spawn("grandchild",
+                   [&counter] { counter.fetch_add(100); });
+      });
+    }});
+  }
+  rt.run_batch(std::move(tasks));
+  EXPECT_EQ(counter.load(), 4 * 111);
+  EXPECT_EQ(rt.tasks_run(), 12u);
+  const auto& report = rt.last_batch_report();
+  EXPECT_EQ(report.tasks, 12u);
+  EXPECT_EQ(report.spawns, 8u);
+  EXPECT_EQ(report.acquires(), report.tasks);
 }
 
 TEST(Runtime, ProfilesFlowIntoController) {
@@ -251,6 +350,52 @@ TEST(Runtime, ThrowingTaskDoesNotKillTheBatch) {
   EXPECT_EQ(rt.failed_tasks(), 1u);
   rt.run_batch(counting_tasks(counter, 5));
   EXPECT_EQ(counter.load(), 14);
+}
+
+TEST(Runtime, FailedTasksStayOutOfTheProfile) {
+  // Regression: a throwing task used to be recorded into the profiler
+  // like a completed one. An instantly-throwing task looks ultra-fast,
+  // so its class's mean normalized workload collapsed toward zero and
+  // the next batch's CC table was built from fiction.
+  Runtime rt(small_runtime(SchedulerKind::kEewa, 2));
+  auto busy_task = [](std::atomic<int>& c) {
+    return [&c] {
+      volatile int x = 0;
+      for (int k = 0; k < 400000; ++k) x += k;
+      (void)x;
+      c.fetch_add(1);
+    };
+  };
+  std::atomic<int> counter{0};
+  std::vector<TaskDesc> tasks;
+  for (int i = 0; i < 8; ++i) {
+    tasks.push_back(TaskDesc{"steady", busy_task(counter)});
+  }
+  rt.run_batch(std::move(tasks));
+  const auto& reg = rt.controller().registry();
+  const auto id = reg.id_of("steady");
+  ASSERT_EQ(reg.total_count(id), 8u);
+  const double clean_mean = reg.mean_workload(id);
+  ASSERT_GT(clean_mean, 0.0);
+
+  // Same class again, half the tasks throwing instantly.
+  std::vector<TaskDesc> mixed;
+  for (int i = 0; i < 8; ++i) {
+    mixed.push_back(TaskDesc{"steady", busy_task(counter)});
+    mixed.push_back(
+        TaskDesc{"steady", [] { throw std::runtime_error("boom"); }});
+  }
+  EXPECT_THROW(rt.run_batch(std::move(mixed)), std::runtime_error);
+
+  // Only the 8 successful tasks were profiled, and the mean did not get
+  // dragged toward zero by 8 instant failures (allow scheduling noise).
+  EXPECT_EQ(reg.total_count(id), 16u);
+  EXPECT_GT(reg.mean_workload(id), clean_mean * 0.5);
+  // The failures are still visible to observability, just not to Eq. 1.
+  const auto& report = rt.last_batch_report();
+  ASSERT_GT(report.classes.size(), id);
+  EXPECT_EQ(report.classes[id].failed, 8u);
+  EXPECT_EQ(report.classes[id].count, 16u);
 }
 
 TEST(Runtime, FirstOfSeveralFailuresWins) {

@@ -2,8 +2,14 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
+#include <limits>
 
 namespace eewa::core {
+
+namespace {
+constexpr double kInactive = std::numeric_limits<double>::quiet_NaN();
+}  // namespace
 
 EewaController::EewaController(dvfs::FrequencyLadder ladder,
                                std::size_t total_cores,
@@ -61,14 +67,27 @@ const FrequencyPlan& EewaController::end_batch(double batch_makespan_s) {
   }
   ++batches_;
 
+  bool searched = false;
   if (memory_bound_mode_ || degraded_) {
     plan_ = uniform_plan(total_cores(), registry_.class_count());
+    prefs_ = PreferenceTable(plan_.layout);
+    plan_basis_valid_ = false;
   } else {
-    last_ = adjuster_.adjust(registry_.iteration_profile(),
-                             registry_.class_count(), ideal_time_s_);
-    plan_ = last_.plan;
+    const auto profile = registry_.iteration_profile();
+    if (options_.plan_reuse_enabled && plan_reusable_for(profile)) {
+      // Profile statistically unchanged since the current plan's search:
+      // Algorithm 1 would reproduce the same k-tuple, so keep the plan
+      // (and its preference lists) and skip the backtracking entirely.
+      ++plans_reused_;
+    } else {
+      searched = true;
+      last_ = adjuster_.adjust(profile, registry_.class_count(),
+                               ideal_time_s_);
+      plan_ = last_.plan;
+      prefs_ = PreferenceTable(plan_.layout);
+      save_plan_basis(profile);
+    }
   }
-  prefs_ = PreferenceTable(plan_.layout);
   // The whole end-of-batch pipeline (profile sort, CC build, search, plan,
   // preference lists) is the adjuster overhead Table III reports.
   const double pipeline_us = std::chrono::duration<double, std::micro>(
@@ -77,7 +96,6 @@ const FrequencyPlan& EewaController::end_batch(double batch_makespan_s) {
   overhead_us_ += pipeline_us;
   if (tracer_ != nullptr && tracer_->enabled()) {
     const double end_us = tracer_->now_us();
-    const bool searched = !memory_bound_mode_ && !degraded_;
     tracer_->phase(control_track_, end_us - pipeline_us, pipeline_us,
                    obs::PhaseKind::kPlan, registry_.class_count());
     if (searched) {
@@ -90,6 +108,39 @@ const FrequencyPlan& EewaController::end_batch(double batch_makespan_s) {
     }
   }
   return plan_;
+}
+
+bool EewaController::plan_reusable_for(
+    const std::vector<ClassProfile>& profile) const {
+  if (!plan_basis_valid_ || profile.empty()) return false;
+  // T moved (kRollingMin ratchet): the search target changed even if the
+  // per-class means did not.
+  if (ideal_time_s_ != plan_basis_ideal_s_) return false;
+  // Same set of active classes, every mean within tolerance.
+  std::size_t active_seen = 0;
+  for (const auto& c : profile) {
+    if (c.class_id >= plan_basis_means_.size()) return false;  // new class
+    const double basis = plan_basis_means_[c.class_id];
+    if (std::isnan(basis)) return false;  // class was inactive at search
+    ++active_seen;
+    const double drift = std::abs(c.mean_workload - basis);
+    if (drift > options_.plan_reuse_tolerance * basis) return false;
+  }
+  std::size_t basis_active = 0;
+  for (const double m : plan_basis_means_) {
+    if (!std::isnan(m)) ++basis_active;
+  }
+  return active_seen == basis_active;  // no class went quiet
+}
+
+void EewaController::save_plan_basis(
+    const std::vector<ClassProfile>& profile) {
+  plan_basis_means_.assign(registry_.class_count(), kInactive);
+  for (const auto& c : profile) {
+    plan_basis_means_[c.class_id] = c.mean_workload;
+  }
+  plan_basis_ideal_s_ = ideal_time_s_;
+  plan_basis_valid_ = !profile.empty();
 }
 
 std::size_t EewaController::group_of_class(std::size_t class_id) const {
@@ -149,6 +200,9 @@ const ActuationOutcome& EewaController::apply_supervised(
     // Eq. 1 normalization and the stealing order match reality.
     plan_ = reconcile_plan(plan_, last_outcome_.achieved);
     prefs_ = PreferenceTable(plan_.layout);
+    // The running plan no longer matches its search inputs; the next
+    // end_batch must re-search rather than reuse.
+    plan_basis_valid_ = false;
     ++health_.reconciliations;
     if (tracing) {
       tracer_->phase(control_track_, tracer_->now_us(), -1.0,
@@ -181,6 +235,7 @@ void EewaController::degrade(dvfs::DvfsBackend* backend) {
   degraded_ = true;
   ++health_.degradations;
   health_.degraded = true;
+  plan_basis_valid_ = false;
   plan_ = uniform_plan(total_cores(), registry_.class_count());
   if (backend != nullptr) {
     // Best-effort push to the safe all-F0 configuration; cores that

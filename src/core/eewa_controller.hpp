@@ -75,6 +75,15 @@ struct ControllerOptions {
   /// Retry/backoff policy for apply_supervised().
   ActuationOptions actuation;
   WatchdogOptions watchdog;
+  /// Skip the Algorithm 1 backtracking search and keep the previous
+  /// k-tuple when the workload profile is statistically unchanged: same
+  /// set of active classes, every class's mean workload within
+  /// plan_reuse_tolerance (relative) of the means the current plan was
+  /// searched from, and the ideal time T unmoved. The search is a pure
+  /// function of (profile, T), so an unchanged profile would reproduce
+  /// the same plan anyway — reuse only cuts the end-of-batch overhead.
+  bool plan_reuse_enabled = true;
+  double plan_reuse_tolerance = 0.01;
 };
 
 /// Drives EEWA across batches.
@@ -155,6 +164,10 @@ class EewaController {
   const SearchResult& last_search() const { return last_.search; }
   const Adjustment& last_adjustment() const { return last_; }
 
+  /// Batches whose plan was reused without re-running the search
+  /// (profile drift below plan_reuse_tolerance).
+  std::size_t plans_reused() const { return plans_reused_; }
+
   /// Total microseconds spent in the adjuster so far (Table III metric).
   double adjust_overhead_us() const { return overhead_us_; }
 
@@ -175,6 +188,8 @@ class EewaController {
 
  private:
   void degrade(dvfs::DvfsBackend* backend);
+  bool plan_reusable_for(const std::vector<ClassProfile>& profile) const;
+  void save_plan_basis(const std::vector<ClassProfile>& profile);
 
   Adjuster adjuster_;
   ControllerOptions options_;
@@ -189,6 +204,15 @@ class EewaController {
   double overhead_us_ = 0.0;
   obs::EventTracer* tracer_ = nullptr;
   std::size_t control_track_ = 0;
+
+  // Plan-reuse state: the per-class mean workloads (by class id; NaN =
+  // inactive) and ideal time the current plan was searched from.
+  // Invalidated whenever the plan stops matching its search inputs
+  // (reconciliation, degrade, memory gate).
+  std::vector<double> plan_basis_means_;
+  double plan_basis_ideal_s_ = 0.0;
+  bool plan_basis_valid_ = false;
+  std::size_t plans_reused_ = 0;
 
   // Fault-tolerance state.
   ActuationOutcome last_outcome_;

@@ -1,0 +1,76 @@
+#include "core/intern_table.hpp"
+
+namespace eewa::core {
+
+namespace {
+constexpr std::size_t kInitialSlots = 16;  // power of two
+}  // namespace
+
+InternTable::InternTable() {
+  auto snap = std::make_unique<Snapshot>();
+  snap->slots.resize(kInitialSlots);
+  snap->mask = kInitialSlots - 1;
+  snapshot_.store(snap.get(), std::memory_order_release);
+  retired_.push_back(std::move(snap));
+}
+
+InternTable::~InternTable() = default;
+
+std::uint64_t InternTable::hash_name(std::string_view name) noexcept {
+  // FNV-1a; class names are short (function identifiers), so a simple
+  // byte hash beats anything with setup cost.
+  std::uint64_t h = 1469598103934665603ull;
+  for (const char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h | 1u;  // never 0: hash 0 would alias the empty-slot marker
+}
+
+std::size_t InternTable::find(std::string_view name) const noexcept {
+  const std::uint64_t h = hash_name(name);
+  const Snapshot* snap = snapshot_.load(std::memory_order_acquire);
+  for (std::size_t i = h & snap->mask;; i = (i + 1) & snap->mask) {
+    const Entry& e = snap->slots[i];
+    if (e.name == nullptr) return npos;  // empty slot ends the probe
+    if (e.hash == h && *e.name == name) return e.id;
+  }
+}
+
+std::size_t InternTable::size() const noexcept {
+  return snapshot_.load(std::memory_order_acquire)->count;
+}
+
+std::size_t InternTable::insert_locked(std::string_view name,
+                                       std::size_t id) {
+  const Snapshot* old = snapshot_.load(std::memory_order_relaxed);
+  // Rebuild into a fresh snapshot at < 50% load so reader probes stay
+  // short; the old snapshot is retired, never mutated, and outlives any
+  // reader that loaded it before the publish below.
+  std::size_t cap = kInitialSlots;
+  while (cap < 2 * (old->count + 1)) cap <<= 1;
+  auto next = std::make_unique<Snapshot>();
+  next->slots.resize(cap);
+  next->mask = cap - 1;
+  next->count = old->count + 1;
+
+  names_.push_back(std::make_unique<std::string>(name));
+  auto place = [&next](const Entry& e) {
+    for (std::size_t i = e.hash & next->mask;; i = (i + 1) & next->mask) {
+      if (next->slots[i].name == nullptr) {
+        next->slots[i] = e;
+        return;
+      }
+    }
+  };
+  for (const Entry& e : old->slots) {
+    if (e.name != nullptr) place(e);
+  }
+  place(Entry{hash_name(name), names_.back().get(), id});
+
+  snapshot_.store(next.get(), std::memory_order_release);
+  retired_.push_back(std::move(next));
+  return id;
+}
+
+}  // namespace eewa::core

@@ -1,0 +1,84 @@
+// Read-lock-free string interning for the spawn hot path.
+//
+// EEWA identifies task classes by function name, so every by-name spawn
+// performs a name -> id lookup. Guarding the TaskClassRegistry's map
+// with a mutex serializes all workers through one lock for what is, in
+// steady state, a read of an append-only mapping. InternTable keeps an
+// immutable open-addressed snapshot behind an atomic pointer: readers
+// load-acquire the snapshot and probe with zero synchronization beyond
+// that one load; writers (rare — a class is interned once per run) take
+// a mutex, rebuild a bigger snapshot, and publish it with a release
+// store. Retired snapshots are kept alive until destruction so a reader
+// holding a stale snapshot never touches freed memory (the same
+// retirement scheme as the Chase-Lev deque's grown rings), and the
+// interned strings themselves are append-only and never move.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace eewa::core {
+
+/// Concurrent append-only name -> id map. Lookups are wait-free after
+/// one atomic load; insertions are mutex-serialized and expected rare.
+/// Ids are assigned by the caller (see intern()'s make_id callback) so
+/// the table can mirror an external authority such as the controller's
+/// TaskClassRegistry without double bookkeeping.
+class InternTable {
+ public:
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  InternTable();
+  InternTable(const InternTable&) = delete;
+  InternTable& operator=(const InternTable&) = delete;
+  ~InternTable();
+
+  /// Lock-free lookup; npos when the name has never been interned.
+  std::size_t find(std::string_view name) const noexcept;
+
+  /// Id for `name`, inserting on first sight. `make_id` is invoked under
+  /// the writer mutex exactly once per new name and supplies the id to
+  /// publish (e.g. by interning into the authoritative registry).
+  template <typename MakeId>
+  std::size_t intern(std::string_view name, MakeId&& make_id) {
+    if (const std::size_t id = find(name); id != npos) return id;
+    std::lock_guard<std::mutex> lock(mu_);
+    // Re-check: another writer may have published it while we waited.
+    if (const std::size_t id = find(name); id != npos) return id;
+    return insert_locked(name, make_id());
+  }
+
+  /// Number of interned names.
+  std::size_t size() const noexcept;
+
+ private:
+  struct Entry {
+    std::uint64_t hash = 0;
+    const std::string* name = nullptr;  ///< null = empty slot
+    std::size_t id = 0;
+  };
+
+  struct Snapshot {
+    std::vector<Entry> slots;  ///< power-of-two open addressing
+    std::size_t mask = 0;
+    std::size_t count = 0;
+  };
+
+  static std::uint64_t hash_name(std::string_view name) noexcept;
+  std::size_t insert_locked(std::string_view name, std::size_t id);
+
+  std::atomic<const Snapshot*> snapshot_;
+  std::mutex mu_;
+  // Writer-owned: interned strings (stable addresses, append-only) and
+  // retired snapshots readers may still be probing.
+  std::vector<std::unique_ptr<std::string>> names_;
+  std::vector<std::unique_ptr<const Snapshot>> retired_;
+};
+
+}  // namespace eewa::core

@@ -6,7 +6,7 @@
 namespace eewa::core {
 
 std::size_t TaskClassRegistry::intern(std::string_view name) {
-  auto it = ids_.find(std::string(name));
+  auto it = ids_.find(name);
   if (it != ids_.end()) return it->second;
   const std::size_t id = stats_.size();
   stats_.push_back(Stats{std::string(name), 0, 0, 0.0});
@@ -15,7 +15,7 @@ std::size_t TaskClassRegistry::intern(std::string_view name) {
 }
 
 std::size_t TaskClassRegistry::id_of(std::string_view name) const {
-  auto it = ids_.find(std::string(name));
+  auto it = ids_.find(name);
   if (it == ids_.end()) {
     throw std::out_of_range("TaskClassRegistry: unknown class name");
   }
@@ -23,7 +23,7 @@ std::size_t TaskClassRegistry::id_of(std::string_view name) const {
 }
 
 bool TaskClassRegistry::contains(std::string_view name) const {
-  return ids_.find(std::string(name)) != ids_.end();
+  return ids_.find(name) != ids_.end();
 }
 
 void TaskClassRegistry::record(std::size_t id, double w, double alpha) {

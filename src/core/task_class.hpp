@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -101,7 +102,18 @@ class TaskClassRegistry {
     double mean_alpha = 0.0;
   };
 
-  std::unordered_map<std::string, std::size_t> ids_;
+  // Transparent hashing: lookups probe with the string_view directly
+  // instead of materializing a std::string per call (intern() sits under
+  // the runtime's by-name spawn path).
+  struct NameHash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const noexcept {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+
+  std::unordered_map<std::string, std::size_t, NameHash, std::equal_to<>>
+      ids_;
   std::vector<Stats> stats_;
 };
 

@@ -1,6 +1,7 @@
 #include "obs/metrics.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <cstdio>
 #include <sstream>
@@ -8,10 +9,15 @@
 namespace eewa::obs {
 
 std::size_t exec_bucket(double exec_s) {
+  // Called once per task (hot path): integer bit_width instead of the
+  // libm log2 call; identical bucketing (floor(log2(us)) clamped).
   const double us = exec_s * 1e6;
   if (us < 1.0) return 0;
-  const auto b = static_cast<std::size_t>(std::log2(us));
-  return std::min(b, kExecBuckets - 1);
+  if (us >= static_cast<double>(std::uint64_t{1} << (kExecBuckets - 1))) {
+    return kExecBuckets - 1;
+  }
+  return static_cast<std::size_t>(
+      std::bit_width(static_cast<std::uint64_t>(us)) - 1);
 }
 
 double exec_bucket_lo_s(std::size_t i) {

@@ -3,9 +3,11 @@
 //
 // Single owner pushes/pops at the bottom without contention; any number
 // of thieves steal from the top with a CAS. The backing ring grows
-// geometrically; retired rings are kept alive until the deque is
-// destroyed, which makes concurrent reads of a stale ring safe without a
-// reclamation scheme (the standard approach for this structure).
+// geometrically; retired rings are kept alive so concurrent reads of a
+// stale ring stay safe without a reclamation scheme (the standard
+// approach for this structure). The owner may free the retired chain
+// with reclaim() at a point where no thief can be in flight — the
+// runtime does this at every batch barrier.
 //
 // T must be trivially copyable (we store raw task pointers).
 #pragma once
@@ -93,6 +95,22 @@ class ChaseLevDeque {
     }
     return std::nullopt;
   }
+
+  /// Owner only, and only while no thief can be mid-steal (e.g. at the
+  /// runtime's batch barrier): free every retired ring, keeping the live
+  /// one. Without this, a single burst that grew the ring leaves the
+  /// whole geometric chain of predecessors allocated for the deque's
+  /// lifetime.
+  void reclaim() {
+    if (rings_.size() <= 1) return;
+    // The live ring is always the most recently grown (rings_.back()).
+    auto keep = std::move(rings_.back());
+    rings_.clear();
+    rings_.push_back(std::move(keep));
+  }
+
+  /// Rings currently allocated (1 + retired; diagnostics/tests).
+  std::size_t ring_count() const { return rings_.size(); }
 
   /// Approximate size (racy; for heuristics/diagnostics only).
   std::size_t size_approx() const {

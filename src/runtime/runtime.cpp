@@ -4,6 +4,7 @@
 #include <chrono>
 #include <stdexcept>
 
+#include "util/fast_clock.hpp"
 #include "util/rng.hpp"
 
 #include "core/preference_list.hpp"
@@ -22,6 +23,12 @@ using Clock = std::chrono::steady_clock;
 double seconds_since(Clock::time_point t0) {
   return std::chrono::duration<double>(Clock::now() - t0).count();
 }
+
+// Idle backoff thresholds (worker_main): pure spin for the first sweeps,
+// sched_yield up to the next bound, then 1us -> 256us exponential sleep.
+constexpr std::size_t kIdleSpinSweeps = 16;
+constexpr std::size_t kIdleYieldSweeps = 48;
+constexpr std::size_t kIdleSleepMaxShift = 8;  // 2^8 us = 256us cap
 
 }  // namespace
 
@@ -54,6 +61,11 @@ Runtime::Runtime(RuntimeOptions options) : options_(std::move(options)) {
   controller_->set_tracer(options_.tracer, n);
   metrics_ = std::make_unique<obs::MetricsRegistry>(n);
   steal_rng_ = std::vector<util::CachelinePadded<std::uint64_t>>(n);
+  worker_rung_ = std::vector<util::CachelinePadded<std::size_t>>(n);
+  arenas_ = std::vector<util::CachelinePadded<TaskArena>>(n);
+  // Calibrate the task-timing clock now so the ~2ms window is paid at
+  // construction, not inside the first task measurement.
+  (void)util::FastClock::seconds_per_tick();
 
   pools_.resize(n);
   for (auto& wp : pools_) {
@@ -63,7 +75,7 @@ Runtime::Runtime(RuntimeOptions options) : options_(std::move(options)) {
   }
   profiles_.resize(n);
   group_counts_ = std::vector<util::CachelinePadded<std::atomic<std::int64_t>>>(
-      options_.ladder.size());
+      options_.ladder.size() * n);
   for (auto& gc : group_counts_) gc->store(0, std::memory_order_relaxed);
   worker_group_.assign(n, 0);
 
@@ -82,13 +94,26 @@ Runtime::~Runtime() {
   for (auto& t : threads_) t.join();
 }
 
-std::size_t Runtime::class_id(std::string_view name) {
-  std::lock_guard<std::mutex> lock(intern_mu_);
-  return controller_->class_id(name);
+ClassHandle Runtime::handle(std::string_view class_name) {
+  // Fast path: a wait-free snapshot probe. The writer callback (rare:
+  // first sight of a name) interns into the controller's registry under
+  // the table's mutex, keeping the cache and the authority in lockstep.
+  return ClassHandle{interner_.intern(
+      class_name, [&] { return controller_->class_id(class_name); })};
 }
 
 std::size_t Runtime::group_of_worker(std::size_t id) const {
   return worker_group_[id];
+}
+
+std::int64_t Runtime::group_count_approx(std::size_t group) const {
+  const std::size_t n = pools_.size();
+  std::int64_t total = 0;
+  for (std::size_t w = 0; w < n; ++w) {
+    total +=
+        group_counts_[group * n + w]->load(std::memory_order_acquire);
+  }
+  return total;
 }
 
 std::pair<std::size_t, std::size_t> distribution_target(
@@ -120,9 +145,20 @@ void Runtime::prepare_batch(std::vector<TaskDesc>& tasks) {
   controller_->begin_batch();
   const std::size_t n = pools_.size();
 
-  // 1. Frequencies + c-group structure for this batch.
-  std::vector<std::vector<std::size_t>> group_workers;
-  std::vector<std::size_t> class_to_group;  // by controller class id
+  // Workers are parked at the barrier: the control thread is the sole
+  // owner of every deque and arena. Retire last batch's spawned tasks
+  // (keeping the slabs) and free deque rings grown by spawn bursts.
+  for (auto& arena : arenas_) arena->reset();
+  for (auto& wp : pools_) {
+    for (auto& dq : wp.deques) dq->reclaim();
+  }
+
+  // 1. Frequencies + c-group structure for this batch. group_workers_
+  // and class_to_group_ are member scratch reused across batches.
+  auto& group_workers = group_workers_;
+  for (auto& g : group_workers) g.clear();
+  auto& class_to_group = class_to_group_;
+  class_to_group.clear();
   switch (options_.kind) {
     case SchedulerKind::kCilk: {
       for (std::size_t c = 0; c < n; ++c) {
@@ -188,38 +224,47 @@ void Runtime::prepare_batch(std::vector<TaskDesc>& tasks) {
   for (std::size_t g = 0; g < group_workers.size(); ++g) {
     for (std::size_t c : group_workers[g]) worker_group_[c] = g;
   }
-  pref_lists_.clear();
-  for (std::size_t g = 0; g < group_count_; ++g) {
-    pref_lists_.push_back(core::preference_list(g, group_count_));
+  // preference_list(g, count) is a pure function of (g, count): reuse
+  // the cached lists whenever the group count is unchanged.
+  if (pref_lists_.size() != group_count_) {
+    pref_lists_.clear();
+    for (std::size_t g = 0; g < group_count_; ++g) {
+      pref_lists_.push_back(core::preference_list(g, group_count_));
+    }
   }
   for (auto& gc : group_counts_) gc->store(0, std::memory_order_relaxed);
   metrics_->begin_batch(group_count_);
+  // Cache the achieved rung per worker for the batch (readback, not the
+  // requested value: actuation can fail under injection). run_one_task
+  // reads this cache once per task instead of calling frequency_index —
+  // a virtual call that some backends guard with a mutex.
+  for (std::size_t c = 0; c < n; ++c) {
+    *worker_rung_[c] = backend_->frequency_index(c);
+  }
   if (tracing) {
     // Snapshot the per-core rungs this batch runs at (the DVFS series a
     // trace viewer shows alongside the task spans).
     const double ts = tracer->now_us();
     for (std::size_t c = 0; c < n; ++c) {
       tracer->rung(n, ts, static_cast<std::uint32_t>(c),
-                   static_cast<std::uint32_t>(backend_->frequency_index(c)));
+                   static_cast<std::uint32_t>(*worker_rung_[c]));
     }
   }
 
-  // 2. Intern classes and materialize tasks.
+  // 2. Pre-intern classes and materialize tasks. Repeated names hit the
+  // intern table's wait-free path; only first-sight names lock.
   batch_tasks_.clear();
   batch_tasks_.reserve(tasks.size());
-  {
-    std::lock_guard<std::mutex> lock(intern_mu_);
-    for (auto& td : tasks) {
-      batch_tasks_.push_back(
-          Task{controller_->class_id(td.class_name), std::move(td.fn)});
-    }
+  for (auto& td : tasks) {
+    batch_tasks_.push_back(
+        Task{handle(td.class_name).id, std::move(td.fn)});
   }
-  spawned_tasks_.clear();
 
   // 3. Distribute round-robin into the owning group's workers. Workers
   // are parked at the batch barrier, so the control thread may safely
   // act as the deque owner here.
-  std::vector<std::size_t> rr(group_count_, 0);
+  auto& rr = rr_;
+  rr.assign(group_count_, 0);
   for (auto& task : batch_tasks_) {
     std::size_t g = 0;
     if (options_.kind == SchedulerKind::kEewa) {
@@ -234,7 +279,7 @@ void Runtime::prepare_batch(std::vector<TaskDesc>& tasks) {
     // instead of taking worker % 0.
     const auto [dg, w] = distribution_target(group_workers, rr, g);
     pools_[w].deques[dg]->push(&task);
-    group_counts_[dg]->fetch_add(1, std::memory_order_relaxed);
+    group_count_bump(dg, w, 1);
   }
   remaining_.store(static_cast<std::int64_t>(batch_tasks_.size()),
                    std::memory_order_release);
@@ -318,38 +363,34 @@ void Runtime::finish_batch(double makespan_s) {
   failed_seen_ = failed_now;
   controller_->end_batch(makespan_s);
   ++batches_;
-  tasks_run_ += batch_tasks_.size() + spawned_tasks_.size();
+  std::size_t spawned = 0;
+  for (const auto& arena : arenas_) spawned += arena->size();
+  tasks_run_ += batch_tasks_.size() + spawned;
 }
 
-void Runtime::spawn(std::string_view class_name, std::function<void()> fn) {
+void Runtime::spawn(ClassHandle handle, TaskFn fn) {
   if (tl_runtime != this) {
     throw std::logic_error("Runtime::spawn called outside a worker task");
   }
+  // Steady-state hot path: no mutex, no heap allocation. The task lives
+  // in the calling worker's arena (slab growth is amortized and batch-
+  // local), the capture sits inline in the TaskFn, and the push goes to
+  // the worker's own deque bottom.
   const std::size_t id = tl_worker_id;
-  std::size_t cid;
-  {
-    std::lock_guard<std::mutex> lock(intern_mu_);
-    cid = controller_->class_id(class_name);
-  }
-  auto task = std::make_unique<Task>(Task{cid, std::move(fn)});
-  Task* raw = task.get();
-  {
-    std::lock_guard<std::mutex> lock(spawn_mu_);
-    spawned_tasks_.push_back(std::move(task));
-  }
+  Task* raw = arenas_[id]->create(handle.id, std::move(fn));
   std::size_t g = options_.kind == SchedulerKind::kEewa
-                      ? controller_->group_of_class(cid)
+                      ? controller_->group_of_class(handle.id)
                       : worker_group_[id];
   if (g >= group_count_) g = 0;
   remaining_.fetch_add(1, std::memory_order_acq_rel);
   pools_[id].deques[g]->push(raw);
-  group_counts_[g]->fetch_add(1, std::memory_order_release);
+  group_count_bump(g, id, 1);
   ++metrics_->worker(id).spawns;
 }
 
 std::optional<Task*> Runtime::steal_from_group(std::size_t id,
                                                std::size_t group) {
-  if (group_counts_[group]->load(std::memory_order_acquire) <= 0) {
+  if (group_count_approx(group) <= 0) {
     return std::nullopt;
   }
   const std::size_t n = pools_.size();
@@ -367,7 +408,7 @@ std::optional<Task*> Runtime::steal_from_group(std::size_t id,
     if (victim == id && n > 1) victim = (victim + 1) % n;
     ++wc.probes;
     if (auto t = pools_[victim].deques[group]->steal()) {
-      group_counts_[group]->fetch_sub(1, std::memory_order_acq_rel);
+      group_count_bump(group, id, -1);
       steals_.fetch_add(1, std::memory_order_relaxed);
       const bool cross = group != worker_group_[id];
       if (cross) {
@@ -383,7 +424,7 @@ std::optional<Task*> Runtime::steal_from_group(std::size_t id,
       }
       return t;
     }
-    if (group_counts_[group]->load(std::memory_order_acquire) <= 0) break;
+    if (group_count_approx(group) <= 0) break;
   }
   ++wc.failed_sweeps;
   return std::nullopt;
@@ -393,7 +434,7 @@ std::optional<Task*> Runtime::acquire(std::size_t id) {
   const auto& order = pref_lists_[worker_group_[id]];
   for (std::size_t g : order) {
     if (auto t = pools_[id].deques[g]->pop()) {
-      group_counts_[g]->fetch_sub(1, std::memory_order_acq_rel);
+      group_count_bump(g, id, -1);
       ++metrics_->worker(id).pops[g];
       return t;
     }
@@ -406,14 +447,21 @@ bool Runtime::run_one_task(std::size_t id, PerfCounters* pmc) {
   auto got = acquire(id);
   if (!got) return false;
   Task* task = *got;
-  // Cilk-D ramps back up the moment it has work again.
-  if (options_.kind == SchedulerKind::kCilkD &&
-      backend_->frequency_index(id) != 0) {
+  obs::EventTracer* tracer = options_.tracer;
+  const bool tracing = tracer != nullptr && tracer->enabled();
+  std::size_t rung = *worker_rung_[id];
+  // Cilk-D ramps back up the moment it has work again. Read the rung
+  // back after actuating: under fault injection the request can fail,
+  // and the profile must record what the core actually ran at.
+  if (options_.kind == SchedulerKind::kCilkD && rung != 0) {
     backend_->set_frequency(id, 0);
+    rung = backend_->frequency_index(id);
+    *worker_rung_[id] = rung;
   }
-  const std::size_t rung = backend_->frequency_index(id);
   if (pmc != nullptr) pmc->start();
-  const auto t0 = Clock::now();
+  Clock::time_point t0_tp;
+  if (tracing) t0_tp = Clock::now();
+  const std::uint64_t t0 = util::FastClock::ticks();
   bool failed = false;
   try {
     task->fn();
@@ -425,7 +473,7 @@ bool Runtime::run_one_task(std::size_t id, PerfCounters* pmc) {
     std::lock_guard<std::mutex> lock(failure_mu_);
     if (!first_failure_) first_failure_ = std::current_exception();
   }
-  const double exec_s = seconds_since(t0);
+  const double exec_s = util::FastClock::seconds_since(t0);
   const double cmi = pmc != nullptr ? pmc->stop().cmi() : 0.0;
   if (!failed) {
     // Failed tasks are excluded from the profile (and their CMI from
@@ -437,9 +485,8 @@ bool Runtime::run_one_task(std::size_t id, PerfCounters* pmc) {
   obs::WorkerCounters& wc = metrics_->worker(id);
   ++wc.tasks;
   wc.cls(task->class_id).observe(exec_s, failed);
-  if (obs::EventTracer* tracer = options_.tracer;
-      tracer != nullptr && tracer->enabled()) {
-    tracer->task(id, tracer->to_us(t0), exec_s * 1e6,
+  if (tracing) {
+    tracer->task(id, tracer->to_us(t0_tp), exec_s * 1e6,
                  static_cast<std::uint32_t>(task->class_id),
                  static_cast<std::uint32_t>(rung), failed);
   }
@@ -479,12 +526,26 @@ void Runtime::worker_main(std::size_t id) {
       ++idle_sweeps;
       ++metrics_->worker(id).idle_sweeps;
       if (options_.kind == SchedulerKind::kCilkD && idle_sweeps == 2 &&
-          backend_->frequency_index(id) !=
-              options_.ladder.slowest_index()) {
+          *worker_rung_[id] != options_.ladder.slowest_index()) {
         backend_->set_frequency(id, options_.ladder.slowest_index());
+        *worker_rung_[id] = backend_->frequency_index(id);
       }
-      if (idle_sweeps > 16) {
-        std::this_thread::yield();
+      // Idle backoff ramp: spin the first sweeps (work usually appears
+      // within a steal sweep or two), then yield, then sleep with an
+      // exponentially growing, capped interval. The cap keeps worst-case
+      // wakeup latency at ~256us — negligible against any batch long
+      // enough to leave a worker starved, while an idle worker stops
+      // burning the memory bandwidth the CMI gate (§IV-D) measures.
+      if (idle_sweeps > kIdleSpinSweeps) {
+        if (idle_sweeps <= kIdleYieldSweeps) {
+          std::this_thread::yield();
+        } else {
+          const std::size_t ramp =
+              std::min<std::size_t>(idle_sweeps - kIdleYieldSweeps - 1,
+                                    kIdleSleepMaxShift);
+          std::this_thread::sleep_for(
+              std::chrono::microseconds(1u << ramp));
+        }
       }
     }
 

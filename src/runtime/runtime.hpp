@@ -23,7 +23,6 @@
 #include <condition_variable>
 #include <cstddef>
 #include <exception>
-#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -33,6 +32,7 @@
 #include <vector>
 
 #include "core/eewa_controller.hpp"
+#include "core/intern_table.hpp"
 #include "dvfs/dvfs_backend.hpp"
 #include "dvfs/frequency_ladder.hpp"
 #include "dvfs/trace_backend.hpp"
@@ -106,11 +106,25 @@ class Runtime {
   double run_batch(std::vector<TaskDesc> tasks);
 
   /// Spawn a task into the *current* batch; only valid while run_batch
-  /// is in flight, typically called from inside a running task.
-  void spawn(std::string_view class_name, std::function<void()> fn);
+  /// is in flight, typically called from inside a running task. The
+  /// steady-state cost is lock-free and allocation-free: the class id
+  /// resolves through the read-lock-free intern table, the Task lands in
+  /// the calling worker's slab arena, and the push goes to the worker's
+  /// own deque.
+  void spawn(std::string_view class_name, TaskFn fn) {
+    spawn(handle(class_name), std::move(fn));
+  }
+
+  /// Spawn through a pre-interned handle: zero string hashing.
+  void spawn(ClassHandle handle, TaskFn fn);
+
+  /// Resolve (interning on first sight) a class name to a handle.
+  /// Thread-safe; lock-free after the first call for a given name. Call
+  /// sites on hot paths should resolve once and spawn by handle.
+  ClassHandle handle(std::string_view class_name);
 
   /// Intern a class name ahead of time (thread-safe).
-  std::size_t class_id(std::string_view name);
+  std::size_t class_id(std::string_view name) { return handle(name).id; }
 
   /// The controller (plans, profiles, overhead accounting).
   const core::EewaController& controller() const { return *controller_; }
@@ -178,7 +192,11 @@ class Runtime {
   std::unique_ptr<dvfs::TraceBackend> owned_backend_;
   dvfs::DvfsBackend* backend_ = nullptr;
   std::unique_ptr<core::EewaController> controller_;
-  std::mutex intern_mu_;
+  // Read-lock-free name -> class-id cache mirroring the controller's
+  // registry. Every intern goes through it, so its writer mutex is also
+  // what serializes the registry's map mutations (the only controller
+  // state that can change while workers run).
+  core::InternTable interner_;
 
   std::vector<WorkerPools> pools_;
   std::vector<WorkerProfile> profiles_;
@@ -188,15 +206,46 @@ class Runtime {
   // the steal path are both slow and correlate victim sequences across
   // concurrent sweeps, defeating the paper's random-stealing assumption).
   std::vector<util::CachelinePadded<std::uint64_t>> steal_rng_;
+  // Each worker's current frequency rung, cached so run_one_task never
+  // queries the backend per task (frequency_index is virtual and, on
+  // some backends, mutex-guarded). Written by the control thread at the
+  // batch barrier and by the owning worker at Cilk-D self-scaling
+  // transitions; read only by the owner.
+  std::vector<util::CachelinePadded<std::size_t>> worker_rung_;
+  // Sharded in-flight task counts: one cacheline-padded slot per
+  // (group, worker) pair, indexed [group * workers + worker]. Each slot
+  // has a single writer — worker w adds 1 to its own slot when it pushes
+  // into group g and subtracts 1 from its own slot when it acquires from
+  // g (pop or steal) — so the hot path is a plain load/store pair, never
+  // a lock-prefixed RMW. A group's in-flight total (the steal gate) is
+  // the sum over its worker slots; individual slots may go negative
+  // (a worker that steals more than it spawns), only the sum is
+  // meaningful. The control thread writes at the batch barrier, where
+  // workers are parked.
   std::vector<util::CachelinePadded<std::atomic<std::int64_t>>>
       group_counts_;
+  std::int64_t group_count_approx(std::size_t group) const;
+  void group_count_bump(std::size_t group, std::size_t worker,
+                        std::int64_t delta) {
+    auto& slot = *group_counts_[group * pools_.size() + worker];
+    slot.store(slot.load(std::memory_order_relaxed) + delta,
+               std::memory_order_release);
+  }
   std::size_t group_count_ = 1;
   std::vector<std::size_t> worker_group_;
+  // Per-batch scratch, all reused across batches (prepare_batch clears
+  // instead of reallocating): preference lists are rebuilt only when the
+  // group count changes, group_workers_/rr_ keep their buffers.
   std::vector<std::vector<std::size_t>> pref_lists_;
+  std::vector<std::vector<std::size_t>> group_workers_;
+  std::vector<std::size_t> class_to_group_;
+  std::vector<std::size_t> rr_;
 
   std::vector<Task> batch_tasks_;
-  std::vector<std::unique_ptr<Task>> spawned_tasks_;
-  std::mutex spawn_mu_;
+  // One slab arena per worker for mid-batch spawns: the owning worker
+  // bump-allocates without synchronization; the control thread resets
+  // them at the next prepare_batch, where workers are parked.
+  std::vector<util::CachelinePadded<TaskArena>> arenas_;
 
   std::atomic<std::int64_t> remaining_{0};
   std::atomic<std::size_t> steals_{0};

@@ -1,23 +1,196 @@
 // The unit of scheduling in the real-thread runtime: a callable tagged
 // with the task-class (function) name EEWA profiles by.
+//
+// The callable is a TaskFn, not a std::function: spawn() is the hot path
+// of every recursive workload the paper evaluates, and a std::function
+// heap-allocates any capture beyond its tiny internal buffer. TaskFn
+// stores captures up to kInlineSize bytes inline (move-only, no
+// type-erasure allocation) and only falls back to the heap for larger
+// closures, so the steady-state spawn path performs zero allocations.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
-#include <functional>
+#include <cstdint>
+#include <memory>
+#include <new>
 #include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
 
 namespace eewa::rt {
 
+/// Move-only type-erased `void()` callable with small-buffer storage.
+///
+/// Captures up to kInlineSize bytes (and alignment <= alignof(max_align_t))
+/// live inside the object; larger closures are boxed on the heap (counted
+/// in heap_fallbacks() so tests can assert the hot path stays inline).
+class TaskFn {
+ public:
+  /// Inline capture budget. 48 bytes fits the common recursive-spawn
+  /// closure (a runtime pointer, a couple of counters/handles, a depth)
+  /// with TaskFn itself still one cache line including its vtable-free
+  /// dispatch pointers.
+  static constexpr std::size_t kInlineSize = 48;
+
+  TaskFn() noexcept = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, TaskFn> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  TaskFn(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineSize &&
+                  alignof(Fn) <= alignof(std::max_align_t)) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      invoke_ = [](void* p) { (*static_cast<Fn*>(p))(); };
+      relocate_ = [](void* src, void* dst) noexcept {
+        Fn* fn = static_cast<Fn*>(src);
+        if (dst != nullptr) ::new (dst) Fn(std::move(*fn));
+        fn->~Fn();
+      };
+    } else {
+      // Heap fallback: box the closure, keep only the pointer inline.
+      heap_fallbacks().fetch_add(1, std::memory_order_relaxed);
+      ::new (static_cast<void*>(buf_)) Fn*(new Fn(std::forward<F>(f)));
+      invoke_ = [](void* p) { (**static_cast<Fn**>(p))(); };
+      relocate_ = [](void* src, void* dst) noexcept {
+        Fn** box = static_cast<Fn**>(src);
+        if (dst != nullptr) {
+          ::new (dst) Fn*(*box);
+        } else {
+          delete *box;
+        }
+      };
+    }
+  }
+
+  TaskFn(TaskFn&& other) noexcept
+      : invoke_(other.invoke_), relocate_(other.relocate_) {
+    if (relocate_ != nullptr) relocate_(other.buf_, buf_);
+    other.invoke_ = nullptr;
+    other.relocate_ = nullptr;
+  }
+
+  TaskFn& operator=(TaskFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      invoke_ = other.invoke_;
+      relocate_ = other.relocate_;
+      if (relocate_ != nullptr) relocate_(other.buf_, buf_);
+      other.invoke_ = nullptr;
+      other.relocate_ = nullptr;
+    }
+    return *this;
+  }
+
+  TaskFn(const TaskFn&) = delete;
+  TaskFn& operator=(const TaskFn&) = delete;
+
+  ~TaskFn() { reset(); }
+
+  void operator()() { invoke_(buf_); }
+
+  explicit operator bool() const noexcept { return invoke_ != nullptr; }
+
+  /// Process-wide count of closures that spilled to the heap (capture
+  /// larger than kInlineSize). Tests pin the steady-state spawn path to
+  /// zero growth here.
+  static std::atomic<std::uint64_t>& heap_fallbacks() noexcept {
+    static std::atomic<std::uint64_t> count{0};
+    return count;
+  }
+
+ private:
+  void reset() noexcept {
+    if (relocate_ != nullptr) relocate_(buf_, nullptr);
+    invoke_ = nullptr;
+    relocate_ = nullptr;
+  }
+
+  void (*invoke_)(void*) = nullptr;
+  /// Moves the stored closure from src into dst (placement-new) and
+  /// destroys src; destroys src only when dst is null.
+  void (*relocate_)(void* src, void* dst) noexcept = nullptr;
+  alignas(std::max_align_t) unsigned char buf_[kInlineSize];
+};
+
 /// A task as submitted by the application.
 struct TaskDesc {
-  std::string class_name;    ///< function name (EEWA's class identity)
-  std::function<void()> fn;  ///< the work
+  std::string class_name;  ///< function name (EEWA's class identity)
+  TaskFn fn;               ///< the work (move-only)
 };
 
 /// Internal representation after class-name interning.
 struct Task {
   std::size_t class_id = 0;
-  std::function<void()> fn;
+  TaskFn fn;
+};
+
+/// Pre-interned task-class identity (see Runtime::handle): call sites
+/// resolve the name once and spawn through the handle with zero string
+/// hashing on the hot path.
+struct ClassHandle {
+  std::size_t id = 0;
+};
+
+/// Bump-allocated slab arena for mid-batch spawned Tasks.
+///
+/// Single-owner by contract: during a batch exactly one worker allocates
+/// from its own arena (spawn() indexes by worker id); at the batch
+/// barrier the control thread — sole owner while workers are parked —
+/// destroys the tasks with reset(), which keeps the slabs, so a
+/// steady-state batch allocates nothing.
+class TaskArena {
+ public:
+  /// Tasks per slab; slabs are a few KiB so a spawn burst amortizes its
+  /// rare slab allocation across kSlabTasks spawns.
+  static constexpr std::size_t kSlabTasks = 256;
+
+  TaskArena() = default;
+  TaskArena(const TaskArena&) = delete;
+  TaskArena& operator=(const TaskArena&) = delete;
+  ~TaskArena() { reset(); }
+
+  /// Owner only: construct a task in place and return its stable address
+  /// (valid until reset()).
+  Task* create(std::size_t class_id, TaskFn&& fn) {
+    const std::size_t slab = count_ / kSlabTasks;
+    const std::size_t idx = count_ % kSlabTasks;
+    if (slab == slabs_.size()) slabs_.push_back(std::make_unique<Slab>());
+    Task* t = slabs_[slab]->at(idx);
+    ::new (static_cast<void*>(t)) Task{class_id, std::move(fn)};
+    ++count_;
+    return t;
+  }
+
+  /// Owner only (batch barrier): destroy all tasks, keep the slabs.
+  void reset() noexcept {
+    for (std::size_t i = count_; i-- > 0;) {
+      slabs_[i / kSlabTasks]->at(i % kSlabTasks)->~Task();
+    }
+    count_ = 0;
+  }
+
+  /// Tasks currently alive in the arena.
+  std::size_t size() const noexcept { return count_; }
+
+  /// Slabs retained across batches (diagnostics/tests).
+  std::size_t slab_count() const noexcept { return slabs_.size(); }
+
+ private:
+  struct Slab {
+    alignas(alignof(Task)) unsigned char bytes[kSlabTasks * sizeof(Task)];
+
+    Task* at(std::size_t i) noexcept {
+      return reinterpret_cast<Task*>(bytes) + i;
+    }
+  };
+
+  std::vector<std::unique_ptr<Slab>> slabs_;
+  std::size_t count_ = 0;
 };
 
 }  // namespace eewa::rt

@@ -1,0 +1,38 @@
+#include "util/fast_clock.hpp"
+
+#include <thread>
+
+namespace eewa::util {
+namespace {
+
+double calibrate() noexcept {
+#if defined(__x86_64__)
+  using Clock = std::chrono::steady_clock;
+  // Two-point sample against steady_clock over a ~2ms window. Invariant
+  // TSCs tick at a fixed rate, so a short window calibrates to well under
+  // 1% — plenty for Eq. 1 workload means, which feed a relative search.
+  const auto wall0 = Clock::now();
+  const std::uint64_t tsc0 = FastClock::ticks();
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  const auto wall1 = Clock::now();
+  const std::uint64_t tsc1 = FastClock::ticks();
+  const double elapsed_s = std::chrono::duration<double>(wall1 - wall0).count();
+  const std::uint64_t dticks = tsc1 - tsc0;
+  if (dticks == 0 || elapsed_s <= 0.0) {
+    return 1e-9;  // degenerate environment: assume ~1GHz rather than div/0
+  }
+  return elapsed_s / static_cast<double>(dticks);
+#else
+  using Period = std::chrono::steady_clock::period;
+  return static_cast<double>(Period::num) / static_cast<double>(Period::den);
+#endif
+}
+
+}  // namespace
+
+double FastClock::seconds_per_tick() noexcept {
+  static const double period = calibrate();
+  return period;
+}
+
+}  // namespace eewa::util

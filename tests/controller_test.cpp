@@ -224,6 +224,65 @@ TEST(EewaController, PreferencesMatchPlanGroups) {
             ctrl.plan().layout.group_count());
 }
 
+TEST(EewaController, StableProfileReusesPlan) {
+  EewaController ctrl(kLadder, 16);
+  const auto f = ctrl.class_id("f");
+  for (int batch = 0; batch < 3; ++batch) {
+    ctrl.begin_batch();
+    for (int i = 0; i < 16; ++i) ctrl.record_task(f, 0.25, 0);
+    ctrl.end_batch(2.0);
+  }
+  // Batch 1 searches (and saves the basis); batches 2 and 3 present a
+  // statistically identical profile and must skip Algorithm 1.
+  EXPECT_EQ(ctrl.plans_reused(), 2u);
+  EXPECT_TRUE(ctrl.plan().planned);
+}
+
+TEST(EewaController, DriftingClassTriggersResearch) {
+  EewaController ctrl(kLadder, 16);
+  const auto f = ctrl.class_id("f");
+  ctrl.begin_batch();
+  for (int i = 0; i < 16; ++i) ctrl.record_task(f, 0.25, 0);
+  ctrl.end_batch(2.0);
+  // Class f's mean workload drifts far past the 1% tolerance: the
+  // memoized plan must be dropped and the k-tuple search re-run.
+  ctrl.begin_batch();
+  for (int i = 0; i < 16; ++i) ctrl.record_task(f, 0.50, 0);
+  ctrl.end_batch(2.0);
+  EXPECT_EQ(ctrl.plans_reused(), 0u);
+  EXPECT_TRUE(ctrl.plan().planned);
+}
+
+TEST(EewaController, NewActiveClassTriggersResearch) {
+  EewaController ctrl(kLadder, 16);
+  const auto f = ctrl.class_id("f");
+  ctrl.begin_batch();
+  for (int i = 0; i < 16; ++i) ctrl.record_task(f, 0.25, 0);
+  ctrl.end_batch(2.0);
+  // A class unseen at search time joins the profile: reuse must not
+  // serve it a plan whose layout predates its existence.
+  const auto g = ctrl.class_id("g");
+  ctrl.begin_batch();
+  for (int i = 0; i < 16; ++i) ctrl.record_task(f, 0.25, 0);
+  for (int i = 0; i < 16; ++i) ctrl.record_task(g, 0.10, 0);
+  ctrl.end_batch(2.0);
+  EXPECT_EQ(ctrl.plans_reused(), 0u);
+}
+
+TEST(EewaController, PlanReuseCanBeDisabled) {
+  ControllerOptions opt;
+  opt.plan_reuse_enabled = false;
+  EewaController ctrl(kLadder, 16, opt);
+  const auto f = ctrl.class_id("f");
+  for (int batch = 0; batch < 3; ++batch) {
+    ctrl.begin_batch();
+    for (int i = 0; i < 16; ++i) ctrl.record_task(f, 0.25, 0);
+    ctrl.end_batch(2.0);
+  }
+  EXPECT_EQ(ctrl.plans_reused(), 0u);
+  EXPECT_TRUE(ctrl.plan().planned);
+}
+
 TEST(EewaController, HeavierClassNeverOnSlowerGroupThanLighter) {
   EewaController ctrl(kLadder, 16);
   const auto heavy = ctrl.class_id("heavy");

@@ -370,7 +370,9 @@ TEST(TraceRecording, DisabledByDefault) {
   rt::RuntimeOptions opt;
   opt.workers = 2;
   rt::Runtime runtime(opt);
-  runtime.run_batch({{"t", [] {}}});
+  std::vector<rt::TaskDesc> tasks;
+  tasks.push_back(rt::TaskDesc{"t", [] {}});
+  runtime.run_batch(std::move(tasks));
   EXPECT_EQ(runtime.recorded_trace().batch_count(), 0u);
 }
 

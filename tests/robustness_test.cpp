@@ -180,7 +180,9 @@ TEST(RuntimeLifecycle, PmcCanBeDisabled) {
   opt.enable_pmc = false;
   rt::Runtime runtime(opt);
   std::atomic<int> counter{0};
-  runtime.run_batch({{"t", [&counter] { counter.fetch_add(1); }}});
+  std::vector<rt::TaskDesc> tasks;
+  tasks.push_back(rt::TaskDesc{"t", [&counter] { counter.fetch_add(1); }});
+  runtime.run_batch(std::move(tasks));
   EXPECT_EQ(counter.load(), 1);
 }
 

@@ -291,17 +291,20 @@ TEST(Runtime, EewaAppliesPlanToBackendAfterMeasurementBatch) {
   Runtime rt(small_runtime(SchedulerKind::kEewa, 4));
   std::atomic<int> counter{0};
   // Short, imbalanced tasks: plan should downclock something.
-  std::vector<TaskDesc> tasks;
-  for (int i = 0; i < 16; ++i) {
-    tasks.push_back(TaskDesc{"small", [&counter] {
-                               volatile int x = 0;
-                               for (int k = 0; k < 20000; ++k) x = x + k;
-                               (void)x;
-                               counter.fetch_add(1);
-                             }});
-  }
-  rt.run_batch(tasks);
-  rt.run_batch(tasks);
+  auto make_tasks = [&counter] {
+    std::vector<TaskDesc> tasks;
+    for (int i = 0; i < 16; ++i) {
+      tasks.push_back(TaskDesc{"small", [&counter] {
+                                 volatile int x = 0;
+                                 for (int k = 0; k < 20000; ++k) x = x + k;
+                                 (void)x;
+                                 counter.fetch_add(1);
+                               }});
+    }
+    return tasks;
+  };
+  rt.run_batch(make_tasks());
+  rt.run_batch(make_tasks());
   EXPECT_EQ(counter.load(), 32);
   EXPECT_GE(rt.controller().batches_completed(), 2u);
   // The plan was applied through the backend (trace shows transitions or

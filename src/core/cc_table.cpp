@@ -1,5 +1,6 @@
 #include "core/cc_table.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <stdexcept>
@@ -88,9 +89,17 @@ bool CCTable::rung_feasible(std::size_t j, std::size_t i) const {
   if (j == 0) return true;  // F0 cannot be beaten; never reject it
   if (ideal_time_s_ <= 0.0) return true;  // bare matrix: no timing info
   const ClassProfile& c = classes_.at(i);
-  if (c.max_workload <= 0.0 || at(0, i) <= 0.0) return true;
-  const double slowdown = at(j, i) / at(0, i);  // = F0/Fj
-  return c.max_workload * slowdown <= ideal_time_s_ * (1.0 + 1e-9);
+  if (at(0, i) <= 0.0) return true;
+  // Guard on the larger of the observed max and the mean. Profiles with
+  // missing max metadata (max == 0) — or a cumulative mean above the
+  // per-iteration max — must not admit rungs where demand() finds that
+  // even a mean-sized task misses T: for j > 0 the two predicates have
+  // to agree, or exhaustive search ranks tuples by the rounds < 1
+  // fallback demand of rungs this function was supposed to reject.
+  const double critical = std::max(c.max_workload, c.mean_workload);
+  if (critical <= 0.0) return true;
+  const double slowdown = at(j, i) / at(0, i);  // = effective F0/Fj
+  return critical * slowdown <= ideal_time_s_ * (1.0 + 1e-9);
 }
 
 double CCTable::demand(std::size_t j, std::size_t i) const {
@@ -104,8 +113,11 @@ double CCTable::demand(std::size_t j, std::size_t i) const {
   const double task_time = c.mean_workload * slowdown;
   const double rounds = std::floor(ideal_time_s_ / task_time + 1e-9);
   if (rounds < 1.0) {
-    // Even one task misses T; rung_feasible filters this rung, but give
-    // a sane answer (one core per task) for callers that do not.
+    // Even one mean-sized task misses T. rung_feasible rejects every
+    // such rung for j > 0 (it guards on max(max, mean) workload), so
+    // the searchers never rank tuples by this value; it remains
+    // reachable only at F0 and for callers that skip the filter, where
+    // one core per task is the sane answer.
     return std::max(base, static_cast<double>(c.count));
   }
   return std::max(base, static_cast<double>(c.count) / rounds);

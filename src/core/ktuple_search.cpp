@@ -1,5 +1,6 @@
 #include "core/ktuple_search.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <limits>
@@ -15,22 +16,45 @@ double elapsed_us_since(Clock::time_point start) {
       .count();
 }
 
+constexpr double kEps = 1e-9;
+
 /// Power of one active core at rung j under the model or a cubic proxy
-/// (P ∝ f·V² with V roughly ∝ f). The relative frequency F_j/F_0 is
-/// recovered from the CC table itself: CC[j][i] / CC[0][i] = F_0 / F_j.
+/// (P ∝ f·V² with V roughly ∝ f). Without a model the slowdown F_0/F_j
+/// is recovered from the CC table itself. A single column is not
+/// enough: it may be zero (idle class) and, with per-class memory-aware
+/// alphas, CC[j][i]/CC[0][i] = α_i + (1-α_i)·F_0/F_j understates the
+/// true slowdown for any α_i > 0. Scan every usable column and keep the
+/// largest ratio — the least memory-bound class, the tightest lower
+/// bound on the true F_0/F_j.
 double rung_power(const CCTable& cc, std::size_t j,
                   const energy::PowerModel* model) {
   if (model != nullptr) return model->core_power_w(j, /*active=*/true);
-  double rel = 1.0 / (1.0 + static_cast<double>(j));  // rank-based fallback
-  if (cc.at(j, 0) > 0.0 && cc.at(0, 0) > 0.0) {
-    rel = cc.at(0, 0) / cc.at(j, 0);
+  double slowdown = 0.0;
+  for (std::size_t i = 0; i < cc.cols(); ++i) {
+    if (cc.at(j, i) > 0.0 && cc.at(0, i) > 0.0) {
+      slowdown = std::max(slowdown, cc.at(j, i) / cc.at(0, i));
+    }
   }
+  const double rel = slowdown > 0.0
+                         ? 1.0 / slowdown
+                         : 1.0 / (1.0 + static_cast<double>(j));
   return rel * rel * rel;
 }
 
-constexpr double kEps = 1e-9;
+/// Power of one leftover (unassigned) core parked at rung j. With a model
+/// these cores sit idle/halted, exactly as EnergyAccount bills them; the
+/// proxy path keeps the cubic active estimate (it has no idle curve).
+double leftover_power(const CCTable& cc, std::size_t j,
+                      const energy::PowerModel* model) {
+  if (model != nullptr) return model->core_power_w(j, /*active=*/false);
+  return rung_power(cc, j, nullptr);
+}
 
 }  // namespace
+
+double proxy_rung_power(const CCTable& cc, std::size_t j) {
+  return rung_power(cc, j, nullptr);
+}
 
 double tuple_energy_estimate(const CCTable& cc,
                              const std::vector<std::size_t>& tuple,
@@ -48,7 +72,7 @@ double tuple_energy_estimate(const CCTable& cc,
           ? static_cast<double>(total_cores) - used
           : 0.0;
   const std::size_t slowest = cc.rows() - 1;
-  e += leftovers * rung_power(cc, slowest, model);
+  e += leftovers * leftover_power(cc, slowest, model);
   return e;
 }
 
@@ -145,16 +169,29 @@ SearchResult search_exhaustive(const CCTable& cc, std::size_t total_cores,
   const auto start = Clock::now();
   SearchResult best;
   double best_e = std::numeric_limits<double>::infinity();
+  double best_used = std::numeric_limits<double>::infinity();
   std::vector<std::size_t> a(cc.cols(), 0);
   std::size_t nodes = 0;
 
   // Enumerate all nondecreasing tuples; prune on capacity as we go.
+  // Ties on energy break deterministically — fewest cores, then the
+  // lexicographically greater (slower) tuple — so differential runs
+  // reproduce the same winner regardless of enumeration quirks.
   auto rec = [&](auto&& self, std::size_t i, std::size_t lo,
                  double used) -> void {
     if (i == cc.cols()) {
       const double e = tuple_energy_estimate(cc, a, total_cores, model);
-      if (e < best_e) {
-        best_e = e;
+      bool better = e < best_e - kEps;
+      if (!better && e <= best_e + kEps) {
+        if (used < best_used - kEps) {
+          better = true;
+        } else if (used <= best_used + kEps) {
+          better = best.found && a > best.tuple;
+        }
+      }
+      if (better) {
+        best_e = std::min(best_e, e);
+        best_used = used;
         best.found = true;
         best.tuple = a;
         best.cores_used =

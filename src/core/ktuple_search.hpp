@@ -39,13 +39,23 @@ double tuple_energy_estimate(const CCTable& cc,
                              std::size_t total_cores,
                              const energy::PowerModel* model = nullptr);
 
+/// The cubic proxy power tuple_energy_estimate uses for one active core
+/// at rung j when no PowerModel is supplied: (F_j/F_0)³, with F_0/F_j
+/// recovered from the table's own columns (the largest per-class
+/// slowdown — the least memory-bound class — is the tightest lower
+/// bound available). Exposed for the fuzz harness's power-consistency
+/// oracle.
+double proxy_rung_power(const CCTable& cc, std::size_t j);
+
 /// Paper Algorithm 1: depth-first descent from the slowest rungs with
 /// backtracking. Near-optimal, O(k·r²) worst case.
 SearchResult search_backtracking(const CCTable& cc, std::size_t total_cores);
 
 /// Exhaustive enumeration of all feasible nondecreasing tuples; returns
-/// the one minimizing tuple_energy_estimate. Exponential in k — only for
-/// small instances / ablation.
+/// the one minimizing tuple_energy_estimate, with a deterministic
+/// tie-break (fewest cores used, then the lexicographically greater —
+/// slower — tuple) so equal-energy instances reproduce the same winner.
+/// Exponential in k — only for small instances / ablation.
 SearchResult search_exhaustive(const CCTable& cc, std::size_t total_cores,
                                const energy::PowerModel* model = nullptr);
 

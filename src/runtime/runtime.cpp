@@ -404,8 +404,10 @@ std::optional<Task*> Runtime::steal_from_group(std::size_t id,
   std::uint64_t& state = *steal_rng_[id];
   for (std::size_t attempt = 0; attempt < 2 * n; ++attempt) {
     state = util::mix64(state);
-    std::size_t victim = state % n;
-    if (victim == id && n > 1) victim = (victim + 1) % n;
+    // Draw over the n-1 non-self workers; remapping a self-hit to id+1
+    // would double that neighbour's probing probability.
+    const std::size_t victim =
+        n > 1 ? util::uniform_excluding(state, id, n) : id;
     ++wc.probes;
     if (auto t = pools_[victim].deques[group]->steal()) {
       group_count_bump(group, id, -1);

@@ -92,8 +92,10 @@ std::optional<TaskId> Machine::steal(std::size_t thief, std::size_t group) {
   // Random probing, as the real runtime does; every probe costs time
   // (more across sockets).
   for (std::size_t attempt = 0; attempt < 4 * n; ++attempt) {
-    std::size_t victim = rng_.bounded(n);
-    if (victim == thief && n > 1) victim = (victim + 1) % n;
+    // Draw over the n-1 other cores; remapping a self-hit to thief+1
+    // would probe that neighbour twice as often as everyone else.
+    const std::size_t victim =
+        n > 1 ? util::uniform_excluding(rng_.next(), thief, n) : thief;
     probe(victim);
     if (auto id = take(victim)) return id;
   }
@@ -158,7 +160,9 @@ void Machine::charge(std::size_t core, double from_s, double to_s,
   if (to_s > from_s) {
     account_.add_core_time(core, to_s - from_s, rung, active);
   }
-  charged_until_[core] = to_s;
+  // Never rewind: a zero-length charge in the past must not let a later
+  // charge re-bill an interval this core already paid for.
+  charged_until_[core] = std::max(charged_until_[core], to_s);
 }
 
 double Machine::run_batch(Policy& policy, const trace::Batch& batch,
@@ -272,35 +276,49 @@ double Machine::run_batch(Policy& policy, const trace::Batch& batch,
           }
         }
         break;
-      case Ev::kWake:
-        if (idle_from[ev.core] >= 0.0) {
-          // Charge the idle spin up to now, then go hunting again.
-          charge(ev.core, idle_from[ev.core], ev.t, rung_[ev.core],
-                 /*active=*/!options_.idle_halt);
-          idle_from[ev.core] = -1.0;
-          kick(ev.core, ev.t);
-        }
+      case Ev::kWake: {
+        if (idle_from[ev.core] < 0.0) break;
+        // An injection can wake a core "before" it finished the failed
+        // probe sweep that put it to sleep (idle_from > ev.t); the core
+        // re-probes the moment it actually becomes idle, never earlier —
+        // rewinding would re-bill probe time already charged.
+        const double wake_t = std::max(ev.t, idle_from[ev.core]);
+        // Charge the idle spin up to the wake, then go hunting again.
+        charge(ev.core, idle_from[ev.core], wake_t, rung_[ev.core],
+               /*active=*/!options_.idle_halt);
+        idle_from[ev.core] = -1.0;
+        kick(ev.core, wake_t);
         break;
+      }
     }
   }
 
   const double makespan_end = batch.tasks.empty() ? start_s : last_completion;
+  // A core whose final (failed) acquire sweep or transition stall ran past
+  // the last completion is charged beyond makespan_end; the barrier is
+  // wherever the last core actually stopped, else re-charging from
+  // makespan_end would double-count the straggler's tail and break
+  // Σ residency == cores · wall time.
+  double batch_busy_end = makespan_end;
+  for (std::size_t c = 0; c < cores(); ++c) {
+    batch_busy_end = std::max(batch_busy_end, charged_until_[c]);
+  }
   // Idle cores spun (or, with idle_halt, slept) until the barrier.
   for (std::size_t c = 0; c < cores(); ++c) {
-    if (idle_from[c] >= 0.0 && idle_from[c] < makespan_end) {
-      charge(c, idle_from[c], makespan_end, rung_[c],
+    if (idle_from[c] >= 0.0 && idle_from[c] < batch_busy_end) {
+      charge(c, idle_from[c], batch_busy_end, rung_[c],
              /*active=*/!options_.idle_halt);
     }
   }
 
-  sim_now_s_ = makespan_end;
+  sim_now_s_ = batch_busy_end;
   const double overhead = policy.batch_end(*this, makespan_end - start_s);
-  const double end_s = makespan_end + overhead;
+  const double end_s = batch_busy_end + overhead;
   if (tr != nullptr && tr->enabled()) {
     // The policy's end-of-batch work (EEWA: the Table III adjuster)
     // nests at the tail of the batch span, on the control track.
     if (overhead > 0.0) {
-      tr->phase(cores(), makespan_end * 1e6, overhead * 1e6,
+      tr->phase(cores(), batch_busy_end * 1e6, overhead * 1e6,
                 obs::PhaseKind::kPlan, batch_index_);
     }
     tr->phase(cores(), start_s * 1e6, (end_s - start_s) * 1e6,
@@ -308,11 +326,14 @@ double Machine::run_batch(Policy& policy, const trace::Batch& batch,
   }
   if (overhead > 0.0) {
     for (std::size_t c = 0; c < cores(); ++c) {
-      charge(c, makespan_end, end_s, rung_[c], /*active=*/true);
+      charge(c, batch_busy_end, end_s, rung_[c], /*active=*/true);
     }
   }
 
-  bs.span_s = makespan_end - start_s;
+  // The batch span runs to the barrier — where the last core actually
+  // stopped — not to the last task completion; the controller's T above
+  // still uses the task makespan.
+  bs.span_s = batch_busy_end - start_s;
   bs.overhead_s = overhead;
   bs.steals = batch_steals_;
   bs.probes = batch_probes_;

@@ -1,0 +1,284 @@
+#include "testing/fuzz.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace eewa::testing {
+
+const char* mode_name(FuzzMode mode) {
+  switch (mode) {
+    case FuzzMode::kSearch:
+      return "search";
+    case FuzzMode::kRuntime:
+      return "runtime";
+    case FuzzMode::kEnergy:
+      return "energy";
+  }
+  return "?";
+}
+
+std::string FuzzVerdict::repro_command() const {
+  return std::string("fuzz_explorer --mode ") + mode_name(mode) +
+         " --seed " + std::to_string(seed);
+}
+
+FuzzVerdict run_one(FuzzMode mode, std::uint64_t seed) {
+  FuzzVerdict v;
+  v.mode = mode;
+  v.seed = seed;
+  switch (mode) {
+    case FuzzMode::kSearch: {
+      const auto spec = TableSpec::random(seed);
+      v.spec_summary = spec.summary();
+      const auto r = check_search(spec);
+      v.ok = r.ok;
+      v.failure = r.failure;
+      break;
+    }
+    case FuzzMode::kRuntime: {
+      const auto spec = WorkloadSpec::random_runtime(seed);
+      v.spec_summary = spec.summary();
+      const auto r = check_runtime(spec);
+      v.ok = r.ok;
+      v.failure = r.failure;
+      break;
+    }
+    case FuzzMode::kEnergy: {
+      const auto spec = WorkloadSpec::random_energy(seed);
+      v.spec_summary = spec.summary();
+      const auto r = check_energy(spec);
+      v.ok = r.ok;
+      v.failure = r.failure;
+      break;
+    }
+  }
+  return v;
+}
+
+SweepResult run_sweep(FuzzMode mode, std::uint64_t base_seed,
+                      std::size_t count, std::size_t max_failures) {
+  SweepResult sweep;
+  for (std::size_t i = 0; i < count; ++i) {
+    auto v = run_one(mode, base_seed + i);
+    ++sweep.ran;
+    if (!v.ok) {
+      ++sweep.failed;
+      if (sweep.failures.size() < max_failures) {
+        sweep.failures.push_back(std::move(v));
+      }
+    }
+  }
+  return sweep;
+}
+
+namespace {
+
+/// Apply the first candidate mutation under which the case still fails;
+/// repeat until no mutation helps. `mutants` yields the candidates for
+/// a spec, simplest-first.
+template <typename Spec, typename MutantsFn>
+Spec shrink_greedy(Spec spec, const std::function<bool(const Spec&)>& fails,
+                   MutantsFn mutants) {
+  // Bounded: every accepted mutation strictly simplifies the spec, but
+  // guard against cycles from ill-behaved predicates anyway.
+  for (std::size_t round = 0; round < 256; ++round) {
+    bool progressed = false;
+    for (auto& cand : mutants(spec)) {
+      if (fails(cand)) {
+        spec = std::move(cand);
+        progressed = true;
+        break;
+      }
+    }
+    if (!progressed) break;
+  }
+  return spec;
+}
+
+std::vector<TableSpec> table_mutants(const TableSpec& s) {
+  std::vector<TableSpec> out;
+  // Drop one class (column).
+  const std::size_t k =
+      s.from_matrix ? (s.matrix.empty() ? 0 : s.matrix[0].size())
+                    : s.classes.size();
+  if (k > 1) {
+    for (std::size_t i = 0; i < k; ++i) {
+      TableSpec t = s;
+      if (t.from_matrix) {
+        for (auto& row : t.matrix) row.erase(row.begin() + i);
+      } else {
+        t.classes.erase(t.classes.begin() + i);
+        for (std::size_t c = 0; c < t.classes.size(); ++c) {
+          t.classes[c].class_id = c;
+        }
+      }
+      out.push_back(std::move(t));
+    }
+  }
+  // Drop one rung (never rung 0: the ladder must keep its F0).
+  if (s.ladder_ghz.size() > 1) {
+    for (std::size_t j = s.ladder_ghz.size(); j-- > 1;) {
+      TableSpec t = s;
+      t.ladder_ghz.erase(t.ladder_ghz.begin() + j);
+      if (t.from_matrix) t.matrix.erase(t.matrix.begin() + j);
+      out.push_back(std::move(t));
+    }
+  }
+  if (!s.from_matrix) {
+    // Halve class counts.
+    bool any = false;
+    TableSpec t = s;
+    for (auto& c : t.classes) {
+      if (c.count > 1) {
+        c.count /= 2;
+        any = true;
+      }
+    }
+    if (any) out.push_back(std::move(t));
+    // Zero the memory-aware alphas.
+    if (s.memory_aware) {
+      TableSpec z = s;
+      z.memory_aware = false;
+      for (auto& c : z.classes) c.mean_alpha = 0.0;
+      out.push_back(std::move(z));
+    }
+    // Relax T (a looser deadline is the simpler case).
+    TableSpec relax = s;
+    relax.ideal_time_s *= 2.0;
+    out.push_back(std::move(relax));
+  }
+  if (s.cores > 1) {
+    TableSpec t = s;
+    t.cores /= 2;
+    out.push_back(std::move(t));
+  }
+  if (s.use_model) {
+    TableSpec t = s;
+    t.use_model = false;
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+std::vector<WorkloadSpec> workload_mutants(const WorkloadSpec& s) {
+  std::vector<WorkloadSpec> out;
+  if (s.trace.classes.size() > 1) {
+    for (std::size_t i = 0; i < s.trace.classes.size(); ++i) {
+      WorkloadSpec t = s;
+      t.trace.classes.erase(t.trace.classes.begin() + i);
+      out.push_back(std::move(t));
+    }
+  }
+  if (s.trace.batches > 1) {
+    WorkloadSpec t = s;
+    t.trace.batches /= 2;
+    out.push_back(std::move(t));
+  }
+  {
+    bool any = false;
+    WorkloadSpec t = s;
+    for (auto& c : t.trace.classes) {
+      if (c.tasks_per_batch > 1) {
+        c.tasks_per_batch /= 2;
+        any = true;
+      }
+    }
+    if (any) out.push_back(std::move(t));
+  }
+  if (s.cores > 1) {
+    WorkloadSpec t = s;
+    t.cores /= 2;
+    out.push_back(std::move(t));
+  }
+  if (s.spawn_fanout > 0) {
+    WorkloadSpec t = s;
+    t.spawn_fanout = 0;
+    out.push_back(std::move(t));
+  }
+  if (s.failing_tasks > 0) {
+    WorkloadSpec t = s;
+    t.failing_tasks = 0;
+    out.push_back(std::move(t));
+  }
+  if (s.trace.release_window_s > 0.0 || s.trace.batch_jitter_cv > 0.0) {
+    WorkloadSpec t = s;
+    t.trace.release_window_s = 0.0;
+    t.trace.batch_jitter_cv = 0.0;
+    out.push_back(std::move(t));
+  }
+  {
+    bool any = false;
+    WorkloadSpec t = s;
+    for (auto& c : t.trace.classes) {
+      if (c.cv > 0.0 || c.mem_alpha > 0.0 || c.cmi > 0.0) {
+        c.cv = c.mem_alpha = c.cmi = 0.0;
+        any = true;
+      }
+    }
+    if (any) out.push_back(std::move(t));
+  }
+  if (s.with_faults || s.idle_halt || s.sockets) {
+    WorkloadSpec t = s;
+    t.with_faults = t.idle_halt = t.sockets = false;
+    out.push_back(std::move(t));
+  }
+  if (s.sim_policy != "cilk") {
+    WorkloadSpec t = s;
+    t.sim_policy = "cilk";
+    out.push_back(std::move(t));
+  }
+  if (s.rt_kind != RtKind::kCilk) {
+    WorkloadSpec t = s;
+    t.rt_kind = RtKind::kCilk;
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+}  // namespace
+
+TableSpec shrink_table(
+    TableSpec spec,
+    const std::function<bool(const TableSpec&)>& still_fails) {
+  return shrink_greedy(std::move(spec), still_fails, table_mutants);
+}
+
+WorkloadSpec shrink_workload(
+    WorkloadSpec spec,
+    const std::function<bool(const WorkloadSpec&)>& still_fails) {
+  return shrink_greedy(std::move(spec), still_fails, workload_mutants);
+}
+
+FuzzVerdict shrink(FuzzMode mode, std::uint64_t seed) {
+  FuzzVerdict v = run_one(mode, seed);
+  if (v.ok) return v;
+  switch (mode) {
+    case FuzzMode::kSearch: {
+      const auto minimal = shrink_table(
+          TableSpec::random(seed),
+          [](const TableSpec& s) { return !check_search(s).ok; });
+      v.shrunk_summary = minimal.summary();
+      v.shrunk_failure = check_search(minimal).failure;
+      break;
+    }
+    case FuzzMode::kRuntime: {
+      const auto minimal = shrink_workload(
+          WorkloadSpec::random_runtime(seed),
+          [](const WorkloadSpec& s) { return !check_runtime(s).ok; });
+      v.shrunk_summary = minimal.summary();
+      v.shrunk_failure = check_runtime(minimal).failure;
+      break;
+    }
+    case FuzzMode::kEnergy: {
+      const auto minimal = shrink_workload(
+          WorkloadSpec::random_energy(seed),
+          [](const WorkloadSpec& s) { return !check_energy(s).ok; });
+      v.shrunk_summary = minimal.summary();
+      v.shrunk_failure = check_energy(minimal).failure;
+      break;
+    }
+  }
+  return v;
+}
+
+}  // namespace eewa::testing

@@ -1,0 +1,79 @@
+// Seeded fuzz driver over the three oracles: single-case runs, seed
+// sweeps, and spec-level shrinking of failing cases.
+//
+// Reproducibility contract: a case is a pure function of (mode, seed),
+// so `fuzz_explorer --mode M --seed N` regenerates the identical
+// workload and verdict anywhere. Shrinking mutates the *spec* (drop a
+// class, drop a rung, halve counts, ...) rather than the built objects,
+// keeping every intermediate candidate printable and re-runnable.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "testing/oracles.hpp"
+#include "testing/scenario.hpp"
+
+namespace eewa::testing {
+
+/// Which oracle a case runs through.
+enum class FuzzMode { kSearch, kRuntime, kEnergy };
+
+/// CLI-facing name of a mode ("search", "runtime", "energy").
+const char* mode_name(FuzzMode mode);
+
+/// Verdict of one fuzz case.
+struct FuzzVerdict {
+  FuzzMode mode = FuzzMode::kSearch;
+  std::uint64_t seed = 0;
+  bool ok = true;
+  std::string failure;       ///< first violated invariant (empty when ok)
+  std::string spec_summary;  ///< the generated spec, reconstructable
+  /// Shrunk spec (set by shrink(); empty otherwise). The shrunk case
+  /// fails some invariant with as few classes/rungs/batches/tasks as
+  /// the greedy bisection could reach.
+  std::string shrunk_summary;
+  std::string shrunk_failure;
+
+  /// The command regenerating this case.
+  std::string repro_command() const;
+};
+
+/// Run one seeded case through its oracle.
+FuzzVerdict run_one(FuzzMode mode, std::uint64_t seed);
+
+/// Outcome of a seed sweep.
+struct SweepResult {
+  std::size_t ran = 0;
+  std::size_t failed = 0;
+  std::vector<FuzzVerdict> failures;  ///< capped at max_failures
+};
+
+/// Run `count` consecutive seeds [base_seed, base_seed + count) through
+/// one oracle, collecting up to `max_failures` failing verdicts.
+SweepResult run_sweep(FuzzMode mode, std::uint64_t base_seed,
+                      std::size_t count, std::size_t max_failures = 8);
+
+/// Greedily shrink a failing table spec: keep applying the first
+/// mutation (drop class, drop rung, halve counts, zero alphas, halve
+/// cores, relax T, drop model) for which `still_fails` holds, until
+/// none does. `still_fails` decides what counts as failing — the fuzz
+/// driver passes the oracle, tests can pass synthetic predicates.
+TableSpec shrink_table(TableSpec spec,
+                       const std::function<bool(const TableSpec&)>&
+                           still_fails);
+
+/// Same idea for workload specs (drop class, halve batches/tasks/cores,
+/// zero jitter/releases/fanout/failures, simplify policy and machine).
+WorkloadSpec shrink_workload(WorkloadSpec spec,
+                             const std::function<bool(const WorkloadSpec&)>&
+                                 still_fails);
+
+/// Run one case and, if it fails, bisect it to a minimal repro (fills
+/// shrunk_summary / shrunk_failure on the verdict).
+FuzzVerdict shrink(FuzzMode mode, std::uint64_t seed);
+
+}  // namespace eewa::testing

@@ -1,0 +1,544 @@
+#include "testing/oracles.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/ktuple_search.hpp"
+#include "dvfs/frequency_ladder.hpp"
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
+#include "runtime/runtime.hpp"
+#include "sim/simulate.hpp"
+#include "util/rng.hpp"
+
+namespace eewa::testing {
+
+namespace {
+
+std::string fmtf(const char* fmt, auto... args) {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf), fmt, args...);
+  return buf;
+}
+
+std::string tuple_str(const std::vector<std::size_t>& t) {
+  std::string out = "(";
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    out += (i ? "," : "") + std::to_string(t[i]);
+  }
+  return out + ")";
+}
+
+bool close_rel(double a, double b, double rel, double abs = 1e-12) {
+  return std::abs(a - b) <= abs + rel * std::max(std::abs(a), std::abs(b));
+}
+
+/// Independent re-validation of a found tuple: nondecreasing, every rung
+/// feasible, Σ demand <= m. Deliberately re-derived here rather than
+/// delegated wholesale to tuple_is_valid, so a bug in the production
+/// checker cannot hide a bug in the searchers.
+CheckResult validate_tuple(const core::CCTable& cc,
+                           const core::SearchResult& res,
+                           std::size_t cores, const char* who) {
+  if (res.tuple.size() != cc.cols()) {
+    return CheckResult::fail(
+        fmtf("%s: tuple size %zu != classes %zu", who, res.tuple.size(),
+             cc.cols()));
+  }
+  double used = 0.0;
+  for (std::size_t i = 0; i < res.tuple.size(); ++i) {
+    const std::size_t j = res.tuple[i];
+    if (j >= cc.rows()) {
+      return CheckResult::fail(
+          fmtf("%s: a[%zu]=%zu out of %zu rungs", who, i, j, cc.rows()));
+    }
+    if (i > 0 && j < res.tuple[i - 1]) {
+      return CheckResult::fail(
+          fmtf("%s: tuple %s not nondecreasing at i=%zu", who,
+               tuple_str(res.tuple).c_str(), i));
+    }
+    if (!cc.rung_feasible(j, i)) {
+      return CheckResult::fail(
+          fmtf("%s: a[%zu]=%zu fails rung_feasible", who, i, j));
+    }
+    used += cc.demand(j, i);
+  }
+  if (used > static_cast<double>(cores) + 1e-9) {
+    return CheckResult::fail(
+        fmtf("%s: demand %.9g exceeds m=%zu for tuple %s", who, used,
+             cores, tuple_str(res.tuple).c_str()));
+  }
+  if (!core::tuple_is_valid(cc, res.tuple, cores)) {
+    return CheckResult::fail(
+        fmtf("%s: tuple_is_valid rejects %s", who,
+             tuple_str(res.tuple).c_str()));
+  }
+  const auto expect_used =
+      static_cast<std::size_t>(std::ceil(used - 1e-9));
+  if (res.cores_used != expect_used) {
+    return CheckResult::fail(
+        fmtf("%s: cores_used=%zu but ceil(Σ demand)=%zu", who,
+             res.cores_used, expect_used));
+  }
+  return CheckResult::pass();
+}
+
+}  // namespace
+
+namespace {
+
+/// Direct property checks on one built table, independent of any
+/// searcher: admitted rungs must be able to finish a mean-sized task
+/// within T (rung_feasible / demand consistency), and the proxy power's
+/// implied slowdown must sit between every class's effective slowdown
+/// and the ladder's true F0/Fj.
+CheckResult check_table_properties(const TableSpec& spec,
+                                   const core::CCTable& cc) {
+  if (spec.from_matrix) return CheckResult::pass();
+  const dvfs::FrequencyLadder ladder(spec.ladder_ghz);
+  for (std::size_t j = 1; j < cc.rows(); ++j) {
+    double max_eff = 0.0;
+    bool usable = false;
+    for (std::size_t i = 0; i < cc.cols(); ++i) {
+      if (cc.at(0, i) <= 0.0) continue;
+      const double eff = cc.at(j, i) / cc.at(0, i);
+      max_eff = std::max(max_eff, eff);
+      usable = true;
+      const double mean = spec.classes[i].mean_workload;
+      if (cc.rung_feasible(j, i) && mean > 0.0 &&
+          mean * eff > spec.ideal_time_s * (1.0 + 1e-6)) {
+        return CheckResult::fail(
+            fmtf("rung_feasible admits (j=%zu, i=%zu) but a mean task "
+                 "takes %.9g > T=%.9g — demand's rounds<1 fallback "
+                 "would decide the ranking",
+                 j, i, mean * eff, spec.ideal_time_s));
+      }
+    }
+    if (!usable) continue;
+    // Implied slowdown of the proxy power: P = (1/s*)³.
+    const double p = core::proxy_rung_power(cc, j);
+    if (!(p > 0.0)) {
+      return CheckResult::fail(
+          fmtf("proxy power at rung %zu is %.9g", j, p));
+    }
+    const double implied = 1.0 / std::cbrt(p);
+    if (implied < max_eff * (1.0 - 1e-9)) {
+      return CheckResult::fail(
+          fmtf("proxy slowdown %.9g at rung %zu below the table's own "
+               "worst-case column slowdown %.9g",
+               implied, j, max_eff));
+    }
+    if (implied > ladder.slowdown(j) * (1.0 + 1e-9)) {
+      return CheckResult::fail(
+          fmtf("proxy slowdown %.9g at rung %zu exceeds the ladder's "
+               "true F0/Fj %.9g",
+               implied, j, ladder.slowdown(j)));
+    }
+  }
+  return CheckResult::pass();
+}
+
+}  // namespace
+
+CheckResult check_search(const TableSpec& spec) {
+  const core::CCTable cc = spec.build();
+  const std::size_t m = spec.cores;
+
+  if (auto v = check_table_properties(spec, cc); !v.ok) return v;
+
+  const auto bt = core::search_backtracking(cc, m);
+  const auto gr = core::search_greedy(cc, m);
+  const auto ex = core::search_exhaustive(cc, m);
+
+  // Double-run determinism: the searchers are pure functions of
+  // (table, m) — identical outcome, identical node count.
+  struct Rerun {
+    const core::SearchResult& first;
+    core::SearchKind kind;
+  };
+  const Rerun reruns[] = {{bt, core::SearchKind::kBacktracking},
+                          {gr, core::SearchKind::kGreedy},
+                          {ex, core::SearchKind::kExhaustive}};
+  for (const auto& r : reruns) {
+    const auto again = core::search_ktuple(cc, m, r.kind);
+    if (again.found != r.first.found || again.tuple != r.first.tuple ||
+        again.nodes_visited != r.first.nodes_visited) {
+      return CheckResult::fail("searcher is nondeterministic across runs");
+    }
+  }
+
+  // Feasibility agreement: backtracking is a complete search over
+  // nondecreasing tuples, exhaustive enumerates the same space.
+  if (ex.found != bt.found) {
+    return CheckResult::fail(
+        fmtf("feasibility disagreement: exhaustive=%d backtracking=%d",
+             ex.found ? 1 : 0, bt.found ? 1 : 0));
+  }
+  if (gr.found && !bt.found) {
+    return CheckResult::fail("greedy found a tuple backtracking missed");
+  }
+
+  struct Named {
+    const core::SearchResult& res;
+    const char* who;
+  };
+  const Named named[] = {{bt, "backtracking"},
+                         {gr, "greedy"},
+                         {ex, "exhaustive"}};
+  for (const auto& n : named) {
+    if (!n.res.found) continue;
+    if (auto v = validate_tuple(cc, n.res, m, n.who); !v.ok) return v;
+  }
+
+  if (gr.found && gr.tuple != bt.tuple) {
+    // Greedy is backtracking's first descent; when it completes, the
+    // two must have walked the identical path.
+    return CheckResult::fail(
+        fmtf("greedy tuple %s != backtracking tuple %s",
+             tuple_str(gr.tuple).c_str(), tuple_str(bt.tuple).c_str()));
+  }
+
+  if (bt.found) {
+    const double e_bt = core::tuple_energy_estimate(cc, bt.tuple, m);
+    const double e_ex = core::tuple_energy_estimate(cc, ex.tuple, m);
+    if (gr.found) {
+      const double e_gr = core::tuple_energy_estimate(cc, gr.tuple, m);
+      if (e_bt > e_gr * (1.0 + 1e-9) + 1e-12) {
+        return CheckResult::fail(
+            fmtf("E(backtracking)=%.9g beaten by E(greedy)=%.9g", e_bt,
+                 e_gr));
+      }
+    }
+    if (e_ex > e_bt * (1.0 + 1e-9) + 1e-12) {
+      return CheckResult::fail(
+          fmtf("E(exhaustive)=%.9g worse than E(backtracking)=%.9g "
+               "(tuples %s vs %s)",
+               e_ex, e_bt, tuple_str(ex.tuple).c_str(),
+               tuple_str(bt.tuple).c_str()));
+    }
+  }
+
+  if (spec.use_model) {
+    // Same properties under the real PowerModel objective.
+    const auto model = spec.build_model();
+    const auto exm = core::search_exhaustive(cc, m, &model);
+    if (exm.found != bt.found) {
+      return CheckResult::fail(
+          "model-objective exhaustive disagrees on feasibility");
+    }
+    if (exm.found) {
+      if (auto v = validate_tuple(cc, exm, m, "exhaustive(model)"); !v.ok) {
+        return v;
+      }
+      const double e_exm =
+          core::tuple_energy_estimate(cc, exm.tuple, m, &model);
+      const double e_btm =
+          core::tuple_energy_estimate(cc, bt.tuple, m, &model);
+      if (e_exm > e_btm * (1.0 + 1e-9) + 1e-12) {
+        return CheckResult::fail(
+            fmtf("model E(exhaustive)=%.9g worse than E(backtracking)="
+                 "%.9g",
+                 e_exm, e_btm));
+      }
+      const auto exm2 = core::search_exhaustive(cc, m, &model);
+      if (exm2.tuple != exm.tuple) {
+        return CheckResult::fail(
+            "model-objective exhaustive is nondeterministic");
+      }
+    }
+  }
+
+  return CheckResult::pass();
+}
+
+CheckResult check_runtime(const WorkloadSpec& spec) {
+  const auto tr = spec.build_trace();
+
+  rt::RuntimeOptions opt;
+  opt.workers = spec.cores;
+  opt.kind = spec.rt_kind == RtKind::kCilk    ? rt::SchedulerKind::kCilk
+             : spec.rt_kind == RtKind::kCilkD ? rt::SchedulerKind::kCilkD
+                                              : rt::SchedulerKind::kEewa;
+  opt.enable_pmc = false;
+  rt::Runtime run(opt);
+
+  const auto child = run.handle("__spawned");
+  const std::size_t fail_id = run.handle("__failing").id;
+
+  std::size_t expected_total = 0;
+  std::size_t expected_failed = 0;
+
+  for (std::size_t b = 0; b < tr.batches.size(); ++b) {
+    std::vector<rt::TaskDesc> descs;
+    const std::size_t top_level = tr.batches[b].tasks.size();
+    for (const auto& t : tr.batches[b].tasks) {
+      const double work = t.work_s;
+      const std::size_t fanout = spec.spawn_fanout;
+      rt::Runtime* rt_ptr = &run;
+      descs.push_back(rt::TaskDesc{
+          tr.class_names[t.class_id], rt::TaskFn([work, fanout, rt_ptr,
+                                                  child] {
+            burn_for(work);
+            for (std::size_t s = 0; s < fanout; ++s) {
+              rt_ptr->spawn(child, rt::TaskFn([] { burn_for(5e-6); }));
+            }
+          })});
+    }
+    for (std::size_t f = 0; f < spec.failing_tasks; ++f) {
+      descs.push_back(rt::TaskDesc{
+          "__failing", rt::TaskFn([] {
+            throw std::runtime_error("injected task failure");
+          })});
+    }
+    const std::size_t submitted = descs.size();
+    const std::size_t expected_spawns = top_level * spec.spawn_fanout;
+    expected_total += submitted + expected_spawns;
+    expected_failed += spec.failing_tasks;
+
+    bool threw = false;
+    try {
+      const double makespan = run.run_batch(std::move(descs));
+      if (!(makespan >= 0.0)) {
+        return CheckResult::fail("run_batch returned negative makespan");
+      }
+    } catch (const std::runtime_error&) {
+      threw = true;
+    }
+    if (threw != (spec.failing_tasks > 0)) {
+      return CheckResult::fail(
+          fmtf("batch %zu: rethrow mismatch (threw=%d, injected=%zu)", b,
+               threw ? 1 : 0, spec.failing_tasks));
+    }
+
+    const auto& rep = run.last_batch_report();
+    // Conservation: every executed task was either submitted at the
+    // barrier or spawned mid-batch...
+    if (rep.tasks != submitted + rep.spawns) {
+      return CheckResult::fail(
+          fmtf("batch %zu: tasks=%llu != submitted=%zu + spawns=%llu", b,
+               static_cast<unsigned long long>(rep.tasks), submitted,
+               static_cast<unsigned long long>(rep.spawns)));
+    }
+    if (rep.spawns != expected_spawns) {
+      return CheckResult::fail(
+          fmtf("batch %zu: spawns=%llu, expected %zu", b,
+               static_cast<unsigned long long>(rep.spawns),
+               expected_spawns));
+    }
+    // ...and acquired (popped, stolen or robbed) exactly once.
+    if (rep.acquires() != rep.tasks) {
+      return CheckResult::fail(
+          fmtf("batch %zu: acquires()=%llu != tasks=%llu", b,
+               static_cast<unsigned long long>(rep.acquires()),
+               static_cast<unsigned long long>(rep.tasks)));
+    }
+
+    // Exact per-class execution counts.
+    auto class_count = [&rep](std::size_t id) -> std::uint64_t {
+      return id < rep.classes.size() ? rep.classes[id].count : 0;
+    };
+    for (std::size_t c = 0; c < tr.class_count(); ++c) {
+      std::size_t expect = 0;
+      for (const auto& t : tr.batches[b].tasks) {
+        if (t.class_id == c) ++expect;
+      }
+      const std::size_t id = run.handle(tr.class_names[c]).id;
+      if (class_count(id) != expect) {
+        return CheckResult::fail(
+            fmtf("batch %zu: class %s executed %llu tasks, expected %zu",
+                 b, tr.class_names[c].c_str(),
+                 static_cast<unsigned long long>(class_count(id)),
+                 expect));
+      }
+    }
+    if (class_count(child.id) != expected_spawns) {
+      return CheckResult::fail(
+          fmtf("batch %zu: spawned-child count %llu != %zu", b,
+               static_cast<unsigned long long>(class_count(child.id)),
+               expected_spawns));
+    }
+    const std::uint64_t failed_in_class =
+        fail_id < rep.classes.size() ? rep.classes[fail_id].failed : 0;
+    if (class_count(fail_id) != spec.failing_tasks ||
+        failed_in_class != spec.failing_tasks) {
+      return CheckResult::fail(
+          fmtf("batch %zu: failing-class count=%llu failed=%llu, "
+               "expected %zu",
+               b, static_cast<unsigned long long>(class_count(fail_id)),
+               static_cast<unsigned long long>(failed_in_class),
+               spec.failing_tasks));
+    }
+  }
+
+  if (run.tasks_run() != expected_total) {
+    return CheckResult::fail(
+        fmtf("tasks_run()=%zu != spawned-or-submitted total %zu",
+             run.tasks_run(), expected_total));
+  }
+  if (run.failed_tasks() != expected_failed) {
+    return CheckResult::fail(
+        fmtf("failed_tasks()=%zu != injected %zu", run.failed_tasks(),
+             expected_failed));
+  }
+
+  if (spec.cores == 1) {
+    // With one worker the spin tasks time cleanly (no sibling-worker
+    // preemption), so the Eq.-1 normalized profile means must land near
+    // the generating spec's means: recorded w = exec · F_j/F_0, so the
+    // mean sits in [spec_mean · rel(slowest), ~spec_mean] modulo jitter
+    // and scheduling noise. The band is deliberately loose — it exists
+    // to catch systematic normalization bugs (inverted Eq. 1, wrong
+    // rung), not timer noise.
+    const auto& reg = run.controller().registry();
+    const double rel_slowest =
+        opt.ladder.relative_speed(opt.ladder.slowest_index());
+    for (std::size_t c = 0; c < tr.class_count(); ++c) {
+      const auto& cs = spec.trace.classes[c];
+      if (cs.tasks_per_batch * spec.trace.batches < 16) continue;
+      if (cs.mean_work_s < 20e-6) continue;
+      const std::size_t id = run.handle(tr.class_names[c]).id;
+      const double mean = reg.mean_workload(id);
+      const double lo = cs.mean_work_s * rel_slowest / 6.0;
+      const double hi = cs.mean_work_s * 6.0;
+      if (mean < lo || mean > hi) {
+        return CheckResult::fail(
+            fmtf("class %s: profile mean %.6g outside [%.6g, %.6g] "
+                 "(spec mean %.6g)",
+                 tr.class_names[c].c_str(), mean, lo, hi,
+                 cs.mean_work_s));
+      }
+    }
+  }
+
+  return CheckResult::pass();
+}
+
+CheckResult check_energy(const WorkloadSpec& spec) {
+  const auto tr = spec.build_trace();
+
+  sim::SimOptions opt;
+  opt.cores = spec.cores;
+  // Fixed adjuster overhead: the run must be bit-exactly reproducible.
+  opt.fixed_adjuster_overhead_s = 20e-6;
+  opt.seed = util::mix64(spec.seed ^ 0x51);
+  opt.idle_halt = spec.idle_halt;
+  if (spec.sockets) opt.cores_per_socket = 4;
+  if (spec.with_faults) {
+    opt.faults.transient_failure_p = 0.2;
+    opt.faults.drift_p = 0.1;
+    opt.faults.seed = util::mix64(spec.seed ^ 0x52);
+  }
+
+  obs::EventTracer tracer1(spec.cores + 1);
+  obs::EventTracer tracer2(spec.cores + 1);
+  tracer1.set_enabled(true);
+  tracer2.set_enabled(true);
+
+  opt.tracer = &tracer1;
+  const auto r1 = sim::simulate_named(tr, spec.sim_policy, opt);
+  opt.tracer = &tracer2;
+  const auto r2 = sim::simulate_named(tr, spec.sim_policy, opt);
+
+  // Bit-exact determinism, including the exported event trace.
+  if (r1.time_s != r2.time_s || r1.energy_j != r2.energy_j ||
+      r1.cpu_energy_j != r2.cpu_energy_j || r1.steals != r2.steals ||
+      r1.probes != r2.probes || r1.transitions != r2.transitions) {
+    return CheckResult::fail(
+        fmtf("simulation not deterministic: time %.17g vs %.17g, energy "
+             "%.17g vs %.17g",
+             r1.time_s, r2.time_s, r1.energy_j, r2.energy_j));
+  }
+  if (tracer1.chrome_json() != tracer2.chrome_json()) {
+    return CheckResult::fail("event traces differ between identical runs");
+  }
+
+  if (!(r1.time_s >= 0.0) || !std::isfinite(r1.time_s)) {
+    return CheckResult::fail(fmtf("non-finite time %.17g", r1.time_s));
+  }
+  if (r1.energy_j < 0.0 || r1.cpu_energy_j < 0.0 ||
+      !std::isfinite(r1.energy_j)) {
+    return CheckResult::fail(
+        fmtf("negative or non-finite energy %.17g", r1.energy_j));
+  }
+
+  // Wall time is exactly the sum of batch spans plus overheads.
+  double span_total = 0.0;
+  double core_e_total = 0.0;
+  std::size_t steals = 0, probes = 0, transitions = 0;
+  for (std::size_t b = 0; b < r1.batches.size(); ++b) {
+    const auto& bs = r1.batches[b];
+    if (bs.span_s < 0.0 || bs.overhead_s < 0.0 || bs.core_energy_j < 0.0) {
+      return CheckResult::fail(
+          fmtf("batch %zu: negative span/overhead/energy", b));
+    }
+    std::size_t rung_cores = 0;
+    for (std::size_t n : bs.cores_per_rung) rung_cores += n;
+    if (rung_cores != spec.cores) {
+      return CheckResult::fail(
+          fmtf("batch %zu: cores_per_rung sums to %zu, cores=%zu", b,
+               rung_cores, spec.cores));
+    }
+    span_total += bs.span_s + bs.overhead_s;
+    core_e_total += bs.core_energy_j;
+    steals += bs.steals;
+    probes += bs.probes;
+    transitions += bs.transitions;
+  }
+  if (!close_rel(r1.time_s, span_total, 1e-9)) {
+    return CheckResult::fail(
+        fmtf("time %.17g != Σ(span+overhead) %.17g", r1.time_s,
+             span_total));
+  }
+  if (steals != r1.steals || probes != r1.probes ||
+      transitions != r1.transitions) {
+    return CheckResult::fail(
+        "batch steal/probe/transition counters do not sum to the run "
+        "totals");
+  }
+  if (!close_rel(core_e_total, r1.cpu_energy_j, 1e-6)) {
+    return CheckResult::fail(
+        fmtf("Σ batch core energy %.17g != cpu_energy %.17g",
+             core_e_total, r1.cpu_energy_j));
+  }
+
+  // Every core is accounted for every simulated second, on some rung.
+  double residency = 0.0;
+  for (double r : r1.rung_residency_s) {
+    if (r < 0.0) return CheckResult::fail("negative rung residency");
+    residency += r;
+  }
+  const double core_seconds = static_cast<double>(spec.cores) * r1.time_s;
+  if (!close_rel(residency, core_seconds, 1e-6)) {
+    return CheckResult::fail(
+        fmtf("Σ residency %.17g != cores·time %.17g", residency,
+             core_seconds));
+  }
+
+  // Whole-machine power envelope: floor <= P <= all-active-at-F0, plus
+  // the per-transition switching energy.
+  const double hi =
+      opt.power.machine_all_active_w(spec.cores, 0) * r1.time_s +
+      static_cast<double>(r1.transitions) * opt.transition.energy_j;
+  const double lo = opt.power.floor_w() * r1.time_s;
+  if (r1.energy_j > hi * (1.0 + 1e-6) + 1e-12 ||
+      r1.energy_j < lo * (1.0 - 1e-6) - 1e-12) {
+    return CheckResult::fail(
+        fmtf("energy %.9g outside envelope [%.9g, %.9g]", r1.energy_j,
+             lo, hi));
+  }
+  // Total = CPU + machine floor over the whole wall time.
+  const double expect_total =
+      r1.cpu_energy_j + opt.power.floor_w() * r1.time_s;
+  if (!close_rel(r1.energy_j, expect_total, 1e-9)) {
+    return CheckResult::fail(
+        fmtf("energy %.17g != cpu + floor·time %.17g", r1.energy_j,
+             expect_total));
+  }
+
+  return CheckResult::pass();
+}
+
+}  // namespace eewa::testing

@@ -1,0 +1,51 @@
+// The three invariant oracles of the fuzz harness.
+//
+// Each oracle takes a generated spec, runs the real code, and checks a
+// catalogue of properties that must hold for EVERY input — agreement
+// between independent implementations (differential), conservation laws
+// and accounting identities (properties). An oracle returns on the first
+// violated invariant with a message naming the invariant and the values
+// involved; docs/testing.md lists the full catalogue.
+#pragma once
+
+#include <string>
+
+#include "testing/scenario.hpp"
+
+namespace eewa::testing {
+
+/// Outcome of one oracle run. `ok == false` means an invariant failed;
+/// `failure` names it.
+struct CheckResult {
+  bool ok = true;
+  std::string failure;
+
+  static CheckResult pass() { return {}; }
+  static CheckResult fail(std::string why) { return {false, std::move(why)}; }
+};
+
+/// Search oracle: backtracking vs greedy vs exhaustive over one CC
+/// table. Feasibility agreement, tuple validity (nondecreasing, every
+/// rung feasible, Σ demand <= m), greedy-path equality, energy ordering
+/// E(exhaustive) <= E(backtracking) <= E(greedy), and double-run
+/// determinism — under both the proxy objective and (when
+/// spec.use_model) a PowerModel objective.
+CheckResult check_search(const TableSpec& spec);
+
+/// Runtime oracle: drive rt::Runtime over a generated workload (spin
+/// tasks, recursive spawns, injected failures) and check the obs-layer
+/// conservation laws batch by batch: tasks == submitted + spawns,
+/// acquires() == tasks, exact per-class counts, failed-task accounting,
+/// and (single-worker runs) Eq.-1 profile means within tolerance of the
+/// generating spec.
+CheckResult check_runtime(const WorkloadSpec& spec);
+
+/// Energy oracle: simulate the same generated workload on sim::Machine
+/// and check the energy accountant's identities: time == Σ batch spans +
+/// overheads, Σ rung residency == cores · time, batch core energies sum
+/// to the run's CPU energy, total == CPU + floor·time, the whole-machine
+/// power envelope, and bit-exact double-run determinism including the
+/// exported event trace.
+CheckResult check_energy(const WorkloadSpec& spec);
+
+}  // namespace eewa::testing

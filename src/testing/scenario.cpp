@@ -1,0 +1,251 @@
+#include "testing/scenario.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+#include "dvfs/frequency_ladder.hpp"
+#include "util/rng.hpp"
+
+namespace eewa::testing {
+
+namespace {
+
+/// Random descending, distinct frequency ladder with r rungs.
+std::vector<double> random_ladder(util::Xoshiro256& rng, std::size_t r) {
+  std::vector<double> ghz(r);
+  double f = rng.uniform(1.5, 3.5);
+  for (std::size_t j = 0; j < r; ++j) {
+    ghz[j] = f;
+    f *= rng.uniform(0.55, 0.95);
+  }
+  return ghz;
+}
+
+void appendf(std::string& out, const char* fmt, auto... args) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), fmt, args...);
+  out += buf;
+}
+
+}  // namespace
+
+TableSpec TableSpec::random(std::uint64_t seed) {
+  util::Xoshiro256 rng(util::mix64(seed ^ 0x7ab1e5eedULL));
+  TableSpec spec;
+  spec.seed = seed;
+
+  // Degenerate shapes stay common: they are where table code breaks.
+  const std::size_t r = rng.chance(0.15) ? 1 : 1 + rng.bounded(5);
+  const std::size_t k = rng.chance(0.15) ? 1 : 1 + rng.bounded(5);
+  spec.ladder_ghz = random_ladder(rng, r);
+  spec.cores = 1 + rng.bounded(24);
+  spec.use_model = rng.chance(0.5);
+  spec.from_matrix = rng.chance(0.3);
+
+  if (spec.from_matrix) {
+    // Bare demand matrix; zero entries (idle classes) and entries above
+    // m (individually infeasible columns) both appear.
+    spec.matrix.assign(r, std::vector<double>(k, 0.0));
+    for (std::size_t j = 0; j < r; ++j) {
+      for (std::size_t i = 0; i < k; ++i) {
+        if (rng.chance(0.15)) continue;  // leave a zero
+        const double hi = rng.chance(0.1)
+                              ? 2.0 * static_cast<double>(spec.cores)
+                              : 0.75 * static_cast<double>(spec.cores);
+        spec.matrix[j][i] = rng.uniform(0.0, hi);
+      }
+    }
+    return spec;
+  }
+
+  spec.memory_aware = rng.chance(0.4);
+  // Classes sorted by descending mean workload, heaviest first; zero
+  // counts, zero means and missing max metadata all appear.
+  double mean = rng.uniform(1e-4, 5e-2);
+  for (std::size_t i = 0; i < k; ++i) {
+    core::ClassProfile c;
+    c.class_id = i;
+    c.name = "TC" + std::to_string(i);
+    c.count = rng.chance(0.1) ? 0 : rng.bounded(200);
+    c.mean_workload = rng.chance(0.08) ? 0.0 : mean;
+    c.max_workload =
+        rng.chance(0.25) ? 0.0 : c.mean_workload * rng.uniform(1.0, 3.0);
+    if (spec.memory_aware) c.mean_alpha = rng.uniform(0.0, 0.9);
+    spec.classes.push_back(std::move(c));
+    mean *= rng.uniform(0.2, 1.0);
+  }
+  // Zeroed means can break the descending order CCTable::build demands;
+  // restore it and keep ids consistent with the final positions.
+  std::stable_sort(spec.classes.begin(), spec.classes.end(),
+                   [](const core::ClassProfile& a,
+                      const core::ClassProfile& b) {
+                     return a.mean_workload > b.mean_workload;
+                   });
+  for (std::size_t i = 0; i < spec.classes.size(); ++i) {
+    spec.classes[i].class_id = i;
+  }
+  // T scales with total demand per core; tight T (rungs infeasible, or
+  // the whole table infeasible) is deliberately reachable.
+  double total_w = 0.0;
+  for (const auto& c : spec.classes) total_w += c.total_workload();
+  const double base_t = total_w > 0.0
+                            ? total_w / static_cast<double>(spec.cores)
+                            : 1e-3;
+  spec.ideal_time_s =
+      base_t * (rng.chance(0.25) ? rng.uniform(0.2, 0.9)
+                                 : rng.uniform(1.0, 4.0));
+  return spec;
+}
+
+core::CCTable TableSpec::build() const {
+  if (from_matrix) {
+    return core::CCTable::from_matrix(matrix);
+  }
+  return core::CCTable::build(classes, dvfs::FrequencyLadder(ladder_ghz),
+                              ideal_time_s, memory_aware);
+}
+
+energy::PowerModel TableSpec::build_model() const {
+  dvfs::FrequencyLadder ladder(ladder_ghz);
+  std::vector<double> volts(ladder.size());
+  for (std::size_t j = 0; j < ladder.size(); ++j) {
+    // Voltage tracks frequency, as real DVFS curves do.
+    volts[j] = 0.8 + 0.5 * ladder.relative_speed(j);
+  }
+  return energy::PowerModel(ladder, std::move(volts),
+                            /*dyn_coeff_w=*/2.0, /*core_static_w=*/1.0,
+                            /*floor_w=*/0.0);
+}
+
+std::string TableSpec::summary() const {
+  std::string out;
+  appendf(out, "TableSpec seed=%llu cores=%zu use_model=%d",
+          static_cast<unsigned long long>(seed), cores,
+          use_model ? 1 : 0);
+  out += " ladder=[";
+  for (std::size_t j = 0; j < ladder_ghz.size(); ++j) {
+    appendf(out, "%s%.4f", j ? ", " : "", ladder_ghz[j]);
+  }
+  out += "]";
+  if (from_matrix) {
+    out += " matrix=[";
+    for (std::size_t j = 0; j < matrix.size(); ++j) {
+      out += j ? "; [" : "[";
+      for (std::size_t i = 0; i < matrix[j].size(); ++i) {
+        appendf(out, "%s%.4f", i ? ", " : "", matrix[j][i]);
+      }
+      out += "]";
+    }
+    out += "]";
+    return out;
+  }
+  appendf(out, " T=%.6g memory_aware=%d classes=[", ideal_time_s,
+          memory_aware ? 1 : 0);
+  for (std::size_t i = 0; i < classes.size(); ++i) {
+    const auto& c = classes[i];
+    appendf(out, "%s{n=%zu mean=%.6g max=%.6g alpha=%.3f}", i ? ", " : "",
+            c.count, c.mean_workload, c.max_workload, c.mean_alpha);
+  }
+  out += "]";
+  return out;
+}
+
+WorkloadSpec WorkloadSpec::random_runtime(std::uint64_t seed) {
+  util::Xoshiro256 rng(util::mix64(seed ^ 0x0f1ceeedULL));
+  WorkloadSpec spec;
+  spec.seed = seed;
+  spec.cores = 1 + rng.bounded(4);  // rt workers
+  const std::size_t k = 1 + rng.bounded(4);
+  spec.trace.name = "fuzz_rt";
+  spec.trace.seed = util::mix64(seed ^ 0x11);
+  spec.trace.batches = 1 + rng.bounded(4);
+  spec.trace.batch_jitter_cv = rng.uniform(0.0, 0.1);
+  for (std::size_t i = 0; i < k; ++i) {
+    trace::ClassSpec c;
+    c.name = "rc" + std::to_string(i);
+    c.tasks_per_batch = rng.chance(0.1) ? 0 : rng.bounded(40);
+    c.mean_work_s = rng.uniform(20e-6, 120e-6);
+    c.cv = rng.uniform(0.0, 0.5);
+    spec.trace.classes.push_back(std::move(c));
+  }
+  spec.spawn_fanout = rng.bounded(4);
+  spec.failing_tasks = rng.chance(0.25) ? 1 + rng.bounded(3) : 0;
+  const double kind_draw = rng.uniform();
+  spec.rt_kind = kind_draw < 0.6    ? RtKind::kEewa
+                 : kind_draw < 0.8  ? RtKind::kCilk
+                                    : RtKind::kCilkD;
+  return spec;
+}
+
+WorkloadSpec WorkloadSpec::random_energy(std::uint64_t seed) {
+  util::Xoshiro256 rng(util::mix64(seed ^ 0xe4e26eedULL));
+  WorkloadSpec spec;
+  spec.seed = seed;
+  const std::size_t core_choices[] = {1, 2, 4, 8, 16};
+  spec.cores = core_choices[rng.bounded(5)];
+  const std::size_t k = 1 + rng.bounded(4);
+  spec.trace.name = "fuzz_sim";
+  spec.trace.seed = util::mix64(seed ^ 0x22);
+  spec.trace.batches = 1 + rng.bounded(5);
+  spec.trace.batch_jitter_cv = rng.uniform(0.0, 0.15);
+  if (rng.chance(0.3)) spec.trace.release_window_s = rng.uniform(0.0, 0.01);
+  double mean = rng.uniform(1e-4, 2e-2);
+  for (std::size_t i = 0; i < k; ++i) {
+    trace::ClassSpec c;
+    c.name = "sc" + std::to_string(i);
+    c.tasks_per_batch = rng.chance(0.1) ? 0 : rng.bounded(60);
+    c.mean_work_s = mean;
+    c.cv = rng.uniform(0.0, 0.6);
+    c.cmi = rng.chance(0.2) ? rng.uniform(0.0, 0.03) : 0.0;
+    c.mem_alpha = rng.chance(0.25) ? rng.uniform(0.0, 0.8) : 0.0;
+    spec.trace.classes.push_back(std::move(c));
+    mean *= rng.uniform(0.3, 1.0);
+  }
+  const char* policies[] = {"cilk", "cilk-d", "sharing", "ondemand",
+                            "eewa"};
+  spec.sim_policy = policies[rng.bounded(5)];
+  spec.idle_halt = rng.chance(0.25);
+  spec.with_faults = rng.chance(0.25);
+  spec.sockets = rng.chance(0.3);
+  return spec;
+}
+
+trace::TaskTrace WorkloadSpec::build_trace() const {
+  return trace::generate(trace);
+}
+
+std::string WorkloadSpec::summary() const {
+  std::string out;
+  const char* kind = rt_kind == RtKind::kCilk    ? "cilk"
+                     : rt_kind == RtKind::kCilkD ? "cilk-d"
+                                                 : "eewa";
+  appendf(out,
+          "WorkloadSpec seed=%llu cores=%zu batches=%zu jitter=%.3f "
+          "release=%.4g fanout=%zu failing=%zu rt=%s sim=%s halt=%d "
+          "faults=%d sockets=%d classes=[",
+          static_cast<unsigned long long>(seed), cores, trace.batches,
+          trace.batch_jitter_cv, trace.release_window_s, spawn_fanout,
+          failing_tasks, kind, sim_policy.c_str(), idle_halt ? 1 : 0,
+          with_faults ? 1 : 0, sockets ? 1 : 0);
+  for (std::size_t i = 0; i < trace.classes.size(); ++i) {
+    const auto& c = trace.classes[i];
+    appendf(out, "%s{%s n=%zu mean=%.6g cv=%.2f alpha=%.2f}",
+            i ? ", " : "", c.name.c_str(), c.tasks_per_batch,
+            c.mean_work_s, c.cv, c.mem_alpha);
+  }
+  out += "]";
+  return out;
+}
+
+void burn_for(double seconds) {
+  using Clock = std::chrono::steady_clock;
+  const auto until =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(seconds));
+  while (Clock::now() < until) {
+    // spin
+  }
+}
+
+}  // namespace eewa::testing

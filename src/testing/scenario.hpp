@@ -1,0 +1,90 @@
+// Seeded scenario generation for the property/differential fuzz harness.
+//
+// Every fuzz case is a pure function of one 64-bit seed: the seed expands
+// (through the repo's own Xoshiro256) into either a TableSpec (a CC table
+// plus search configuration, for the k-tuple search oracle) or a
+// WorkloadSpec (a synthetic task trace plus machine/runtime
+// configuration, for the runtime and energy oracles). Specs — not the
+// built objects — are the unit the shrinker mutates, so a failing case
+// can be bisected down to a minimal repro and printed in a form a human
+// can reconstruct.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/cc_table.hpp"
+#include "core/task_class.hpp"
+#include "energy/power_model.hpp"
+#include "trace/synthetic.hpp"
+#include "trace/task_trace.hpp"
+
+namespace eewa::testing {
+
+/// A generated CC-table scenario for the search oracle. Two shapes:
+/// `from_matrix` cases are bare demand matrices (no timing info, every
+/// rung feasible); build cases go through CCTable::build with a random
+/// ladder, class mix, T and optional memory-aware alphas, exercising
+/// rung_feasible / demand.
+struct TableSpec {
+  std::uint64_t seed = 0;
+  bool from_matrix = false;
+  std::vector<double> ladder_ghz;           ///< descending, distinct
+  std::vector<std::vector<double>> matrix;  ///< from_matrix path: r x k
+  std::vector<core::ClassProfile> classes;  ///< build path: sorted desc
+  double ideal_time_s = 1.0;                ///< T (build path)
+  bool memory_aware = false;
+  std::size_t cores = 16;  ///< m
+  bool use_model = false;  ///< also run the PowerModel-objective search
+
+  /// Deterministic expansion of a seed, including degenerate shapes
+  /// (k=1, r=1, zero-demand classes, missing max metadata, tight T).
+  static TableSpec random(std::uint64_t seed);
+
+  /// Build the CC table this spec describes.
+  core::CCTable build() const;
+
+  /// Deterministic power model over ladder_ghz (voltage tracks f).
+  energy::PowerModel build_model() const;
+
+  /// Human-readable dump, complete enough to reconstruct the case.
+  std::string summary() const;
+};
+
+/// Which rt::Runtime scheduler a runtime-oracle case drives.
+enum class RtKind { kCilk, kCilkD, kEewa };
+
+/// A generated workload scenario for the runtime and energy oracles.
+struct WorkloadSpec {
+  std::uint64_t seed = 0;
+  trace::SyntheticSpec trace;  ///< classes, batches, jitter, releases
+  std::size_t cores = 4;       ///< sim cores / runtime workers
+  std::size_t spawn_fanout = 0;   ///< rt: children spawned per task
+  std::size_t failing_tasks = 0;  ///< rt: throwing tasks per batch
+  RtKind rt_kind = RtKind::kEewa;
+  std::string sim_policy = "eewa";  ///< simulate_named policy
+  bool idle_halt = false;           ///< sim: halt instead of spin
+  bool with_faults = false;         ///< sim: seeded DVFS faults
+  bool sockets = false;             ///< sim: 4-core sockets topology
+
+  /// Runtime-oracle shape: small real-time workloads (spin tasks),
+  /// recursive spawns, injected failures.
+  static WorkloadSpec random_runtime(std::uint64_t seed);
+
+  /// Energy-oracle shape: simulated workloads across all policies,
+  /// release windows, idle-halt and fault injection.
+  static WorkloadSpec random_energy(std::uint64_t seed);
+
+  /// Generate the task trace (deterministic in trace.seed).
+  trace::TaskTrace build_trace() const;
+
+  /// Human-readable dump, complete enough to reconstruct the case.
+  std::string summary() const;
+};
+
+/// Busy-spin for `seconds` of wall time — the runtime-oracle task body.
+void burn_for(double seconds);
+
+}  // namespace eewa::testing

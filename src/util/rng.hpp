@@ -39,6 +39,17 @@ inline std::uint64_t mix64(std::uint64_t x) {
   return sm.next();
 }
 
+/// Map a raw 64-bit draw to a uniform index in [0, n) \ {self}.
+/// Drawing over n-1 slots and shifting past `self` keeps every other
+/// index equally likely; the naive "redraw == self ? self+1 : draw"
+/// remap would give index self+1 double weight. n <= 1 returns 0.
+inline std::size_t uniform_excluding(std::uint64_t draw, std::size_t self,
+                                     std::size_t n) {
+  if (n <= 1) return 0;
+  const auto v = static_cast<std::size_t>(draw % (n - 1));
+  return v + static_cast<std::size_t>(v >= self);
+}
+
 /// Xoshiro256**: fast, high-quality 64-bit PRNG (Blackman & Vigna).
 /// Satisfies UniformRandomBitGenerator so it can also drive <random>.
 class Xoshiro256 {

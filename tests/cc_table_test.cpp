@@ -92,6 +92,38 @@ TEST(CCTable, ToStringRendersAllCells) {
   EXPECT_NE(s.find("F3"), std::string::npos);
 }
 
+TEST(RungFeasible, RejectsRungsWhereAMeanTaskMissesT) {
+  // One class, mean 1 s, no max metadata recorded (max == 0); T = 1.5 s.
+  // At half frequency a mean task takes 2 s > T — the rung must be
+  // rejected even though max_workload is absent, or demand()'s rounds<1
+  // fallback would silently rank tuples the filter should have blocked.
+  std::vector<ClassProfile> cls{{0, "a", 4, 1.0, 0.0, 0.0}};
+  const auto cc =
+      CCTable::build(cls, dvfs::FrequencyLadder({2.0, 1.0}), 1.5, false);
+  EXPECT_TRUE(cc.rung_feasible(0, 0));  // F0 is never rejected
+  EXPECT_FALSE(cc.rung_feasible(1, 0));
+}
+
+TEST(RungFeasible, AgreesWithDemandOnWhetherAMeanTaskFits) {
+  // For every admitted rung j > 0, a mean-sized task must complete
+  // within T — i.e. demand() never falls into its rounds < 1 branch for
+  // a rung rung_feasible() accepted. Swept over tight and loose T.
+  const dvfs::FrequencyLadder ladder({3.0, 2.0, 1.2, 1.0});
+  for (double t : {0.4, 0.9, 1.7, 3.5, 9.0}) {
+    std::vector<ClassProfile> cls{{0, "heavy", 3, 1.0, 0.0, 0.0},
+                                  {1, "light", 20, 0.3, 0.0, 0.0}};
+    const auto cc = CCTable::build(cls, ladder, t, false);
+    for (std::size_t i = 0; i < cc.cols(); ++i) {
+      for (std::size_t j = 1; j < cc.rows(); ++j) {
+        const double task_time =
+            cls[i].mean_workload * cc.at(j, i) / cc.at(0, i);
+        EXPECT_EQ(cc.rung_feasible(j, i), task_time <= t * (1.0 + 1e-9))
+            << "T=" << t << " j=" << j << " i=" << i;
+      }
+    }
+  }
+}
+
 // The real pipeline: profiles from a registry produce a valid table.
 TEST(CCTable, BuildsFromRegistryProfile) {
   TaskClassRegistry reg;

@@ -1,0 +1,152 @@
+// Tests for the fuzz harness itself (seeded generation, determinism,
+// shrinking) plus the pinned-seed regression sweep: every seed that
+// exposed a real bug during the harness's first sweep stays in this
+// file forever, and a broad seed range of each oracle runs under ctest.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "testing/fuzz.hpp"
+#include "testing/oracles.hpp"
+#include "testing/scenario.hpp"
+
+namespace eewa::testing {
+namespace {
+
+// ------------------------------------------------ seeded generation --
+
+TEST(Scenario, TableSpecIsDeterministicInSeed) {
+  for (std::uint64_t seed : {1ull, 7ull, 104ull, 999ull}) {
+    const auto a = TableSpec::random(seed);
+    const auto b = TableSpec::random(seed);
+    EXPECT_EQ(a.summary(), b.summary());
+    EXPECT_EQ(a.classes.size(), b.classes.size());
+    EXPECT_EQ(a.ladder_ghz, b.ladder_ghz);
+  }
+  EXPECT_NE(TableSpec::random(1).summary(), TableSpec::random(2).summary());
+}
+
+TEST(Scenario, WorkloadSpecIsDeterministicInSeed) {
+  for (std::uint64_t seed : {1ull, 32ull, 512ull}) {
+    EXPECT_EQ(WorkloadSpec::random_runtime(seed).summary(),
+              WorkloadSpec::random_runtime(seed).summary());
+    EXPECT_EQ(WorkloadSpec::random_energy(seed).summary(),
+              WorkloadSpec::random_energy(seed).summary());
+  }
+  EXPECT_NE(WorkloadSpec::random_energy(1).summary(),
+            WorkloadSpec::random_energy(2).summary());
+}
+
+TEST(Scenario, GeneratedTablesAlwaysBuild) {
+  // CCTable::build validates ordering and T; every generated spec must
+  // satisfy those preconditions, degenerate shapes included.
+  for (std::uint64_t seed = 0; seed < 200; ++seed) {
+    const auto spec = TableSpec::random(seed);
+    EXPECT_NO_THROW({
+      const auto cc = spec.build();
+      EXPECT_GE(cc.rows(), 1u);
+      EXPECT_GE(cc.cols(), 1u);
+    }) << spec.summary();
+  }
+}
+
+TEST(Fuzz, RunOneIsDeterministic) {
+  const auto a = run_one(FuzzMode::kSearch, 42);
+  const auto b = run_one(FuzzMode::kSearch, 42);
+  EXPECT_EQ(a.ok, b.ok);
+  EXPECT_EQ(a.failure, b.failure);
+  EXPECT_EQ(a.spec_summary, b.spec_summary);
+  EXPECT_EQ(a.repro_command(), b.repro_command());
+}
+
+// --------------------------------------------------------- shrinking --
+
+TEST(Fuzz, ShrinkTableHonoursInjectedPredicate) {
+  // Synthetic "bug": any spec with at least 2 classes fails. The greedy
+  // shrinker must drop classes down to exactly 2 — the smallest spec
+  // the predicate still rejects — and keep the result well-formed.
+  TableSpec spec = TableSpec::random(3);
+  while (spec.from_matrix || spec.classes.size() < 3) {
+    spec = TableSpec::random(spec.seed + 1);
+  }
+  const auto shrunk = shrink_table(
+      spec, [](const TableSpec& s) { return s.classes.size() >= 2; });
+  EXPECT_EQ(shrunk.classes.size(), 2u);
+  EXPECT_NO_THROW(shrunk.build());
+}
+
+TEST(Fuzz, ShrinkTableReturnsInputWhenNothingSmallerFails) {
+  const TableSpec spec = TableSpec::random(5);
+  // Predicate rejects everything — shrinking can't make progress past
+  // the smallest mutants, but must terminate and stay failing.
+  const auto shrunk =
+      shrink_table(spec, [](const TableSpec&) { return true; });
+  EXPECT_LE(shrunk.classes.size(), spec.classes.size());
+  EXPECT_LE(shrunk.cores, spec.cores);
+}
+
+TEST(Fuzz, ShrinkWorkloadHonoursInjectedPredicate) {
+  WorkloadSpec spec = WorkloadSpec::random_energy(9);
+  const auto shrunk = shrink_workload(
+      spec, [](const WorkloadSpec& s) { return s.cores >= 2; });
+  EXPECT_GE(shrunk.cores, 2u);
+  EXPECT_LT(shrunk.cores, spec.cores == 2 ? 3u : spec.cores);
+}
+
+// ---------------------------------------------- pinned-seed regressions --
+//
+// Each seed below exposed a real bug when the harness first ran against
+// the pre-fix code; the failures and fixes:
+//   search 104, 303 — rung_feasible ignored mean workload when max
+//       metadata was missing, admitting rungs where even a mean task
+//       misses T (demand()'s rounds<1 fallback then ranked tuples).
+//   search 449 — the proxy rung power derived F0/Fj from class column 0
+//       alone, mis-pricing rungs when column 0 is zero or memory-bound.
+//   energy 1, 4, 9, 18, 28, 32, 36, 39 — a task released while idle
+//       cores were mid-probe woke them in the past, rewinding
+//       charged_until_ and double-billing residency.
+
+TEST(FuzzRegression, PinnedSearchSeeds) {
+  for (std::uint64_t seed : {104ull, 303ull, 449ull}) {
+    const auto v = run_one(FuzzMode::kSearch, seed);
+    EXPECT_TRUE(v.ok) << v.repro_command() << "\n" << v.failure;
+  }
+}
+
+TEST(FuzzRegression, PinnedEnergySeeds) {
+  for (std::uint64_t seed : {1ull, 4ull, 9ull, 18ull, 28ull, 32ull, 36ull,
+                             39ull}) {
+    const auto v = run_one(FuzzMode::kEnergy, seed);
+    EXPECT_TRUE(v.ok) << v.repro_command() << "\n" << v.failure;
+  }
+}
+
+// -------------------------------------------------------- seed sweeps --
+
+TEST(FuzzSweep, SearchOracle) {
+  const auto r = run_sweep(FuzzMode::kSearch, 1, 300);
+  EXPECT_EQ(r.ran, 300u);
+  EXPECT_EQ(r.failed, 0u) << (r.failures.empty()
+                                  ? ""
+                                  : r.failures.front().repro_command() +
+                                        "\n" + r.failures.front().failure);
+}
+
+TEST(FuzzSweep, RuntimeOracle) {
+  const auto r = run_sweep(FuzzMode::kRuntime, 1, 8);
+  EXPECT_EQ(r.failed, 0u) << (r.failures.empty()
+                                  ? ""
+                                  : r.failures.front().repro_command() +
+                                        "\n" + r.failures.front().failure);
+}
+
+TEST(FuzzSweep, EnergyOracle) {
+  const auto r = run_sweep(FuzzMode::kEnergy, 50, 30);
+  EXPECT_EQ(r.failed, 0u) << (r.failures.empty()
+                                  ? ""
+                                  : r.failures.front().repro_command() +
+                                        "\n" + r.failures.front().failure);
+}
+
+}  // namespace
+}  // namespace eewa::testing

@@ -95,6 +95,63 @@ TEST(Exhaustive, EnergyNeverWorseThanBacktracking) {
             tuple_energy_estimate(cc, b.tuple, 16) + 1e-9);
 }
 
+// ------------------------------------------------- proxy power model --
+
+TEST(ProxyPower, ScansPastZeroColumns) {
+  // Column 0 carries no work at any rung; the F0/F1 ratio must come from
+  // column 1 (slowdown 4), not from a rank-based fallback.
+  const auto cc = CCTable::from_matrix({{0, 1}, {0, 4}});
+  EXPECT_NEAR(proxy_rung_power(cc, 0), 1.0, 1e-12);
+  EXPECT_NEAR(proxy_rung_power(cc, 1), 1.0 / 64.0, 1e-12);
+}
+
+TEST(ProxyPower, UsesLeastMemoryBoundColumnUnderMemoryAwareAlphas) {
+  // With per-class alphas, CC[1][i]/CC[0][i] = α_i + (1-α_i)·F0/F1. The
+  // memory-bound class (α=0.5) shows 1.5 while the CPU-bound one shows
+  // the true slowdown 2.0; the proxy must take the largest ratio.
+  std::vector<ClassProfile> cls{{0, "mem", 1, 1.0, 1.0, 0.5},
+                                {1, "cpu", 1, 0.5, 0.5, 0.0}};
+  const auto cc = CCTable::build(cls, dvfs::FrequencyLadder({2.0, 1.0}),
+                                 100.0, /*memory_aware=*/true);
+  EXPECT_NEAR(cc.at(1, 0) / cc.at(0, 0), 1.5, 1e-12);
+  EXPECT_NEAR(cc.at(1, 1) / cc.at(0, 1), 2.0, 1e-12);
+  EXPECT_NEAR(proxy_rung_power(cc, 1), 0.125, 1e-12);
+}
+
+TEST(ProxyPower, RankFallbackWhenNoColumnIsUsable) {
+  const auto cc = CCTable::from_matrix({{0.0}, {0.0}, {0.0}});
+  EXPECT_NEAR(proxy_rung_power(cc, 1), 1.0 / 8.0, 1e-12);
+  EXPECT_NEAR(proxy_rung_power(cc, 2), 1.0 / 27.0, 1e-12);
+}
+
+TEST(TupleEnergy, LeftoverCoresBilledAtIdlePowerUnderModel) {
+  // 4 demanded cores at F0; the other 4 park at the slowest rung and
+  // must be billed the model's idle power there, exactly as
+  // EnergyAccount will bill them, not its active power.
+  const energy::PowerModel model(dvfs::FrequencyLadder({2.0, 1.0}),
+                                 {1.2, 1.0}, /*dyn_coeff_w=*/1.0,
+                                 /*core_static_w=*/0.5, /*floor_w=*/0.0);
+  const auto cc = CCTable::from_matrix({{2, 2}, {4, 4}});
+  const std::vector<std::size_t> tuple{0, 0};
+  const double expect = 4.0 * model.core_power_w(0, /*active=*/true) +
+                        4.0 * model.core_power_w(1, /*active=*/false);
+  EXPECT_NEAR(tuple_energy_estimate(cc, tuple, 8, &model), expect, 1e-12);
+  EXPECT_LT(tuple_energy_estimate(cc, tuple, 8, &model),
+            4.0 * model.core_power_w(0, true) +
+                4.0 * model.core_power_w(1, true));
+}
+
+TEST(Exhaustive, DeterministicTieBreakPrefersSlowerTuple) {
+  // Every nondecreasing tuple of this table has identical demand and
+  // identical proxy energy; the tie-break must pick the lexicographically
+  // greater (slower) tuple so repeated runs agree.
+  const auto cc = CCTable::from_matrix({{1, 1}, {1, 1}});
+  const auto res = search_exhaustive(cc, 2);
+  ASSERT_TRUE(res.found);
+  EXPECT_EQ(res.tuple, (std::vector<std::size_t>{1, 1}));
+  EXPECT_EQ(res.cores_used, 2u);
+}
+
 TEST(TupleIsValid, ChecksAllThreeConstraints) {
   const auto cc = fig3();
   EXPECT_TRUE(tuple_is_valid(cc, {1, 1, 2, 2}, 16));

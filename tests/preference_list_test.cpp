@@ -72,6 +72,18 @@ TEST_P(PreferenceSweep, StrongerGroupsNearestFirst) {
   }
 }
 
+TEST_P(PreferenceSweep, MatchesConstructedPaperOrderExactly) {
+  // The full contract in one shot: for every (own, u) the list is
+  // exactly {G_g, G_{g+1}, ..., G_{u-1}, G_{g-1}, ..., G_0}.
+  const std::size_t u = GetParam();
+  for (std::size_t g = 0; g < u; ++g) {
+    std::vector<std::size_t> expect;
+    for (std::size_t j = g; j < u; ++j) expect.push_back(j);
+    for (std::size_t j = g; j-- > 0;) expect.push_back(j);
+    EXPECT_EQ(preference_list(g, u), expect) << "g=" << g << " u=" << u;
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(U, PreferenceSweep,
                          ::testing::Values(1, 2, 3, 4, 5, 8, 16));
 

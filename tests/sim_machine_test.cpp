@@ -125,6 +125,51 @@ TEST(Simulate, ResidencySumsToCoreTime) {
   EXPECT_NEAR(residency, 4.0 * span_total, 0.05 * residency + 1e-9);
 }
 
+TEST(Simulate, StragglerStallTailKeepsResidencyExact) {
+  // Cilk-D on 2 cores: the core whose task finishes just before the
+  // other's pays its park-at-slowest transition stall (50 µs) and is
+  // charged *past* the last completion. The batch barrier is wherever
+  // the last core actually stopped; re-charging the straggler's tail
+  // from the makespan would double-count it.
+  trace::TaskTrace t;
+  t.name = "straggler";
+  t.class_names = {"c"};
+  trace::Batch b;
+  b.tasks.push_back({0, 1e-3, 0.0, 0.0, 0.0});
+  b.tasks.push_back({0, 0.99e-3, 0.0, 0.0, 0.0});
+  t.batches.push_back(b);
+  CilkDPolicy p;
+  auto opt = small_options(2);
+  opt.fixed_adjuster_overhead_s = 0.0;
+  const auto res = simulate(t, p, opt);
+  double residency = 0.0;
+  for (double r : res.rung_residency_s) residency += r;
+  EXPECT_NEAR(residency, 2.0 * res.time_s, 1e-9 * residency + 1e-12);
+}
+
+TEST(Simulate, MidStallInjectionDoesNotDoubleChargeResidency) {
+  // Cilk-D, one core: after finishing the first task the core fails to
+  // acquire and pays the 50 µs drop-to-slowest stall; the second task is
+  // released inside that stall window, waking the core "in the past".
+  // The wake must clamp to the moment the core actually went idle —
+  // rewinding re-bills stall time that was already charged and inflates
+  // residency.
+  trace::TaskTrace t;
+  t.name = "inject";
+  t.class_names = {"c"};
+  trace::Batch b;
+  b.tasks.push_back({0, 1e-3, 0.0, 0.0, 0.0});
+  b.tasks.push_back({0, 1e-3, 0.0, 0.0, 1.02e-3});  // lands mid-stall
+  t.batches.push_back(b);
+  CilkDPolicy p;
+  auto opt = small_options(1);
+  opt.fixed_adjuster_overhead_s = 0.0;
+  const auto res = simulate(t, p, opt);
+  double residency = 0.0;
+  for (double r : res.rung_residency_s) residency += r;
+  EXPECT_NEAR(residency, res.time_s, 1e-9 * residency + 1e-12);
+}
+
 TEST(Simulate, EmptyBatchesAreHandled) {
   trace::TaskTrace t;
   t.name = "empty";

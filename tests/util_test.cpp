@@ -99,6 +99,53 @@ TEST(ZipfSampler, SkewsTowardLowRanks) {
   EXPECT_GT(static_cast<double>(low) / static_cast<double>(total), 0.5);
 }
 
+TEST(UniformExcluding, NeverReturnsSelfAndCoversEveryoneElse) {
+  for (std::size_t n : {2u, 3u, 5u, 8u}) {
+    for (std::size_t self = 0; self < n; ++self) {
+      std::set<std::size_t> seen;
+      std::uint64_t state = 12345;
+      for (int i = 0; i < 256; ++i) {
+        state = mix64(state);
+        const std::size_t v = uniform_excluding(state, self, n);
+        EXPECT_NE(v, self);
+        EXPECT_LT(v, n);
+        seen.insert(v);
+      }
+      EXPECT_EQ(seen.size(), n - 1);
+    }
+  }
+}
+
+TEST(UniformExcluding, VictimDistributionIsUnbiased) {
+  // The bug this guards against: remapping a self-hit draw to
+  // (self + 1) % n gives that neighbour twice everyone else's
+  // probability. Chi-square over the mix64 stream the steal path uses;
+  // with 200k draws a doubled cell scores X² in the tens of thousands,
+  // so a generous threshold still rejects it decisively.
+  for (std::size_t n : {2u, 3u, 5u, 8u}) {
+    for (std::size_t self : {std::size_t{0}, n - 1}) {
+      std::vector<std::size_t> counts(n, 0);
+      std::uint64_t state = 0x9e3779b97f4a7c15ull + n;
+      const std::size_t draws = 200000;
+      for (std::size_t i = 0; i < draws; ++i) {
+        state = mix64(state);
+        ++counts[uniform_excluding(state, self, n)];
+      }
+      EXPECT_EQ(counts[self], 0u);
+      const double expect =
+          static_cast<double>(draws) / static_cast<double>(n - 1);
+      double chi2 = 0.0;
+      for (std::size_t v = 0; v < n; ++v) {
+        if (v == self) continue;
+        const double d = static_cast<double>(counts[v]) - expect;
+        chi2 += d * d / expect;
+      }
+      // df <= 6; p=0.001 critical value is ~22.5.
+      EXPECT_LT(chi2, 25.0) << "n=" << n << " self=" << self;
+    }
+  }
+}
+
 TEST(RunningStats, BasicMoments) {
   RunningStats s;
   for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);

@@ -2,12 +2,13 @@
 //
 // Every case is a pure function of (mode, seed): the seed expands into a
 // random CC table (search oracle), a real-runtime workload (runtime
-// oracle) or a simulated workload (energy oracle), runs through the
-// corresponding invariant catalogue (see docs/testing.md), and prints
-// one line per case. Exit code 1 when any invariant fails.
+// oracle), a simulated workload (energy oracle) or an open-loop arrival
+// stream (service oracle), runs through the corresponding invariant
+// catalogue (see docs/testing.md), and prints one line per case. Exit
+// code 1 when any invariant fails.
 //
 // Usage:
-//   fuzz_explorer [--mode search|runtime|energy|all] [--seed N]
+//   fuzz_explorer [--mode search|runtime|energy|service|all] [--seed N]
 //                 [--count N] [--replay N] [--shrink] [--out FILE]
 //                 [--verbose]
 //
@@ -83,13 +84,15 @@ int main(int argc, char** argv) {
   std::vector<testing::FuzzMode> modes;
   if (mode_arg == "all") {
     modes = {testing::FuzzMode::kSearch, testing::FuzzMode::kRuntime,
-             testing::FuzzMode::kEnergy};
+             testing::FuzzMode::kEnergy, testing::FuzzMode::kService};
   } else if (mode_arg == "search") {
     modes = {testing::FuzzMode::kSearch};
   } else if (mode_arg == "runtime") {
     modes = {testing::FuzzMode::kRuntime};
   } else if (mode_arg == "energy") {
     modes = {testing::FuzzMode::kEnergy};
+  } else if (mode_arg == "service") {
+    modes = {testing::FuzzMode::kService};
   } else {
     std::fprintf(stderr, "unknown mode: %s\n", mode_arg.c_str());
     return 2;

@@ -1,0 +1,146 @@
+#include "runtime/plan_epoch.hpp"
+
+#include <algorithm>
+
+namespace eewa::rt {
+
+bool PlanSnapshot::valid(std::size_t workers) const {
+  if (plan.layout.group_count() == 0) return false;
+  // The published rung tuple must be nondecreasing (a planned tuple is
+  // sorted ascending by construction; a torn read would not be).
+  for (std::size_t i = 1; i < plan.tuple.size(); ++i) {
+    if (plan.tuple[i] < plan.tuple[i - 1]) return false;
+  }
+  // Rung tuple nondecreasing, groups fastest first: freq_index must be
+  // strictly increasing across groups (CGroupLayout's own contract) —
+  // a torn read would break this, so readers assert it.
+  const auto& groups = plan.layout.groups();
+  for (std::size_t g = 1; g < groups.size(); ++g) {
+    if (groups[g].freq_index <= groups[g - 1].freq_index) return false;
+  }
+  if (worker_group.size() != workers || worker_rung.size() != workers) {
+    return false;
+  }
+  if (group_workers.size() != groups.size()) return false;
+  if (prefs.group_count() != groups.size()) return false;
+  std::size_t member_total = 0;
+  for (std::size_t g = 0; g < group_workers.size(); ++g) {
+    for (std::size_t w : group_workers[g]) {
+      if (w >= workers || worker_group[w] != g) return false;
+      ++member_total;
+    }
+  }
+  if (member_total != workers) return false;
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    if (prefs.for_group(g).size() != groups.size()) return false;
+  }
+  return true;
+}
+
+std::unique_ptr<PlanSnapshot> PlanSnapshot::build(
+    std::uint64_t epoch, core::FrequencyPlan plan,
+    const std::vector<std::size_t>& achieved_rungs, std::size_t workers) {
+  auto snap = std::make_unique<PlanSnapshot>();
+  snap->epoch = epoch;
+  snap->plan = std::move(plan);
+  snap->prefs = core::PreferenceTable(snap->plan.layout);
+  const auto& layout = snap->plan.layout;
+  snap->group_workers.assign(layout.group_count(), {});
+  snap->worker_group.assign(workers, 0);
+  snap->worker_rung.assign(workers, 0);
+  for (std::size_t g = 0; g < layout.group_count(); ++g) {
+    for (std::size_t c : layout.group(g).cores) {
+      if (c < workers) {
+        snap->group_workers[g].push_back(c);
+        snap->worker_group[c] = g;
+        snap->worker_rung[c] = layout.group(g).freq_index;
+      }
+    }
+  }
+  // A layout can leave a worker in no group only if its cores all
+  // exceed the worker count; fold such workers into the fastest group
+  // so every worker has a home and a preference order.
+  std::vector<bool> placed(workers, false);
+  for (const auto& gw : snap->group_workers) {
+    for (std::size_t w : gw) placed[w] = true;
+  }
+  for (std::size_t w = 0; w < workers; ++w) {
+    if (!placed[w]) {
+      snap->group_workers[0].push_back(w);
+      snap->worker_group[w] = 0;
+      snap->worker_rung[w] = layout.group(0).freq_index;
+    }
+  }
+  for (auto& gw : snap->group_workers) std::sort(gw.begin(), gw.end());
+  // Achieved rungs override the plan's intent where readback differed:
+  // profiling must normalize by what the core actually runs at.
+  for (std::size_t w = 0; w < workers && w < achieved_rungs.size(); ++w) {
+    snap->worker_rung[w] = achieved_rungs[w];
+  }
+  return snap;
+}
+
+PlanPublisher::PlanPublisher(std::size_t readers, std::size_t workers)
+    : workers_(workers), hazards_(readers) {
+  for (auto& h : hazards_) h->store(nullptr, std::memory_order_relaxed);
+}
+
+PlanPublisher::~PlanPublisher() {
+  delete active_.load(std::memory_order_relaxed);
+  for (PlanSnapshot* s : retired_) delete s;
+}
+
+bool PlanPublisher::publish(std::unique_ptr<PlanSnapshot> snap) {
+  if (snap == nullptr || !snap->valid(workers_)) {
+    // A rejected snapshot is destroyed here, before the pointer swing:
+    // no reader can ever execute under a plan that failed validation.
+    rejects_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  PlanSnapshot* next = snap.release();
+  PlanSnapshot* prev = active_.exchange(next, std::memory_order_acq_rel);
+  published_.fetch_add(1, std::memory_order_relaxed);
+  if (prev != nullptr) retired_.push_back(prev);
+  scan_retired();
+  return true;
+}
+
+void PlanPublisher::scan_retired() {
+  auto pinned = [this](const PlanSnapshot* s) {
+    for (const auto& h : hazards_) {
+      // seq_cst pairs with the readers' seq_cst hazard publication:
+      // a reader that pinned s before our active_ exchange is seen here.
+      if (h->load(std::memory_order_seq_cst) == s) return true;
+    }
+    return false;
+  };
+  retired_.erase(std::remove_if(retired_.begin(), retired_.end(),
+                                [&](PlanSnapshot* s) {
+                                  if (pinned(s)) return false;
+                                  delete s;
+                                  return true;
+                                }),
+                 retired_.end());
+}
+
+const PlanSnapshot* PlanPublisher::acquire(std::size_t reader) {
+  auto& hazard = *hazards_[reader];
+  const PlanSnapshot* cur = active_.load(std::memory_order_acquire);
+  // Fast path: the plan did not change since this reader's last pin.
+  if (cur == hazard.load(std::memory_order_relaxed)) return cur;
+  for (;;) {
+    // seq_cst store-then-load: the re-check cannot be reordered before
+    // the hazard publication, so a snapshot that passes the re-check is
+    // pinned before the planner's retire scan could miss it.
+    hazard.store(cur, std::memory_order_seq_cst);
+    const PlanSnapshot* again = active_.load(std::memory_order_seq_cst);
+    if (again == cur) return cur;
+    cur = again;
+  }
+}
+
+void PlanPublisher::release(std::size_t reader) {
+  hazards_[reader]->store(nullptr, std::memory_order_release);
+}
+
+}  // namespace eewa::rt

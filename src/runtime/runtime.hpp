@@ -20,8 +20,11 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
+#include <deque>
 #include <exception>
 #include <memory>
 #include <mutex>
@@ -31,16 +34,21 @@
 #include <utility>
 #include <vector>
 
+#include "core/actuation.hpp"
 #include "core/eewa_controller.hpp"
 #include "core/intern_table.hpp"
 #include "dvfs/dvfs_backend.hpp"
 #include "dvfs/frequency_ladder.hpp"
 #include "dvfs/trace_backend.hpp"
 #include "obs/metrics.hpp"
+#include "obs/service_metrics.hpp"
 #include "obs/tracer.hpp"
 #include "runtime/chase_lev_deque.hpp"
+#include "runtime/ingress.hpp"
+#include "runtime/plan_epoch.hpp"
 #include "runtime/pmc.hpp"
 #include "runtime/profiler.hpp"
+#include "runtime/service.hpp"
 #include "runtime/task.hpp"
 #include "trace/task_trace.hpp"
 #include "util/aligned.hpp"
@@ -173,6 +181,62 @@ class Runtime {
   /// The event tracer passed in RuntimeOptions (null when none).
   obs::EventTracer* tracer() const { return options_.tracer; }
 
+  // --- Open-loop service mode (docs/service_mode.md) ---------------------
+  //
+  // Instead of batch barriers, traffic flows continuously: submit() pushes
+  // into a bounded ingress ring, a dispatcher thread applies admission
+  // control and routes tasks to per-worker inboxes under the currently
+  // published plan, and a planner thread re-runs Algorithm 1 every epoch
+  // off the critical path, publishing new plans atomically while workers
+  // keep executing.
+
+  /// Enter service mode. Classes must be declared in `opts.classes`
+  /// (submit() rejects undeclared ids). Throws if a batch or another
+  /// service is active.
+  void start_service(ServiceOptions opts);
+
+  /// Submit one task (any thread). kQueued means the task entered the
+  /// ingress ring — it may still be shed by admission control before it
+  /// runs; the per-class counters (service_metrics()) and the optional
+  /// shed hook account for every outcome. `tag` is an opaque caller id
+  /// passed through to the shed hook.
+  SubmitResult submit(ClassHandle handle, TaskFn fn, std::uint64_t tag = 0);
+  SubmitResult submit(std::string_view class_name, TaskFn fn,
+                      std::uint64_t tag = 0) {
+    return submit(handle(class_name), std::move(fn), tag);
+  }
+
+  bool service_active() const {
+    return service_active_.load(std::memory_order_acquire);
+  }
+
+  /// Wait until the ingress ring, staging and every inbox/deque are empty
+  /// (pending == 0 and in_flight == 0). Returns false on timeout.
+  bool drain_service(double timeout_s);
+
+  /// Stop accepting, drain, stop dispatcher/planner/worker loops and
+  /// return the final cumulative report (which must reconcile exactly).
+  obs::EpochReport stop_service();
+
+  /// Live cumulative snapshot (any thread, any time while serving).
+  obs::EpochReport service_snapshot() const;
+
+  /// Per-epoch delta reports recorded by the planner (copy).
+  std::vector<obs::EpochReport> epoch_reports() const;
+
+  /// The planner's health (actuation retries, reconciliations,
+  /// staleness degradations) — service-mode analogue of health().
+  core::HealthReport service_health() const;
+
+  /// Service counters; null before the first start_service, survives
+  /// stop_service until the next start.
+  const obs::ServiceMetrics* service_metrics() const {
+    return service_metrics_.get();
+  }
+
+  /// Epochs published by the service planner so far (0 when none).
+  std::uint64_t plan_epochs_published() const;
+
  private:
   struct WorkerPools {
     // One deque per c-group (allocated for the full ladder size; a batch
@@ -187,6 +251,66 @@ class Runtime {
   void prepare_batch(std::vector<TaskDesc>& tasks);
   void finish_batch(double makespan_s);
   std::size_t group_of_worker(std::size_t id) const;
+
+  // Service-mode internals.
+  struct ServiceItem {
+    TaskFn fn;
+    std::uint32_t class_id = 0;
+    std::uint64_t tag = 0;
+    std::uint64_t submit_ticks = 0;
+  };
+  // A service task's identity while it lives in a deque. Task must stay
+  // the first member: the deques carry Task*, and run_service_task
+  // recovers the node by pointer identity.
+  struct ServiceNode {
+    Task task;
+    std::uint64_t tag = 0;
+    std::uint64_t submit_ticks = 0;
+  };
+  struct ProfileRec {
+    std::uint32_t class_id = 0;
+    std::uint32_t rung = 0;
+    double exec_s = 0.0;
+    double cmi = 0.0;
+  };
+  struct ServiceState;
+
+  void service_worker_loop(std::size_t id, PerfCounters* pmc);
+  void dispatcher_main();
+  void planner_main();
+  std::optional<Task*> service_acquire(std::size_t id,
+                                       const PlanSnapshot* snap);
+  std::optional<Task*> service_steal(std::size_t id, std::size_t group,
+                                     bool cross,
+                                     obs::ServiceWorkerCounters& wc);
+  bool dispatch_item(ServiceItem& item, const PlanSnapshot* snap);
+  void run_service_task(std::size_t id, Task* task, std::size_t rung,
+                        PerfCounters* pmc);
+  ServiceNode* alloc_service_node(std::size_t id);
+  void service_shed(std::size_t class_id, std::uint64_t tag);
+  obs::EpochReport service_snapshot_unlocked() const;
+
+  // Deep-sleep wakeup (shared by batch and service idle loops): workers
+  // park on a condvar once the idle ramp hits its cap; producers wake
+  // them with one load on the hot path (deep_sleepers_ == 0).
+  void wake_sleepers();
+  /// Park until wake_sleepers() or `max_us`. `has_work` is re-checked
+  /// after the sleeper registers itself (under wake_mu_, which the waker
+  /// also takes), closing the check-then-sleep window; the timeout is
+  /// the backstop for any residual miss, bounding wakeup latency at the
+  /// old open-loop sleep cap.
+  template <typename HasWork>
+  void deep_park(std::uint64_t max_us, HasWork&& has_work) {
+    std::unique_lock<std::mutex> lock(wake_mu_);
+    const std::uint64_t seen = wake_seq_.load(std::memory_order_relaxed);
+    deep_sleepers_.fetch_add(1, std::memory_order_seq_cst);
+    if (!has_work()) {
+      wake_cv_.wait_for(lock, std::chrono::microseconds(max_us), [&] {
+        return wake_seq_.load(std::memory_order_relaxed) != seen;
+      });
+    }
+    deep_sleepers_.fetch_sub(1, std::memory_order_relaxed);
+  }
 
   RuntimeOptions options_;
   std::unique_ptr<dvfs::TraceBackend> owned_backend_;
@@ -261,6 +385,26 @@ class Runtime {
   std::uint64_t generation_ = 0;
   std::size_t workers_active_ = 0;
   bool shutdown_ = false;
+
+  // Deep-sleep tier: a worker that exhausts the idle backoff ramp parks
+  // here instead of open-loop sleeping; wake_sleepers() costs producers a
+  // single relaxed load while nobody is parked. wake_seq_ is bumped under
+  // wake_mu_, which is what makes the sleep/notify handshake lossless.
+  std::mutex wake_mu_;
+  std::condition_variable wake_cv_;
+  std::atomic<std::uint64_t> wake_seq_{0};
+  std::atomic<std::size_t> deep_sleepers_{0};
+
+  // Service mode. service_active_ selects the worker loop; the heavy
+  // state lives behind a pointer so batch-only users pay nothing.
+  std::atomic<bool> service_active_{false};
+  std::unique_ptr<ServiceState> service_;
+  std::unique_ptr<obs::ServiceMetrics> service_metrics_;
+  // Per-epoch reports and planner health outlive stop_service (the
+  // planner appends under the mutex; accessors copy under it).
+  mutable std::mutex service_report_mu_;
+  std::vector<obs::EpochReport> service_reports_;
+  core::HealthReport service_health_;
 
   std::vector<std::thread> threads_;
   std::size_t batches_ = 0;

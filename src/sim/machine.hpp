@@ -157,6 +157,10 @@ class Machine {
   const SimOptions& options() const { return options_; }
   util::Xoshiro256& rng() { return rng_; }
   std::size_t batch_index() const { return batch_index_; }
+  /// Absolute simulated time of the activity currently being processed
+  /// (open-loop policies use it for sojourn accounting against
+  /// TraceTask::release_s).
+  double now_s() const { return sim_now_s_; }
 
   // --- pools (policy API, valid during batch_start/acquire) ---------------
   /// Reset to `groups` pools per core (drops any leftover tasks).

@@ -13,6 +13,8 @@ const char* mode_name(FuzzMode mode) {
       return "runtime";
     case FuzzMode::kEnergy:
       return "energy";
+    case FuzzMode::kService:
+      return "service";
   }
   return "?";
 }
@@ -47,6 +49,14 @@ FuzzVerdict run_one(FuzzMode mode, std::uint64_t seed) {
       const auto spec = WorkloadSpec::random_energy(seed);
       v.spec_summary = spec.summary();
       const auto r = check_energy(spec);
+      v.ok = r.ok;
+      v.failure = r.failure;
+      break;
+    }
+    case FuzzMode::kService: {
+      const auto spec = ServiceSpec::random(seed);
+      v.spec_summary = spec.summary();
+      const auto r = check_service(spec);
       v.ok = r.ok;
       v.failure = r.failure;
       break;
@@ -235,6 +245,60 @@ std::vector<WorkloadSpec> workload_mutants(const WorkloadSpec& s) {
   return out;
 }
 
+std::vector<ServiceSpec> service_mutants(const ServiceSpec& s) {
+  std::vector<ServiceSpec> out;
+  if (s.arrivals.classes.size() > 1) {
+    for (std::size_t i = 0; i < s.arrivals.classes.size(); ++i) {
+      ServiceSpec t = s;
+      t.arrivals.classes.erase(t.arrivals.classes.begin() + i);
+      out.push_back(std::move(t));
+    }
+  }
+  if (s.arrivals.duration_s > 0.01) {
+    ServiceSpec t = s;
+    t.arrivals.duration_s /= 2.0;
+    out.push_back(std::move(t));
+  }
+  if (s.arrivals.load > 0.5) {
+    ServiceSpec t = s;
+    t.arrivals.load /= 2.0;
+    out.push_back(std::move(t));
+  }
+  if (s.arrivals.kind != trace::ArrivalKind::kSteady) {
+    ServiceSpec t = s;
+    t.arrivals.kind = trace::ArrivalKind::kSteady;
+    out.push_back(std::move(t));
+  }
+  {
+    bool any = false;
+    ServiceSpec t = s;
+    for (auto& c : t.arrivals.classes) {
+      if (c.cv > 0.0 || c.cmi > 0.0) {
+        c.cv = c.cmi = 0.0;
+        any = true;
+      }
+    }
+    if (any) out.push_back(std::move(t));
+  }
+  if (s.workers > 1) {
+    ServiceSpec t = s;
+    t.workers /= 2;
+    t.arrivals.cores = t.workers;
+    out.push_back(std::move(t));
+  }
+  if (s.policy != ShedPolicy::kBlock) {
+    ServiceSpec t = s;
+    t.policy = ShedPolicy::kBlock;
+    out.push_back(std::move(t));
+  }
+  if (s.high_watermark > 0) {
+    ServiceSpec t = s;
+    t.high_watermark = 0;  // back to the runtime default
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
 }  // namespace
 
 TableSpec shrink_table(
@@ -247,6 +311,12 @@ WorkloadSpec shrink_workload(
     WorkloadSpec spec,
     const std::function<bool(const WorkloadSpec&)>& still_fails) {
   return shrink_greedy(std::move(spec), still_fails, workload_mutants);
+}
+
+ServiceSpec shrink_service(
+    ServiceSpec spec,
+    const std::function<bool(const ServiceSpec&)>& still_fails) {
+  return shrink_greedy(std::move(spec), still_fails, service_mutants);
 }
 
 FuzzVerdict shrink(FuzzMode mode, std::uint64_t seed) {
@@ -275,6 +345,14 @@ FuzzVerdict shrink(FuzzMode mode, std::uint64_t seed) {
           [](const WorkloadSpec& s) { return !check_energy(s).ok; });
       v.shrunk_summary = minimal.summary();
       v.shrunk_failure = check_energy(minimal).failure;
+      break;
+    }
+    case FuzzMode::kService: {
+      const auto minimal = shrink_service(
+          ServiceSpec::random(seed),
+          [](const ServiceSpec& s) { return !check_service(s).ok; });
+      v.shrunk_summary = minimal.summary();
+      v.shrunk_failure = check_service(minimal).failure;
       break;
     }
   }

@@ -20,9 +20,9 @@
 namespace eewa::testing {
 
 /// Which oracle a case runs through.
-enum class FuzzMode { kSearch, kRuntime, kEnergy };
+enum class FuzzMode { kSearch, kRuntime, kEnergy, kService };
 
-/// CLI-facing name of a mode ("search", "runtime", "energy").
+/// CLI-facing name of a mode ("search", "runtime", "energy", "service").
 const char* mode_name(FuzzMode mode);
 
 /// Verdict of one fuzz case.
@@ -71,6 +71,12 @@ TableSpec shrink_table(TableSpec spec,
 WorkloadSpec shrink_workload(WorkloadSpec spec,
                              const std::function<bool(const WorkloadSpec&)>&
                                  still_fails);
+
+/// Same idea for service specs (drop class, lower load, shorten the
+/// stream, steady shape, block policy, fewer workers).
+ServiceSpec shrink_service(ServiceSpec spec,
+                           const std::function<bool(const ServiceSpec&)>&
+                               still_fails);
 
 /// Run one case and, if it fails, bisect it to a minimal repro (fills
 /// shrunk_summary / shrunk_failure on the verdict).

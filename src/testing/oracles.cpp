@@ -1,9 +1,11 @@
 #include "testing/oracles.hpp"
 
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/ktuple_search.hpp"
@@ -411,6 +413,182 @@ CheckResult check_runtime(const WorkloadSpec& spec) {
                  cs.mean_work_s));
       }
     }
+  }
+
+  return CheckResult::pass();
+}
+
+CheckResult check_service(const ServiceSpec& spec) {
+  const auto arrivals = trace::generate_arrivals(spec.arrivals);
+  if (arrivals.empty()) {
+    return CheckResult::pass();  // an empty stream has nothing to violate
+  }
+
+  rt::RuntimeOptions opt;
+  opt.workers = spec.workers;
+  opt.kind = rt::SchedulerKind::kEewa;
+  opt.enable_pmc = false;
+  rt::Runtime run(opt);
+
+  rt::ServiceOptions so;
+  so.queue_capacity = spec.queue_capacity;
+  so.high_watermark = spec.high_watermark;
+  so.policy = spec.policy == ShedPolicy::kBlock
+                  ? rt::AdmissionPolicy::kBlock
+              : spec.policy == ShedPolicy::kShedLowestSla
+                  ? rt::AdmissionPolicy::kShedLowestSla
+                  : rt::AdmissionPolicy::kShedOldest;
+  so.epoch_s = spec.epoch_s;
+  for (const auto& c : spec.arrivals.classes) {
+    so.classes.push_back({c.name, c.sla});
+  }
+  // Every arrival is tagged with its index; a task marks its slot when
+  // it runs, the shed hook marks the other array. The two marks must
+  // never meet on one tag — that is the heart of the overload oracle.
+  std::vector<std::uint8_t> ran_tags(arrivals.size(), 0);
+  std::vector<std::uint8_t> shed_tags(arrivals.size(), 0);
+  so.shed_hook = [&shed_tags](std::size_t, std::uint64_t tag) {
+    if (tag < shed_tags.size()) shed_tags[tag] = 1;
+  };
+  run.start_service(std::move(so));
+
+  std::vector<rt::ClassHandle> handles;
+  for (const auto& c : spec.arrivals.classes) {
+    handles.push_back(run.handle(c.name));
+  }
+
+  std::size_t backpressured = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < arrivals.size(); ++i) {
+    const auto& a = arrivals[i];
+    std::this_thread::sleep_until(
+        t0 + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                 std::chrono::duration<double>(a.time_s)));
+    const double work = a.task.work_s;
+    std::uint8_t* slot = &ran_tags[i];
+    const auto res = run.submit(handles[a.task.class_id],
+                                rt::TaskFn([slot, work] {
+                                  *slot = 1;
+                                  burn_for(work);
+                                }),
+                                i);
+    if (res == rt::SubmitResult::kBackpressure) ++backpressured;
+    if (res == rt::SubmitResult::kStopped) {
+      return CheckResult::fail("submit returned kStopped while serving");
+    }
+  }
+  if (!run.drain_service(60.0)) {
+    return CheckResult::fail("drain_service timed out after the stream");
+  }
+  const obs::EpochReport report = run.stop_service();
+
+  // Totals reconcile exactly once quiescent.
+  if (report.offered != arrivals.size()) {
+    return CheckResult::fail(
+        fmtf("offered=%llu != arrivals %zu",
+             static_cast<unsigned long long>(report.offered),
+             arrivals.size()));
+  }
+  if (report.pending != 0 || report.in_flight != 0) {
+    return CheckResult::fail(
+        fmtf("drained run still has pending=%llu in_flight=%llu",
+             static_cast<unsigned long long>(report.pending),
+             static_cast<unsigned long long>(report.in_flight)));
+  }
+  if (report.reconcile_slack() != 0) {
+    return CheckResult::fail("final report does not reconcile: " +
+                             report.to_string());
+  }
+  if (report.deferred != backpressured) {
+    return CheckResult::fail(
+        fmtf("deferred=%llu != kBackpressure results %zu",
+             static_cast<unsigned long long>(report.deferred),
+             backpressured));
+  }
+
+  // Tag-level conservation: executed + shed + backpressured covers the
+  // stream, and no tag is both shed and executed.
+  std::size_t ran_n = 0, shed_n = 0;
+  for (std::size_t i = 0; i < arrivals.size(); ++i) {
+    ran_n += ran_tags[i];
+    shed_n += shed_tags[i];
+    if (ran_tags[i] && shed_tags[i]) {
+      return CheckResult::fail(
+          fmtf("tag %zu was both shed and executed", i));
+    }
+    if (!ran_tags[i] && !shed_tags[i]) {
+      // Must have been backpressured; cross-checked in aggregate below.
+      continue;
+    }
+  }
+  if (ran_n != report.executed) {
+    return CheckResult::fail(
+        fmtf("executed tags %zu != report.executed %llu", ran_n,
+             static_cast<unsigned long long>(report.executed)));
+  }
+  if (shed_n != report.shed) {
+    return CheckResult::fail(
+        fmtf("shed tags %zu != report.shed %llu (hook missed a shed?)",
+             shed_n, static_cast<unsigned long long>(report.shed)));
+  }
+  if (ran_n + shed_n + backpressured != arrivals.size()) {
+    return CheckResult::fail(
+        fmtf("executed %zu + shed %zu + backpressured %zu != offered %zu",
+             ran_n, shed_n, backpressured, arrivals.size()));
+  }
+
+  // Policy guarantees.
+  if (spec.policy == ShedPolicy::kBlock && report.shed != 0) {
+    return CheckResult::fail(
+        fmtf("block policy shed %llu tasks",
+             static_cast<unsigned long long>(report.shed)));
+  }
+  for (std::size_t k = 0; k < spec.arrivals.classes.size(); ++k) {
+    const auto& snap = report.classes.at(handles[k].id);
+    if (snap.offered != snap.admitted + snap.shed + snap.deferred) {
+      return CheckResult::fail(
+          fmtf("class %zu: offered %llu != admitted+shed+deferred", k,
+               static_cast<unsigned long long>(snap.offered)));
+    }
+    if (spec.arrivals.classes[k].sla == 0 && snap.shed != 0) {
+      return CheckResult::fail(
+          fmtf("never-shed class %zu shed %llu tasks", k,
+               static_cast<unsigned long long>(snap.shed)));
+    }
+  }
+
+  // Shedding only engages above the watermark. The depth gauge is
+  // sampled once per dispatcher pass, shortly after the shed decision
+  // (which sees depth >= threshold >= watermark); completions during
+  // that window can shrink it by at most a few tasks per worker.
+  if (report.shed > 0) {
+    const std::size_t watermark = spec.high_watermark > 0
+                                      ? spec.high_watermark
+                                      : spec.queue_capacity / 2;
+    if (report.queue_depth_hwm + 2 * spec.workers + 8 < watermark) {
+      return CheckResult::fail(
+          fmtf("shed %llu tasks but depth high-water %llu never neared "
+               "the watermark %zu",
+               static_cast<unsigned long long>(report.shed),
+               static_cast<unsigned long long>(report.queue_depth_hwm),
+               watermark));
+    }
+  }
+
+  // Per-epoch delta reports never overcount the cumulative totals.
+  std::uint64_t epoch_exec = 0, epoch_shed = 0;
+  for (const auto& r : run.epoch_reports()) {
+    epoch_exec += r.executed;
+    epoch_shed += r.shed;
+  }
+  if (epoch_exec > report.executed || epoch_shed > report.shed) {
+    return CheckResult::fail(
+        fmtf("epoch deltas overcount: Σexec=%llu vs %llu, Σshed=%llu vs "
+             "%llu",
+             static_cast<unsigned long long>(epoch_exec),
+             static_cast<unsigned long long>(report.executed),
+             static_cast<unsigned long long>(epoch_shed),
+             static_cast<unsigned long long>(report.shed)));
   }
 
   return CheckResult::pass();

@@ -40,6 +40,16 @@ CheckResult check_search(const TableSpec& spec);
 /// generating spec.
 CheckResult check_runtime(const WorkloadSpec& spec);
 
+/// Service oracle: drive rt::Runtime's open-loop service mode over a
+/// generated arrival stream (steady/bursty, underload through sustained
+/// overload) and check the overload conservation laws: every arrival is
+/// admitted, shed or backpressured (offered == executed + shed +
+/// deferred after a drain), no task is both shed and executed, shedding
+/// engages only above the admission watermark, never-shed (sla 0)
+/// classes and the block policy shed nothing, and the final report
+/// reconciles exactly.
+CheckResult check_service(const ServiceSpec& spec);
+
 /// Energy oracle: simulate the same generated workload on sim::Machine
 /// and check the energy accountant's identities: time == Σ batch spans +
 /// overheads, Σ rung residency == cores · time, batch core energies sum

@@ -238,6 +238,80 @@ std::string WorkloadSpec::summary() const {
   return out;
 }
 
+ServiceSpec ServiceSpec::random(std::uint64_t seed) {
+  util::Xoshiro256 rng(util::mix64(seed ^ 0x5e41ceedULL));
+  ServiceSpec spec;
+  spec.seed = seed;
+  spec.workers = 1 + rng.bounded(4);
+
+  auto& arr = spec.arrivals;
+  arr.name = "fuzz_service";
+  arr.seed = util::mix64(seed ^ 0x33);
+  arr.cores = spec.workers;
+  arr.duration_s = rng.uniform(0.03, 0.08);
+  // Underload through sustained overload; the >1 region is where the
+  // admission path earns its keep, so it stays common.
+  const double loads[] = {0.3, 0.7, 1.2, 2.0, 3.0};
+  arr.load = loads[rng.bounded(5)];
+  arr.kind = rng.chance(0.4) ? trace::ArrivalKind::kBursty
+                             : trace::ArrivalKind::kSteady;
+  arr.burst_factor = rng.uniform(1.5, 4.0);
+  arr.burst_period_s = rng.uniform(0.01, 0.04);
+
+  const std::size_t k = 1 + rng.bounded(3);
+  const bool bimodal = k > 1 && rng.chance(0.4);
+  for (std::size_t i = 0; i < k; ++i) {
+    trace::ArrivalClassSpec c;
+    c.name = "svc" + std::to_string(i);
+    c.weight = rng.uniform(0.2, 1.0);
+    // Bimodal mixes: a rare-heavy class next to common-light ones.
+    c.mean_work_s = bimodal && i == 0 ? rng.uniform(200e-6, 500e-6)
+                                      : rng.uniform(30e-6, 120e-6);
+    if (bimodal && i == 0) c.weight *= 0.2;
+    c.cv = rng.uniform(0.0, 0.5);
+    c.cmi = rng.chance(0.2) ? rng.uniform(0.0, 0.03) : 0.0;
+    // sla 0 (never shed) appears but is not universal, so both the
+    // backpressure and the shed paths get exercised.
+    c.sla = rng.chance(0.25) ? 0 : 1 + rng.bounded(3);
+    arr.classes.push_back(std::move(c));
+  }
+
+  const std::size_t caps[] = {32, 64, 128, 256};
+  spec.queue_capacity = caps[rng.bounded(4)];
+  spec.high_watermark =
+      rng.chance(0.5) ? 0 : spec.queue_capacity / (2 + rng.bounded(3));
+  const double policy_draw = rng.uniform();
+  spec.policy = policy_draw < 0.5   ? ShedPolicy::kShedLowestSla
+                : policy_draw < 0.8 ? ShedPolicy::kShedOldest
+                                    : ShedPolicy::kBlock;
+  spec.epoch_s = rng.uniform(0.001, 0.004);
+  return spec;
+}
+
+std::string ServiceSpec::summary() const {
+  std::string out;
+  const char* pol = policy == ShedPolicy::kBlock          ? "block"
+                    : policy == ShedPolicy::kShedLowestSla ? "shed-sla"
+                                                           : "shed-oldest";
+  const char* kind =
+      arrivals.kind == trace::ArrivalKind::kBursty ? "bursty" : "steady";
+  appendf(out,
+          "ServiceSpec seed=%llu workers=%zu cap=%zu hw=%zu policy=%s "
+          "epoch=%.4g load=%.2f kind=%s burst={x%.2f %.3gs} dur=%.3g "
+          "classes=[",
+          static_cast<unsigned long long>(seed), workers, queue_capacity,
+          high_watermark, pol, epoch_s, arrivals.load, kind,
+          arrivals.burst_factor, arrivals.burst_period_s,
+          arrivals.duration_s);
+  for (std::size_t i = 0; i < arrivals.classes.size(); ++i) {
+    const auto& c = arrivals.classes[i];
+    appendf(out, "%s{%s w=%.2f mean=%.6g cv=%.2f sla=%zu}", i ? ", " : "",
+            c.name.c_str(), c.weight, c.mean_work_s, c.cv, c.sla);
+  }
+  out += "]";
+  return out;
+}
+
 void burn_for(double seconds) {
   using Clock = std::chrono::steady_clock;
   const auto until =

@@ -18,6 +18,7 @@
 #include "core/cc_table.hpp"
 #include "core/task_class.hpp"
 #include "energy/power_model.hpp"
+#include "trace/arrivals.hpp"
 #include "trace/synthetic.hpp"
 #include "trace/task_trace.hpp"
 
@@ -79,6 +80,33 @@ struct WorkloadSpec {
 
   /// Generate the task trace (deterministic in trace.seed).
   trace::TaskTrace build_trace() const;
+
+  /// Human-readable dump, complete enough to reconstruct the case.
+  std::string summary() const;
+};
+
+/// Admission policy of a service-oracle case (mirrors
+/// rt::AdmissionPolicy without pulling runtime headers into the spec
+/// layer).
+enum class ShedPolicy { kBlock, kShedLowestSla, kShedOldest };
+
+/// A generated open-loop service scenario for the service oracle:
+/// an arrival stream (steady or bursty, underload through sustained
+/// overload, bimodal class mixes) plus the runtime's service
+/// configuration. The oracle tracks every arrival by tag and checks the
+/// overload conservation laws (docs/service_mode.md).
+struct ServiceSpec {
+  std::uint64_t seed = 0;
+  trace::ArrivalSpec arrivals;
+  std::size_t workers = 2;
+  std::size_t queue_capacity = 256;
+  std::size_t high_watermark = 0;  ///< 0 = runtime default (capacity/2)
+  ShedPolicy policy = ShedPolicy::kShedLowestSla;
+  double epoch_s = 0.002;
+
+  /// Deterministic expansion of a seed; overload (load > 1) and bursty
+  /// shapes stay common — they are what the admission path exists for.
+  static ServiceSpec random(std::uint64_t seed);
 
   /// Human-readable dump, complete enough to reconstruct the case.
   std::string summary() const;

@@ -1,0 +1,111 @@
+#include "trace/arrivals.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace eewa::trace {
+
+namespace {
+
+double mean_work_of_mix(const std::vector<ArrivalClassSpec>& classes) {
+  double weight = 0.0;
+  double work = 0.0;
+  for (const auto& c : classes) {
+    weight += c.weight;
+    work += c.weight * c.mean_work_s;
+  }
+  return weight > 0.0 ? work / weight : 0.0;
+}
+
+}  // namespace
+
+double ArrivalSpec::rate_tps() const {
+  const double mean_work = mean_work_of_mix(classes);
+  if (mean_work <= 0.0) return 0.0;
+  // load = (rate * mean_work) / cores  =>  rate = load * cores / mean_work.
+  return load * static_cast<double>(cores) / mean_work;
+}
+
+std::vector<Arrival> generate_arrivals(const ArrivalSpec& spec) {
+  if (spec.classes.empty()) {
+    throw std::invalid_argument("generate_arrivals: no classes");
+  }
+  const double rate = spec.rate_tps();
+  if (rate <= 0.0) {
+    throw std::invalid_argument("generate_arrivals: non-positive rate");
+  }
+  util::Xoshiro256 rng(spec.seed);
+
+  // Class-selection CDF over weights.
+  std::vector<double> cdf(spec.classes.size());
+  double total_weight = 0.0;
+  for (std::size_t k = 0; k < spec.classes.size(); ++k) {
+    total_weight += std::max(0.0, spec.classes[k].weight);
+    cdf[k] = total_weight;
+  }
+  if (total_weight <= 0.0) {
+    throw std::invalid_argument("generate_arrivals: zero total weight");
+  }
+  for (auto& c : cdf) c /= total_weight;
+
+  // Thinned Poisson process: draw at the peak rate, keep a draw with
+  // probability rate(t)/peak. This keeps the square wave exact without
+  // per-phase bookkeeping.
+  const double peak_rate =
+      spec.kind == ArrivalKind::kBursty ? rate * spec.burst_factor : rate;
+  const auto rate_at = [&](double t) {
+    if (spec.kind != ArrivalKind::kBursty) return rate;
+    // On-phase for the first half of each period at burst_factor times
+    // the mean; off-phase compensates so the mean offered load holds.
+    const double phase = t - std::floor(t / spec.burst_period_s) *
+                                 spec.burst_period_s;
+    const bool on = phase < 0.5 * spec.burst_period_s;
+    const double off_rate =
+        std::max(0.0, rate * (2.0 - spec.burst_factor));
+    return on ? rate * spec.burst_factor : off_rate;
+  };
+
+  std::vector<Arrival> out;
+  out.reserve(static_cast<std::size_t>(rate * spec.duration_s * 1.1) + 16);
+  double t = 0.0;
+  for (;;) {
+    t += rng.exponential(1.0 / peak_rate);
+    if (t >= spec.duration_s) break;
+    if (peak_rate > rate && !rng.chance(rate_at(t) / peak_rate)) continue;
+    const double u = rng.uniform();
+    std::size_t k = 0;
+    while (k + 1 < cdf.size() && cdf[k] < u) ++k;
+    const auto& cls = spec.classes[k];
+    Arrival a;
+    a.time_s = t;
+    a.task.class_id = k;
+    a.task.work_s = cls.cv > 0.0
+                        ? rng.lognormal_mean_cv(cls.mean_work_s, cls.cv)
+                        : cls.mean_work_s;
+    a.task.cmi = cls.cmi;
+    a.task.mem_alpha = cls.mem_alpha;
+    a.task.release_s = t;
+    out.push_back(std::move(a));
+  }
+  // Already time-sorted by construction; keep the guarantee explicit.
+  std::sort(out.begin(), out.end(), [](const Arrival& x, const Arrival& y) {
+    return x.time_s < y.time_s;
+  });
+  return out;
+}
+
+TaskTrace arrivals_to_trace(const ArrivalSpec& spec,
+                            const std::vector<Arrival>& arrivals) {
+  TaskTrace trace;
+  trace.name = spec.name;
+  for (const auto& c : spec.classes) trace.class_names.push_back(c.name);
+  Batch batch;
+  batch.tasks.reserve(arrivals.size());
+  for (const auto& a : arrivals) batch.tasks.push_back(a.task);
+  trace.batches.push_back(std::move(batch));
+  return trace;
+}
+
+}  // namespace eewa::trace

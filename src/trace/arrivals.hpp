@@ -1,0 +1,75 @@
+// Open-loop arrival streams for the service mode (docs/service_mode.md).
+//
+// A batched TaskTrace describes work that exists all at once; a service
+// sees work *arrive* — a timestamped stream whose offered rate is set by
+// the outside world, not by the scheduler's completion rate. This
+// generator produces such streams deterministically from a seed, in the
+// shapes the overload harness needs: steady Poisson traffic, square-wave
+// bursts, and a bimodal class mix. Rates are expressed as a multiple of
+// the machine's estimated capacity so "2x overload" means the same thing
+// across machines and simulators.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/task_trace.hpp"
+
+namespace eewa::trace {
+
+/// Temporal shape of the stream.
+enum class ArrivalKind {
+  kSteady,  ///< Poisson arrivals at a constant rate
+  kBursty,  ///< square wave: rate * burst_factor half the period, idle rest
+};
+
+/// One service class in the stream.
+struct ArrivalClassSpec {
+  std::string name;
+  double weight = 1.0;        ///< share of arrivals (normalized over classes)
+  double mean_work_s = 0.0;   ///< mean normalized work per task (Eq. 1)
+  double cv = 0.0;            ///< lognormal jitter of task work
+  double cmi = 0.0;           ///< cache-miss intensity attached to tasks
+  double mem_alpha = 0.0;     ///< memory-stall fraction
+  std::size_t sla = 1;        ///< admission tier (0 = never shed)
+};
+
+/// A complete open-loop stream description.
+struct ArrivalSpec {
+  std::string name = "arrivals";
+  std::vector<ArrivalClassSpec> classes;
+  /// Offered load as a fraction of capacity: 1.0 means arrivals carry
+  /// exactly `cores` core-seconds of work per second; 2.0 is a 2x
+  /// overload that no scheduler can serve without shedding.
+  double load = 1.0;
+  std::size_t cores = 16;  ///< capacity normalizer
+  double duration_s = 1.0;
+  ArrivalKind kind = ArrivalKind::kSteady;
+  double burst_factor = 4.0;  ///< kBursty: on-phase rate multiplier
+  double burst_period_s = 0.1;
+  std::uint64_t seed = 1;
+
+  /// Mean offered task rate (tasks/second) implied by load and the
+  /// class mix's mean work.
+  double rate_tps() const;
+};
+
+/// One arrival: a task plus its absolute arrival time. `task.release_s`
+/// carries the arrival time too, so a stream converts trivially into a
+/// single released Batch for the simulator.
+struct Arrival {
+  double time_s = 0.0;
+  TraceTask task;
+};
+
+/// Generate the stream, sorted by time. Deterministic in spec.seed.
+std::vector<Arrival> generate_arrivals(const ArrivalSpec& spec);
+
+/// Pack a stream into a one-batch TaskTrace (release_s = arrival time):
+/// the simulator's open-loop mirror of the same traffic.
+TaskTrace arrivals_to_trace(const ArrivalSpec& spec,
+                            const std::vector<Arrival>& arrivals);
+
+}  // namespace eewa::trace

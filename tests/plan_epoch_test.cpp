@@ -1,0 +1,254 @@
+// Plan publication atomicity (service mode). The planner swings one
+// epoch pointer while workers keep reading; these tests check the
+// structural invariants a reader may assume of any acquired snapshot
+// (nondecreasing rung tuple, consistent group membership), that invalid
+// snapshots are rejected *before* becoming visible, and that hazard-slot
+// reclamation never frees a snapshot a reader still pins. The
+// multi-threaded cases are the designated TSan targets.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/frequency_plan.hpp"
+#include "dvfs/cgroup.hpp"
+#include "runtime/plan_epoch.hpp"
+
+namespace eewa::rt {
+namespace {
+
+// A two-group plan: `split` cores at rung r0, the rest at rung r1 > r0.
+core::FrequencyPlan two_group_plan(std::size_t cores, std::size_t split,
+                                   std::size_t classes, std::size_t r0,
+                                   std::size_t r1) {
+  std::vector<dvfs::CGroup> groups(2);
+  groups[0].freq_index = r0;
+  groups[1].freq_index = r1;
+  for (std::size_t c = 0; c < cores; ++c) {
+    (c < split ? groups[0] : groups[1]).cores.push_back(c);
+  }
+  std::vector<std::size_t> class_to_group(classes, 0);
+  if (classes > 1) class_to_group[classes - 1] = 1;
+  core::FrequencyPlan plan;
+  plan.planned = true;
+  plan.layout = dvfs::CGroupLayout(std::move(groups),
+                                   std::move(class_to_group), cores);
+  plan.tuple = {r0, r1};
+  plan.claimed_cores = cores;
+  return plan;
+}
+
+std::vector<std::size_t> rungs_of(const core::FrequencyPlan& plan,
+                                  std::size_t cores) {
+  std::vector<std::size_t> rungs(cores, 0);
+  for (const auto& g : plan.layout.groups()) {
+    for (std::size_t c : g.cores) {
+      if (c < cores) rungs[c] = g.freq_index;
+    }
+  }
+  return rungs;
+}
+
+TEST(PlanSnapshot, BuildUniformCoversEveryWorker) {
+  const std::size_t workers = 4;
+  auto plan = core::uniform_plan(workers, 2);
+  auto snap = PlanSnapshot::build(1, plan, rungs_of(plan, workers), workers);
+  ASSERT_NE(snap, nullptr);
+  EXPECT_TRUE(snap->valid(workers));
+  EXPECT_EQ(snap->epoch, 1u);
+  ASSERT_EQ(snap->worker_group.size(), workers);
+  ASSERT_EQ(snap->worker_rung.size(), workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    EXPECT_EQ(snap->worker_group[w], 0u);
+    EXPECT_EQ(snap->worker_rung[w], 0u);
+  }
+}
+
+TEST(PlanSnapshot, BuildClipsCoresBeyondWorkerCount) {
+  // An 8-core plan driving a 4-worker runtime: cores 4..7 exist in the
+  // layout but have no worker; every worker still lands in a group.
+  const std::size_t workers = 4;
+  auto plan = two_group_plan(8, 2, 3, 0, 2);
+  auto snap = PlanSnapshot::build(5, plan, rungs_of(plan, workers), workers);
+  ASSERT_NE(snap, nullptr);
+  EXPECT_TRUE(snap->valid(workers));
+  ASSERT_EQ(snap->group_workers.size(), 2u);
+  EXPECT_EQ(snap->group_workers[0].size(), 2u);  // cores 0,1
+  EXPECT_EQ(snap->group_workers[1].size(), 2u);  // cores 2,3 (4..7 clipped)
+  for (std::size_t w = 0; w < workers; ++w) {
+    EXPECT_EQ(snap->worker_group[w], w < 2 ? 0u : 1u);
+  }
+}
+
+TEST(PlanSnapshot, AchievedRungOverridesPlannedRung) {
+  // Actuation readback says worker 1 is stuck at rung 3; the snapshot
+  // must carry the achieved rung (Eq. 1 normalization uses it), not the
+  // planned one.
+  const std::size_t workers = 2;
+  auto plan = core::uniform_plan(workers, 1);
+  std::vector<std::size_t> achieved = {0, 3};
+  auto snap = PlanSnapshot::build(2, plan, achieved, workers);
+  ASSERT_NE(snap, nullptr);
+  EXPECT_EQ(snap->worker_rung[0], 0u);
+  EXPECT_EQ(snap->worker_rung[1], 3u);
+}
+
+TEST(PlanSnapshot, ValidRejectsTornStructures) {
+  const std::size_t workers = 4;
+  auto plan = two_group_plan(workers, 2, 2, 1, 3);
+  auto snap = PlanSnapshot::build(1, plan, rungs_of(plan, workers), workers);
+  ASSERT_TRUE(snap->valid(workers));
+
+  // Wrong worker_group size (torn against the worker count).
+  auto broken = PlanSnapshot::build(1, plan, rungs_of(plan, workers), workers);
+  broken->worker_group.resize(workers - 1);
+  EXPECT_FALSE(broken->valid(workers));
+
+  // Membership mismatch: worker 0 claims group 1 but group_workers says
+  // group 0.
+  broken = PlanSnapshot::build(1, plan, rungs_of(plan, workers), workers);
+  broken->worker_group[0] = 1;
+  EXPECT_FALSE(broken->valid(workers));
+
+  // Decreasing rung tuple (groups must be fastest-first).
+  broken = PlanSnapshot::build(1, plan, rungs_of(plan, workers), workers);
+  std::swap(broken->plan.tuple[0], broken->plan.tuple[1]);
+  EXPECT_FALSE(broken->valid(workers));
+}
+
+TEST(PlanPublisher, RejectedSnapshotNeverBecomesVisible) {
+  const std::size_t workers = 2;
+  PlanPublisher pub(workers + 1, workers);  // runtime shape: +1 dispatcher
+  auto plan = core::uniform_plan(workers, 1);
+  auto good = PlanSnapshot::build(1, plan, rungs_of(plan, workers), workers);
+  ASSERT_TRUE(pub.publish(std::move(good)));
+  EXPECT_EQ(pub.epochs_published(), 1u);
+
+  auto bad = PlanSnapshot::build(2, plan, rungs_of(plan, workers), workers);
+  bad->worker_group.clear();  // structurally invalid
+  EXPECT_FALSE(pub.publish(std::move(bad)));
+  EXPECT_EQ(pub.publish_rejects(), 1u);
+  EXPECT_EQ(pub.epochs_published(), 1u);
+  // Readers still see the last good epoch.
+  const PlanSnapshot* seen = pub.acquire(0);
+  ASSERT_NE(seen, nullptr);
+  EXPECT_EQ(seen->epoch, 1u);
+  pub.release(0);
+}
+
+TEST(PlanPublisher, RepeatAcquireReturnsSamePin) {
+  const std::size_t workers = 1;
+  PlanPublisher pub(workers, workers);
+  auto plan = core::uniform_plan(workers, 1);
+  ASSERT_TRUE(pub.publish(
+      PlanSnapshot::build(1, plan, rungs_of(plan, workers), workers)));
+  const PlanSnapshot* a = pub.acquire(0);
+  const PlanSnapshot* b = pub.acquire(0);
+  EXPECT_EQ(a, b);
+  pub.release(0);
+}
+
+// The TSan target proper: a planner thread publishes hundreds of epochs
+// (alternating group structures and rungs) while reader threads acquire
+// continuously. Every acquired snapshot must be structurally whole — a
+// torn mix of old and new state would trip valid() or the epoch
+// monotonicity check — and snapshots must stay dereferenceable for as
+// long as they are pinned (use-after-free here is what TSan/ASan watch).
+TEST(PlanPublisher, ConcurrentReadersSeeOnlyWholeSnapshots) {
+  constexpr std::size_t kWorkers = 4;
+  constexpr std::size_t kReaders = 4;
+  constexpr std::uint64_t kEpochs = 400;
+  PlanPublisher pub(kReaders, kWorkers);
+
+  // Epoch 0 before readers start, as start_service does.
+  auto p0 = core::uniform_plan(kWorkers, 2);
+  ASSERT_TRUE(pub.publish(
+      PlanSnapshot::build(0, p0, rungs_of(p0, kWorkers), kWorkers)));
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> torn{0};
+  std::vector<std::thread> readers;
+  for (std::size_t r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      std::uint64_t last_epoch = 0;
+      while (!stop.load(std::memory_order_acquire)) {
+        const PlanSnapshot* snap = pub.acquire(r);
+        if (snap == nullptr || !snap->valid(kWorkers) ||
+            snap->epoch < last_epoch) {
+          torn.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        last_epoch = snap->epoch;
+        // Walk the pinned snapshot: every field a worker actually uses.
+        // A reclaimed-too-early snapshot makes this a use-after-free.
+        std::size_t members = 0;
+        for (const auto& g : snap->group_workers) members += g.size();
+        if (members != kWorkers) {
+          torn.fetch_add(1, std::memory_order_relaxed);
+        }
+        for (std::size_t w = 0; w < kWorkers; ++w) {
+          // Snapshots here are built with achieved == planned rungs, so
+          // a worker's rung must match its group's rung; a torn mix of
+          // layout and rung vector breaks this.
+          const std::size_t g = snap->worker_group[w];
+          if (g >= snap->group_workers.size() ||
+              snap->worker_rung[w] != snap->plan.layout.freq_index(g)) {
+            torn.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+      pub.release(r);
+    });
+  }
+
+  for (std::uint64_t e = 1; e <= kEpochs; ++e) {
+    // Alternate between one- and two-group structures so a torn read
+    // would mix tuple sizes with group lists.
+    core::FrequencyPlan plan =
+        (e % 2) ? two_group_plan(kWorkers, 1 + e % (kWorkers - 1), 2,
+                                 e % 3, 3 + e % 2)
+                : core::uniform_plan(kWorkers, 2);
+    ASSERT_TRUE(pub.publish(PlanSnapshot::build(
+        e, plan, rungs_of(plan, kWorkers), kWorkers)))
+        << "epoch " << e;
+    // Retired list stays bounded by the pinned set, not the epoch count.
+    EXPECT_LE(pub.retired_count(), kReaders + 1);
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(torn.load(), 0u);
+  EXPECT_EQ(pub.epochs_published(), kEpochs + 1);
+}
+
+// Readers that park (release their pin) must not block reclamation, and
+// re-acquiring after a park must return a fresh, whole snapshot.
+TEST(PlanPublisher, ReleaseUnblocksReclamation) {
+  constexpr std::size_t kWorkers = 2;
+  PlanPublisher pub(1, kWorkers);
+  auto plan = core::uniform_plan(kWorkers, 1);
+  ASSERT_TRUE(pub.publish(
+      PlanSnapshot::build(0, plan, rungs_of(plan, kWorkers), kWorkers)));
+  const PlanSnapshot* pinned = pub.acquire(0);
+  ASSERT_EQ(pinned->epoch, 0u);
+
+  // While pinned, the old snapshot survives a publish...
+  ASSERT_TRUE(pub.publish(
+      PlanSnapshot::build(1, plan, rungs_of(plan, kWorkers), kWorkers)));
+  EXPECT_EQ(pinned->epoch, 0u);  // still dereferenceable
+  EXPECT_GE(pub.retired_count(), 1u);
+
+  // ...and after release + another publish the retired list drains.
+  pub.release(0);
+  ASSERT_TRUE(pub.publish(
+      PlanSnapshot::build(2, plan, rungs_of(plan, kWorkers), kWorkers)));
+  EXPECT_LE(pub.retired_count(), 1u);
+  const PlanSnapshot* fresh = pub.acquire(0);
+  EXPECT_EQ(fresh->epoch, 2u);
+  pub.release(0);
+}
+
+}  // namespace
+}  // namespace eewa::rt

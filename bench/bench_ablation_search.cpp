@@ -8,10 +8,29 @@
 //      selected c-group.
 //  (3) Planning margin: end-to-end energy/time as the safety margin on
 //      the ideal time T sweeps from 0 (the paper's exact formula) up.
+//  (4) Production scale: plan latency per searcher on seeded r=16 /
+//      k=256 tables — the regime the pruned/DP search exists for.
+//      Writes BENCH_search.json (validated with the in-repo json_lite
+//      parser before the process exits) and, under --budget-us, fails
+//      the run when the pruned median exceeds the budget so CI can gate
+//      on plan latency directly.
+//
+// Usage: bench_ablation_search [--scale-only] [--budget-us U]
+//                              [--tables N] [--reps R] [--out FILE]
+#include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
 
 #include "core/adjuster.hpp"
+#include "obs/json_lite.hpp"
 #include "sim/simulate.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
 #include "util/table_printer.hpp"
 #include "workloads/suite.hpp"
 
@@ -108,11 +127,238 @@ void margin_sweep() {
       "inter-batch drift, large margins forfeit savings.\n");
 }
 
+// ---- (4) Production-scale plan latency -------------------------------
+
+struct ScaleConfig {
+  bool scale_only = false;
+  std::size_t rungs = 16;
+  std::size_t classes = 256;
+  std::size_t cores = 256;
+  std::size_t tables = 12;  ///< distinct seeded CC instances
+  std::size_t reps = 5;     ///< timed plans per table per searcher
+  double budget_us = 0.0;   ///< >0: fail if pruned median exceeds it
+  std::string out = "BENCH_search.json";
+};
+
+/// One seeded production-scale CC instance: a 16-rung ladder and a
+/// heavy-tailed class mix (a few dominant classes, a long tail of light
+/// ones — the shape SlidingProfile hands the service-mode planner), with
+/// T picked so the table is tight but feasible at F0.
+core::CCTable make_scale_table(const ScaleConfig& cfg, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::vector<core::ClassProfile> classes(cfg.classes);
+  double total_work = 0.0;
+  for (std::size_t i = 0; i < cfg.classes; ++i) {
+    auto& c = classes[i];
+    c.class_id = i;
+    c.name = "c" + std::to_string(i);
+    c.count = 1 + static_cast<std::size_t>(rng.bounded(64));
+    // Lognormal-ish spread over ~3 decades.
+    c.mean_workload = 0.001 * std::exp(rng.uniform(0.0, 6.0));
+    c.max_workload = c.mean_workload * (1.0 + rng.uniform());
+    c.mean_alpha = 0.0;
+    total_work += c.total_workload();
+  }
+  std::sort(classes.begin(), classes.end(), [](const auto& a, const auto& b) {
+    return a.mean_workload > b.mean_workload;
+  });
+  const double util = rng.uniform(0.55, 0.85);
+  const double T = total_work / (static_cast<double>(cfg.cores) * util);
+  const auto ladder = dvfs::FrequencyLadder::linear(0.8, 3.2, cfg.rungs);
+  return core::CCTable::build(std::move(classes), ladder, T);
+}
+
+struct ScaleRow {
+  std::string search;
+  std::size_t found = 0;       ///< tables where a tuple was found
+  double mean_nodes = 0.0;     ///< Select() calls per plan
+  double energy_vs_pruned = 0.0;  ///< geometric-mean energy ratio
+  util::Summary us;            ///< per-plan latency, microseconds
+};
+
+int scale_sweep(const ScaleConfig& cfg) {
+  std::printf(
+      "(4) Production-scale plan latency: r=%zu, k=%zu, m=%zu "
+      "(%zu tables x %zu reps)\n\n",
+      cfg.rungs, cfg.classes, cfg.cores, cfg.tables, cfg.reps);
+
+  // Exhaustive enumerates r^k tuples — not even startable at this scale,
+  // so the ground-truth role falls to the budgeted backtracking descent.
+  struct Algo {
+    const char* name;
+    core::SearchResult (*run)(const core::CCTable&, std::size_t);
+  };
+  const Algo algos[] = {
+      {"backtracking",
+       [](const core::CCTable& cc, std::size_t m) {
+         return core::search_backtracking(cc, m, core::kIncumbentNodeBudget);
+       }},
+      {"greedy",
+       [](const core::CCTable& cc, std::size_t m) {
+         return core::search_greedy(cc, m);
+       }},
+      {"pruned",
+       [](const core::CCTable& cc, std::size_t m) {
+         return core::search_pruned(cc, m);
+       }},
+  };
+
+  std::vector<core::CCTable> tables;
+  for (std::size_t t = 0; t < cfg.tables; ++t) {
+    tables.push_back(make_scale_table(cfg, 0x5eedULL + t));
+  }
+  // Per-table pruned energy, the quality baseline for the ratio column.
+  std::vector<double> pruned_energy(cfg.tables, 0.0);
+
+  std::vector<ScaleRow> rows;
+  for (const auto& algo : algos) {
+    ScaleRow row;
+    row.search = algo.name;
+    std::vector<double> us;
+    double log_ratio_sum = 0.0;
+    std::size_t ratio_n = 0;
+    std::uint64_t nodes = 0;
+    for (std::size_t t = 0; t < cfg.tables; ++t) {
+      core::SearchResult res;
+      for (std::size_t rep = 0; rep < cfg.reps; ++rep) {
+        const auto t0 = std::chrono::steady_clock::now();
+        res = algo.run(tables[t], cfg.cores);
+        const auto t1 = std::chrono::steady_clock::now();
+        us.push_back(
+            std::chrono::duration<double, std::micro>(t1 - t0).count());
+      }
+      nodes += res.nodes_visited;
+      if (res.found) {
+        ++row.found;
+        const double e =
+            core::tuple_energy_estimate(tables[t], res.tuple, cfg.cores);
+        if (row.search == "pruned") pruned_energy[t] = e;
+        if (pruned_energy[t] > 0.0 && e > 0.0) {
+          log_ratio_sum += std::log(e / pruned_energy[t]);
+          ++ratio_n;
+        }
+      }
+    }
+    row.us = util::summarize(us);
+    row.mean_nodes =
+        static_cast<double>(nodes) / static_cast<double>(cfg.tables);
+    row.energy_vs_pruned =
+        ratio_n ? std::exp(log_ratio_sum / static_cast<double>(ratio_n))
+                : 0.0;
+    rows.push_back(std::move(row));
+  }
+  // The pruned baseline is filled while iterating, so the earlier
+  // backtracking pass could not compute its ratio — redo it now.
+  for (auto& row : rows) {
+    if (row.search == "pruned" || row.energy_vs_pruned > 0.0) continue;
+    double log_ratio_sum = 0.0;
+    std::size_t ratio_n = 0;
+    for (std::size_t t = 0; t < cfg.tables; ++t) {
+      // One un-timed rerun per table; the searches are deterministic.
+      for (const auto& algo : algos) {
+        if (row.search != algo.name) continue;
+        const auto res = algo.run(tables[t], cfg.cores);
+        if (res.found && pruned_energy[t] > 0.0) {
+          const double e =
+              core::tuple_energy_estimate(tables[t], res.tuple, cfg.cores);
+          log_ratio_sum += std::log(e / pruned_energy[t]);
+          ++ratio_n;
+        }
+      }
+    }
+    row.energy_vs_pruned =
+        ratio_n ? std::exp(log_ratio_sum / static_cast<double>(ratio_n))
+                : 0.0;
+  }
+
+  util::TablePrinter table({"search", "median (us)", "p95 (us)", "max (us)",
+                            "found", "mean nodes", "energy vs pruned"});
+  for (const auto& row : rows) {
+    table.add(row.search, util::TablePrinter::fixed(row.us.median, 1),
+              util::TablePrinter::fixed(row.us.p95, 1),
+              util::TablePrinter::fixed(row.us.max, 1),
+              std::to_string(row.found) + "/" + std::to_string(cfg.tables),
+              row.mean_nodes,
+              row.energy_vs_pruned > 0.0
+                  ? util::TablePrinter::fixed(row.energy_vs_pruned, 4)
+                  : std::string("-"));
+  }
+  std::printf("%s\n", table.str().c_str());
+
+  std::ostringstream os;
+  os << "{\n"
+     << "  \"bench\": \"search_scale\",\n"
+     << "  \"rungs\": " << cfg.rungs << ",\n"
+     << "  \"classes\": " << cfg.classes << ",\n"
+     << "  \"cores\": " << cfg.cores << ",\n"
+     << "  \"tables\": " << cfg.tables << ",\n"
+     << "  \"reps\": " << cfg.reps << ",\n"
+     << "  \"budget_us\": " << cfg.budget_us << ",\n"
+     << "  \"results\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& r = rows[i];
+    os << "    {\"search\": \"" << r.search << "\", \"median_us\": "
+       << r.us.median << ", \"p95_us\": " << r.us.p95 << ", \"max_us\": "
+       << r.us.max << ", \"found\": " << r.found << ", \"mean_nodes\": "
+       << r.mean_nodes << ", \"energy_vs_pruned\": " << r.energy_vs_pruned
+       << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+  const std::string json = os.str();
+  try {
+    // Round-trip through the repo's own parser: an artifact CI cannot
+    // parse is a bench bug, not a consumer problem.
+    const auto doc = obs::parse_json(json);
+    if (doc.at("results").array.size() != rows.size()) {
+      throw std::runtime_error("result rows went missing");
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s failed validation: %s\n", cfg.out.c_str(),
+                 e.what());
+    return 1;
+  }
+  std::ofstream out(cfg.out);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", cfg.out.c_str());
+    return 1;
+  }
+  out << json;
+  std::printf("report: %s (validated with json_lite)\n", cfg.out.c_str());
+
+  if (cfg.budget_us > 0.0) {
+    for (const auto& row : rows) {
+      if (row.search != "pruned") continue;
+      if (row.us.median > cfg.budget_us) {
+        std::fprintf(stderr,
+                     "pruned median %.1f us exceeds budget %.1f us\n",
+                     row.us.median, cfg.budget_us);
+        return 1;
+      }
+      std::printf("pruned median %.1f us within budget %.1f us\n",
+                  row.us.median, cfg.budget_us);
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 
-int main() {
-  search_quality();
-  leftover_policy();
-  margin_sweep();
-  return 0;
+int main(int argc, char** argv) {
+  ScaleConfig cfg;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--scale-only") cfg.scale_only = true;
+    if (arg == "--budget-us" && i + 1 < argc) {
+      cfg.budget_us = std::stod(argv[++i]);
+    }
+    if (arg == "--tables" && i + 1 < argc) cfg.tables = std::stoul(argv[++i]);
+    if (arg == "--reps" && i + 1 < argc) cfg.reps = std::stoul(argv[++i]);
+    if (arg == "--out" && i + 1 < argc) cfg.out = argv[++i];
+  }
+  if (!cfg.scale_only) {
+    search_quality();
+    leftover_policy();
+    margin_sweep();
+  }
+  return scale_sweep(cfg);
 }

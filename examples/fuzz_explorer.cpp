@@ -8,7 +8,8 @@
 // code 1 when any invariant fails.
 //
 // Usage:
-//   fuzz_explorer [--mode search|runtime|energy|service|all] [--seed N]
+//   fuzz_explorer [--mode search|search-large|runtime|energy|service|all]
+//                 [--seed N]
 //                 [--count N] [--replay N] [--shrink] [--out FILE]
 //                 [--verbose]
 //
@@ -83,10 +84,13 @@ int main(int argc, char** argv) {
 
   std::vector<testing::FuzzMode> modes;
   if (mode_arg == "all") {
-    modes = {testing::FuzzMode::kSearch, testing::FuzzMode::kRuntime,
-             testing::FuzzMode::kEnergy, testing::FuzzMode::kService};
+    modes = {testing::FuzzMode::kSearch, testing::FuzzMode::kSearchLarge,
+             testing::FuzzMode::kRuntime, testing::FuzzMode::kEnergy,
+             testing::FuzzMode::kService};
   } else if (mode_arg == "search") {
     modes = {testing::FuzzMode::kSearch};
+  } else if (mode_arg == "search-large") {
+    modes = {testing::FuzzMode::kSearchLarge};
   } else if (mode_arg == "runtime") {
     modes = {testing::FuzzMode::kRuntime};
   } else if (mode_arg == "energy") {

@@ -34,4 +34,34 @@ Adjustment Adjuster::adjust(std::vector<ClassProfile> classes,
   return out;
 }
 
+Adjustment Adjuster::adjust_incremental(
+    std::vector<ClassProfile> classes, std::size_t registry_class_count,
+    double ideal_time_s,
+    const std::vector<std::size_t>& prefix_rungs) const {
+  Adjustment out;
+  if (classes.empty() || ideal_time_s <= 0.0) {
+    out.plan = uniform_plan(total_cores_, registry_class_count);
+    return out;
+  }
+  out.attempted = true;
+  const double margin = std::clamp(options_.time_margin, 0.0, 0.9);
+  out.cc = CCTable::build(std::move(classes), ladder_,
+                          ideal_time_s * (1.0 - margin),
+                          options_.memory_aware);
+  if (!prefix_rungs.empty() && prefix_rungs.size() <= out.cc.cols()) {
+    out.search = search_suffix(out.cc, total_cores_, options_.search,
+                               prefix_rungs, options_.model);
+    out.incremental = out.search.found;
+  }
+  if (!out.incremental) {
+    // The kept prefix no longer fits the fresh table (a workload spike
+    // broke its rung feasibility or capacity) — search from scratch.
+    out.search = search_ktuple(out.cc, total_cores_, options_.search,
+                               options_.model);
+  }
+  out.plan = make_frequency_plan(out.cc, out.search, total_cores_, ladder_,
+                                 registry_class_count, options_.leftover);
+  return out;
+}
+
 }  // namespace eewa::core

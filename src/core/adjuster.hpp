@@ -37,6 +37,9 @@ struct Adjustment {
   SearchResult search;
   CCTable cc = CCTable::from_matrix({{0.0}});  // replaced on success
   bool attempted = false;  ///< false when there was nothing to plan from
+  /// True when the plan came from a suffix search spliced onto a kept
+  /// prefix (adjust_incremental's fast path) rather than a full search.
+  bool incremental = false;
 };
 
 /// Stateless adjuster: pure function of the iteration profile.
@@ -52,6 +55,21 @@ class Adjuster {
   Adjustment adjust(std::vector<ClassProfile> classes,
                     std::size_t registry_class_count,
                     double ideal_time_s) const;
+
+  /// Incremental re-planning: like adjust(), but classes
+  /// [0, prefix_rungs.size()) keep their previous rungs verbatim and
+  /// only the remaining suffix of the lattice is searched
+  /// (search_suffix). Falls back to the full search — and reports
+  /// incremental=false — when the prefix is invalid under the fresh
+  /// table (a workload spike broke its feasibility) or the suffix search
+  /// finds nothing. The caller is responsible for only pinning classes
+  /// whose profile is statistically unchanged; the result is optimal
+  /// conditioned on that prefix.
+  Adjustment adjust_incremental(std::vector<ClassProfile> classes,
+                                std::size_t registry_class_count,
+                                double ideal_time_s,
+                                const std::vector<std::size_t>& prefix_rungs)
+      const;
 
   const dvfs::FrequencyLadder& ladder() const { return ladder_; }
   std::size_t total_cores() const { return total_cores_; }

@@ -81,8 +81,25 @@ const FrequencyPlan& EewaController::end_batch(double batch_makespan_s) {
       ++plans_reused_;
     } else {
       searched = true;
-      last_ = adjuster_.adjust(profile, registry_.class_count(),
-                               ideal_time_s_);
+      const std::size_t keep =
+          options_.plan_reuse_enabled && options_.incremental_replan_enabled
+              ? stable_prefix_len(profile)
+              : 0;
+      if (keep > 0) {
+        // Only a suffix of the class order drifted: pin the stable
+        // prefix's rungs and re-search the rest of the lattice. The
+        // adjuster re-validates the prefix against the fresh CC table
+        // and falls back to a full search if a spike broke it.
+        const std::vector<std::size_t> prefix(
+            plan_basis_tuple_.begin(),
+            plan_basis_tuple_.begin() + static_cast<std::ptrdiff_t>(keep));
+        last_ = adjuster_.adjust_incremental(
+            profile, registry_.class_count(), ideal_time_s_, prefix);
+        if (last_.incremental) ++plans_incremental_;
+      } else {
+        last_ = adjuster_.adjust(profile, registry_.class_count(),
+                                 ideal_time_s_);
+      }
       plan_ = last_.plan;
       prefs_ = PreferenceTable(plan_.layout);
       save_plan_basis(profile);
@@ -110,21 +127,40 @@ const FrequencyPlan& EewaController::end_batch(double batch_makespan_s) {
   return plan_;
 }
 
+namespace {
+
+/// Relative drift check shared by full reuse and the stable-prefix
+/// scan. A zero basis only passes when the fresh value is zero too.
+bool within_tolerance(double fresh, double basis, double tol) {
+  return std::abs(fresh - basis) <= tol * basis;
+}
+
+}  // namespace
+
 bool EewaController::plan_reusable_for(
     const std::vector<ClassProfile>& profile) const {
   if (!plan_basis_valid_ || profile.empty()) return false;
   // T moved (kRollingMin ratchet): the search target changed even if the
   // per-class means did not.
   if (ideal_time_s_ != plan_basis_ideal_s_) return false;
-  // Same set of active classes, every mean within tolerance.
+  // Same set of active classes, every mean AND max within tolerance.
+  // The max matters because rung feasibility is gated on the heaviest
+  // task (critical path): a single workload spike can invalidate the
+  // cached tuple even when the class mean barely moves.
   std::size_t active_seen = 0;
   for (const auto& c : profile) {
     if (c.class_id >= plan_basis_means_.size()) return false;  // new class
     const double basis = plan_basis_means_[c.class_id];
     if (std::isnan(basis)) return false;  // class was inactive at search
     ++active_seen;
-    const double drift = std::abs(c.mean_workload - basis);
-    if (drift > options_.plan_reuse_tolerance * basis) return false;
+    if (!within_tolerance(c.mean_workload, basis,
+                          options_.plan_reuse_tolerance)) {
+      return false;
+    }
+    if (!within_tolerance(c.max_workload, plan_basis_max_[c.class_id],
+                          options_.plan_reuse_tolerance)) {
+      return false;
+    }
   }
   std::size_t basis_active = 0;
   for (const double m : plan_basis_means_) {
@@ -133,12 +169,45 @@ bool EewaController::plan_reusable_for(
   return active_seen == basis_active;  // no class went quiet
 }
 
+std::size_t EewaController::stable_prefix_len(
+    const std::vector<ClassProfile>& profile) const {
+  if (!plan_basis_valid_ || plan_basis_tuple_.empty()) return 0;
+  if (ideal_time_s_ != plan_basis_ideal_s_) return 0;
+  const std::size_t limit =
+      std::min(profile.size(), plan_basis_order_.size());
+  for (std::size_t i = 0; i < limit; ++i) {
+    const auto& c = profile[i];
+    // Any mismatch cuts the prefix here: a class that drifted, swapped
+    // sorted position, appeared, or vanished changes every CC column
+    // from this point on, so the cached rungs past it are meaningless.
+    if (c.class_id != plan_basis_order_[i]) return i;
+    if (!within_tolerance(c.mean_workload, plan_basis_means_[c.class_id],
+                          options_.plan_reuse_tolerance) ||
+        !within_tolerance(c.max_workload, plan_basis_max_[c.class_id],
+                          options_.plan_reuse_tolerance)) {
+      return i;
+    }
+  }
+  return limit;
+}
+
 void EewaController::save_plan_basis(
     const std::vector<ClassProfile>& profile) {
   plan_basis_means_.assign(registry_.class_count(), kInactive);
+  plan_basis_max_.assign(registry_.class_count(), kInactive);
+  plan_basis_order_.clear();
+  plan_basis_order_.reserve(profile.size());
   for (const auto& c : profile) {
     plan_basis_means_[c.class_id] = c.mean_workload;
+    plan_basis_max_[c.class_id] = c.max_workload;
+    plan_basis_order_.push_back(c.class_id);
   }
+  // The tuple is only a valid incremental basis when the search that
+  // produced the running plan actually succeeded on this profile.
+  plan_basis_tuple_ = last_.attempted && last_.search.found &&
+                              last_.search.tuple.size() == profile.size()
+                          ? last_.search.tuple
+                          : std::vector<std::size_t>{};
   plan_basis_ideal_s_ = ideal_time_s_;
   plan_basis_valid_ = !profile.empty();
 }

@@ -77,13 +77,22 @@ struct ControllerOptions {
   WatchdogOptions watchdog;
   /// Skip the Algorithm 1 backtracking search and keep the previous
   /// k-tuple when the workload profile is statistically unchanged: same
-  /// set of active classes, every class's mean workload within
-  /// plan_reuse_tolerance (relative) of the means the current plan was
+  /// set of active classes, every class's mean and max workload within
+  /// plan_reuse_tolerance (relative) of the values the current plan was
   /// searched from, and the ideal time T unmoved. The search is a pure
   /// function of (profile, T), so an unchanged profile would reproduce
   /// the same plan anyway — reuse only cuts the end-of-batch overhead.
   bool plan_reuse_enabled = true;
   double plan_reuse_tolerance = 0.01;
+  /// When full reuse fails but a prefix of the CC column order is still
+  /// statistically unchanged (same classes in the same sorted positions,
+  /// mean/max drift within plan_reuse_tolerance), keep that prefix's
+  /// rungs verbatim and re-search only the suffix
+  /// (Adjuster::adjust_incremental). Any order change — a drifted class
+  /// merging into another c-group, a new class, a vanished class — cuts
+  /// the stable prefix at that point, so the cached suffix beyond it is
+  /// discarded rather than trusted.
+  bool incremental_replan_enabled = true;
 };
 
 /// Drives EEWA across batches.
@@ -168,6 +177,10 @@ class EewaController {
   /// (profile drift below plan_reuse_tolerance).
   std::size_t plans_reused() const { return plans_reused_; }
 
+  /// Batches re-planned incrementally: a stable prefix of the class
+  /// order kept its rungs and only the suffix was re-searched.
+  std::size_t plans_incremental() const { return plans_incremental_; }
+
   /// Total microseconds spent in the adjuster so far (Table III metric).
   double adjust_overhead_us() const { return overhead_us_; }
 
@@ -189,6 +202,11 @@ class EewaController {
  private:
   void degrade(dvfs::DvfsBackend* backend);
   bool plan_reusable_for(const std::vector<ClassProfile>& profile) const;
+  /// Longest prefix of `profile` whose classes sit in the same sorted
+  /// positions as the plan basis with mean/max drift within tolerance.
+  /// 0 when there is no basis tuple or T moved.
+  std::size_t stable_prefix_len(
+      const std::vector<ClassProfile>& profile) const;
   void save_plan_basis(const std::vector<ClassProfile>& profile);
 
   Adjuster adjuster_;
@@ -205,14 +223,19 @@ class EewaController {
   obs::EventTracer* tracer_ = nullptr;
   std::size_t control_track_ = 0;
 
-  // Plan-reuse state: the per-class mean workloads (by class id; NaN =
-  // inactive) and ideal time the current plan was searched from.
+  // Plan-reuse state: the per-class mean and max workloads (by class
+  // id; NaN = inactive), the sorted class order and k-tuple the current
+  // plan was searched from, and the ideal time at that search.
   // Invalidated whenever the plan stops matching its search inputs
   // (reconciliation, degrade, memory gate).
   std::vector<double> plan_basis_means_;
+  std::vector<double> plan_basis_max_;
+  std::vector<std::size_t> plan_basis_order_;  ///< class ids, CC column order
+  std::vector<std::size_t> plan_basis_tuple_;  ///< empty when search failed
   double plan_basis_ideal_s_ = 0.0;
   bool plan_basis_valid_ = false;
   std::size_t plans_reused_ = 0;
+  std::size_t plans_incremental_ = 0;
 
   // Fault-tolerance state.
   ActuationOutcome last_outcome_;

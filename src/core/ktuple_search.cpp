@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdint>
 #include <limits>
+#include <optional>
 
 namespace eewa::core {
 
@@ -60,33 +62,36 @@ double tuple_energy_estimate(const CCTable& cc,
                              const std::vector<std::size_t>& tuple,
                              std::size_t total_cores,
                              const energy::PowerModel* model) {
-  double used = 0.0;
-  double e = 0.0;
+  // Widened accumulators: at k=256 a plain double running sum makes the
+  // result depend on column order at the 1e-16 scale, which is enough to
+  // flip the 1e-9 tie window between otherwise identical searches.
+  long double used = 0.0L;
+  long double e = 0.0L;
   for (std::size_t i = 0; i < tuple.size(); ++i) {
     const double n = cc.demand(tuple[i], i);
     used += n;
-    e += n * rung_power(cc, tuple[i], model);
+    e += static_cast<long double>(n) * rung_power(cc, tuple[i], model);
   }
-  const double leftovers =
-      static_cast<double>(total_cores) > used
-          ? static_cast<double>(total_cores) - used
-          : 0.0;
+  const long double leftovers =
+      static_cast<long double>(total_cores) > used
+          ? static_cast<long double>(total_cores) - used
+          : 0.0L;
   const std::size_t slowest = cc.rows() - 1;
   e += leftovers * leftover_power(cc, slowest, model);
-  return e;
+  return static_cast<double>(e);
 }
 
 bool tuple_is_valid(const CCTable& cc, const std::vector<std::size_t>& tuple,
                     std::size_t total_cores) {
   if (tuple.size() != cc.cols()) return false;
-  double used = 0.0;
+  long double used = 0.0L;
   for (std::size_t i = 0; i < tuple.size(); ++i) {
     if (tuple[i] >= cc.rows()) return false;
     if (i > 0 && tuple[i] < tuple[i - 1]) return false;
     if (!cc.rung_feasible(tuple[i], i)) return false;
     used += cc.demand(tuple[i], i);
   }
-  return used <= static_cast<double>(total_cores) + kEps;
+  return used <= static_cast<long double>(total_cores) + kEps;
 }
 
 namespace {
@@ -99,8 +104,18 @@ struct Backtracker {
   double total_cores;
   bool allow_backtrack;
   std::vector<std::size_t> a;
-  double c_n = 0.0;
+  // Widened: c_n is repeatedly incremented and decremented along the
+  // descent; at k=256 double round-off would accumulate into the 1e-9
+  // capacity epsilon.
+  long double c_n = 0.0L;
   std::size_t nodes = 0;
+  std::size_t node_budget = 0;  ///< 0 = unlimited
+  bool aborted = false;
+  // Suffix mode: classes [0, start_class) are pinned (already in `a`,
+  // their demand in c_n) and the descent begins at start_class with
+  // rungs >= lo0.
+  std::size_t start_class = 0;
+  std::size_t lo0 = 0;
 
   Backtracker(const CCTable& cc_in, std::size_t m, bool backtrack)
       : cc(cc_in),
@@ -111,6 +126,10 @@ struct Backtracker {
   // Algorithm 1, Select(i, j), plus the critical-path guard: a rung at
   // which even one of the class's tasks would overrun T is rejected.
   bool select(std::size_t i, std::size_t j) {
+    if (node_budget != 0 && nodes >= node_budget) {
+      aborted = true;
+      return false;
+    }
     ++nodes;
     if (!cc.rung_feasible(j, i)) return false;
     const double need = cc.demand(j, i);
@@ -125,30 +144,67 @@ struct Backtracker {
   // Algorithm 1, SearchTuple(i).
   bool search(std::size_t i) {
     if (i >= cc.cols()) return true;
-    const std::size_t lo = i == 0 ? 0 : a[i - 1];
+    const std::size_t lo = i == start_class ? lo0 : a[i - 1];
     for (std::size_t j = cc.rows(); j-- > lo;) {
       if (select(i, j)) {
         if (search(i + 1)) return true;
         c_n -= cc.demand(a[i], i);
         if (!allow_backtrack) return false;
       }
+      if (aborted) return false;
       if (j == lo) break;  // size_t guard for the descending loop
     }
     return false;
   }
 };
 
+/// Shared prefix audit for the suffix searchers: rungs in range,
+/// nondecreasing, individually feasible, within capacity. Returns the
+/// prefix's total fractional demand, or nullopt when the prefix cannot
+/// stand under `cc`.
+std::optional<long double> prefix_demand(
+    const CCTable& cc, std::size_t total_cores,
+    const std::vector<std::size_t>& prefix) {
+  if (prefix.size() > cc.cols()) return std::nullopt;
+  long double used = 0.0L;
+  for (std::size_t i = 0; i < prefix.size(); ++i) {
+    if (prefix[i] >= cc.rows()) return std::nullopt;
+    if (i > 0 && prefix[i] < prefix[i - 1]) return std::nullopt;
+    if (!cc.rung_feasible(prefix[i], i)) return std::nullopt;
+    used += cc.demand(prefix[i], i);
+  }
+  if (used > static_cast<long double>(total_cores) + kEps) {
+    return std::nullopt;
+  }
+  return used;
+}
+
 SearchResult run_descent(const CCTable& cc, std::size_t total_cores,
-                         bool allow_backtrack) {
+                         bool allow_backtrack,
+                         const std::vector<std::size_t>* prefix = nullptr,
+                         std::size_t node_budget = 0) {
   const auto start = Clock::now();
   Backtracker bt(cc, total_cores, allow_backtrack);
+  bt.node_budget = node_budget;
   SearchResult res;
-  res.found = bt.search(0);
+  if (prefix != nullptr) {
+    const auto used0 = prefix_demand(cc, total_cores, *prefix);
+    if (!used0) {
+      res.elapsed_us = elapsed_us_since(start);
+      return res;
+    }
+    std::copy(prefix->begin(), prefix->end(), bt.a.begin());
+    bt.c_n = *used0;
+    bt.start_class = prefix->size();
+    bt.lo0 = prefix->empty() ? 0 : prefix->back();
+  }
+  res.found = bt.search(bt.start_class);
   res.nodes_visited = bt.nodes;
+  res.aborted = bt.aborted;
   if (res.found) {
     res.tuple = bt.a;
-    res.cores_used =
-        static_cast<std::size_t>(std::ceil(bt.c_n - kEps));
+    res.cores_used = static_cast<std::size_t>(
+        std::ceil(static_cast<double>(bt.c_n) - kEps));
   }
   res.elapsed_us = elapsed_us_since(start);
   return res;
@@ -156,16 +212,21 @@ SearchResult run_descent(const CCTable& cc, std::size_t total_cores,
 
 }  // namespace
 
-SearchResult search_backtracking(const CCTable& cc, std::size_t total_cores) {
-  return run_descent(cc, total_cores, /*allow_backtrack=*/true);
+SearchResult search_backtracking(const CCTable& cc, std::size_t total_cores,
+                                 std::size_t node_budget) {
+  return run_descent(cc, total_cores, /*allow_backtrack=*/true, nullptr,
+                     node_budget);
 }
 
 SearchResult search_greedy(const CCTable& cc, std::size_t total_cores) {
   return run_descent(cc, total_cores, /*allow_backtrack=*/false);
 }
 
-SearchResult search_exhaustive(const CCTable& cc, std::size_t total_cores,
-                               const energy::PowerModel* model) {
+namespace {
+
+SearchResult exhaustive_core(const CCTable& cc, std::size_t total_cores,
+                             const energy::PowerModel* model,
+                             const std::vector<std::size_t>* prefix) {
   const auto start = Clock::now();
   SearchResult best;
   double best_e = std::numeric_limits<double>::infinity();
@@ -173,29 +234,45 @@ SearchResult search_exhaustive(const CCTable& cc, std::size_t total_cores,
   std::vector<std::size_t> a(cc.cols(), 0);
   std::size_t nodes = 0;
 
+  std::size_t i0 = 0;
+  std::size_t lo_init = 0;
+  long double used0 = 0.0L;
+  if (prefix != nullptr) {
+    const auto pd = prefix_demand(cc, total_cores, *prefix);
+    if (!pd) {
+      best.elapsed_us = elapsed_us_since(start);
+      return best;
+    }
+    std::copy(prefix->begin(), prefix->end(), a.begin());
+    i0 = prefix->size();
+    lo_init = prefix->empty() ? 0 : prefix->back();
+    used0 = *pd;
+  }
+
   // Enumerate all nondecreasing tuples; prune on capacity as we go.
   // Ties on energy break deterministically — fewest cores, then the
   // lexicographically greater (slower) tuple — so differential runs
   // reproduce the same winner regardless of enumeration quirks.
   auto rec = [&](auto&& self, std::size_t i, std::size_t lo,
-                 double used) -> void {
+                 long double used) -> void {
     if (i == cc.cols()) {
       const double e = tuple_energy_estimate(cc, a, total_cores, model);
+      const double used_d = static_cast<double>(used);
       bool better = e < best_e - kEps;
       if (!better && e <= best_e + kEps) {
-        if (used < best_used - kEps) {
+        if (used_d < best_used - kEps) {
           better = true;
-        } else if (used <= best_used + kEps) {
+        } else if (used_d <= best_used + kEps) {
           better = best.found && a > best.tuple;
         }
       }
       if (better) {
         best_e = std::min(best_e, e);
-        best_used = used;
+        best_used = used_d;
         best.found = true;
         best.tuple = a;
         best.cores_used =
-            static_cast<std::size_t>(std::ceil(used - kEps));
+            static_cast<std::size_t>(std::ceil(used_d - kEps));
       }
       return;
     }
@@ -203,16 +280,412 @@ SearchResult search_exhaustive(const CCTable& cc, std::size_t total_cores,
       ++nodes;
       if (!cc.rung_feasible(j, i)) continue;
       const double need = cc.demand(j, i);
-      if (used + need > static_cast<double>(total_cores) + kEps) continue;
+      if (used + need > static_cast<long double>(total_cores) + kEps) {
+        continue;
+      }
       a[i] = j;
       self(self, i + 1, j, used + need);
     }
   };
-  rec(rec, 0, 0, 0.0);
+  rec(rec, i0, lo_init, used0);
 
   best.nodes_visited = nodes;
   best.elapsed_us = elapsed_us_since(start);
   return best;
+}
+
+/// The pruned searcher's DP state: a partial tuple summarized by its
+/// fractional core usage, its adjusted energy, and the arena node from
+/// which the actual rung assignment can be reconstructed.
+struct PrunedState {
+  long double used = 0.0L;
+  long double cost = 0.0L;
+  std::uint32_t node = 0;
+};
+
+constexpr std::uint32_t kNoNode = 0xffffffffu;
+
+/// Parent-pointer arena entry: one (rung chosen, predecessor) link.
+struct PrunedNode {
+  std::uint32_t parent = kNoNode;
+  std::uint32_t rung = 0;
+};
+
+SearchResult pruned_core(const CCTable& cc, std::size_t total_cores,
+                         const energy::PowerModel* model,
+                         const std::vector<std::size_t>* prefix) {
+  const auto start = Clock::now();
+  SearchResult res;
+  const std::size_t r = cc.rows();
+  const std::size_t k = cc.cols();
+  const long double cap = static_cast<long double>(total_cores);
+  const long double inf = std::numeric_limits<long double>::infinity();
+
+  std::size_t kp = 0;
+  std::size_t j0 = 0;
+  long double used0 = 0.0L;
+  if (prefix != nullptr) {
+    const auto pd = prefix_demand(cc, total_cores, *prefix);
+    if (!pd) {
+      res.elapsed_us = elapsed_us_since(start);
+      return res;
+    }
+    kp = prefix->size();
+    j0 = prefix->empty() ? 0 : prefix->back();
+    used0 = *pd;
+  }
+
+  // Precompute per-rung powers and the per-(class, rung) demand/cost
+  // tables once: rung_power's proxy path scans every column, so calling
+  // it inside the sweep would cost O(k) per extension.
+  const double p_left = leftover_power(cc, r - 1, model);
+  std::vector<double> p(r);
+  for (std::size_t j = 0; j < r; ++j) p[j] = rung_power(cc, j, model);
+
+  // The energy of a full tuple decomposes as
+  //   E = m·p_left + Σ_i d_i(a_i)·(p(a_i) - p_left)       (feasible Σd <= m)
+  // so the DP minimizes the per-class adjusted cost d·(p - p_left); the
+  // constant m·p_left drops out of every comparison.
+  std::vector<char> feas(k * r, 0);
+  std::vector<double> dem(k * r, 0.0);
+  std::vector<long double> cost(k * r, 0.0L);
+  for (std::size_t i = 0; i < k; ++i) {
+    for (std::size_t j = 0; j < r; ++j) {
+      if (!cc.rung_feasible(j, i)) continue;
+      feas[i * r + j] = 1;
+      dem[i * r + j] = cc.demand(j, i);
+      cost[i * r + j] = static_cast<long double>(dem[i * r + j]) *
+                        (static_cast<long double>(p[j]) - p_left);
+    }
+  }
+
+  // Admissible suffix lower bounds. bestC/bestD relax the chain
+  // constraint to "rung >= j" per class independently (the energy curve
+  // d·(p - p_left) is evaluated rung by rung, so convexity is not even
+  // needed — the pointwise minimum is exact for the relaxation); lbC/lbD
+  // suffix-sum them so lb[i][j] bounds any completion of classes [i, k)
+  // at rungs >= j from below.
+  std::vector<long double> lbC((k + 1) * r, 0.0L);
+  std::vector<long double> lbD((k + 1) * r, 0.0L);
+  for (std::size_t i = k; i-- > kp;) {
+    long double bc = inf;
+    long double bd = inf;
+    for (std::size_t j = r; j-- > 0;) {
+      if (feas[i * r + j]) {
+        bc = std::min(bc, cost[i * r + j]);
+        bd = std::min(bd, static_cast<long double>(dem[i * r + j]));
+      }
+      lbC[i * r + j] = bc + lbC[(i + 1) * r + j];
+      lbD[i * r + j] = bd + lbD[(i + 1) * r + j];
+    }
+  }
+
+  // Incumbent: Algorithm 1's backtracking descent primes the bound. Its
+  // solution is feasible, so the optimum's adjusted cost cannot exceed
+  // the incumbent's; anything provably above it (outside the tie
+  // window) is dead. Budgeted: adversarial tables make the descent
+  // exponential; the DP is complete on its own, an aborted incumbent
+  // only weakens the pruning.
+  long double ub = inf;
+  const auto seed = run_descent(cc, total_cores, /*allow_backtrack=*/true,
+                                prefix, kIncumbentNodeBudget);
+  res.nodes_visited += seed.nodes_visited;
+  res.aborted = seed.aborted;
+  if (seed.found) {
+    long double c = 0.0L;
+    for (std::size_t i = kp; i < k; ++i) {
+      c += cost[i * r + seed.tuple[i]];
+    }
+    ub = c;
+  }
+
+  std::vector<PrunedNode> arena;
+  arena.reserve(1024);
+  std::vector<std::size_t> scratch_a;
+  std::vector<std::size_t> scratch_b;
+
+  // Reconstruct the suffix rungs of a state into `out` (indices kp..k
+  // of the eventual tuple, most recent class last). `depth` is how many
+  // classes the chain covers.
+  const auto reconstruct = [&](std::uint32_t node, std::size_t depth,
+                               std::vector<std::size_t>& out) {
+    out.assign(depth, 0);
+    std::size_t at = depth;
+    for (std::uint32_t n = node; n != kNoNode; n = arena[n].parent) {
+      out[--at] = arena[n].rung;
+    }
+  };
+
+  // True when the chain ending at `na` is lexicographically greater than
+  // the one at `nb` (both cover `depth` classes). Only consulted on
+  // exact (used, cost) ties, where the documented tie-break wants the
+  // slower prefix kept: equal prefixes share their completion set, so
+  // the lex-greater prefix yields the lex-greater final tuple.
+  const auto lex_greater = [&](std::uint32_t na, std::uint32_t nb,
+                               std::size_t depth) {
+    reconstruct(na, depth, scratch_a);
+    reconstruct(nb, depth, scratch_b);
+    return scratch_a > scratch_b;
+  };
+
+  // Insert into a frontier kept sorted by used ascending / cost strictly
+  // descending (a proper Pareto front). A state no cheaper on both axes
+  // than an existing one is dropped; on an exact (used, cost) tie the
+  // lex-greater chain survives, matching the documented tie-break.
+  const auto pareto_insert = [&](std::vector<PrunedState>& front,
+                                 const PrunedState& s, std::size_t depth) {
+    auto it = std::lower_bound(
+        front.begin(), front.end(), s,
+        [](const PrunedState& a, const PrunedState& b) {
+          return a.used < b.used;
+        });
+    if (it != front.begin() && (it - 1)->cost <= s.cost) {
+      return;  // dominated by a strictly-fewer-cores state
+    }
+    if (it != front.end() && it->used == s.used) {
+      if (it->cost < s.cost) return;  // dominated at equal cores
+      if (it->cost == s.cost) {
+        if (lex_greater(s.node, it->node, depth)) it->node = s.node;
+        return;
+      }
+      *it = s;  // s dominates the equal-cores entry in place
+    } else {
+      it = front.insert(it, s);
+    }
+    // Drop the following entries s now dominates (more cores, no less
+    // cost). Exact-cost twins at higher used lose the fewest-cores tie.
+    auto tail = it + 1;
+    auto last = tail;
+    while (last != front.end() && last->cost >= s.cost) ++last;
+    front.erase(tail, last);
+  };
+
+  // Worst-case width guardrail: degenerate tables can make a frontier's
+  // true Pareto front exponentially wide. Fronts past cap_w·2 are
+  // thinned to an evenly-spaced cap_w-subset keeping both endpoints —
+  // the min-demand end preserves exact feasibility, the min-cost end the
+  // cheapest-energy candidate; the optimal chain between them can only
+  // be lost on tables far beyond the exhaustive gate (the full-width cap
+  // cannot bind at r·k <= 25, whose fronts stay tiny).
+  constexpr std::size_t kFrontierCap = 64;
+  const auto thin = [](std::vector<PrunedState>& front, std::size_t cap_w) {
+    if (front.size() <= 2 * cap_w) return;
+    // In place: slot t reads from an index >= t, so writing front-to-back
+    // never clobbers an unread source.
+    const std::size_t n = front.size();
+    for (std::size_t t = 0; t < cap_w; ++t) {
+      front[t] = front[t * (n - 1) / (cap_w - 1)];
+    }
+    front.resize(cap_w);
+  };
+
+  std::size_t nodes = res.nodes_visited;
+
+  // One sweep over the lattice at frontier width `cap_w`, pruning
+  // against the adjusted-cost upper bound `bound`. Returns the final
+  // frontiers indexed by last rung (only rungs >= j0 are reachable).
+  const auto sweep = [&](std::size_t cap_w, long double bound) {
+    std::vector<std::vector<PrunedState>> cur(r), nxt(r);
+    cur[j0].push_back(PrunedState{used0, 0.0L, kNoNode});
+    std::vector<PrunedState> acc;
+    for (std::size_t i = kp; i < k; ++i) {
+      acc.clear();
+      const std::size_t depth = i + 1 - kp;
+      for (std::size_t j = j0; j < r; ++j) {
+        // All states ending at rungs <= j are extendable at rung j; once
+        // extended they all end at j, so merging them into one running
+        // Pareto accumulator is exact.
+        for (const auto& s : cur[j]) pareto_insert(acc, s, depth - 1);
+        thin(acc, cap_w);
+        nxt[j].clear();
+        if (!feas[i * r + j]) continue;
+        const long double dij = dem[i * r + j];
+        const long double cij = cost[i * r + j];
+        const long double lb_d = lbD[(i + 1) * r + j];
+        const long double lb_c = lbC[(i + 1) * r + j];
+        for (const auto& s : acc) {
+          ++nodes;
+          const long double u = s.used + dij;
+          if (u + lb_d > cap + kEps) continue;  // cannot fit even optimistically
+          const long double c = s.cost + cij;
+          if (c + lb_c > bound + 2 * kEps) continue;  // outside the tie window
+          const auto node = static_cast<std::uint32_t>(arena.size());
+          arena.push_back(PrunedNode{s.node, static_cast<std::uint32_t>(j)});
+          pareto_insert(nxt[j], PrunedState{u, c, node}, depth);
+        }
+        thin(nxt[j], cap_w);
+      }
+      cur.swap(nxt);
+    }
+    return cur;
+  };
+
+  // Pilot pass: a scalar two-chain beam over the same lattice — per last
+  // rung only the minimum-demand and minimum-cost chains survive, plain
+  // scalars with no frontier machinery, so the whole pass is O(k·r)
+  // arithmetic. The min-demand chain is an exact DP (the true
+  // minimum-demand chain is preserved — the same argument that makes
+  // frontier thinning feasibility-safe), so the pilot completes whenever
+  // the table is feasible and its completion cost is a valid — usually
+  // tight — upper bound that collapses the main pass's frontiers to the
+  // near-optimal band. Without it, a table whose incumbent descent
+  // aborted would run the main pass against ub = inf and visit orders of
+  // magnitude more states.
+  std::vector<PrunedState> pilot_done;
+  {
+    const PrunedState none{inf, inf, kNoNode};
+    std::vector<PrunedState> curU(r, none), curC(r, none);
+    std::vector<PrunedState> nxtU(r, none), nxtC(r, none);
+    curU[j0] = curC[j0] = PrunedState{used0, 0.0L, kNoNode};
+    for (std::size_t i = kp; i < k; ++i) {
+      PrunedState accU = none;  // min used over chains ending at rungs <= j
+      PrunedState accC = none;  // min cost over the same set
+      for (std::size_t j = j0; j < r; ++j) {
+        if (curU[j].used < accU.used) accU = curU[j];
+        if (curC[j].used < accU.used) accU = curC[j];
+        if (curC[j].cost < accC.cost) accC = curC[j];
+        if (curU[j].cost < accC.cost) accC = curU[j];
+        nxtU[j] = nxtC[j] = none;
+        if (!feas[i * r + j]) continue;
+        const long double dij = dem[i * r + j];
+        const long double cij = cost[i * r + j];
+        const long double lb_d = lbD[(i + 1) * r + j];
+        if (accU.used < inf && accU.used + dij + lb_d <= cap + kEps) {
+          const auto node = static_cast<std::uint32_t>(arena.size());
+          arena.push_back(
+              PrunedNode{accU.node, static_cast<std::uint32_t>(j)});
+          nxtU[j] = PrunedState{accU.used + dij, accU.cost + cij, node};
+        }
+        if (accC.used < inf && accC.used + dij + lb_d <= cap + kEps) {
+          const auto node = static_cast<std::uint32_t>(arena.size());
+          arena.push_back(
+              PrunedNode{accC.node, static_cast<std::uint32_t>(j)});
+          nxtC[j] = PrunedState{accC.used + dij, accC.cost + cij, node};
+        }
+      }
+      curU.swap(nxtU);
+      curC.swap(nxtC);
+    }
+    for (std::size_t j = j0; j < r; ++j) {
+      if (curU[j].used < inf) {
+        ub = std::min(ub, curU[j].cost);
+        pilot_done.push_back(curU[j]);
+      }
+      if (curC[j].used < inf) {
+        ub = std::min(ub, curC[j].cost);
+        pilot_done.push_back(curC[j]);
+      }
+    }
+  }
+  // Main-pass width: full (never binds at r·k <= 25, where exhaustive
+  // equality is the contract; past that, natural fronts stay narrow up
+  // to a few hundred lattice cells) in the exactness regime, a narrow
+  // beam at production scale where the contract is feasibility
+  // exactness, determinism and never-worse-than-backtracking — there the
+  // sweep must fit a sub-millisecond plan budget (docs/performance.md).
+  const std::size_t main_cap = (r - j0) * (k - kp) <= 256 ? kFrontierCap : 6;
+  const auto cur = sweep(main_cap, ub);
+
+  // Final selection: evaluate the surviving completions with the exact
+  // energy estimator and the exhaustive searcher's tie-break, so the two
+  // searchers agree on the winner. The evaluation reuses the precomputed
+  // p[]/dem[] tables but accumulates in the same order and width as
+  // tuple_energy_estimate, so the result is bit-identical to it —
+  // calling the estimator here would cost O(k^2) per candidate (the
+  // modelless rung_power scans every column).
+  const auto eval_energy = [&](const std::vector<std::size_t>& t,
+                               long double* used_out) {
+    long double used = 0.0L;
+    long double e = 0.0L;
+    for (std::size_t i = 0; i < k; ++i) {
+      const double n = dem[i * r + t[i]];
+      used += n;
+      e += static_cast<long double>(n) * p[t[i]];
+    }
+    if (cap > used) e += (cap - used) * static_cast<long double>(p_left);
+    *used_out = used;
+    return static_cast<double>(e);
+  };
+
+  double best_e = std::numeric_limits<double>::infinity();
+  double best_used = std::numeric_limits<double>::infinity();
+  std::vector<std::size_t> a(k, 0);
+  if (prefix != nullptr) std::copy(prefix->begin(), prefix->end(), a.begin());
+  if (seed.found) {
+    // The incumbent competes directly, so the result is never worse than
+    // a completed backtracking descent even if frontier thinning dropped
+    // the optimal DP chain on an adversarial table.
+    long double u = 0.0L;
+    best_e = eval_energy(seed.tuple, &u);
+    best_used = static_cast<double>(u);
+    res.found = true;
+    res.tuple = seed.tuple;
+    res.cores_used = static_cast<std::size_t>(
+        std::ceil(static_cast<double>(u) - kEps));
+  }
+  const auto consider = [&](const PrunedState& s) {
+    reconstruct(s.node, k - kp, scratch_a);
+    std::copy(scratch_a.begin(), scratch_a.end(), a.begin() + kp);
+    long double u = 0.0L;
+    const double e = eval_energy(a, &u);
+    const double used_d = static_cast<double>(u);
+    bool better = e < best_e - kEps;
+    if (!better && e <= best_e + kEps) {
+      if (used_d < best_used - kEps) {
+        better = true;
+      } else if (used_d <= best_used + kEps) {
+        better = res.found && a > res.tuple;
+      }
+    }
+    if (better) {
+      best_e = std::min(best_e, e);
+      best_used = used_d;
+      res.found = true;
+      res.tuple = a;
+      res.cores_used = static_cast<std::size_t>(std::ceil(used_d - kEps));
+    }
+  };
+  // The pilot's completions compete too: a tight pilot bound plus
+  // narrow-beam thinning can starve the main sweep on an adversarial
+  // table (the min-demand chain dies on the cost bound, the min-cost
+  // chain in thinning), and the pilot chain is exactly the feasible
+  // completion that proves found-ness there.
+  for (const auto& s : pilot_done) consider(s);
+  for (std::size_t j = j0; j < r; ++j) {
+    for (const auto& s : cur[j]) consider(s);
+  }
+  res.nodes_visited = nodes;
+  res.elapsed_us = elapsed_us_since(start);
+  return res;
+}
+
+}  // namespace
+
+SearchResult search_exhaustive(const CCTable& cc, std::size_t total_cores,
+                               const energy::PowerModel* model) {
+  return exhaustive_core(cc, total_cores, model, nullptr);
+}
+
+SearchResult search_pruned(const CCTable& cc, std::size_t total_cores,
+                           const energy::PowerModel* model) {
+  return pruned_core(cc, total_cores, model, nullptr);
+}
+
+SearchResult search_suffix(const CCTable& cc, std::size_t total_cores,
+                           SearchKind kind,
+                           const std::vector<std::size_t>& prefix,
+                           const energy::PowerModel* model) {
+  switch (kind) {
+    case SearchKind::kBacktracking:
+      return run_descent(cc, total_cores, /*allow_backtrack=*/true, &prefix);
+    case SearchKind::kExhaustive:
+      return exhaustive_core(cc, total_cores, model, &prefix);
+    case SearchKind::kGreedy:
+      return run_descent(cc, total_cores, /*allow_backtrack=*/false, &prefix);
+    case SearchKind::kPruned:
+      return pruned_core(cc, total_cores, model, &prefix);
+  }
+  return {};
 }
 
 SearchResult search_ktuple(const CCTable& cc, std::size_t total_cores,
@@ -224,6 +697,8 @@ SearchResult search_ktuple(const CCTable& cc, std::size_t total_cores,
       return search_exhaustive(cc, total_cores, model);
     case SearchKind::kGreedy:
       return search_greedy(cc, total_cores);
+    case SearchKind::kPruned:
+      return search_pruned(cc, total_cores, model);
   }
   return {};
 }

@@ -19,7 +19,7 @@
 namespace eewa::core {
 
 /// Which searcher to run.
-enum class SearchKind { kBacktracking, kExhaustive, kGreedy };
+enum class SearchKind { kBacktracking, kExhaustive, kGreedy, kPruned };
 
 /// Result of a k-tuple search.
 struct SearchResult {
@@ -28,7 +28,24 @@ struct SearchResult {
   std::size_t cores_used = 0;      ///< Σ ceil(CC[a_i][i])
   std::size_t nodes_visited = 0;   ///< Select() calls (search effort)
   double elapsed_us = 0.0;         ///< wall time of the search
+  /// A node budget stopped the search before it covered the space:
+  /// found=false then means "gave up", not "proved infeasible". Never
+  /// set by search_pruned itself (its feasibility answer is exact) —
+  /// there it reports that the *incumbent* descent gave up, so optimality
+  /// relative to backtracking is no longer guaranteed.
+  bool aborted = false;
 };
+
+/// Node budget adversarial tables are cut off at: Algorithm 1's
+/// backtracking is exponential in the worst case (a maze-like capacity
+/// cliff at k=256 can visit billions of nodes), so the pruned searcher's
+/// incumbent descent and the differential oracle both stop after this
+/// many Select() calls. Sized so an aborting descent costs ~100us — a
+/// small slice of the pruned searcher's sub-millisecond plan budget at
+/// production scale — while a clean descent (~k selects) never comes
+/// close. The oracle's reference backtracking run uses the same constant
+/// so abort parity between the two stays a checkable invariant.
+inline constexpr std::size_t kIncumbentNodeBudget = 4'096;
 
 /// Estimated relative batch energy of a tuple: claimed cores spin/work at
 /// their rung for the whole iteration, unclaimed cores are parked at the
@@ -48,8 +65,11 @@ double tuple_energy_estimate(const CCTable& cc,
 double proxy_rung_power(const CCTable& cc, std::size_t j);
 
 /// Paper Algorithm 1: depth-first descent from the slowest rungs with
-/// backtracking. Near-optimal, O(k·r²) worst case.
-SearchResult search_backtracking(const CCTable& cc, std::size_t total_cores);
+/// backtracking. Near-optimal and fast on real tables, but exponential
+/// in the worst case; a nonzero `node_budget` bounds the descent (the
+/// result is marked aborted when the budget ran out).
+SearchResult search_backtracking(const CCTable& cc, std::size_t total_cores,
+                                 std::size_t node_budget = 0);
 
 /// Exhaustive enumeration of all feasible nondecreasing tuples; returns
 /// the one minimizing tuple_energy_estimate, with a deterministic
@@ -61,6 +81,59 @@ SearchResult search_exhaustive(const CCTable& cc, std::size_t total_cores,
 
 /// First-descent greedy (backtracking with backtracking disabled).
 SearchResult search_greedy(const CCTable& cc, std::size_t total_cores);
+
+/// Energy-optimal search that scales to production tables (r=16, k=256):
+/// a dynamic program over the nondecreasing-tuple lattice. States are
+/// (class boundary, last rung) pairs carrying Pareto frontiers of
+/// (cores used, energy so far); three exact reductions keep the
+/// frontiers small:
+///
+///   - admissible lower bounds: for every (remaining classes, minimum
+///     rung) pair the cheapest possible remaining energy and demand are
+///     precomputed (each class independently at its best rung — a
+///     relaxation, so never an overestimate) and any partial tuple whose
+///     optimistic completion cannot beat the incumbent (or fit the core
+///     budget) is cut;
+///   - incumbent seeding: Algorithm 1's backtracking solution primes the
+///     upper bound before the sweep starts, and a near-free scalar beam
+///     pilot pass tightens it further (so the main sweep only ever
+///     explores the near-optimal band, even when the descent aborted);
+///   - dominance: a partial tuple ending at the same rung that uses no
+///     fewer cores and no less energy than another is dropped (its
+///     completion set is a subset, so it cannot produce a better plan).
+///
+/// Returns the same minimum-energy result as search_exhaustive, with the
+/// same documented tie-break (fewest cores used, then the
+/// lexicographically greater — slower — tuple); within the 1e-9 energy
+/// tie window the two may pick different representatives of an
+/// equal-energy set.
+///
+/// Worst-case guardrails (adversarial tables only — neither binds at
+/// r·k <= 25, so the exhaustive-equality contract above is unconditional
+/// there): frontiers wider than an internal cap are thinned to a
+/// deterministic evenly-spaced subset that always keeps both endpoints,
+/// and the incumbent descent stops at kIncumbentNodeBudget nodes. The
+/// feasibility answer stays exact either way (the minimum-demand chain
+/// survives thinning), and the result is never worse than the incumbent
+/// whenever that descent completed (the incumbent tuple re-enters the
+/// final selection).
+SearchResult search_pruned(const CCTable& cc, std::size_t total_cores,
+                           const energy::PowerModel* model = nullptr);
+
+/// Incremental re-planning entry point: keep `prefix` (rungs for CC
+/// columns [0, prefix.size())) verbatim and search only the remaining
+/// suffix of the lattice — classes [prefix.size(), k) at rungs >=
+/// prefix.back(), against the capacity left over after the prefix's
+/// demand. The winning suffix is spliced onto the prefix. The result is
+/// optimal (kPruned/kExhaustive) or first-descent (kBacktracking/
+/// kGreedy) *conditioned on the prefix*; a full search may beat it by
+/// revising prefix rungs. Returns found=false when the prefix itself is
+/// invalid under `cc` (rung infeasible, nonmonotone, or over capacity) —
+/// callers fall back to a full search.
+SearchResult search_suffix(const CCTable& cc, std::size_t total_cores,
+                           SearchKind kind,
+                           const std::vector<std::size_t>& prefix,
+                           const energy::PowerModel* model = nullptr);
 
 /// Dispatch on kind.
 SearchResult search_ktuple(const CCTable& cc, std::size_t total_cores,

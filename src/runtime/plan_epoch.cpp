@@ -97,6 +97,9 @@ bool PlanPublisher::publish(std::unique_ptr<PlanSnapshot> snap) {
     rejects_.fetch_add(1, std::memory_order_relaxed);
     return false;
   }
+  // Stamp the publication number before the snapshot becomes visible;
+  // single writer, so the counter read-modify-write cannot race.
+  snap->seq = published_.load(std::memory_order_relaxed) + 1;
   PlanSnapshot* next = snap.release();
   PlanSnapshot* prev = active_.exchange(next, std::memory_order_acq_rel);
   published_.fetch_add(1, std::memory_order_relaxed);

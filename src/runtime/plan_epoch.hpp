@@ -32,6 +32,14 @@ namespace eewa::rt {
 /// planner, then published; never mutated afterwards.
 struct PlanSnapshot {
   std::uint64_t epoch = 0;
+  /// Monotone publication number, stamped by PlanPublisher::publish()
+  /// itself — NOT by the planner. Two snapshots published within the
+  /// same planner epoch (a slow-but-valid plan immediately followed by
+  /// the staleness watchdog's degraded uniform-F0 configuration) share
+  /// an `epoch` but never a `seq`; readers deciding "is this a new
+  /// plan?" must key on seq, or they would skip the second snapshot and
+  /// keep normalizing by a rung the hardware no longer runs.
+  std::uint64_t seq = 0;
   core::FrequencyPlan plan;
   core::PreferenceTable prefs;
   /// Workers of each c-group (layout cores clipped to the worker count).

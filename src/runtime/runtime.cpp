@@ -1087,16 +1087,19 @@ void Runtime::run_service_task(std::size_t id, Task* task, std::size_t rung,
 void Runtime::service_worker_loop(std::size_t id, PerfCounters* pmc) {
   ServiceState& st = *service_;
   SpscRing<ServiceItem>& inbox = *st.inboxes[id];
-  std::uint64_t seen_epoch = static_cast<std::uint64_t>(-1);
+  std::uint64_t seen_seq = 0;
   std::size_t idle_sweeps = 0;
   for (;;) {
     const PlanSnapshot* snap = st.publisher.acquire(id);
     *st.worker_snap[id] = snap;
-    if (snap->epoch != seen_epoch) {
-      seen_epoch = snap->epoch;
+    if (snap->seq != seen_seq) {
+      seen_seq = snap->seq;
       // Adopt the new plan: rung for Eq. 1 normalization. The rung tuple
       // arrived atomically with the layout and preference lists — this
-      // is the whole point of the snapshot indirection.
+      // is the whole point of the snapshot indirection. Keyed on the
+      // publication seq, not the planner epoch: the staleness watchdog
+      // can publish its degraded F0 snapshot in the same epoch as a
+      // slow-but-valid plan, and that rung change must be adopted too.
       *worker_rung_[id] = snap->worker_rung[id];
     }
     // Move a bounded chunk from the inbox into our own deques (the
@@ -1160,8 +1163,12 @@ void Runtime::planner_main() {
   const std::size_t n = pools_.size();
   const double epoch_s = st.opts.epoch_s;
   SlidingProfile sliding(st.opts.profile_window_epochs, st.class_count);
-  const core::Adjuster adjuster(options_.ladder, n,
-                                options_.controller.adjuster);
+  // The planner's epoch budget is tighter than the batch barrier's, so
+  // it picks its own searcher (pruned by default) rather than
+  // inheriting the batch controller's.
+  core::AdjusterOptions adj_opts = options_.controller.adjuster;
+  adj_opts.search = st.opts.planner_search;
+  const core::Adjuster adjuster(options_.ladder, n, adj_opts);
   const core::ActuationSupervisor supervisor(options_.controller.actuation);
   core::HealthReport health;
   obs::EpochReport prev = service_metrics_->snapshot(0, 0.0, 0, 0);

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "core/ktuple_search.hpp"
 #include "core/task_class.hpp"
 
 namespace eewa::rt {
@@ -79,6 +80,12 @@ struct ServiceOptions {
   /// under the uniform-F0 single-group plan (the work-stealing
   /// baseline for bench_service_traffic).
   bool planner_enabled = true;
+  /// Searcher the planner epoch runs. Defaults to the pruned/DP search:
+  /// optimal like exhaustive but sub-millisecond at production scale
+  /// (r=16, k=256), so a re-plan stays well inside one epoch and the
+  /// staleness watchdog has headroom. Overrides the batch-mode
+  /// controller.adjuster.search for the planner thread only.
+  core::SearchKind planner_search = core::SearchKind::kPruned;
   /// Classes served; must cover every class submitted.
   std::vector<ServiceClassConfig> classes;
   /// Optional hook invoked (on the dispatcher or a submitter thread)

@@ -9,6 +9,8 @@ const char* mode_name(FuzzMode mode) {
   switch (mode) {
     case FuzzMode::kSearch:
       return "search";
+    case FuzzMode::kSearchLarge:
+      return "search-large";
     case FuzzMode::kRuntime:
       return "runtime";
     case FuzzMode::kEnergy:
@@ -31,6 +33,14 @@ FuzzVerdict run_one(FuzzMode mode, std::uint64_t seed) {
   switch (mode) {
     case FuzzMode::kSearch: {
       const auto spec = TableSpec::random(seed);
+      v.spec_summary = spec.summary();
+      const auto r = check_search(spec);
+      v.ok = r.ok;
+      v.failure = r.failure;
+      break;
+    }
+    case FuzzMode::kSearchLarge: {
+      const auto spec = TableSpec::random_large(seed);
       v.spec_summary = spec.summary();
       const auto r = check_search(spec);
       v.ok = r.ok;
@@ -326,6 +336,14 @@ FuzzVerdict shrink(FuzzMode mode, std::uint64_t seed) {
     case FuzzMode::kSearch: {
       const auto minimal = shrink_table(
           TableSpec::random(seed),
+          [](const TableSpec& s) { return !check_search(s).ok; });
+      v.shrunk_summary = minimal.summary();
+      v.shrunk_failure = check_search(minimal).failure;
+      break;
+    }
+    case FuzzMode::kSearchLarge: {
+      const auto minimal = shrink_table(
+          TableSpec::random_large(seed),
           [](const TableSpec& s) { return !check_search(s).ok; });
       v.shrunk_summary = minimal.summary();
       v.shrunk_failure = check_search(minimal).failure;

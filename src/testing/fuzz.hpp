@@ -19,10 +19,15 @@
 
 namespace eewa::testing {
 
-/// Which oracle a case runs through.
-enum class FuzzMode { kSearch, kRuntime, kEnergy, kService };
+/// Which oracle a case runs through. kSearchLarge feeds the search
+/// oracle production-scale tables (r up to 16, k up to 256) where
+/// exhaustive enumeration is impossible — the pruned searcher is held
+/// to backtracking's feasibility/tie-break rules there, and to
+/// exhaustive energy only on the family's smallest shapes.
+enum class FuzzMode { kSearch, kSearchLarge, kRuntime, kEnergy, kService };
 
-/// CLI-facing name of a mode ("search", "runtime", "energy", "service").
+/// CLI-facing name of a mode ("search", "search-large", "runtime",
+/// "energy", "service").
 const char* mode_name(FuzzMode mode);
 
 /// Verdict of one fuzz case.

@@ -151,21 +151,48 @@ CheckResult check_search(const TableSpec& spec) {
 
   if (auto v = check_table_properties(spec, cc); !v.ok) return v;
 
-  const auto bt = core::search_backtracking(cc, m);
+  // Exhaustive enumeration is the ground truth but exponential in k;
+  // the large-table family runs it only on its smallest shapes (the
+  // r·k <= 25 gate keeps every TableSpec::random case covered) and
+  // leans on backtracking as the complete-feasibility reference above
+  // that.
+  const bool small = cc.rows() * cc.cols() <= 25;
+
+  // Budgeted: adversarial large tables make Algorithm 1 exponential.
+  // The same budget drives the pruned searcher's internal incumbent, so
+  // bt.aborted here iff the incumbent aborted there — comparisons below
+  // only run when the descent provably completed.
+  const auto bt =
+      core::search_backtracking(cc, m, core::kIncumbentNodeBudget);
   const auto gr = core::search_greedy(cc, m);
-  const auto ex = core::search_exhaustive(cc, m);
+  const auto pr = core::search_pruned(cc, m);
+  const auto ex = small ? core::search_exhaustive(cc, m)
+                        : core::SearchResult{};
+  if (pr.aborted != bt.aborted) {
+    return CheckResult::fail(
+        fmtf("abort disagreement: pruned incumbent=%d backtracking=%d",
+             pr.aborted ? 1 : 0, bt.aborted ? 1 : 0));
+  }
 
   // Double-run determinism: the searchers are pure functions of
   // (table, m) — identical outcome, identical node count.
   struct Rerun {
     const core::SearchResult& first;
     core::SearchKind kind;
+    bool run;
   };
-  const Rerun reruns[] = {{bt, core::SearchKind::kBacktracking},
-                          {gr, core::SearchKind::kGreedy},
-                          {ex, core::SearchKind::kExhaustive}};
+  const Rerun reruns[] = {{bt, core::SearchKind::kBacktracking, true},
+                          {gr, core::SearchKind::kGreedy, true},
+                          {pr, core::SearchKind::kPruned, true},
+                          {ex, core::SearchKind::kExhaustive, small}};
   for (const auto& r : reruns) {
-    const auto again = core::search_ktuple(cc, m, r.kind);
+    if (!r.run) continue;
+    // Backtracking must rerun with the same budget (the default
+    // dispatch is unbudgeted and can run away on adversarial tables).
+    const auto again =
+        r.kind == core::SearchKind::kBacktracking
+            ? core::search_backtracking(cc, m, core::kIncumbentNodeBudget)
+            : core::search_ktuple(cc, m, r.kind);
     if (again.found != r.first.found || again.tuple != r.first.tuple ||
         again.nodes_visited != r.first.nodes_visited) {
       return CheckResult::fail("searcher is nondeterministic across runs");
@@ -173,14 +200,29 @@ CheckResult check_search(const TableSpec& spec) {
   }
 
   // Feasibility agreement: backtracking is a complete search over
-  // nondecreasing tuples, exhaustive enumerates the same space.
-  if (ex.found != bt.found) {
-    return CheckResult::fail(
-        fmtf("feasibility disagreement: exhaustive=%d backtracking=%d",
-             ex.found ? 1 : 0, bt.found ? 1 : 0));
+  // nondecreasing tuples; exhaustive and pruned cover the same space.
+  // An aborted descent proves nothing about feasibility (found=false
+  // means "gave up"), so bt-vs-others agreement is only checked when it
+  // completed. Pruned's own answer stays exact either way.
+  if (!bt.aborted) {
+    if (small && ex.found != bt.found) {
+      return CheckResult::fail(
+          fmtf("feasibility disagreement: exhaustive=%d backtracking=%d",
+               ex.found ? 1 : 0, bt.found ? 1 : 0));
+    }
+    if (pr.found != bt.found) {
+      return CheckResult::fail(
+          fmtf("feasibility disagreement: pruned=%d backtracking=%d",
+               pr.found ? 1 : 0, bt.found ? 1 : 0));
+    }
+    if (gr.found && !bt.found) {
+      return CheckResult::fail("greedy found a tuple backtracking missed");
+    }
   }
-  if (gr.found && !bt.found) {
-    return CheckResult::fail("greedy found a tuple backtracking missed");
+  if (small && ex.found != pr.found) {
+    return CheckResult::fail(
+        fmtf("feasibility disagreement: exhaustive=%d pruned=%d",
+             ex.found ? 1 : 0, pr.found ? 1 : 0));
   }
 
   struct Named {
@@ -189,13 +231,14 @@ CheckResult check_search(const TableSpec& spec) {
   };
   const Named named[] = {{bt, "backtracking"},
                          {gr, "greedy"},
+                         {pr, "pruned"},
                          {ex, "exhaustive"}};
   for (const auto& n : named) {
     if (!n.res.found) continue;
     if (auto v = validate_tuple(cc, n.res, m, n.who); !v.ok) return v;
   }
 
-  if (gr.found && gr.tuple != bt.tuple) {
+  if (!bt.aborted && gr.found && gr.tuple != bt.tuple) {
     // Greedy is backtracking's first descent; when it completes, the
     // two must have walked the identical path.
     return CheckResult::fail(
@@ -205,7 +248,7 @@ CheckResult check_search(const TableSpec& spec) {
 
   if (bt.found) {
     const double e_bt = core::tuple_energy_estimate(cc, bt.tuple, m);
-    const double e_ex = core::tuple_energy_estimate(cc, ex.tuple, m);
+    const double e_pr = core::tuple_energy_estimate(cc, pr.tuple, m);
     if (gr.found) {
       const double e_gr = core::tuple_energy_estimate(cc, gr.tuple, m);
       if (e_bt > e_gr * (1.0 + 1e-9) + 1e-12) {
@@ -214,41 +257,102 @@ CheckResult check_search(const TableSpec& spec) {
                  e_gr));
       }
     }
-    if (e_ex > e_bt * (1.0 + 1e-9) + 1e-12) {
+    // Pruned is optimal: never beaten by Algorithm 1's descent, and on
+    // an energy tie it must honor the fewest-cores rule against the
+    // backtracking alternative it provably considered (the incumbent).
+    if (e_pr > e_bt * (1.0 + 1e-9) + 1e-12) {
       return CheckResult::fail(
-          fmtf("E(exhaustive)=%.9g worse than E(backtracking)=%.9g "
+          fmtf("E(pruned)=%.9g worse than E(backtracking)=%.9g "
                "(tuples %s vs %s)",
-               e_ex, e_bt, tuple_str(ex.tuple).c_str(),
+               e_pr, e_bt, tuple_str(pr.tuple).c_str(),
                tuple_str(bt.tuple).c_str()));
+    }
+    if (std::abs(e_pr - e_bt) <= 1e-9 && pr.cores_used > bt.cores_used) {
+      return CheckResult::fail(
+          fmtf("tie-break violation: E(pruned)=E(backtracking)=%.9g but "
+               "pruned uses %zu cores vs %zu",
+               e_pr, pr.cores_used, bt.cores_used));
+    }
+    if (small) {
+      const double e_ex = core::tuple_energy_estimate(cc, ex.tuple, m);
+      if (e_ex > e_bt * (1.0 + 1e-9) + 1e-12) {
+        return CheckResult::fail(
+            fmtf("E(exhaustive)=%.9g worse than E(backtracking)=%.9g "
+                 "(tuples %s vs %s)",
+                 e_ex, e_bt, tuple_str(ex.tuple).c_str(),
+                 tuple_str(bt.tuple).c_str()));
+      }
+      // The tentpole invariant: pruned matches exhaustive energy
+      // exactly (up to the documented 1e-9 tie window).
+      if (!close_rel(e_pr, e_ex, 1e-9, 1e-9)) {
+        return CheckResult::fail(
+            fmtf("E(pruned)=%.12g != E(exhaustive)=%.12g (tuples %s vs "
+                 "%s)",
+                 e_pr, e_ex, tuple_str(pr.tuple).c_str(),
+                 tuple_str(ex.tuple).c_str()));
+      }
     }
   }
 
   if (spec.use_model) {
     // Same properties under the real PowerModel objective.
     const auto model = spec.build_model();
-    const auto exm = core::search_exhaustive(cc, m, &model);
-    if (exm.found != bt.found) {
+    const auto prm = core::search_pruned(cc, m, &model);
+    if (prm.found != pr.found) {
+      // The objective never changes feasibility — same lattice, same
+      // capacity constraint.
       return CheckResult::fail(
-          "model-objective exhaustive disagrees on feasibility");
+          "model-objective pruned disagrees on feasibility");
     }
-    if (exm.found) {
-      if (auto v = validate_tuple(cc, exm, m, "exhaustive(model)"); !v.ok) {
+    if (prm.found) {
+      if (auto v = validate_tuple(cc, prm, m, "pruned(model)"); !v.ok) {
         return v;
       }
-      const double e_exm =
-          core::tuple_energy_estimate(cc, exm.tuple, m, &model);
-      const double e_btm =
-          core::tuple_energy_estimate(cc, bt.tuple, m, &model);
-      if (e_exm > e_btm * (1.0 + 1e-9) + 1e-12) {
-        return CheckResult::fail(
-            fmtf("model E(exhaustive)=%.9g worse than E(backtracking)="
-                 "%.9g",
-                 e_exm, e_btm));
+      if (bt.found) {
+        const double e_prm =
+            core::tuple_energy_estimate(cc, prm.tuple, m, &model);
+        const double e_btm =
+            core::tuple_energy_estimate(cc, bt.tuple, m, &model);
+        if (e_prm > e_btm * (1.0 + 1e-9) + 1e-12) {
+          return CheckResult::fail(
+              fmtf("model E(pruned)=%.9g worse than E(backtracking)=%.9g",
+                   e_prm, e_btm));
+        }
       }
-      const auto exm2 = core::search_exhaustive(cc, m, &model);
-      if (exm2.tuple != exm.tuple) {
+    }
+    if (small) {
+      const auto exm = core::search_exhaustive(cc, m, &model);
+      if (exm.found != bt.found) {
         return CheckResult::fail(
-            "model-objective exhaustive is nondeterministic");
+            "model-objective exhaustive disagrees on feasibility");
+      }
+      if (exm.found) {
+        if (auto v = validate_tuple(cc, exm, m, "exhaustive(model)");
+            !v.ok) {
+          return v;
+        }
+        const double e_exm =
+            core::tuple_energy_estimate(cc, exm.tuple, m, &model);
+        const double e_btm =
+            core::tuple_energy_estimate(cc, bt.tuple, m, &model);
+        if (e_exm > e_btm * (1.0 + 1e-9) + 1e-12) {
+          return CheckResult::fail(
+              fmtf("model E(exhaustive)=%.9g worse than E(backtracking)="
+                   "%.9g",
+                   e_exm, e_btm));
+        }
+        const double e_prm =
+            core::tuple_energy_estimate(cc, prm.tuple, m, &model);
+        if (!close_rel(e_prm, e_exm, 1e-9, 1e-9)) {
+          return CheckResult::fail(
+              fmtf("model E(pruned)=%.12g != E(exhaustive)=%.12g", e_prm,
+                   e_exm));
+        }
+        const auto exm2 = core::search_exhaustive(cc, m, &model);
+        if (exm2.tuple != exm.tuple) {
+          return CheckResult::fail(
+              "model-objective exhaustive is nondeterministic");
+        }
       }
     }
   }

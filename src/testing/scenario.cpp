@@ -98,6 +98,59 @@ TableSpec TableSpec::random(std::uint64_t seed) {
   return spec;
 }
 
+TableSpec TableSpec::random_large(std::uint64_t seed) {
+  util::Xoshiro256 rng(util::mix64(seed ^ 0x1a26e7ab1eULL));
+  TableSpec spec;
+  spec.seed = seed;
+
+  // Production shapes: many rungs, many classes. Small ends of the
+  // ranges stay reachable so a slice of every sweep is still cheap
+  // enough for the exhaustive cross-check.
+  const std::size_t r = 2 + rng.bounded(15);   // 2..16
+  const std::size_t k = 8 + rng.bounded(249);  // 8..256
+  spec.ladder_ghz = random_ladder(rng, r);
+  const std::size_t core_choices[] = {16, 32, 64, 128, 256, 512};
+  spec.cores = core_choices[rng.bounded(6)];
+  spec.use_model = rng.chance(0.3);
+  spec.memory_aware = rng.chance(0.4);
+
+  // Heavy-tailed class mix: a few hot classes dominate, a long tail of
+  // light ones follows — the service-mode profile shape.
+  double mean = rng.uniform(1e-3, 5e-2);
+  for (std::size_t i = 0; i < k; ++i) {
+    core::ClassProfile c;
+    c.class_id = i;
+    c.name = "TC" + std::to_string(i);
+    c.count = rng.chance(0.05) ? 0 : 1 + rng.bounded(400);
+    c.mean_workload = rng.chance(0.03) ? 0.0 : mean;
+    c.max_workload =
+        rng.chance(0.15) ? 0.0 : c.mean_workload * rng.uniform(1.0, 3.0);
+    if (spec.memory_aware) c.mean_alpha = rng.uniform(0.0, 0.9);
+    spec.classes.push_back(std::move(c));
+    mean *= rng.uniform(0.90, 1.0);
+  }
+  std::stable_sort(spec.classes.begin(), spec.classes.end(),
+                   [](const core::ClassProfile& a,
+                      const core::ClassProfile& b) {
+                     return a.mean_workload > b.mean_workload;
+                   });
+  for (std::size_t i = 0; i < spec.classes.size(); ++i) {
+    spec.classes[i].class_id = i;
+  }
+  double total_w = 0.0;
+  for (const auto& c : spec.classes) total_w += c.total_workload();
+  const double base_t = total_w > 0.0
+                            ? total_w / static_cast<double>(spec.cores)
+                            : 1e-3;
+  // Mostly loaded-but-feasible (where the search actually works for its
+  // answer), sometimes slack, sometimes too tight to plan at all.
+  const double load_draw = rng.uniform();
+  spec.ideal_time_s = base_t * (load_draw < 0.15  ? rng.uniform(0.3, 0.95)
+                                : load_draw < 0.7 ? rng.uniform(1.05, 1.6)
+                                                  : rng.uniform(1.6, 6.0));
+  return spec;
+}
+
 core::CCTable TableSpec::build() const {
   if (from_matrix) {
     return core::CCTable::from_matrix(matrix);

@@ -44,6 +44,14 @@ struct TableSpec {
   /// (k=1, r=1, zero-demand classes, missing max metadata, tight T).
   static TableSpec random(std::uint64_t seed);
 
+  /// Production-scale expansion of a seed: r up to 16 rungs, k up to 256
+  /// classes with a heavy-tailed workload mix, core counts up to 512,
+  /// load from slack to (occasionally) infeasible. These tables are far
+  /// beyond exhaustive enumeration — the oracle checks the pruned search
+  /// against backtracking on them, and against exhaustive only when
+  /// r·k is small enough.
+  static TableSpec random_large(std::uint64_t seed);
+
   /// Build the CC table this spec describes.
   core::CCTable build() const;
 

@@ -269,6 +269,123 @@ TEST(EewaController, NewActiveClassTriggersResearch) {
   EXPECT_EQ(ctrl.plans_reused(), 0u);
 }
 
+TEST(EewaController, MaxWorkloadSpikeInvalidatesReuse) {
+  // Regression: reuse used to compare only the class means, but rung
+  // feasibility is gated on the heaviest task (critical path). A batch
+  // whose mean barely moves while one task spikes must re-search — the
+  // cached tuple may now be infeasible for the spiked critical path.
+  EewaController ctrl(kLadder, 16);
+  const auto f = ctrl.class_id("f");
+  ctrl.begin_batch();
+  for (int i = 0; i < 16; ++i) ctrl.record_task(f, 0.25, 0);
+  ctrl.end_batch(2.0);
+  ctrl.begin_batch();
+  // Cumulative mean moves 0.625% (inside the 1% tolerance); the
+  // iteration max jumps 20%.
+  for (int i = 0; i < 15; ++i) ctrl.record_task(f, 0.25, 0);
+  ctrl.record_task(f, 0.30, 0);
+  ctrl.end_batch(2.0);
+  EXPECT_EQ(ctrl.plans_reused(), 0u);
+  EXPECT_TRUE(ctrl.plan().planned);
+}
+
+TEST(EewaController, SuffixDriftReplansIncrementally) {
+  // Only the lighter class drifts: the heavy class keeps its sorted
+  // position and statistics, so its rung is pinned and only the suffix
+  // of the lattice is re-searched.
+  EewaController ctrl(kLadder, 16);
+  const auto heavy = ctrl.class_id("heavy");
+  const auto light = ctrl.class_id("light");
+  ctrl.begin_batch();
+  for (int i = 0; i < 8; ++i) ctrl.record_task(heavy, 0.5, 0);
+  for (int i = 0; i < 8; ++i) ctrl.record_task(light, 0.10, 0);
+  ctrl.end_batch(2.0);
+  const auto first_tuple = ctrl.last_search().tuple;
+  ASSERT_FALSE(first_tuple.empty());
+  ctrl.begin_batch();
+  for (int i = 0; i < 8; ++i) ctrl.record_task(heavy, 0.5, 0);
+  for (int i = 0; i < 8; ++i) ctrl.record_task(light, 0.20, 0);
+  ctrl.end_batch(2.0);
+  EXPECT_EQ(ctrl.plans_reused(), 0u);
+  EXPECT_EQ(ctrl.plans_incremental(), 1u);
+  EXPECT_TRUE(ctrl.plan().planned);
+  // The stable prefix kept its rung verbatim.
+  ASSERT_FALSE(ctrl.last_search().tuple.empty());
+  EXPECT_EQ(ctrl.last_search().tuple[0], first_tuple[0]);
+}
+
+TEST(EewaController, DriftedClassMergingIntoGroupInvalidatesSuffix) {
+  // Regression for the incremental path: when a drifted class's new
+  // statistics would merge it into another class's c-group, everything
+  // from its sorted position on must be re-searched — the stable prefix
+  // ends before it, never after.
+  EewaController ctrl(kLadder, 16);
+  const auto a = ctrl.class_id("a");
+  const auto b = ctrl.class_id("b");
+  const auto c = ctrl.class_id("c");
+  ctrl.begin_batch();
+  for (int i = 0; i < 6; ++i) ctrl.record_task(a, 0.60, 0);
+  for (int i = 0; i < 6; ++i) ctrl.record_task(b, 0.30, 0);
+  for (int i = 0; i < 6; ++i) ctrl.record_task(c, 0.05, 0);
+  ctrl.end_batch(2.0);
+  const auto first_tuple = ctrl.last_search().tuple;
+  ASSERT_EQ(first_tuple.size(), 3u);
+  ctrl.begin_batch();
+  // c drifts up toward b (cumulative mean ~0.15, still third): the
+  // cached rungs for a and b survive, c's does not.
+  for (int i = 0; i < 6; ++i) ctrl.record_task(a, 0.60, 0);
+  for (int i = 0; i < 6; ++i) ctrl.record_task(b, 0.30, 0);
+  for (int i = 0; i < 6; ++i) ctrl.record_task(c, 0.25, 0);
+  ctrl.end_batch(2.0);
+  EXPECT_EQ(ctrl.plans_reused(), 0u);
+  EXPECT_EQ(ctrl.plans_incremental(), 1u);
+  const auto& second = ctrl.last_search().tuple;
+  ASSERT_EQ(second.size(), 3u);
+  EXPECT_EQ(second[0], first_tuple[0]);
+  EXPECT_EQ(second[1], first_tuple[1]);
+  // Groups must stay consistent with the re-searched plan: classes map
+  // inside the layout's group range.
+  EXPECT_LT(ctrl.group_of_class(c), ctrl.plan().layout.group_count());
+  EXPECT_LE(ctrl.group_of_class(a), ctrl.group_of_class(b));
+  EXPECT_LE(ctrl.group_of_class(b), ctrl.group_of_class(c));
+}
+
+TEST(EewaController, VanishedClassReplansIncrementallyOverPrefix) {
+  EewaController ctrl(kLadder, 16);
+  const auto f = ctrl.class_id("f");
+  const auto g = ctrl.class_id("g");
+  ctrl.begin_batch();
+  for (int i = 0; i < 8; ++i) ctrl.record_task(f, 0.5, 0);
+  for (int i = 0; i < 8; ++i) ctrl.record_task(g, 0.1, 0);
+  ctrl.end_batch(2.0);
+  // g goes quiet: full reuse is out (active set changed), but f's
+  // statistics are untouched, so its rung carries over.
+  ctrl.begin_batch();
+  for (int i = 0; i < 8; ++i) ctrl.record_task(f, 0.5, 0);
+  ctrl.end_batch(2.0);
+  EXPECT_EQ(ctrl.plans_reused(), 0u);
+  EXPECT_EQ(ctrl.plans_incremental(), 1u);
+  EXPECT_TRUE(ctrl.plan().planned);
+}
+
+TEST(EewaController, IncrementalReplanCanBeDisabled) {
+  ControllerOptions opt;
+  opt.incremental_replan_enabled = false;
+  EewaController ctrl(kLadder, 16, opt);
+  const auto heavy = ctrl.class_id("heavy");
+  const auto light = ctrl.class_id("light");
+  ctrl.begin_batch();
+  for (int i = 0; i < 8; ++i) ctrl.record_task(heavy, 0.5, 0);
+  for (int i = 0; i < 8; ++i) ctrl.record_task(light, 0.10, 0);
+  ctrl.end_batch(2.0);
+  ctrl.begin_batch();
+  for (int i = 0; i < 8; ++i) ctrl.record_task(heavy, 0.5, 0);
+  for (int i = 0; i < 8; ++i) ctrl.record_task(light, 0.20, 0);
+  ctrl.end_batch(2.0);
+  EXPECT_EQ(ctrl.plans_incremental(), 0u);
+  EXPECT_TRUE(ctrl.plan().planned);
+}
+
 TEST(EewaController, PlanReuseCanBeDisabled) {
   ControllerOptions opt;
   opt.plan_reuse_enabled = false;

@@ -4,7 +4,10 @@
 // greedy / backtracking / exhaustive searchers.
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "core/ktuple_search.hpp"
+#include "testing/scenario.hpp"
 #include "util/rng.hpp"
 
 namespace eewa::core {
@@ -169,6 +172,174 @@ TEST(SearchKtuple, DispatchesOnKind) {
             search_greedy(cc, 16).found);
   EXPECT_EQ(search_ktuple(cc, 16, SearchKind::kExhaustive).found,
             search_exhaustive(cc, 16).found);
+  EXPECT_EQ(search_ktuple(cc, 16, SearchKind::kPruned).found,
+            search_pruned(cc, 16).found);
+}
+
+// --------------------------------------------------- pruned/DP search --
+
+TEST(Pruned, MatchesExhaustiveOnFigure3) {
+  const auto cc = fig3();
+  for (const std::size_t m : {7u, 10u, 16u, 100u}) {
+    const auto pr = search_pruned(cc, m);
+    const auto ex = search_exhaustive(cc, m);
+    ASSERT_EQ(pr.found, ex.found) << "m=" << m;
+    if (pr.found) {
+      EXPECT_NEAR(tuple_energy_estimate(cc, pr.tuple, m),
+                  tuple_energy_estimate(cc, ex.tuple, m), 1e-9)
+          << "m=" << m;
+    }
+  }
+}
+
+TEST(Pruned, FeasibilityMatchesBacktrackingWhenInfeasible) {
+  EXPECT_FALSE(search_pruned(fig3(), 6).found);  // top row needs 7
+  EXPECT_TRUE(search_pruned(fig3(), 7).found);
+}
+
+// Property sweep over the fuzz harness's own table family: every small
+// random table (r·k <= 24, the exhaustive gate) must give identical
+// pruned and exhaustive energy, and a pruned tuple must never be one
+// backtracking's complete search would reject as infeasible.
+TEST(Pruned, EnergyEqualsExhaustiveOnSmallFuzzTables) {
+  std::size_t covered = 0;
+  for (std::uint64_t seed = 1; covered < 200; ++seed) {
+    const auto spec = testing::TableSpec::random(seed);
+    const auto cc = spec.build();
+    if (cc.rows() * cc.cols() > 24) continue;
+    ++covered;
+    const auto pr = search_pruned(cc, spec.cores);
+    const auto ex = search_exhaustive(cc, spec.cores);
+    ASSERT_EQ(pr.found, ex.found) << "seed=" << seed;
+    if (!pr.found) continue;
+    EXPECT_TRUE(tuple_is_valid(cc, pr.tuple, spec.cores))
+        << "seed=" << seed;
+    const double e_pr = tuple_energy_estimate(cc, pr.tuple, spec.cores);
+    const double e_ex = tuple_energy_estimate(cc, ex.tuple, spec.cores);
+    EXPECT_NEAR(e_pr, e_ex, 1e-9 + 1e-9 * std::abs(e_ex))
+        << "seed=" << seed;
+  }
+}
+
+TEST(Pruned, NeverReturnsTupleBacktrackingWouldReject) {
+  for (std::uint64_t seed = 1; seed <= 200; ++seed) {
+    const auto spec = testing::TableSpec::random(seed);
+    const auto cc = spec.build();
+    const auto pr = search_pruned(cc, spec.cores);
+    const auto bt = search_backtracking(cc, spec.cores);
+    // Backtracking is a complete feasibility search: if it proves the
+    // lattice empty, pruned must not claim a tuple (and vice versa).
+    ASSERT_EQ(pr.found, bt.found) << "seed=" << seed;
+    if (pr.found) {
+      EXPECT_TRUE(tuple_is_valid(cc, pr.tuple, spec.cores))
+          << "seed=" << seed;
+    }
+  }
+}
+
+TEST(Pruned, DocumentedTieBreakAtProductionWidth) {
+  // k=256 columns of identical demand at both rungs: every nondecreasing
+  // tuple has the same demand and proxy energy, so the documented
+  // tie-break (fewest cores, then the lexicographically greater tuple)
+  // must select the all-slowest tuple — deterministically, at full
+  // production width.
+  const std::size_t k = 256;
+  std::vector<std::vector<double>> rows(2, std::vector<double>(k, 1.0));
+  const auto cc = CCTable::from_matrix(rows);
+  const auto pr = search_pruned(cc, k);
+  ASSERT_TRUE(pr.found);
+  EXPECT_EQ(pr.tuple, std::vector<std::size_t>(k, 1));
+  EXPECT_EQ(pr.cores_used, k);
+}
+
+TEST(Pruned, WidenedAccumulatorSurvivesExtremeMagnitudeSpread) {
+  // One enormous column followed by 255 tiny ones: a plain double
+  // running sum of demands loses the tiny contributions entirely
+  // (1e12 + 1e-4 == 1e12 in double), which would let the searcher claim
+  // ~0.026 cores of demand never happened and admit an over-capacity
+  // tuple. The long double accumulator keeps them.
+  const std::size_t k = 256;
+  std::vector<std::vector<double>> rows(1, std::vector<double>(k, 1e-4));
+  rows[0][0] = 1e12;
+  const auto cc = CCTable::from_matrix(rows);
+  // Capacity exactly the true demand, rounded up: feasible.
+  const double true_demand = 1e12 + 255.0 * 1e-4;
+  const auto ok = search_pruned(cc, static_cast<std::size_t>(
+                                        std::ceil(true_demand)));
+  EXPECT_TRUE(ok.found);
+  // Capacity 1e12 exactly: the 255 tiny columns overflow it. A naive
+  // double accumulator absorbs them and wrongly reports feasible.
+  const auto over = search_pruned(
+      cc, static_cast<std::size_t>(1e12));
+  EXPECT_FALSE(over.found);
+  EXPECT_FALSE(
+      search_backtracking(cc, static_cast<std::size_t>(1e12)).found);
+  EXPECT_FALSE(tuple_is_valid(cc, std::vector<std::size_t>(k, 0),
+                              static_cast<std::size_t>(1e12)));
+}
+
+TEST(Backtracking, NodeBudgetAbortsAndReportsIt) {
+  // A 1-node budget cannot even place the first class.
+  const auto res = search_backtracking(fig3(), 16, 1);
+  EXPECT_FALSE(res.found);
+  EXPECT_TRUE(res.aborted);
+  // An ample budget completes and is not marked aborted.
+  const auto full = search_backtracking(fig3(), 16, 1'000'000);
+  EXPECT_TRUE(full.found);
+  EXPECT_FALSE(full.aborted);
+  EXPECT_EQ(full.tuple, search_backtracking(fig3(), 16).tuple);
+}
+
+// ------------------------------------------------------ suffix search --
+
+TEST(SuffixSearch, KeepsPrefixVerbatimAndSplicesOptimalSuffix) {
+  const auto cc = fig3();
+  // Pin class 0 at rung 1 (its full-search choice) — the suffix search
+  // must reproduce the full pruned result.
+  const auto full = search_pruned(cc, 16);
+  ASSERT_TRUE(full.found);
+  const std::vector<std::size_t> prefix{full.tuple[0], full.tuple[1]};
+  const auto sfx = search_suffix(cc, 16, SearchKind::kPruned, prefix);
+  ASSERT_TRUE(sfx.found);
+  EXPECT_EQ(sfx.tuple[0], prefix[0]);
+  EXPECT_EQ(sfx.tuple[1], prefix[1]);
+  EXPECT_NEAR(tuple_energy_estimate(cc, sfx.tuple, 16),
+              tuple_energy_estimate(cc, full.tuple, 16), 1e-9);
+}
+
+TEST(SuffixSearch, RespectsNondecreasingConstraintFromPrefix) {
+  const auto cc = fig3();
+  // Pin class 0 at the slowest rung: every suffix class must sit at
+  // rung >= 3 or the search must fail — it cannot dip below the prefix.
+  const std::vector<std::size_t> prefix{3};
+  const auto sfx = search_suffix(cc, 100, SearchKind::kPruned, prefix);
+  ASSERT_TRUE(sfx.found);
+  for (const std::size_t rung : sfx.tuple) EXPECT_GE(rung, 3u);
+}
+
+TEST(SuffixSearch, RejectsInvalidPrefix) {
+  const auto cc = fig3();
+  // Over capacity: rung 3 for class 1 needs 12 of 6 cores.
+  EXPECT_FALSE(
+      search_suffix(cc, 6, SearchKind::kPruned, {0, 3}).found);
+  // Out of rung range.
+  EXPECT_FALSE(
+      search_suffix(cc, 16, SearchKind::kPruned, {9}).found);
+  // All four kinds agree on rejection.
+  for (const auto kind :
+       {SearchKind::kBacktracking, SearchKind::kGreedy,
+        SearchKind::kExhaustive, SearchKind::kPruned}) {
+    EXPECT_FALSE(search_suffix(cc, 6, kind, {0, 3}).found);
+  }
+}
+
+TEST(SuffixSearch, FullLengthPrefixEvaluatesAsIs) {
+  const auto cc = fig3();
+  const std::vector<std::size_t> prefix{1, 1, 2, 2};
+  const auto sfx = search_suffix(cc, 16, SearchKind::kPruned, prefix);
+  ASSERT_TRUE(sfx.found);
+  EXPECT_EQ(sfx.tuple, prefix);
+  EXPECT_EQ(sfx.cores_used, 16u);
 }
 
 // ------------------------------------------------ randomized properties --

@@ -139,6 +139,51 @@ TEST(PlanPublisher, RejectedSnapshotNeverBecomesVisible) {
   pub.release(0);
 }
 
+TEST(PlanPublisher, StampsMonotoneSeqAcrossSameEpochPublishes) {
+  // Regression for the staleness-watchdog race: a slow-but-valid plan
+  // and the degraded uniform-F0 snapshot are published under the SAME
+  // planner epoch. A reader keying "new plan?" on the epoch would skip
+  // the second publish and keep a rung the hardware no longer runs; the
+  // publisher-stamped seq must distinguish them.
+  const std::size_t workers = 2;
+  PlanPublisher pub(workers, workers);
+  auto plan = two_group_plan(workers, 1, 2, 0, 2);
+  auto slow_plan =
+      PlanSnapshot::build(7, plan, rungs_of(plan, workers), workers);
+  ASSERT_TRUE(pub.publish(std::move(slow_plan)));
+  const PlanSnapshot* first = pub.acquire(0);
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(first->seq, 1u);
+  EXPECT_EQ(first->epoch, 7u);
+
+  // Watchdog fires within the same epoch: uniform F0, same epoch id.
+  auto safe = core::uniform_plan(workers, 2);
+  auto degraded_snap =
+      PlanSnapshot::build(7, safe, rungs_of(safe, workers), workers);
+  degraded_snap->degraded = true;
+  ASSERT_TRUE(pub.publish(std::move(degraded_snap)));
+  const PlanSnapshot* second = pub.acquire(0);
+  ASSERT_NE(second, nullptr);
+  EXPECT_EQ(second->epoch, first->epoch);  // the race this pins down
+  EXPECT_EQ(second->seq, 2u);              // ...still distinguishable
+  EXPECT_TRUE(second->degraded);
+  EXPECT_EQ(second->worker_rung[0], 0u);
+  pub.release(0);
+}
+
+TEST(PlanPublisher, SeqZeroNeverPublished) {
+  // seq 0 is the reader-side "nothing adopted yet" sentinel; the first
+  // publish must already be 1.
+  const std::size_t workers = 1;
+  PlanPublisher pub(workers, workers);
+  auto plan = core::uniform_plan(workers, 1);
+  ASSERT_TRUE(pub.publish(
+      PlanSnapshot::build(0, plan, rungs_of(plan, workers), workers)));
+  const PlanSnapshot* snap = pub.acquire(0);
+  EXPECT_EQ(snap->seq, 1u);
+  pub.release(0);
+}
+
 TEST(PlanPublisher, RepeatAcquireReturnsSamePin) {
   const std::size_t workers = 1;
   PlanPublisher pub(workers, workers);
@@ -174,14 +219,17 @@ TEST(PlanPublisher, ConcurrentReadersSeeOnlyWholeSnapshots) {
   for (std::size_t r = 0; r < kReaders; ++r) {
     readers.emplace_back([&, r] {
       std::uint64_t last_epoch = 0;
+      std::uint64_t last_seq = 0;
       while (!stop.load(std::memory_order_acquire)) {
         const PlanSnapshot* snap = pub.acquire(r);
         if (snap == nullptr || !snap->valid(kWorkers) ||
-            snap->epoch < last_epoch) {
+            snap->epoch < last_epoch || snap->seq < last_seq ||
+            snap->seq == 0) {
           torn.fetch_add(1, std::memory_order_relaxed);
           continue;
         }
         last_epoch = snap->epoch;
+        last_seq = snap->seq;
         // Walk the pinned snapshot: every field a worker actually uses.
         // A reclaimed-too-early snapshot makes this a use-after-free.
         std::size_t members = 0;

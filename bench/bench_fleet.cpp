@@ -1,0 +1,268 @@
+// Fleet placement bench — the consolidation story in numbers.
+//
+// One seeded open-loop arrival stream (>= 10M offered tasks across
+// >= 64 machines by default) run through sim::Fleet once per placement
+// policy (round-robin, least-loaded, pack-and-park). Reports offered /
+// completed counts, fleet energy, park/wake ledgers, powered vs parked
+// machine-seconds and the wall clock per run, then *asserts* the
+// contract the placement tier exists for:
+//
+//   * scale: the stream offers >= --min-offered tasks (default 10M)
+//     over >= --min-machines machines (default 64), and every run
+//     finishes inside --budget-s of wall clock;
+//   * conservation: every routed task completes, nothing is shed;
+//   * energy ordering: pack-and-park spends less fleet energy than
+//     round-robin on the identical stream.
+//
+// Usage: bench_fleet [--machines N] [--cores N] [--duration S]
+//                    [--load L] [--epoch S] [--seed N] [--budget-s S]
+//                    [--min-offered N] [--min-machines N]
+//                    [--scale-only] [--out FILE]
+//
+// --scale-only skips the least-loaded row (CI gate mode: the scale and
+// energy-ordering assertions only need pack and round-robin).
+//
+// Writes BENCH_fleet.json, re-parsed with the in-repo json_lite parser
+// before exit — a malformed artifact fails the run.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json_lite.hpp"
+#include "sim/fleet.hpp"
+#include "trace/arrivals.hpp"
+#include "util/table_printer.hpp"
+
+namespace {
+
+using namespace eewa;
+
+struct Config {
+  std::size_t machines = 64;
+  std::size_t cores = 16;
+  double duration_s = 3.5;  ///< 3.2M tasks/s at the default mix => ~11.2M
+  double load = 0.5;
+  double mean_work_us = 100.0;
+  double epoch_s = 0.02;
+  std::uint64_t seed = 1;
+  double budget_s = 60.0;  ///< wall-clock ceiling per placement run
+  std::size_t min_offered = 10'000'000;
+  std::size_t min_machines = 64;
+  bool scale_only = false;
+  std::string out = "BENCH_fleet.json";
+};
+
+struct Row {
+  std::string placement;
+  obs::FleetReport rep;
+  double wall_s = 0.0;
+};
+
+trace::ArrivalSpec fleet_spec(const Config& cfg) {
+  trace::ArrivalSpec arr;
+  arr.name = "bench_fleet";
+  arr.seed = cfg.seed;
+  arr.cores = cfg.machines * cfg.cores;
+  arr.duration_s = cfg.duration_s;
+  arr.load = cfg.load;
+  trace::ArrivalClassSpec light;
+  light.name = "light";
+  light.weight = 1.0;
+  light.mean_work_s = cfg.mean_work_us * 1e-6;
+  light.cv = 0.3;
+  trace::ArrivalClassSpec heavy;
+  heavy.name = "heavy";
+  heavy.weight = 0.25;
+  heavy.mean_work_s = 4.0 * cfg.mean_work_us * 1e-6;
+  heavy.cv = 0.2;
+  heavy.mem_alpha = 0.1;
+  arr.classes = {light, heavy};
+  return arr;
+}
+
+std::string to_json(const Config& cfg, const std::vector<Row>& rows) {
+  std::ostringstream os;
+  os << "{\n"
+     << "  \"bench\": \"fleet\",\n"
+     << "  \"machines\": " << cfg.machines << ",\n"
+     << "  \"cores_per_machine\": " << cfg.cores << ",\n"
+     << "  \"duration_s\": " << cfg.duration_s << ",\n"
+     << "  \"load\": " << cfg.load << ",\n"
+     << "  \"epoch_s\": " << cfg.epoch_s << ",\n"
+     << "  \"seed\": " << cfg.seed << ",\n"
+     << "  \"placements\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& r = rows[i].rep;
+    os << "    {\"placement\": \"" << rows[i].placement << "\""
+       << ", \"offered\": " << r.offered
+       << ", \"completed\": " << r.completed << ", \"shed\": " << r.shed
+       << ", \"parks\": " << r.parks << ", \"wakes\": " << r.wakes
+       << ", \"horizon_s\": " << r.horizon_s
+       << ", \"powered_machine_s\": " << r.powered_machine_s
+       << ", \"parked_machine_s\": " << r.parked_machine_s
+       << ", \"energy_j\": " << r.energy_j
+       << ", \"wall_s\": " << rows[i].wall_s << "}"
+       << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+  return os.str();
+}
+
+int run(int argc, char** argv) {
+  Config cfg;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      return i + 1 < argc ? argv[++i] : "";
+    };
+    if (arg == "--machines") {
+      cfg.machines = std::stoul(next());
+    } else if (arg == "--cores") {
+      cfg.cores = std::stoul(next());
+    } else if (arg == "--duration") {
+      cfg.duration_s = std::stod(next());
+    } else if (arg == "--load") {
+      cfg.load = std::stod(next());
+    } else if (arg == "--epoch") {
+      cfg.epoch_s = std::stod(next());
+    } else if (arg == "--seed") {
+      cfg.seed = std::stoull(next());
+    } else if (arg == "--budget-s") {
+      cfg.budget_s = std::stod(next());
+    } else if (arg == "--min-offered") {
+      cfg.min_offered = std::stoul(next());
+    } else if (arg == "--min-machines") {
+      cfg.min_machines = std::stoul(next());
+    } else if (arg == "--scale-only") {
+      cfg.scale_only = true;
+    } else if (arg == "--out") {
+      cfg.out = next();
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  std::printf(
+      "Fleet bench: %zu machines x %zu cores, %.2gs at load %.2g "
+      "(~%.3g offered tasks)\n\n",
+      cfg.machines, cfg.cores, cfg.duration_s, cfg.load,
+      cfg.load * static_cast<double>(cfg.machines * cfg.cores) *
+          cfg.duration_s / (cfg.mean_work_us * 1e-6 * 1.6));
+
+  const auto arr = fleet_spec(cfg);
+  std::vector<std::string> placements = {"round-robin", "pack"};
+  if (!cfg.scale_only) placements.insert(placements.begin() + 1,
+                                         "least-loaded");
+
+  std::vector<std::string> failures;
+  std::vector<Row> rows;
+  for (const auto& placement : placements) {
+    sim::FleetOptions opts;
+    opts.machines = cfg.machines;
+    opts.machine.cores = cfg.cores;
+    opts.machine.seed = cfg.seed;
+    opts.epoch_s = cfg.epoch_s;
+    opts.placement = placement;
+    const auto w0 = std::chrono::steady_clock::now();
+    Row row;
+    row.placement = placement;
+    row.rep = sim::Fleet(opts, arr).run();
+    row.wall_s = std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - w0)
+                     .count();
+    rows.push_back(std::move(row));
+    const auto& r = rows.back().rep;
+
+    // --- fleet contract ---------------------------------------------------
+    if (r.machines < cfg.min_machines) {
+      failures.push_back(placement + ": " + std::to_string(r.machines) +
+                         " machines is below the " +
+                         std::to_string(cfg.min_machines) + " floor");
+    }
+    if (r.offered < cfg.min_offered) {
+      failures.push_back(placement + ": offered " +
+                         std::to_string(r.offered) +
+                         " tasks, below the " +
+                         std::to_string(cfg.min_offered) + " floor");
+    }
+    if (r.shed != 0 || r.routed != r.completed || r.in_flight != 0) {
+      failures.push_back(placement + ": task conservation broke (shed=" +
+                         std::to_string(r.shed) + " routed=" +
+                         std::to_string(r.routed) + " completed=" +
+                         std::to_string(r.completed) + ")");
+    }
+    if (rows.back().wall_s > cfg.budget_s) {
+      failures.push_back(placement + ": wall clock " +
+                         std::to_string(rows.back().wall_s) +
+                         "s blew the " + std::to_string(cfg.budget_s) +
+                         "s budget");
+    }
+  }
+
+  util::TablePrinter table({"placement", "offered", "completed", "parks",
+                            "wakes", "parked mach-s", "energy (J)",
+                            "wall (s)"});
+  for (const auto& row : rows) {
+    table.add(row.placement, row.rep.offered, row.rep.completed,
+              row.rep.parks, row.rep.wakes, row.rep.parked_machine_s,
+              row.rep.energy_j, row.wall_s);
+  }
+  std::printf("%s\n", table.str().c_str());
+
+  const obs::FleetReport* rr = nullptr;
+  const obs::FleetReport* pack = nullptr;
+  for (const auto& row : rows) {
+    if (row.placement == "round-robin") rr = &row.rep;
+    if (row.placement == "pack") pack = &row.rep;
+  }
+  if (rr && pack) {
+    if (pack->offered != rr->offered) {
+      failures.push_back("pack and round-robin saw different streams");
+    }
+    if (pack->energy_j >= rr->energy_j) {
+      failures.push_back("pack-and-park (" +
+                         std::to_string(pack->energy_j) +
+                         " J) failed to beat round-robin (" +
+                         std::to_string(rr->energy_j) + " J)");
+    } else {
+      std::printf("pack-and-park saves %.1f%% fleet energy vs round-robin\n",
+                  100.0 * (1.0 - pack->energy_j / rr->energy_j));
+    }
+  }
+
+  const std::string json = to_json(cfg, rows);
+  try {
+    const auto doc = obs::parse_json(json);
+    if (doc.at("placements").array.size() != rows.size()) {
+      throw std::runtime_error("placement rows went missing");
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s failed validation: %s\n", cfg.out.c_str(),
+                 e.what());
+    return 1;
+  }
+  std::ofstream out(cfg.out);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", cfg.out.c_str());
+    return 1;
+  }
+  out << json;
+  std::printf("report: %s (validated with json_lite)\n", cfg.out.c_str());
+
+  if (!failures.empty()) {
+    for (const auto& f : failures) {
+      std::fprintf(stderr, "CONTRACT VIOLATION: %s\n", f.c_str());
+    }
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return run(argc, argv); }

@@ -8,7 +8,8 @@
 // code 1 when any invariant fails.
 //
 // Usage:
-//   fuzz_explorer [--mode search|search-large|runtime|energy|service|all]
+//   fuzz_explorer [--mode search|search-large|runtime|energy|service|
+//                         fleet|all]
 //                 [--seed N]
 //                 [--count N] [--replay N] [--shrink] [--out FILE]
 //                 [--verbose]
@@ -86,7 +87,7 @@ int main(int argc, char** argv) {
   if (mode_arg == "all") {
     modes = {testing::FuzzMode::kSearch, testing::FuzzMode::kSearchLarge,
              testing::FuzzMode::kRuntime, testing::FuzzMode::kEnergy,
-             testing::FuzzMode::kService};
+             testing::FuzzMode::kService, testing::FuzzMode::kFleet};
   } else if (mode_arg == "search") {
     modes = {testing::FuzzMode::kSearch};
   } else if (mode_arg == "search-large") {
@@ -97,6 +98,8 @@ int main(int argc, char** argv) {
     modes = {testing::FuzzMode::kEnergy};
   } else if (mode_arg == "service") {
     modes = {testing::FuzzMode::kService};
+  } else if (mode_arg == "fleet") {
+    modes = {testing::FuzzMode::kFleet};
   } else {
     std::fprintf(stderr, "unknown mode: %s\n", mode_arg.c_str());
     return 2;

@@ -1,0 +1,68 @@
+#include "obs/fleet_metrics.hpp"
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+#include <numeric>
+
+namespace eewa::obs {
+
+namespace {
+
+void appendf(std::string& out, const char* fmt, ...) {
+  char buf[512];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  out += buf;
+}
+
+}  // namespace
+
+std::string FleetReport::to_string() const {
+  std::string out;
+  appendf(out,
+          "fleet: %zu machines x %zu cores, %zu epochs of %.4gs, horizon "
+          "%.4gs\n",
+          machines, cores_per_machine, epochs, epoch_s, horizon_s);
+  appendf(out,
+          "tasks: offered=%zu routed=%zu completed=%zu shed=%zu "
+          "in_flight=%zu\n",
+          offered, routed, completed, shed, in_flight);
+  appendf(out,
+          "power: energy=%.6g J, parks=%zu wakes=%zu, powered=%.4g "
+          "machine-s, parked=%.4g machine-s\n",
+          energy_j, parks, wakes, powered_machine_s, parked_machine_s);
+  if (!ladder.empty()) {
+    out += "ladder:";
+    for (const auto& s : ladder) {
+      appendf(out, " %s(%.4gW,%.4gs)", s.name.c_str(), s.power_w,
+              s.wake_latency_s);
+    }
+    out += "\n";
+  }
+  // Compact per-machine table; for big fleets show the busiest few.
+  std::vector<std::size_t> order(per_machine.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return per_machine[a].routed > per_machine[b].routed;
+                   });
+  const std::size_t shown = std::min<std::size_t>(order.size(), 8);
+  for (std::size_t i = 0; i < shown; ++i) {
+    const std::size_t m = order[i];
+    const auto& r = per_machine[m];
+    appendf(out,
+            "  m%-3zu routed=%-8zu done=%-8zu batches=%-5zu parks=%zu "
+            "wakes=%zu powered=%.4gs energy=%.5g J\n",
+            m, r.routed, r.completed, r.batches, r.parks, r.wakes,
+            r.powered_s, r.energy_j());
+  }
+  if (order.size() > shown) {
+    appendf(out, "  ... %zu more machines\n", order.size() - shown);
+  }
+  return out;
+}
+
+}  // namespace eewa::obs

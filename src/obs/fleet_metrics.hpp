@@ -1,0 +1,111 @@
+// Fleet-level observability: per-machine and fleet-wide accounting for
+// the fleet simulator (docs/fleet.md).
+//
+// Unlike the service metrics, everything here is plain values: the fleet
+// simulator is single-threaded and deterministic, so a report is built
+// once at the end of a run (or rebuilt mid-run) with no atomics. The
+// reports carry enough redundancy for the fleet oracles to cross-check:
+// router-side task counts against machine-side completion counters, and
+// a full per-machine energy decomposition (cores / powered floor /
+// S-state residency / park-wake transitions) whose pieces must re-sum to
+// the fleet total with every simulated second accounted exactly once.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace eewa::obs {
+
+/// One S-state of the machine ladder, echoed into the report so a
+/// FleetReport is self-describing (oracles and JSON consumers never need
+/// the originating options to interpret residencies).
+struct SleepStateInfo {
+  std::string name;          ///< "s1" ... "off"
+  double power_w = 0.0;      ///< draw while parked in this state
+  double wake_latency_s = 0.0;  ///< park-to-first-instruction latency
+
+  bool operator==(const SleepStateInfo&) const = default;
+};
+
+/// Everything the fleet knows about one machine after a run.
+struct MachineReport {
+  // Task accounting. `routed` is counted by the placement tier as tasks
+  // are assigned; `completed` is the machine simulator's own completion
+  // counter — the pair is the fleet-level differential.
+  std::size_t routed = 0;
+  std::size_t completed = 0;
+  std::size_t batches = 0;
+
+  // Power-state ledger. Every simulated second of the fleet horizon is
+  // either powered (cores charged by the machine's EnergyAccount) or
+  // parked in exactly one S-state.
+  std::size_t parks = 0;
+  std::size_t wakes = 0;
+  std::size_t final_state = 0;  ///< 0 = powered, i = sleep state i-1
+  double powered_s = 0.0;
+  double wake_stall_s = 0.0;  ///< Σ wake latencies paid (inside powered_s)
+  double first_start_s = -1.0;  ///< first batch start; -1 when no batch ran
+  std::vector<double> sleep_residency_s;     ///< per ladder state
+  std::vector<std::size_t> wakes_per_state;  ///< wakes out of each state
+
+  // Independent re-derivation hook: the machine's EnergyAccount charges
+  // every core for every powered second, so charged_core_s must equal
+  // cores · powered_s.
+  double charged_core_s = 0.0;
+
+  // Energy decomposition, joules.
+  double core_energy_j = 0.0;        ///< cores (incl. DVFS transitions)
+  double floor_energy_j = 0.0;       ///< machine floor while powered
+  double sleep_energy_j = 0.0;       ///< Σ residency · state power
+  double transition_energy_j = 0.0;  ///< park + wake transitions
+
+  // Scheduler counters, summed over the machine's batches.
+  std::size_t steals = 0;
+  std::size_t probes = 0;
+  std::size_t dvfs_transitions = 0;
+
+  double energy_j() const {
+    return core_energy_j + floor_energy_j + sleep_energy_j +
+           transition_energy_j;
+  }
+
+  bool operator==(const MachineReport&) const = default;
+};
+
+/// Whole-fleet outcome. operator== is exact (no tolerances): two runs of
+/// the same seeded configuration must produce bitwise-identical reports.
+struct FleetReport {
+  std::size_t machines = 0;
+  std::size_t cores_per_machine = 0;
+  double epoch_s = 0.0;
+  std::size_t epochs = 0;
+  double horizon_s = 0.0;  ///< absolute end of the simulated run
+
+  // Fleet-wide task conservation: offered == routed + shed, and after
+  // the run drains, routed == completed (in_flight == 0).
+  std::size_t offered = 0;
+  std::size_t routed = 0;
+  std::size_t completed = 0;
+  std::size_t shed = 0;
+  std::size_t in_flight = 0;
+  double offered_work_s = 0.0;  ///< Σ task work at F0, core-seconds
+  double shed_work_s = 0.0;
+
+  std::size_t parks = 0;
+  std::size_t wakes = 0;
+  double powered_machine_s = 0.0;  ///< Σ per-machine powered_s
+  double parked_machine_s = 0.0;   ///< Σ per-machine sleep residency
+  double energy_j = 0.0;
+
+  std::vector<SleepStateInfo> ladder;
+  std::vector<MachineReport> per_machine;
+
+  bool operator==(const FleetReport&) const = default;
+
+  /// Human-readable multi-line summary (fleet totals plus a compact
+  /// machine table; large fleets are elided to the busiest machines).
+  std::string to_string() const;
+};
+
+}  // namespace eewa::obs

@@ -149,6 +149,56 @@ bool Machine::request_rung(std::size_t core, std::size_t new_rung) {
   return true;
 }
 
+std::size_t Machine::queued_tasks() const {
+  std::size_t n = 0;
+  for (std::size_t c : group_counts_) n += c;
+  return n;
+}
+
+void Machine::run_idle(double until_s) {
+  if (!powered_) {
+    throw std::logic_error("Machine: run_idle on a parked machine");
+  }
+  if (until_s <= session_charged_s_) return;
+  sim_now_s_ = until_s;
+  for (std::size_t c = 0; c < cores(); ++c) {
+    charge(c, session_charged_s_, until_s, rung_[c],
+           /*active=*/!options_.idle_halt);
+  }
+  session_charged_s_ = until_s;
+}
+
+void Machine::park(double at_s) {
+  if (!powered_) {
+    throw std::logic_error("Machine: park on an already-parked machine");
+  }
+  if (at_s < session_charged_s_ - 1e-12) {
+    throw std::logic_error(
+        "Machine: park in the past (an interval would be billed both "
+        "powered and parked)");
+  }
+  if (queued_tasks() != 0) {
+    throw std::logic_error("Machine: parking would strand queued tasks");
+  }
+  run_idle(at_s);
+  powered_ = false;
+}
+
+void Machine::wake(double at_s) {
+  if (powered_) {
+    throw std::logic_error("Machine: wake on a powered machine");
+  }
+  if (at_s < session_charged_s_ - 1e-12) {
+    throw std::logic_error(
+        "Machine: wake rewinds the charge clock (would re-bill the "
+        "pre-park interval)");
+  }
+  powered_ = true;
+  // The parked interval [charged_through, at_s) is the caller's S-state
+  // residency; core charging resumes here and stays monotone.
+  session_charged_s_ = std::max(session_charged_s_, at_s);
+}
+
 double Machine::exec_time(const trace::TraceTask& t,
                           std::size_t core_rung) const {
   const double slowdown = ladder().slowdown(core_rung);
@@ -167,6 +217,14 @@ void Machine::charge(std::size_t core, double from_s, double to_s,
 
 double Machine::run_batch(Policy& policy, const trace::Batch& batch,
                           double start_s) {
+  if (!powered_) {
+    throw std::logic_error("Machine: run_batch on a parked machine");
+  }
+  if (start_s < session_charged_s_ - 1e-12) {
+    throw std::logic_error(
+        "Machine: batch starts before the charged-through point (would "
+        "re-bill an interval)");
+  }
   tasks_ = &batch.tasks;
   batch_steals_ = batch_probes_ = batch_transitions_ = 0;
   sim_now_s_ = start_s;
@@ -263,6 +321,7 @@ double Machine::run_batch(Policy& policy, const trace::Batch& batch,
         }
         policy.task_done(*this, ev.core, task(ev.task), ev.exec_s);
         --remaining;
+        ++total_completed_;
         last_completion = ev.t;
         if (remaining > 0) kick(ev.core, ev.t);
         else idle_from[ev.core] = ev.t;
@@ -341,10 +400,11 @@ double Machine::run_batch(Policy& policy, const trace::Batch& batch,
   bs.core_energy_j = account_.core_joules() - core_j_before;
   bs.energy_j =
       bs.core_energy_j + options_.power.floor_w() * (end_s - start_s);
-  stats_.push_back(std::move(bs));
+  if (options_.keep_batch_stats) stats_.push_back(std::move(bs));
 
   ++batch_index_;
   tasks_ = nullptr;
+  session_charged_s_ = std::max(session_charged_s_, end_s);
   return end_s;
 }
 

@@ -63,6 +63,11 @@ struct SimOptions {
   /// runtimes all spin (that is the waste EEWA attacks); this switch
   /// exists for the thrifty-barrier-style ablation.
   bool idle_halt = false;
+  /// When false, run_batch does not retain a per-batch BatchStats entry
+  /// (the run totals and the EnergyAccount still accumulate). Fleet runs
+  /// push millions of tasks through hundreds of thousands of batches;
+  /// retaining every BatchStats would dominate memory.
+  bool keep_batch_stats = true;
   /// Seeded DVFS actuation faults (transient write failures, stuck
   /// cores, rung drift) applied to request_rung — the deterministic
   /// test hook for the retry/reconcile/degrade ladder. The fault stream
@@ -232,12 +237,52 @@ class Machine {
   double run_batch(Policy& policy, const trace::Batch& batch,
                    double start_s);
 
+  // --- power state (fleet park/drain/wake API) -----------------------------
+  // A Machine historically assumed it was always powered: batches ran
+  // back to back and every simulated second belonged to some batch. A
+  // fleet parks idle machines into S-states, so the power boundary is
+  // explicit: run_idle charges the powered-idle gaps between batches,
+  // park/wake bracket the intervals whose (S-state) energy the caller
+  // accounts. The charge clock never rewinds across the cycle — the
+  // same monotonicity contract charged_until_ enforces inside a batch.
+
+  /// False between park() and wake(). run_batch / run_idle / park throw
+  /// std::logic_error on a parked machine — simulated silicon cannot
+  /// execute while powered off.
+  bool powered() const { return powered_; }
+
+  /// Absolute simulated time through which every core's energy has been
+  /// charged (batch ends, idle charges and wake points all advance it).
+  double charged_through() const { return session_charged_s_; }
+
+  /// Charge powered-idle spin (or halt, with SimOptions::idle_halt) on
+  /// every core from charged_through() to until_s at its current rung.
+  /// No-op when until_s has already been charged.
+  void run_idle(double until_s);
+
+  /// Power down at at_s (charging the idle tail up to at_s first). The
+  /// machine must be drained: throws std::logic_error when any pool
+  /// still holds a task — parking must never strand queued work.
+  void park(double at_s);
+
+  /// Power back up at at_s. The parked interval's energy is the
+  /// caller's to account (S-state ladder); core charging resumes at
+  /// at_s, so a park/wake cycle never re-bills or skips a core-second.
+  /// Throws std::logic_error when powered or when at_s would rewind the
+  /// charge clock.
+  void wake(double at_s);
+
+  /// Tasks still sitting in pools (0 after every completed batch).
+  std::size_t queued_tasks() const;
+
   // --- results ---------------------------------------------------------------
   const energy::EnergyAccount& account() const { return account_; }
   const std::vector<BatchStats>& batch_stats() const { return stats_; }
   std::size_t total_steals() const { return total_steals_; }
   std::size_t total_probes() const { return total_probes_; }
   std::size_t total_transitions() const { return total_transitions_; }
+  /// Tasks completed across all batches.
+  std::size_t total_completed() const { return total_completed_; }
 
   /// Finalize accounting at absolute end time `end_s` and build the
   /// result summary.
@@ -287,6 +332,10 @@ class Machine {
   const std::vector<trace::TraceTask>* tasks_ = nullptr;
   std::size_t batch_index_ = 0;
   double sim_now_s_ = 0.0;  // sim time of the activity being processed
+
+  bool powered_ = true;
+  double session_charged_s_ = 0.0;  // all cores charged through here
+  std::size_t total_completed_ = 0;
 
   std::vector<BatchStats> stats_;
   std::size_t total_steals_ = 0;

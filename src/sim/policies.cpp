@@ -413,4 +413,75 @@ std::vector<std::size_t> EewaPolicy::modal_rungs(const Machine& m) const {
   return best->first;
 }
 
+std::unique_ptr<Policy> make_policy(
+    const std::string& name, const std::vector<std::string>& class_names) {
+  if (name == "cilk") return std::make_unique<CilkPolicy>();
+  if (name == "cilk-d") return std::make_unique<CilkDPolicy>();
+  if (name == "sharing") return std::make_unique<SharingPolicy>();
+  if (name == "ondemand") return std::make_unique<OndemandPolicy>();
+  if (name == "eewa") return std::make_unique<EewaPolicy>(class_names);
+  throw std::invalid_argument("make_policy: unknown policy " + name);
+}
+
+std::size_t RoundRobinPlacement::place(double,
+                                       const std::vector<MachineView>& views) {
+  const std::size_t pick = cursor_ % views.size();
+  cursor_ = (cursor_ + 1) % views.size();
+  return pick;
+}
+
+std::size_t LeastLoadedPlacement::place(
+    double, const std::vector<MachineView>& views) {
+  std::size_t best = 0;
+  double best_cost = views[0].backlog_s + views[0].wake_latency_s;
+  for (std::size_t i = 1; i < views.size(); ++i) {
+    const double cost = views[i].backlog_s + views[i].wake_latency_s;
+    if (cost < best_cost) {
+      best = i;
+      best_cost = cost;
+    }
+  }
+  return best;
+}
+
+std::size_t PackAndParkPlacement::place(
+    double, const std::vector<MachineView>& views) {
+  // Densest-first: among powered machines below the fill line, the one
+  // with the most backlog keeps the working set smallest.
+  std::size_t pick = views.size();
+  double pick_backlog = -1.0;
+  for (std::size_t i = 0; i < views.size(); ++i) {
+    const auto& v = views[i];
+    if (v.powered && v.backlog_s < fill_s_ && v.backlog_s > pick_backlog) {
+      pick = i;
+      pick_backlog = v.backlog_s;
+    }
+  }
+  if (pick < views.size()) return pick;
+  // Every powered machine is full: open the shallowest sleeper.
+  double pick_latency = 0.0;
+  for (std::size_t i = 0; i < views.size(); ++i) {
+    const auto& v = views[i];
+    if (!v.powered &&
+        (pick == views.size() || v.wake_latency_s < pick_latency)) {
+      pick = i;
+      pick_latency = v.wake_latency_s;
+    }
+  }
+  if (pick < views.size()) return pick;
+  // Nothing parked either: spill to the least-loaded machine.
+  LeastLoadedPlacement fallback;
+  return fallback.place(0.0, views);
+}
+
+std::unique_ptr<FleetPlacement> make_placement(const std::string& name,
+                                               double pack_fill_s) {
+  if (name == "round-robin") return std::make_unique<RoundRobinPlacement>();
+  if (name == "least-loaded") return std::make_unique<LeastLoadedPlacement>();
+  if (name == "pack") {
+    return std::make_unique<PackAndParkPlacement>(pack_fill_s);
+  }
+  throw std::invalid_argument("make_placement: unknown placement " + name);
+}
+
 }  // namespace eewa::sim

@@ -194,4 +194,85 @@ class EewaPolicy : public Policy {
 /// tasks with release_s > 0 arrive later through place_task.
 void distribute_round_robin(Machine& m, const trace::Batch& batch);
 
+/// Construct a per-machine scheduling policy by name ("cilk", "cilk-d",
+/// "sharing", "ondemand", "eewa"). `class_names` are the trace's class
+/// names (only EEWA uses them). Throws std::invalid_argument on an
+/// unknown name. simulate_named and the fleet both build through here.
+std::unique_ptr<Policy> make_policy(const std::string& name,
+                                    const std::vector<std::string>& class_names);
+
+// --- fleet placement tier ---------------------------------------------------
+// One tier above the per-machine schedulers: the fleet routes each
+// arriving task to a machine, and only then does that machine's Policy
+// decide which core runs it. Placements are deterministic by contract
+// (no RNG) — fleet runs must be bitwise-reproducible from the seed.
+
+/// What the placement tier sees of one machine at routing time.
+struct MachineView {
+  bool powered = true;
+  std::size_t sleep_state = 0;  ///< ladder index while parked
+  /// Committed-plus-staged work per core, in seconds: a proxy for how
+  /// long a new task would wait before a core frees up.
+  double backlog_s = 0.0;
+  /// Latency to first instruction if routed here now (0 when powered).
+  double wake_latency_s = 0.0;
+};
+
+/// Routes arriving tasks to machines.
+class FleetPlacement {
+ public:
+  virtual ~FleetPlacement() = default;
+  virtual std::string name() const = 0;
+  /// Pick a machine index for a task of `work_s` normalized work.
+  /// `views` is kept current by the fleet between calls.
+  virtual std::size_t place(double work_s,
+                            const std::vector<MachineView>& views) = 0;
+};
+
+/// Baseline: cycle through machines regardless of state — wakes parked
+/// machines needlessly and spreads load thin (the anti-consolidation
+/// strawman the energy comparison is made against).
+class RoundRobinPlacement : public FleetPlacement {
+ public:
+  std::string name() const override { return "round-robin"; }
+  std::size_t place(double work_s,
+                    const std::vector<MachineView>& views) override;
+
+ private:
+  std::size_t cursor_ = 0;
+};
+
+/// Latency-greedy: the machine where the task would start soonest
+/// (backlog plus any wake latency), ties to the lowest index.
+class LeastLoadedPlacement : public FleetPlacement {
+ public:
+  std::string name() const override { return "least-loaded"; }
+  std::size_t place(double work_s,
+                    const std::vector<MachineView>& views) override;
+};
+
+/// Energy-greedy pack-and-park: fill the *busiest* powered machine that
+/// still has room (keeping the working set dense so idle machines can
+/// park and sink down the ladder), wake the shallowest sleeper only
+/// when every powered machine is at the fill line, and spill to
+/// least-loaded when nothing is parked.
+class PackAndParkPlacement : public FleetPlacement {
+ public:
+  /// `fill_s`: per-core backlog at which a machine counts as full.
+  explicit PackAndParkPlacement(double fill_s) : fill_s_(fill_s) {}
+
+  std::string name() const override { return "pack"; }
+  std::size_t place(double work_s,
+                    const std::vector<MachineView>& views) override;
+
+ private:
+  double fill_s_;
+};
+
+/// Placement factory: "round-robin", "least-loaded", "pack".
+/// `pack_fill_s` parameterizes the pack policy (ignored by the others).
+/// Throws std::invalid_argument on an unknown name.
+std::unique_ptr<FleetPlacement> make_placement(const std::string& name,
+                                               double pack_fill_s);
+
 }  // namespace eewa::sim

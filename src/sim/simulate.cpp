@@ -18,28 +18,8 @@ SimResult simulate(const trace::TaskTrace& trace, Policy& policy,
 SimResult simulate_named(const trace::TaskTrace& trace,
                          const std::string& policy_name,
                          const SimOptions& options) {
-  if (policy_name == "cilk") {
-    CilkPolicy p;
-    return simulate(trace, p, options);
-  }
-  if (policy_name == "cilk-d") {
-    CilkDPolicy p;
-    return simulate(trace, p, options);
-  }
-  if (policy_name == "sharing") {
-    SharingPolicy p;
-    return simulate(trace, p, options);
-  }
-  if (policy_name == "ondemand") {
-    OndemandPolicy p;
-    return simulate(trace, p, options);
-  }
-  if (policy_name == "eewa") {
-    EewaPolicy p(trace.class_names);
-    return simulate(trace, p, options);
-  }
-  throw std::invalid_argument("simulate_named: unknown policy " +
-                              policy_name);
+  auto policy = make_policy(policy_name, trace.class_names);
+  return simulate(trace, *policy, options);
 }
 
 }  // namespace eewa::sim

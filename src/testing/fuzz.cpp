@@ -17,6 +17,8 @@ const char* mode_name(FuzzMode mode) {
       return "energy";
     case FuzzMode::kService:
       return "service";
+    case FuzzMode::kFleet:
+      return "fleet";
   }
   return "?";
 }
@@ -67,6 +69,14 @@ FuzzVerdict run_one(FuzzMode mode, std::uint64_t seed) {
       const auto spec = ServiceSpec::random(seed);
       v.spec_summary = spec.summary();
       const auto r = check_service(spec);
+      v.ok = r.ok;
+      v.failure = r.failure;
+      break;
+    }
+    case FuzzMode::kFleet: {
+      const auto spec = FleetSpec::random(seed);
+      v.spec_summary = spec.summary();
+      const auto r = check_fleet(spec);
       v.ok = r.ok;
       v.failure = r.failure;
       break;
@@ -309,6 +319,86 @@ std::vector<ServiceSpec> service_mutants(const ServiceSpec& s) {
   return out;
 }
 
+std::vector<FleetSpec> fleet_mutants(const FleetSpec& s) {
+  std::vector<FleetSpec> out;
+  if (s.machines > 1) {
+    FleetSpec t = s;
+    t.machines = std::max<std::size_t>(1, t.machines / 2);
+    t.arrivals.cores = t.machines * t.cores;
+    out.push_back(std::move(t));
+  }
+  if (s.arrivals.classes.size() > 1) {
+    for (std::size_t i = 0; i < s.arrivals.classes.size(); ++i) {
+      FleetSpec t = s;
+      t.arrivals.classes.erase(t.arrivals.classes.begin() + i);
+      out.push_back(std::move(t));
+    }
+  }
+  if (s.arrivals.duration_s > 0.01) {
+    FleetSpec t = s;
+    t.arrivals.duration_s /= 2.0;
+    out.push_back(std::move(t));
+  }
+  if (s.arrivals.load > 0.25) {
+    FleetSpec t = s;
+    t.arrivals.load /= 2.0;
+    out.push_back(std::move(t));
+  }
+  if (s.arrivals.kind != trace::ArrivalKind::kSteady) {
+    FleetSpec t = s;
+    t.arrivals.kind = trace::ArrivalKind::kSteady;
+    out.push_back(std::move(t));
+  }
+  // Shallower ladder: drop the deepest state.
+  if (s.ladder_power_w.size() > 1) {
+    FleetSpec t = s;
+    t.ladder_power_w.pop_back();
+    t.ladder_wake_s.pop_back();
+    if (t.initial_state > t.ladder_power_w.size()) {
+      t.initial_state = t.ladder_power_w.size();
+    }
+    out.push_back(std::move(t));
+  }
+  if (s.cores > 1) {
+    FleetSpec t = s;
+    t.cores /= 2;
+    t.arrivals.cores = t.machines * t.cores;
+    out.push_back(std::move(t));
+  }
+  if (s.initial_state > 0) {
+    FleetSpec t = s;
+    t.initial_state = 0;  // warm start
+    out.push_back(std::move(t));
+  }
+  if (s.max_backlog_s > 0.0) {
+    FleetSpec t = s;
+    t.max_backlog_s = 0.0;  // no shedding
+    out.push_back(std::move(t));
+  }
+  {
+    bool any = false;
+    FleetSpec t = s;
+    for (auto& c : t.arrivals.classes) {
+      if (c.cv > 0.0 || c.cmi > 0.0) {
+        c.cv = c.cmi = 0.0;
+        any = true;
+      }
+    }
+    if (any) out.push_back(std::move(t));
+  }
+  if (s.policy != "cilk") {
+    FleetSpec t = s;
+    t.policy = "cilk";
+    out.push_back(std::move(t));
+  }
+  if (s.placement != "round-robin") {
+    FleetSpec t = s;
+    t.placement = "round-robin";
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
 }  // namespace
 
 TableSpec shrink_table(
@@ -327,6 +417,12 @@ ServiceSpec shrink_service(
     ServiceSpec spec,
     const std::function<bool(const ServiceSpec&)>& still_fails) {
   return shrink_greedy(std::move(spec), still_fails, service_mutants);
+}
+
+FleetSpec shrink_fleet(
+    FleetSpec spec,
+    const std::function<bool(const FleetSpec&)>& still_fails) {
+  return shrink_greedy(std::move(spec), still_fails, fleet_mutants);
 }
 
 FuzzVerdict shrink(FuzzMode mode, std::uint64_t seed) {
@@ -371,6 +467,14 @@ FuzzVerdict shrink(FuzzMode mode, std::uint64_t seed) {
           [](const ServiceSpec& s) { return !check_service(s).ok; });
       v.shrunk_summary = minimal.summary();
       v.shrunk_failure = check_service(minimal).failure;
+      break;
+    }
+    case FuzzMode::kFleet: {
+      const auto minimal = shrink_fleet(
+          FleetSpec::random(seed),
+          [](const FleetSpec& s) { return !check_fleet(s).ok; });
+      v.shrunk_summary = minimal.summary();
+      v.shrunk_failure = check_fleet(minimal).failure;
       break;
     }
   }

@@ -24,10 +24,17 @@ namespace eewa::testing {
 /// exhaustive enumeration is impossible — the pruned searcher is held
 /// to backtracking's feasibility/tie-break rules there, and to
 /// exhaustive energy only on the family's smallest shapes.
-enum class FuzzMode { kSearch, kSearchLarge, kRuntime, kEnergy, kService };
+enum class FuzzMode {
+  kSearch,
+  kSearchLarge,
+  kRuntime,
+  kEnergy,
+  kService,
+  kFleet,
+};
 
 /// CLI-facing name of a mode ("search", "search-large", "runtime",
-/// "energy", "service").
+/// "energy", "service", "fleet").
 const char* mode_name(FuzzMode mode);
 
 /// Verdict of one fuzz case.
@@ -82,6 +89,13 @@ WorkloadSpec shrink_workload(WorkloadSpec spec,
 ServiceSpec shrink_service(ServiceSpec spec,
                            const std::function<bool(const ServiceSpec&)>&
                                still_fails);
+
+/// Same idea for fleet specs (fewer machines, shorter stream, lower
+/// load, steady shape, shallower ladder, simpler policy and placement,
+/// warm start, no backlog cap).
+FleetSpec shrink_fleet(FleetSpec spec,
+                       const std::function<bool(const FleetSpec&)>&
+                           still_fails);
 
 /// Run one case and, if it fails, bisect it to a minimal repro (fills
 /// shrunk_summary / shrunk_failure on the verdict).

@@ -13,6 +13,7 @@
 #include "obs/metrics.hpp"
 #include "obs/tracer.hpp"
 #include "runtime/runtime.hpp"
+#include "sim/fleet.hpp"
 #include "sim/simulate.hpp"
 #include "util/rng.hpp"
 
@@ -820,6 +821,220 @@ CheckResult check_energy(const WorkloadSpec& spec) {
              expect_total));
   }
 
+  return CheckResult::pass();
+}
+
+namespace {
+
+sim::FleetOptions fleet_options(const FleetSpec& spec) {
+  sim::FleetOptions o;
+  o.machines = spec.machines;
+  o.machine.cores = spec.cores;
+  o.machine.seed = util::mix64(spec.seed ^ 0xf1ee70ULL);
+  o.ladder.clear();
+  for (std::size_t k = 0; k < spec.ladder_power_w.size(); ++k) {
+    o.ladder.push_back({"st" + std::to_string(k), spec.ladder_power_w[k],
+                        spec.ladder_wake_s[k]});
+  }
+  o.epoch_s = spec.epoch_s;
+  o.park_after_epochs = spec.park_after_epochs;
+  o.deepen_after_epochs = spec.deepen_after_epochs;
+  o.transition_energy_j = spec.transition_energy_j;
+  o.policy = spec.policy;
+  o.placement = spec.placement;
+  o.max_backlog_s = spec.max_backlog_s;
+  o.initial_state = spec.initial_state;
+  return o;
+}
+
+}  // namespace
+
+CheckResult check_fleet(const FleetSpec& spec) {
+  const sim::FleetOptions opts = fleet_options(spec);
+  const obs::FleetReport a = sim::Fleet(opts, spec.arrivals).run();
+  {
+    const obs::FleetReport b = sim::Fleet(opts, spec.arrivals).run();
+    if (!(a == b)) {
+      return CheckResult::fail(
+          "fleet determinism: two runs of the same spec differ");
+    }
+  }
+
+  // (2) Fleet-wide task conservation.
+  if (a.offered != a.routed + a.shed) {
+    return CheckResult::fail(fmtf("offered %zu != routed %zu + shed %zu",
+                                  a.offered, a.routed, a.shed));
+  }
+  if (a.in_flight != 0 || a.routed != a.completed) {
+    return CheckResult::fail(
+        fmtf("drain left in_flight=%zu (routed %zu, completed %zu)",
+             a.in_flight, a.routed, a.completed));
+  }
+  if (spec.max_backlog_s <= 0.0 && a.shed != 0) {
+    return CheckResult::fail(
+        fmtf("shed %zu tasks with no backlog cap set", a.shed));
+  }
+  if (a.per_machine.size() != a.machines || a.machines != spec.machines) {
+    return CheckResult::fail(fmtf("machine count mismatch: %zu reports, "
+                                  "%zu machines",
+                                  a.per_machine.size(), a.machines));
+  }
+
+  // (4a) Ladder echo, strictly monotone both ways.
+  if (a.ladder.size() != spec.ladder_power_w.size()) {
+    return CheckResult::fail("ladder echo lost states");
+  }
+  for (std::size_t k = 1; k < a.ladder.size(); ++k) {
+    if (!(a.ladder[k].power_w < a.ladder[k - 1].power_w) ||
+        !(a.ladder[k].wake_latency_s > a.ladder[k - 1].wake_latency_s)) {
+      return CheckResult::fail(
+          fmtf("ladder not monotone at state %zu: %.9g W after %.9g W, "
+               "%.9g s after %.9g s",
+               k, a.ladder[k].power_w, a.ladder[k - 1].power_w,
+               a.ladder[k].wake_latency_s, a.ladder[k - 1].wake_latency_s));
+    }
+  }
+
+  const double cores = static_cast<double>(a.cores_per_machine);
+  const double floor_w = opts.machine.power.floor_w();
+  std::size_t sum_routed = 0, sum_completed = 0, sum_parks = 0,
+              sum_wakes = 0;
+  double sum_energy = 0.0, sum_powered = 0.0, sum_parked = 0.0;
+  for (std::size_t i = 0; i < a.per_machine.size(); ++i) {
+    const auto& m = a.per_machine[i];
+    if (m.routed != m.completed) {
+      return CheckResult::fail(
+          fmtf("machine %zu: routed %zu != completed %zu after drain", i,
+               m.routed, m.completed));
+    }
+    if (m.sleep_residency_s.size() != a.ladder.size() ||
+        m.wakes_per_state.size() != a.ladder.size()) {
+      return CheckResult::fail(fmtf("machine %zu: residency vectors do "
+                                    "not match the ladder",
+                                    i));
+    }
+    double parked = 0.0, sleep_j = 0.0, stall = 0.0;
+    std::size_t wakes = 0;
+    for (std::size_t k = 0; k < a.ladder.size(); ++k) {
+      if (m.sleep_residency_s[k] < -1e-12) {
+        return CheckResult::fail(fmtf(
+            "machine %zu: negative residency %.9g in state %zu", i,
+            m.sleep_residency_s[k], k));
+      }
+      parked += m.sleep_residency_s[k];
+      sleep_j += m.sleep_residency_s[k] * a.ladder[k].power_w;
+      stall += static_cast<double>(m.wakes_per_state[k]) *
+               a.ladder[k].wake_latency_s;
+      wakes += m.wakes_per_state[k];
+    }
+    // (3) Every machine-second billed exactly once.
+    if (!close_rel(m.powered_s + parked, a.horizon_s, 1e-9, 1e-9)) {
+      return CheckResult::fail(
+          fmtf("machine %zu: powered %.9g + parked %.9g != horizon %.9g",
+               i, m.powered_s, parked, a.horizon_s));
+    }
+    if (!close_rel(m.charged_core_s, cores * m.powered_s, 1e-9, 1e-9)) {
+      return CheckResult::fail(
+          fmtf("machine %zu: charged core-seconds %.9g != cores x "
+               "powered %.9g — a park/wake cycle double-billed or "
+               "skipped core time",
+               i, m.charged_core_s, cores * m.powered_s));
+    }
+    // (4b) Power-state ledger.
+    const std::size_t ends_parked = m.final_state > 0 ? 1 : 0;
+    if (m.parks != m.wakes + ends_parked) {
+      return CheckResult::fail(
+          fmtf("machine %zu: parks %zu != wakes %zu + ends_parked %zu",
+               i, m.parks, m.wakes, ends_parked));
+    }
+    if (wakes != m.wakes) {
+      return CheckResult::fail(
+          fmtf("machine %zu: Σ wakes_per_state %zu != wakes %zu", i,
+               wakes, m.wakes));
+    }
+    if (!close_rel(m.wake_stall_s, stall, 1e-9, 1e-12)) {
+      return CheckResult::fail(
+          fmtf("machine %zu: wake stall %.9g != Σ wakes·latency %.9g", i,
+               m.wake_stall_s, stall));
+    }
+    // No task ran on an unpowered machine: completions require batches,
+    // batches require powered time at least as long as the stall.
+    if (m.completed > 0 && (m.batches == 0 || m.powered_s <= 0.0)) {
+      return CheckResult::fail(
+          fmtf("machine %zu: %zu tasks completed with batches=%zu "
+               "powered=%.9g",
+               i, m.completed, m.batches, m.powered_s));
+    }
+    if ((m.first_start_s < 0.0) != (m.batches == 0)) {
+      return CheckResult::fail(
+          fmtf("machine %zu: first_start %.9g inconsistent with "
+               "batches %zu",
+               i, m.first_start_s, m.batches));
+    }
+    if (m.batches > a.epochs) {
+      return CheckResult::fail(fmtf(
+          "machine %zu: %zu batches over %zu epochs", i, m.batches,
+          a.epochs));
+    }
+    // (3b) Per-machine energy decomposition.
+    if (!close_rel(m.floor_energy_j, floor_w * m.powered_s, 1e-9, 1e-9)) {
+      return CheckResult::fail(
+          fmtf("machine %zu: floor energy %.9g != floor %.9g x powered "
+               "%.9g",
+               i, m.floor_energy_j, floor_w, m.powered_s));
+    }
+    if (!close_rel(m.sleep_energy_j, sleep_j, 1e-9, 1e-9)) {
+      return CheckResult::fail(
+          fmtf("machine %zu: sleep energy %.9g != Σ residency·power "
+               "%.9g",
+               i, m.sleep_energy_j, sleep_j));
+    }
+    const double trans = static_cast<double>(m.parks + m.wakes) *
+                         spec.transition_energy_j;
+    if (!close_rel(m.transition_energy_j, trans, 1e-9, 1e-12)) {
+      return CheckResult::fail(
+          fmtf("machine %zu: transition energy %.9g != (parks+wakes) x "
+               "%.9g",
+               i, m.transition_energy_j, spec.transition_energy_j));
+    }
+    sum_routed += m.routed;
+    sum_completed += m.completed;
+    sum_parks += m.parks;
+    sum_wakes += m.wakes;
+    sum_energy += m.energy_j();
+    sum_powered += m.powered_s;
+    sum_parked += parked;
+  }
+
+  if (sum_routed != a.routed || sum_completed != a.completed) {
+    return CheckResult::fail(
+        fmtf("per-machine sums (routed %zu, completed %zu) != fleet "
+             "(%zu, %zu)",
+             sum_routed, sum_completed, a.routed, a.completed));
+  }
+  if (sum_parks != a.parks || sum_wakes != a.wakes) {
+    return CheckResult::fail(fmtf("park/wake sums (%zu, %zu) != fleet "
+                                  "(%zu, %zu)",
+                                  sum_parks, sum_wakes, a.parks, a.wakes));
+  }
+  if (!close_rel(sum_energy, a.energy_j, 1e-9, 1e-9)) {
+    return CheckResult::fail(
+        fmtf("Σ machine energy %.17g != fleet energy %.17g — "
+             "double-charging across park/wake",
+             sum_energy, a.energy_j));
+  }
+  if (!close_rel(sum_powered, a.powered_machine_s, 1e-9, 1e-9) ||
+      !close_rel(sum_parked, a.parked_machine_s, 1e-9, 1e-9)) {
+    return CheckResult::fail("powered/parked machine-second sums differ "
+                             "from the fleet totals");
+  }
+  const double floor_time =
+      static_cast<double>(a.epochs) * a.epoch_s;
+  if (a.horizon_s + 1e-12 < floor_time) {
+    return CheckResult::fail(fmtf(
+        "horizon %.9g ends before the last epoch %.9g", a.horizon_s,
+        floor_time));
+  }
   return CheckResult::pass();
 }
 

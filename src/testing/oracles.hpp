@@ -58,4 +58,20 @@ CheckResult check_service(const ServiceSpec& spec);
 /// exported event trace.
 CheckResult check_energy(const WorkloadSpec& spec);
 
+/// Fleet oracle: run sim::Fleet over a generated fleet scenario twice
+/// and check (1) bitwise double-run determinism of the FleetReport,
+/// (2) fleet-wide task conservation — offered == routed + shed, routed
+/// == completed after the drain, per-machine router counts match the
+/// machines' own completion counters, and nothing is shed when no
+/// backlog cap is set, (3) the energy identity — every simulated
+/// machine-second is billed exactly once (powered_s + Σ S-state
+/// residency == horizon, charged core-seconds == cores · powered_s)
+/// and the per-machine decomposition (cores + floor + sleep +
+/// transitions) re-sums to the fleet total, (4) power-state ledger
+/// sanity — parks reconcile with wakes and the final state, wake
+/// stalls equal Σ wakes-per-state · latency, no task ran on an
+/// unpowered machine, and the reported ladder is strictly monotone in
+/// both power and wake latency.
+CheckResult check_fleet(const FleetSpec& spec);
+
 }  // namespace eewa::testing

@@ -365,6 +365,114 @@ std::string ServiceSpec::summary() const {
   return out;
 }
 
+FleetSpec FleetSpec::random(std::uint64_t seed) {
+  util::Xoshiro256 rng(util::mix64(seed ^ 0xf1ee7ULL));
+  FleetSpec spec;
+  spec.seed = seed;
+  // One-machine fleets stay common: they anchor the fleet-vs-bare
+  // differential and make shrunk repros readable.
+  spec.machines = rng.chance(0.2) ? 1 : 2 + rng.bounded(5);
+  spec.cores = 2 + rng.bounded(5);
+
+  auto& arr = spec.arrivals;
+  arr.name = "fuzz_fleet";
+  arr.seed = util::mix64(seed ^ 0x44);
+  arr.cores = spec.machines * spec.cores;  // fleet-wide capacity normalizer
+  arr.duration_s = rng.uniform(0.04, 0.12);
+  // Zero offered load is a legal fleet (everything parks); overload
+  // exercises shedding when max_backlog_s is set.
+  const double loads[] = {0.0, 0.3, 0.7, 1.2, 2.0};
+  arr.load = loads[rng.bounded(5)];
+  const double shape = rng.uniform();
+  if (shape < 0.5) {
+    arr.kind = trace::ArrivalKind::kSteady;
+  } else if (shape < 0.8) {
+    arr.kind = trace::ArrivalKind::kBursty;
+    arr.burst_factor = rng.uniform(1.5, 4.0);
+    arr.burst_period_s = rng.uniform(0.01, 0.04);
+  } else {
+    // Burst-then-idle: one on-phase covering the first half of the
+    // run, then silence — machines must drain, park and deepen.
+    arr.kind = trace::ArrivalKind::kBursty;
+    arr.burst_factor = rng.uniform(2.0, 4.0);
+    arr.burst_period_s = arr.duration_s;
+  }
+  const std::size_t k = 1 + rng.bounded(3);
+  for (std::size_t i = 0; i < k; ++i) {
+    trace::ArrivalClassSpec c;
+    c.name = "flt" + std::to_string(i);
+    c.weight = rng.uniform(0.2, 1.0);
+    c.mean_work_s = rng.uniform(30e-6, 150e-6);
+    c.cv = rng.uniform(0.0, 0.6);
+    c.cmi = rng.chance(0.2) ? rng.uniform(0.0, 0.03) : 0.0;
+    arr.classes.push_back(std::move(c));
+  }
+
+  // Random ladder, monotone by construction: powers decay by a factor
+  // per rung, latencies grow by one.
+  const std::size_t states = 1 + rng.bounded(5);
+  double p = rng.uniform(60.0, 120.0);
+  double w = rng.uniform(0.2e-3, 2e-3);
+  for (std::size_t s = 0; s < states; ++s) {
+    spec.ladder_power_w.push_back(p);
+    spec.ladder_wake_s.push_back(w);
+    p *= rng.uniform(0.2, 0.8);
+    w *= rng.uniform(3.0, 10.0);
+  }
+  if (states > 1 && rng.chance(0.5)) {
+    spec.ladder_power_w.back() = 0.0;  // a true OFF bottom rung
+  }
+
+  spec.epoch_s = rng.uniform(0.004, 0.02);
+  spec.park_after_epochs = 1 + rng.bounded(3);
+  spec.deepen_after_epochs = 1 + rng.bounded(3);
+  spec.transition_energy_j = rng.chance(0.2) ? 0.0 : rng.uniform(0.5, 3.0);
+
+  const double pol = rng.uniform();
+  spec.policy = pol < 0.4   ? "eewa"
+                : pol < 0.6 ? "cilk"
+                : pol < 0.75 ? "cilk-d"
+                : pol < 0.9 ? "ondemand"
+                            : "sharing";
+  const double plc = rng.uniform();
+  spec.placement = plc < 0.4   ? "least-loaded"
+                   : plc < 0.75 ? "pack"
+                                : "round-robin";
+  spec.max_backlog_s = rng.chance(0.6) ? 0.0 : rng.uniform(0.005, 0.05);
+  // Cold starts, up to all-OFF (deepest rung).
+  spec.initial_state =
+      rng.chance(0.7) ? 0 : 1 + rng.bounded(spec.ladder_power_w.size());
+  return spec;
+}
+
+std::string FleetSpec::summary() const {
+  std::string out;
+  const char* kind =
+      arrivals.kind == trace::ArrivalKind::kBursty ? "bursty" : "steady";
+  appendf(out,
+          "FleetSpec seed=%llu machines=%zu cores=%zu policy=%s "
+          "placement=%s epoch=%.4g park_after=%zu deepen_after=%zu "
+          "tej=%.3g max_backlog=%.4g init_state=%zu load=%.2f kind=%s "
+          "burst={x%.2f %.3gs} dur=%.3g ladder=[",
+          static_cast<unsigned long long>(seed), machines, cores,
+          policy.c_str(), placement.c_str(), epoch_s, park_after_epochs,
+          deepen_after_epochs, transition_energy_j, max_backlog_s,
+          initial_state, arrivals.load, kind, arrivals.burst_factor,
+          arrivals.burst_period_s, arrivals.duration_s);
+  for (std::size_t i = 0; i < ladder_power_w.size(); ++i) {
+    appendf(out, "%s{%.4gW %.4gs}", i ? ", " : "", ladder_power_w[i],
+            ladder_wake_s[i]);
+  }
+  out += "] classes=[";
+  for (std::size_t i = 0; i < arrivals.classes.size(); ++i) {
+    const auto& c = arrivals.classes[i];
+    appendf(out, "%s{%s w=%.2f mean=%.6g cv=%.2f}", i ? ", " : "",
+            c.name.c_str(), c.weight, c.mean_work_s, c.cv);
+  }
+  out += "]";
+  return out;
+}
+
 void burn_for(double seconds) {
   using Clock = std::chrono::steady_clock;
   const auto until =

@@ -120,6 +120,36 @@ struct ServiceSpec {
   std::string summary() const;
 };
 
+/// A generated fleet scenario for the fleet oracle: machine count and
+/// size, a sleep-state ladder, consolidation cadence, per-machine
+/// scheduling policy, placement policy, and an arrival stream. The
+/// degenerate shapes stay common: one machine, all-OFF cold start, zero
+/// arrivals, and burst-then-idle (a single on-phase followed by
+/// silence, the shape that exercises park-deepen-wake the hardest).
+/// Plain data only — the oracle layer builds the sim::FleetOptions.
+struct FleetSpec {
+  std::uint64_t seed = 0;
+  std::size_t machines = 4;
+  std::size_t cores = 4;  ///< per machine
+  trace::ArrivalSpec arrivals;
+  std::vector<double> ladder_power_w;  ///< strictly decreasing
+  std::vector<double> ladder_wake_s;   ///< strictly increasing
+  double epoch_s = 0.01;
+  std::size_t park_after_epochs = 2;
+  std::size_t deepen_after_epochs = 2;
+  double transition_energy_j = 1.0;
+  std::string policy = "eewa";
+  std::string placement = "least-loaded";
+  double max_backlog_s = 0.0;     ///< 0 = never shed
+  std::size_t initial_state = 0;  ///< 0 = powered, i = ladder[i-1]
+
+  /// Deterministic expansion of a seed, degenerate shapes included.
+  static FleetSpec random(std::uint64_t seed);
+
+  /// Human-readable dump, complete enough to reconstruct the case.
+  std::string summary() const;
+};
+
 /// Busy-spin for `seconds` of wall time — the runtime-oracle task body.
 void burn_for(double seconds);
 

@@ -28,67 +28,87 @@ double ArrivalSpec::rate_tps() const {
   return load * static_cast<double>(cores) / mean_work;
 }
 
+ArrivalStream::ArrivalStream(const ArrivalSpec& spec)
+    : spec_(spec), rng_(spec.seed) {
+  if (spec_.classes.empty()) {
+    throw std::invalid_argument("ArrivalStream: no classes");
+  }
+  rate_ = spec_.rate_tps();
+  if (rate_ <= 0.0) {
+    done_ = true;  // an empty stream, not an error (zero offered load)
+    return;
+  }
+  // Class-selection CDF over weights.
+  cdf_.resize(spec_.classes.size());
+  double total_weight = 0.0;
+  for (std::size_t k = 0; k < spec_.classes.size(); ++k) {
+    total_weight += std::max(0.0, spec_.classes[k].weight);
+    cdf_[k] = total_weight;
+  }
+  if (total_weight <= 0.0) {
+    throw std::invalid_argument("ArrivalStream: zero total weight");
+  }
+  for (auto& c : cdf_) c /= total_weight;
+  // Thinned Poisson process: draw at the peak rate, keep a draw with
+  // probability rate(t)/peak. This keeps the square wave exact without
+  // per-phase bookkeeping.
+  peak_rate_ = spec_.kind == ArrivalKind::kBursty
+                   ? rate_ * spec_.burst_factor
+                   : rate_;
+}
+
+std::optional<Arrival> ArrivalStream::next() {
+  if (done_) return std::nullopt;
+  const auto rate_at = [&](double t) {
+    if (spec_.kind != ArrivalKind::kBursty) return rate_;
+    // On-phase for the first half of each period at burst_factor times
+    // the mean; off-phase compensates so the mean offered load holds.
+    const double phase = t - std::floor(t / spec_.burst_period_s) *
+                                 spec_.burst_period_s;
+    const bool on = phase < 0.5 * spec_.burst_period_s;
+    const double off_rate =
+        std::max(0.0, rate_ * (2.0 - spec_.burst_factor));
+    return on ? rate_ * spec_.burst_factor : off_rate;
+  };
+  for (;;) {
+    t_ += rng_.exponential(1.0 / peak_rate_);
+    if (t_ >= spec_.duration_s) {
+      done_ = true;
+      return std::nullopt;
+    }
+    if (peak_rate_ > rate_ && !rng_.chance(rate_at(t_) / peak_rate_)) {
+      continue;
+    }
+    const double u = rng_.uniform();
+    std::size_t k = 0;
+    while (k + 1 < cdf_.size() && cdf_[k] < u) ++k;
+    const auto& cls = spec_.classes[k];
+    Arrival a;
+    a.time_s = t_;
+    a.task.class_id = k;
+    a.task.work_s = cls.cv > 0.0
+                        ? rng_.lognormal_mean_cv(cls.mean_work_s, cls.cv)
+                        : cls.mean_work_s;
+    a.task.cmi = cls.cmi;
+    a.task.mem_alpha = cls.mem_alpha;
+    a.task.release_s = t_;
+    return a;
+  }
+}
+
 std::vector<Arrival> generate_arrivals(const ArrivalSpec& spec) {
   if (spec.classes.empty()) {
     throw std::invalid_argument("generate_arrivals: no classes");
   }
-  const double rate = spec.rate_tps();
-  if (rate <= 0.0) {
+  if (spec.rate_tps() <= 0.0) {
     throw std::invalid_argument("generate_arrivals: non-positive rate");
   }
-  util::Xoshiro256 rng(spec.seed);
-
-  // Class-selection CDF over weights.
-  std::vector<double> cdf(spec.classes.size());
-  double total_weight = 0.0;
-  for (std::size_t k = 0; k < spec.classes.size(); ++k) {
-    total_weight += std::max(0.0, spec.classes[k].weight);
-    cdf[k] = total_weight;
-  }
-  if (total_weight <= 0.0) {
-    throw std::invalid_argument("generate_arrivals: zero total weight");
-  }
-  for (auto& c : cdf) c /= total_weight;
-
-  // Thinned Poisson process: draw at the peak rate, keep a draw with
-  // probability rate(t)/peak. This keeps the square wave exact without
-  // per-phase bookkeeping.
-  const double peak_rate =
-      spec.kind == ArrivalKind::kBursty ? rate * spec.burst_factor : rate;
-  const auto rate_at = [&](double t) {
-    if (spec.kind != ArrivalKind::kBursty) return rate;
-    // On-phase for the first half of each period at burst_factor times
-    // the mean; off-phase compensates so the mean offered load holds.
-    const double phase = t - std::floor(t / spec.burst_period_s) *
-                                 spec.burst_period_s;
-    const bool on = phase < 0.5 * spec.burst_period_s;
-    const double off_rate =
-        std::max(0.0, rate * (2.0 - spec.burst_factor));
-    return on ? rate * spec.burst_factor : off_rate;
-  };
-
+  ArrivalStream stream(spec);
   std::vector<Arrival> out;
-  out.reserve(static_cast<std::size_t>(rate * spec.duration_s * 1.1) + 16);
-  double t = 0.0;
-  for (;;) {
-    t += rng.exponential(1.0 / peak_rate);
-    if (t >= spec.duration_s) break;
-    if (peak_rate > rate && !rng.chance(rate_at(t) / peak_rate)) continue;
-    const double u = rng.uniform();
-    std::size_t k = 0;
-    while (k + 1 < cdf.size() && cdf[k] < u) ++k;
-    const auto& cls = spec.classes[k];
-    Arrival a;
-    a.time_s = t;
-    a.task.class_id = k;
-    a.task.work_s = cls.cv > 0.0
-                        ? rng.lognormal_mean_cv(cls.mean_work_s, cls.cv)
-                        : cls.mean_work_s;
-    a.task.cmi = cls.cmi;
-    a.task.mem_alpha = cls.mem_alpha;
-    a.task.release_s = t;
-    out.push_back(std::move(a));
-  }
+  out.reserve(
+      static_cast<std::size_t>(spec.rate_tps() * spec.duration_s * 1.1) +
+      16);
+  while (auto a = stream.next()) out.push_back(std::move(*a));
   // Already time-sorted by construction; keep the guarantee explicit.
   std::sort(out.begin(), out.end(), [](const Arrival& x, const Arrival& y) {
     return x.time_s < y.time_s;

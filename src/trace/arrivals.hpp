@@ -12,10 +12,12 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "trace/task_trace.hpp"
+#include "util/rng.hpp"
 
 namespace eewa::trace {
 
@@ -64,7 +66,33 @@ struct Arrival {
   TraceTask task;
 };
 
+/// Streaming form of the generator: yields the identical sequence one
+/// arrival at a time, so fleet-scale consumers (10M+ tasks) never hold
+/// the whole stream in memory. A zero offered rate (load == 0, or an
+/// all-zero-work class mix) yields an empty stream; an empty class list
+/// still throws, as generate_arrivals does.
+class ArrivalStream {
+ public:
+  explicit ArrivalStream(const ArrivalSpec& spec);
+
+  /// Next arrival in time order, or nullopt once past spec.duration_s.
+  std::optional<Arrival> next();
+
+  const ArrivalSpec& spec() const { return spec_; }
+
+ private:
+  ArrivalSpec spec_;
+  util::Xoshiro256 rng_;
+  std::vector<double> cdf_;  ///< class-selection CDF over weights
+  double rate_ = 0.0;
+  double peak_rate_ = 0.0;
+  double t_ = 0.0;
+  bool done_ = false;
+};
+
 /// Generate the stream, sorted by time. Deterministic in spec.seed.
+/// Throws std::invalid_argument when the spec's offered rate is not
+/// positive (use ArrivalStream directly when an empty stream is valid).
 std::vector<Arrival> generate_arrivals(const ArrivalSpec& spec);
 
 /// Pack a stream into a one-batch TaskTrace (release_s = arrival time):

@@ -213,5 +213,75 @@ TEST(Simulate, NamedFactoryWorks) {
   EXPECT_THROW(simulate_named(t, "nope", opt), std::invalid_argument);
 }
 
+TEST(Machine, ParkWakeChargeClockStaysMonotone) {
+  // The fleet's park/drain/wake cycle on a bare machine: the charge
+  // clock advances through batch, idle, park and wake, never rewinds,
+  // and the parked interval is never billed to the cores. This is the
+  // pinned regression for the session-level charge clamp — the same
+  // never-rewind contract charged_until_ enforces inside a batch.
+  Machine m(small_options());
+  CilkPolicy p;
+  trace::Batch b;
+  b.tasks.push_back({0, 1e-3, 0.0, 0.0, 0.0});
+  b.tasks.push_back({0, 1e-3, 0.0, 0.0, 0.0});
+
+  const double end1 = m.run_batch(p, b, 0.0);
+  EXPECT_TRUE(m.powered());
+  EXPECT_DOUBLE_EQ(m.charged_through(), end1);
+  EXPECT_EQ(m.queued_tasks(), 0u);
+
+  m.run_idle(end1 + 1e-3);
+  EXPECT_DOUBLE_EQ(m.charged_through(), end1 + 1e-3);
+  m.run_idle(end1);  // stale idle request: no-op, never rewinds
+  EXPECT_DOUBLE_EQ(m.charged_through(), end1 + 1e-3);
+
+  const double park_at = end1 + 2e-3;
+  m.park(park_at);  // charges the idle tail, then powers off
+  EXPECT_FALSE(m.powered());
+  EXPECT_DOUBLE_EQ(m.charged_through(), park_at);
+  const double charged_at_park =
+      m.account().active_s() + m.account().halted_s();
+  EXPECT_NEAR(charged_at_park, 4.0 * park_at, 1e-12);
+
+  // Simulated silicon cannot execute, idle or re-park while off.
+  EXPECT_THROW(m.run_idle(park_at + 1e-3), std::logic_error);
+  EXPECT_THROW(m.park(park_at + 1e-3), std::logic_error);
+  EXPECT_THROW(m.run_batch(p, b, park_at + 1e-3), std::logic_error);
+  // Waking in the past would re-bill the pre-park interval.
+  EXPECT_THROW(m.wake(park_at - 1e-3), std::logic_error);
+
+  const double wake_at = park_at + 5e-3;
+  m.wake(wake_at);
+  EXPECT_TRUE(m.powered());
+  EXPECT_DOUBLE_EQ(m.charged_through(), wake_at);
+  EXPECT_THROW(m.wake(wake_at), std::logic_error);  // already powered
+  // The parked interval was not billed to the cores.
+  EXPECT_NEAR(m.account().active_s() + m.account().halted_s(),
+              charged_at_park, 1e-12);
+
+  // A batch must not start inside the already-charged region...
+  EXPECT_THROW(m.run_batch(p, b, park_at), std::logic_error);
+  // ...and a clean post-wake batch keeps the core-second identity:
+  // every powered second billed exactly once, the parked gap skipped.
+  const double end2 = m.run_batch(p, b, wake_at);
+  EXPECT_DOUBLE_EQ(m.charged_through(), end2);
+  EXPECT_EQ(m.total_completed(), 4u);
+  const double powered_s = park_at + (end2 - wake_at);
+  EXPECT_NEAR(m.account().active_s() + m.account().halted_s(),
+              4.0 * powered_s, 1e-9);
+}
+
+TEST(Machine, ParkRefusesToStrandQueuedTasks) {
+  Machine m(small_options());
+  m.configure_pools(1);
+  m.push_task(0, 0, 0);
+  EXPECT_EQ(m.queued_tasks(), 1u);
+  EXPECT_THROW(m.park(1.0), std::logic_error);
+  EXPECT_TRUE(m.powered());  // the refused park left the machine up
+  ASSERT_TRUE(m.pop_local(0, 0).has_value());
+  m.park(1.0);
+  EXPECT_FALSE(m.powered());
+}
+
 }  // namespace
 }  // namespace eewa::sim

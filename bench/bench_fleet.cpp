@@ -17,10 +17,18 @@
 // Usage: bench_fleet [--machines N] [--cores N] [--duration S]
 //                    [--load L] [--epoch S] [--seed N] [--budget-s S]
 //                    [--min-offered N] [--min-machines N]
+//                    [--threads N] [--min-speedup X]
 //                    [--scale-only] [--out FILE]
 //
 // --scale-only skips the least-loaded row (CI gate mode: the scale and
 // energy-ordering assertions only need pack and round-robin).
+//
+// With --threads != 1 every placement runs twice — serial, then on N
+// worker threads (0 = hardware concurrency) — the two FleetReports are
+// asserted bit-identical, and the JSON gains serial wall time and the
+// serial/parallel speedup. --min-speedup X turns the speedup into a
+// contract (default 0: report-only, since shared CI runners can't
+// promise cores; the dev-box contract is >= 4x at --threads 8).
 //
 // Writes BENCH_fleet.json, re-parsed with the in-repo json_lite parser
 // before exit — a malformed artifact fails the run.
@@ -52,6 +60,8 @@ struct Config {
   double budget_s = 60.0;  ///< wall-clock ceiling per placement run
   std::size_t min_offered = 10'000'000;
   std::size_t min_machines = 64;
+  std::size_t threads = 1;   ///< 1 = serial only; else serial + parallel
+  double min_speedup = 0.0;  ///< 0 = report speedup, don't gate on it
   bool scale_only = false;
   std::string out = "BENCH_fleet.json";
 };
@@ -59,7 +69,10 @@ struct Config {
 struct Row {
   std::string placement;
   obs::FleetReport rep;
-  double wall_s = 0.0;
+  double wall_s = 0.0;         ///< the headline run (parallel when enabled)
+  double serial_wall_s = 0.0;  ///< 0 when no serial reference ran
+  double speedup = 0.0;        ///< serial_wall_s / wall_s, 0 when serial-only
+  double tasks_per_sec = 0.0;  ///< simulated (offered) tasks per wall-second
 };
 
 trace::ArrivalSpec fleet_spec(const Config& cfg) {
@@ -94,6 +107,7 @@ std::string to_json(const Config& cfg, const std::vector<Row>& rows) {
      << "  \"load\": " << cfg.load << ",\n"
      << "  \"epoch_s\": " << cfg.epoch_s << ",\n"
      << "  \"seed\": " << cfg.seed << ",\n"
+     << "  \"threads\": " << cfg.threads << ",\n"
      << "  \"placements\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const auto& r = rows[i].rep;
@@ -105,7 +119,10 @@ std::string to_json(const Config& cfg, const std::vector<Row>& rows) {
        << ", \"powered_machine_s\": " << r.powered_machine_s
        << ", \"parked_machine_s\": " << r.parked_machine_s
        << ", \"energy_j\": " << r.energy_j
-       << ", \"wall_s\": " << rows[i].wall_s << "}"
+       << ", \"wall_s\": " << rows[i].wall_s
+       << ", \"serial_wall_s\": " << rows[i].serial_wall_s
+       << ", \"speedup\": " << rows[i].speedup
+       << ", \"tasks_per_sec\": " << rows[i].tasks_per_sec << "}"
        << (i + 1 < rows.size() ? "," : "") << "\n";
   }
   os << "  ]\n}\n";
@@ -137,10 +154,34 @@ int run(int argc, char** argv) {
       cfg.min_offered = std::stoul(next());
     } else if (arg == "--min-machines") {
       cfg.min_machines = std::stoul(next());
+    } else if (arg == "--threads") {
+      cfg.threads = std::stoul(next());
+    } else if (arg == "--min-speedup") {
+      cfg.min_speedup = std::stod(next());
     } else if (arg == "--scale-only") {
       cfg.scale_only = true;
     } else if (arg == "--out") {
       cfg.out = next();
+    } else if (arg == "--help" || arg == "-h") {
+      std::puts(
+          "bench_fleet: fleet placement bench (see the header comment)\n"
+          "  --machines N     fleet size (default 64)\n"
+          "  --cores N        cores per machine (default 16)\n"
+          "  --duration S     stream duration (default 3.5)\n"
+          "  --load L         offered load fraction (default 0.5)\n"
+          "  --epoch S        routing epoch (default 0.02)\n"
+          "  --seed N         stream + machine seed (default 1)\n"
+          "  --budget-s S     wall-clock ceiling per run (default 60)\n"
+          "  --min-offered N  offered-task floor (default 10M)\n"
+          "  --min-machines N machine floor (default 64)\n"
+          "  --threads N      != 1: run each placement serial AND on N\n"
+          "                   threads (0 = hardware concurrency), assert\n"
+          "                   the reports bit-identical, report speedup\n"
+          "  --min-speedup X  fail below X-fold speedup (default 0 =\n"
+          "                   report only; dev-box contract: 4x at 8)\n"
+          "  --scale-only     skip the least-loaded row (CI gate mode)\n"
+          "  --out FILE       JSON artifact (default BENCH_fleet.json)");
+      return 0;
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
       return 2;
@@ -168,13 +209,44 @@ int run(int argc, char** argv) {
     opts.machine.seed = cfg.seed;
     opts.epoch_s = cfg.epoch_s;
     opts.placement = placement;
-    const auto w0 = std::chrono::steady_clock::now();
     Row row;
     row.placement = placement;
-    row.rep = sim::Fleet(opts, arr).run();
-    row.wall_s = std::chrono::duration<double>(
-                     std::chrono::steady_clock::now() - w0)
-                     .count();
+    if (cfg.threads != 1) {
+      // Serial reference first, then the parallel engine on the same
+      // stream; identical bytes or the bench fails.
+      opts.threads = 1;
+      const auto s0 = std::chrono::steady_clock::now();
+      const auto serial = sim::Fleet(opts, arr).run();
+      row.serial_wall_s = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - s0)
+                              .count();
+      opts.threads = cfg.threads;
+      const auto w0 = std::chrono::steady_clock::now();
+      row.rep = sim::Fleet(opts, arr).run();
+      row.wall_s = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - w0)
+                       .count();
+      if (!(row.rep == serial)) {
+        failures.push_back(placement +
+                           ": parallel FleetReport diverged from the "
+                           "serial engine (determinism broke)");
+      }
+      row.speedup = row.wall_s > 0.0 ? row.serial_wall_s / row.wall_s : 0.0;
+      if (cfg.min_speedup > 0.0 && row.speedup < cfg.min_speedup) {
+        failures.push_back(placement + ": speedup " +
+                           std::to_string(row.speedup) + "x is below the " +
+                           std::to_string(cfg.min_speedup) + "x floor");
+      }
+    } else {
+      const auto w0 = std::chrono::steady_clock::now();
+      row.rep = sim::Fleet(opts, arr).run();
+      row.wall_s = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - w0)
+                       .count();
+    }
+    row.tasks_per_sec = row.wall_s > 0.0
+                            ? static_cast<double>(row.rep.offered) / row.wall_s
+                            : 0.0;
     rows.push_back(std::move(row));
     const auto& r = rows.back().rep;
 
@@ -206,13 +278,23 @@ int run(int argc, char** argv) {
 
   util::TablePrinter table({"placement", "offered", "completed", "parks",
                             "wakes", "parked mach-s", "energy (J)",
-                            "wall (s)"});
+                            "wall (s)", "tasks/s"});
   for (const auto& row : rows) {
     table.add(row.placement, row.rep.offered, row.rep.completed,
               row.rep.parks, row.rep.wakes, row.rep.parked_machine_s,
-              row.rep.energy_j, row.wall_s);
+              row.rep.energy_j, row.wall_s, row.tasks_per_sec);
   }
   std::printf("%s\n", table.str().c_str());
+  if (cfg.threads != 1) {
+    for (const auto& row : rows) {
+      std::printf(
+          "%s: serial %.3fs, %zu threads %.3fs => %.2fx speedup "
+          "(reports bit-identical)\n",
+          row.placement.c_str(), row.serial_wall_s, cfg.threads, row.wall_s,
+          row.speedup);
+    }
+    std::printf("\n");
+  }
 
   const obs::FleetReport* rr = nullptr;
   const obs::FleetReport* pack = nullptr;

@@ -3,12 +3,15 @@
 //   fleet_explorer [--machines N] [--cores C] [--duration S] [--load L]
 //                  [--epoch S] [--mean-work S] [--policy NAME]
 //                  [--placement NAME] [--seed N] [--initial-state K]
-//                  [--park-after N] [--max-backlog S] [--quiet]
+//                  [--park-after N] [--max-backlog S] [--threads N]
+//                  [--quiet]
 //
 // Prints the FleetReport summary. The same flags always produce the
-// same report bit for bit — diff two runs to prove it:
+// same report bit for bit — at every --threads value — so diff two
+// runs to prove it:
 //
 //   fleet_explorer --machines 64 --duration 3.5 --load 0.5  # ~11M tasks
+//   fleet_explorer --threads 8 ...   # same bytes, less wall time
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -39,6 +42,27 @@ int main(int argc, char** argv) {
   };
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::puts(
+          "fleet_explorer: one deterministic fleet run\n"
+          "  --machines N      fleet size (default 8)\n"
+          "  --cores C         cores per machine (default 16)\n"
+          "  --duration S      stream duration in seconds (default 0.5)\n"
+          "  --load L          offered load fraction (default 0.5)\n"
+          "  --epoch S         routing/consolidation epoch (default 0.02)\n"
+          "  --mean-work S     light-class mean task work (default 100e-6)\n"
+          "  --policy NAME     per-machine policy (default eewa)\n"
+          "  --placement NAME  placement tier (default least-loaded)\n"
+          "  --seed N          stream + machine seed (default 1)\n"
+          "  --initial-state K 0 = powered, K = parked in ladder[K-1]\n"
+          "  --park-after N    idle epochs before parking (default 2)\n"
+          "  --max-backlog S   shed above this per-core backlog (0 = never)\n"
+          "  --threads N       worker threads for machine epochs: 1 = serial\n"
+          "                    (default), 0 = hardware concurrency, N = N.\n"
+          "                    The report is bit-identical for every value.\n"
+          "  --quiet           one diffable summary line");
+      return 0;
+    }
     if (arg == "--machines") {
       opts.machines = std::strtoull(next(i), nullptr, 10);
     } else if (arg == "--cores") {
@@ -63,6 +87,8 @@ int main(int argc, char** argv) {
       opts.park_after_epochs = std::strtoull(next(i), nullptr, 10);
     } else if (arg == "--max-backlog") {
       opts.max_backlog_s = std::strtod(next(i), nullptr);
+    } else if (arg == "--threads") {
+      opts.threads = std::strtoull(next(i), nullptr, 10);
     } else if (arg == "--quiet") {
       quiet = true;
     } else {

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 #include <stdexcept>
 
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace eewa::sim {
 
@@ -40,7 +42,10 @@ SimOptions Fleet::machine_options(const FleetOptions& opts,
 namespace {
 
 /// Everything the fleet tracks about one machine beyond the Machine
-/// itself.
+/// itself. A Slot is touched by exactly one thread during the parallel
+/// machine-epoch phase and only by the router between phases — that
+/// ownership handoff (epoch barrier on both sides) is the entire
+/// synchronization story.
 struct Slot {
   std::unique_ptr<Machine> m;
   std::unique_ptr<Policy> policy;
@@ -55,6 +60,7 @@ struct Slot {
   bool pending_wake = false;
   double wake_at = 0.0;
   std::vector<trace::Arrival> staged;
+  trace::Batch batch;  ///< reused every epoch (no per-epoch churn)
   obs::MachineReport rep;
 };
 
@@ -64,6 +70,11 @@ void validate(const FleetOptions& opts) {
   }
   if (!(opts.epoch_s > 0.0)) {
     throw std::invalid_argument("Fleet: epoch_s must be > 0");
+  }
+  if (opts.threads > util::ThreadPool::kMaxThreads) {
+    throw std::invalid_argument(
+        "Fleet: threads = " + std::to_string(opts.threads) +
+        " is not a plausible worker count (0 = hardware concurrency)");
   }
   if (opts.ladder.empty()) {
     throw std::invalid_argument("Fleet: empty sleep ladder");
@@ -134,7 +145,6 @@ obs::FleetReport Fleet::run() {
   auto placement = make_placement(opts_.placement, fill);
 
   trace::ArrivalStream stream(spec_);
-  auto pending = stream.next();
 
   obs::FleetReport out;
   out.machines = M;
@@ -149,15 +159,90 @@ obs::FleetReport Fleet::run() {
              std::ceil(spec_.duration_s / opts_.epoch_s)));
   out.epochs = epochs;
 
+  // The worker pool lives for the whole run (spawned here, joined on
+  // scope exit) so epochs pay a wakeup, never a thread spawn. With
+  // threads == 1 (or one machine) no pool exists and every step below
+  // runs inline — the serial engine, byte for byte.
+  std::optional<util::ThreadPool> pool;
+  const std::size_t threads =
+      opts_.threads == 0 ? util::hardware_threads() : opts_.threads;
+  if (threads > 1 && M > 1) pool.emplace(threads);
+
   std::vector<MachineView> views(M);
-  std::vector<char> ran(M, 0);
+  std::vector<trace::Arrival> epoch_arrivals;  // reused across epochs
+
+  // The per-machine epoch step: run the staged batch (waking a sleeper
+  // first), then apply consolidation. Touches only slot i and reads
+  // only shared immutable state, so the pool may run any subset of
+  // machines concurrently; the serial engine calls it in index order.
+  const auto step_machine = [&](std::size_t i, double t0, double t1) {
+    auto& s = slots[i];
+    const bool ran = !s.staged.empty();
+    if (ran) {
+      double start;
+      if (s.parked) {
+        const double w = s.wake_at;
+        const double lat = opts_.ladder[s.state].wake_latency_s;
+        s.rep.sleep_residency_s[s.state] += w - s.state_enter;
+        s.rep.wakes_per_state[s.state]++;
+        s.rep.wakes++;
+        s.rep.wake_stall_s += lat;
+        s.parked_total_s += w - s.parked_since;
+        s.m->wake(w);
+        s.m->run_idle(w + lat);  // the wake stall, billed as powered idle
+        s.parked = false;
+        s.pending_wake = false;
+        s.epochs_in_state = 0;
+        start = w + lat;
+      } else {
+        start = std::max(s.m->charged_through(), t0);
+        s.m->run_idle(start);  // powered-idle gap since the last batch
+      }
+      s.batch.tasks.clear();
+      for (const auto& a : s.staged) {
+        trace::TraceTask t = a.task;
+        t.release_s = std::max(0.0, a.time_s - start);
+        s.batch.tasks.push_back(t);
+      }
+      const double end = s.m->run_batch(*s.policy, s.batch, start);
+      s.busy_until = end;
+      if (s.rep.first_start_s < 0.0) s.rep.first_start_s = start;
+      ++s.rep.batches;
+      s.idle_epochs = 0;
+      s.staged.clear();
+    }
+
+    // Consolidation: an idle machine parks, a sleeper sinks deeper.
+    if (s.parked) {
+      if (++s.epochs_in_state >= opts_.deepen_after_epochs &&
+          s.state + 1 < ladder_n) {
+        s.rep.sleep_residency_s[s.state] += t1 - s.state_enter;
+        ++s.state;
+        s.state_enter = t1;
+        s.epochs_in_state = 0;
+      }
+    } else if (ran || s.busy_until > t1) {
+      s.idle_epochs = 0;
+    } else if (++s.idle_epochs >= opts_.park_after_epochs) {
+      s.m->run_idle(t1);
+      s.m->park(t1);
+      s.parked = true;
+      s.state = 0;
+      s.parked_since = t1;
+      s.state_enter = t1;
+      s.epochs_in_state = 0;
+      s.idle_epochs = 0;
+      ++s.rep.parks;
+    }
+  };
 
   for (std::size_t e = 0; e < epochs; ++e) {
     const double t0 = static_cast<double>(e) * opts_.epoch_s;
     const double t1 = static_cast<double>(e + 1) * opts_.epoch_s;
     const bool last = e + 1 == epochs;
 
-    // Refresh routing views from the machines' committed state.
+    // Refresh routing views from the machines' committed state, then
+    // hand them to the placement's O(log M) index.
     for (std::size_t i = 0; i < M; ++i) {
       const auto& s = slots[i];
       auto& v = views[i];
@@ -167,12 +252,16 @@ obs::FleetReport Fleet::run() {
           s.parked ? opts_.ladder[s.state].wake_latency_s : 0.0;
       v.backlog_s = s.parked ? 0.0 : std::max(0.0, s.busy_until - t0);
     }
+    placement->begin_epoch(views);
 
-    // Route this epoch's arrivals task by task. The final epoch drains
-    // the stream unconditionally so float noise in epochs * epoch_s
-    // versus duration_s can never drop a tail arrival.
-    while (pending && (last || pending->time_s < t1)) {
-      const trace::Arrival& a = *pending;
+    // Route this epoch's arrivals task by task (serial — placement
+    // state is inherently sequential, each pick depends on the last).
+    // The final epoch drains the stream unconditionally so float noise
+    // in epochs * epoch_s versus duration_s can never drop a tail
+    // arrival.
+    epoch_arrivals.clear();
+    stream.drain_until(t1, last, epoch_arrivals);
+    for (const trace::Arrival& a : epoch_arrivals) {
       ++out.offered;
       out.offered_work_s += a.task.work_s;
       const std::size_t pick = placement->place(a.task.work_s, views);
@@ -196,74 +285,16 @@ obs::FleetReport Fleet::run() {
         s.staged.push_back(a);
         ++s.rep.routed;
         v.backlog_s += a.task.work_s / cores;
+        placement->update(pick, views);
       }
-      pending = stream.next();
     }
 
-    // Batch phase: every machine with staged work runs it as one batch.
-    std::fill(ran.begin(), ran.end(), 0);
-    for (std::size_t i = 0; i < M; ++i) {
-      auto& s = slots[i];
-      if (s.staged.empty()) continue;
-      ran[i] = 1;
-      double start;
-      if (s.parked) {
-        const double w = s.wake_at;
-        const double lat = opts_.ladder[s.state].wake_latency_s;
-        s.rep.sleep_residency_s[s.state] += w - s.state_enter;
-        s.rep.wakes_per_state[s.state]++;
-        s.rep.wakes++;
-        s.rep.wake_stall_s += lat;
-        s.parked_total_s += w - s.parked_since;
-        s.m->wake(w);
-        s.m->run_idle(w + lat);  // the wake stall, billed as powered idle
-        s.parked = false;
-        s.pending_wake = false;
-        s.epochs_in_state = 0;
-        start = w + lat;
-      } else {
-        start = std::max(s.m->charged_through(), t0);
-        s.m->run_idle(start);  // powered-idle gap since the last batch
-      }
-      trace::Batch batch;
-      batch.tasks.reserve(s.staged.size());
-      for (const auto& a : s.staged) {
-        trace::TraceTask t = a.task;
-        t.release_s = std::max(0.0, a.time_s - start);
-        batch.tasks.push_back(t);
-      }
-      const double end = s.m->run_batch(*s.policy, batch, start);
-      s.busy_until = end;
-      if (s.rep.first_start_s < 0.0) s.rep.first_start_s = start;
-      ++s.rep.batches;
-      s.idle_epochs = 0;
-      s.staged.clear();
-    }
-
-    // Consolidation: idle machines park, sleepers sink down the ladder.
-    for (std::size_t i = 0; i < M; ++i) {
-      auto& s = slots[i];
-      if (s.parked) {
-        if (++s.epochs_in_state >= opts_.deepen_after_epochs &&
-            s.state + 1 < ladder_n) {
-          s.rep.sleep_residency_s[s.state] += t1 - s.state_enter;
-          ++s.state;
-          s.state_enter = t1;
-          s.epochs_in_state = 0;
-        }
-      } else if (ran[i] || s.busy_until > t1) {
-        s.idle_epochs = 0;
-      } else if (++s.idle_epochs >= opts_.park_after_epochs) {
-        s.m->run_idle(t1);
-        s.m->park(t1);
-        s.parked = true;
-        s.state = 0;
-        s.parked_since = t1;
-        s.state_enter = t1;
-        s.epochs_in_state = 0;
-        s.idle_epochs = 0;
-        ++s.rep.parks;
-      }
+    // Machine-epoch phase: batches and consolidation, data-parallel
+    // across machines (the epoch barrier is parallel_for's return).
+    if (pool) {
+      pool->parallel_for(M, [&](std::size_t i) { step_machine(i, t0, t1); });
+    } else {
+      for (std::size_t i = 0; i < M; ++i) step_machine(i, t0, t1);
     }
   }
 
@@ -272,8 +303,10 @@ obs::FleetReport Fleet::run() {
   for (const auto& s : slots) horizon = std::max(horizon, s.busy_until);
   out.horizon_s = horizon;
 
+  // Per-machine finalization (idle tails, energy decomposition) is
+  // again machine-local and runs on the pool ...
   const double floor_w = opts_.machine.power.floor_w();
-  for (std::size_t i = 0; i < M; ++i) {
+  const auto finish_machine = [&](std::size_t i) {
     auto& s = slots[i];
     if (s.parked) {
       s.rep.sleep_residency_s[s.state] += horizon - s.state_enter;
@@ -299,7 +332,18 @@ obs::FleetReport Fleet::run() {
     s.rep.steals = s.m->total_steals();
     s.rep.probes = s.m->total_probes();
     s.rep.dvfs_transitions = s.m->total_transitions();
+  };
+  if (pool) {
+    pool->parallel_for(M, finish_machine);
+  } else {
+    for (std::size_t i = 0; i < M; ++i) finish_machine(i);
+  }
 
+  // ... while the fleet-level merge stays serial and in machine-index
+  // order, so floating-point sums associate identically no matter how
+  // the parallel phases interleaved.
+  for (std::size_t i = 0; i < M; ++i) {
+    auto& s = slots[i];
     out.routed += s.rep.routed;
     out.completed += s.rep.completed;
     out.parks += s.rep.parks;

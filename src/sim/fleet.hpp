@@ -24,7 +24,11 @@
 // (testing/oracles.hpp) re-derive and check.
 //
 // Everything is deterministic in the seeds: same FleetOptions + same
-// ArrivalSpec => bitwise-identical FleetReport.
+// ArrivalSpec => bitwise-identical FleetReport — at every
+// FleetOptions::threads setting. The parallel engine keeps routing
+// serial, runs the per-machine epoch work concurrently (machines share
+// no mutable state), and merges results in machine-index order; see
+// docs/fleet.md "Threading".
 #pragma once
 
 #include <cstddef>
@@ -94,6 +98,15 @@ struct FleetOptions {
   /// ladder[i-1] at t = 0 (the all-OFF cold-start shape). The initial
   /// park is counted in the park/transition ledgers.
   std::size_t initial_state = 0;
+
+  /// Worker threads for the per-machine epoch work: 1 = the serial
+  /// engine (default), 0 = one per hardware thread, N = exactly N
+  /// (values past util::ThreadPool::kMaxThreads are rejected). The
+  /// FleetReport is bit-identical for every value: routing stays
+  /// serial, machine epochs share no mutable state (each sim::Machine
+  /// owns its RNG and accounts), and results merge in machine-index
+  /// order — see docs/fleet.md.
+  std::size_t threads = 1;
 };
 
 /// The fleet simulator. Single-shot: construct, run() once.

@@ -31,6 +31,14 @@ void Machine::configure_pools(std::size_t groups) {
   if (groups == 0) {
     throw std::invalid_argument("Machine: need at least one pool group");
   }
+  if (group_count_ == groups && pools_.size() == cores() * groups) {
+    // Same shape as the previous batch (the common fleet case: one
+    // machine runs hundreds of thousands of batches with a fixed class
+    // count) — clear in place and keep each deque's allocated blocks.
+    for (auto& p : pools_) p.clear();
+    std::fill(group_counts_.begin(), group_counts_.end(), 0);
+    return;
+  }
   group_count_ = groups;
   pools_.assign(cores() * groups, {});
   group_counts_.assign(groups, 0);

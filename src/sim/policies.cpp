@@ -430,8 +430,24 @@ std::size_t RoundRobinPlacement::place(double,
   return pick;
 }
 
+void LeastLoadedPlacement::begin_epoch(
+    const std::vector<MachineView>& views) {
+  cost_.reset(views.size());
+  for (std::size_t i = 0; i < views.size(); ++i) update(i, views);
+}
+
+void LeastLoadedPlacement::update(std::size_t i,
+                                  const std::vector<MachineView>& views) {
+  cost_.update(i, views[i].backlog_s + views[i].wake_latency_s);
+}
+
 std::size_t LeastLoadedPlacement::place(
     double, const std::vector<MachineView>& views) {
+  // Indexed fast path: the tree's tie-to-left rule returns the same
+  // lowest-index minimum the scan below finds.
+  if (cost_.size() == views.size() && !views.empty()) {
+    return cost_.winner();
+  }
   std::size_t best = 0;
   double best_cost = views[0].backlog_s + views[0].wake_latency_s;
   for (std::size_t i = 1; i < views.size(); ++i) {
@@ -444,8 +460,45 @@ std::size_t LeastLoadedPlacement::place(
   return best;
 }
 
+void PackAndParkPlacement::begin_epoch(
+    const std::vector<MachineView>& views) {
+  packable_.reset(views.size());
+  sleepers_.reset(views.size());
+  cost_.reset(views.size());
+  for (std::size_t i = 0; i < views.size(); ++i) update(i, views);
+}
+
+void PackAndParkPlacement::update(std::size_t i,
+                                  const std::vector<MachineView>& views) {
+  const auto& v = views[i];
+  if (v.powered && v.backlog_s < fill_s_) {
+    packable_.update(i, v.backlog_s);
+  } else {
+    packable_.disable(i);
+  }
+  if (!v.powered) {
+    sleepers_.update(i, v.wake_latency_s);
+  } else {
+    sleepers_.disable(i);
+  }
+  cost_.update(i, v.backlog_s + v.wake_latency_s);
+}
+
 std::size_t PackAndParkPlacement::place(
     double, const std::vector<MachineView>& views) {
+  if (packable_.size() == views.size() && !views.empty()) {
+    // Indexed fast path: same three tiers, each answered in O(1) from a
+    // tree repaired in O(log M) per update.
+    if (const std::size_t w = packable_.winner();
+        w != decltype(packable_)::kNone) {
+      return w;
+    }
+    if (const std::size_t w = sleepers_.winner();
+        w != decltype(sleepers_)::kNone) {
+      return w;
+    }
+    return cost_.winner();
+  }
   // Densest-first: among powered machines below the fill line, the one
   // with the most backlog keeps the working set smallest.
   std::size_t pick = views.size();

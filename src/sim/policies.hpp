@@ -14,6 +14,7 @@
 //                 plus preference-based stealing.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -23,6 +24,7 @@
 #include "core/preference_list.hpp"
 #include "core/task_class.hpp"
 #include "sim/machine.hpp"
+#include "util/tournament_tree.hpp"
 
 namespace eewa::sim {
 
@@ -219,6 +221,15 @@ struct MachineView {
 };
 
 /// Routes arriving tasks to machines.
+///
+/// Two usage modes. The legacy mode is a bare `place(work_s, views)`
+/// per arrival, which scans views in O(M). The indexed mode is the
+/// fleet's hot path: `begin_epoch(views)` once after the per-epoch view
+/// refresh builds an internal index, each `place` answers from the
+/// index in O(log M), and `update(i, views)` repairs the index after
+/// the fleet mutates views[i] (staging work, starting a wake). Both
+/// modes return identical picks — the index encodes the same
+/// first-strictly-better tie rule the scans use.
 class FleetPlacement {
  public:
   virtual ~FleetPlacement() = default;
@@ -227,6 +238,19 @@ class FleetPlacement {
   /// `views` is kept current by the fleet between calls.
   virtual std::size_t place(double work_s,
                             const std::vector<MachineView>& views) = 0;
+  /// Build the O(log M) index over `views`. Without this call, place()
+  /// falls back to the linear scan. Call again whenever views were
+  /// changed outside update()'s knowledge (the fleet calls it once per
+  /// epoch, right after refreshing every view).
+  virtual void begin_epoch(const std::vector<MachineView>& views) {
+    (void)views;
+  }
+  /// Repair the index after views[i] changed. No-op for placements
+  /// without an index (round-robin never looks at the views).
+  virtual void update(std::size_t i, const std::vector<MachineView>& views) {
+    (void)i;
+    (void)views;
+  }
 };
 
 /// Baseline: cycle through machines regardless of state — wakes parked
@@ -249,6 +273,12 @@ class LeastLoadedPlacement : public FleetPlacement {
   std::string name() const override { return "least-loaded"; }
   std::size_t place(double work_s,
                     const std::vector<MachineView>& views) override;
+  void begin_epoch(const std::vector<MachineView>& views) override;
+  void update(std::size_t i, const std::vector<MachineView>& views) override;
+
+ private:
+  /// argmin over backlog + wake latency, ties to the lowest index.
+  util::TournamentTree<double, std::less<double>> cost_;
 };
 
 /// Energy-greedy pack-and-park: fill the *busiest* powered machine that
@@ -264,9 +294,17 @@ class PackAndParkPlacement : public FleetPlacement {
   std::string name() const override { return "pack"; }
   std::size_t place(double work_s,
                     const std::vector<MachineView>& views) override;
+  void begin_epoch(const std::vector<MachineView>& views) override;
+  void update(std::size_t i, const std::vector<MachineView>& views) override;
 
  private:
   double fill_s_;
+  /// argmax backlog over powered machines below the fill line.
+  util::TournamentTree<double, std::greater<double>> packable_;
+  /// argmin wake latency over parked machines.
+  util::TournamentTree<double, std::less<double>> sleepers_;
+  /// Spill tier: least-loaded argmin over everything.
+  util::TournamentTree<double, std::less<double>> cost_;
 };
 
 /// Placement factory: "round-robin", "least-loaded", "pack".

@@ -370,6 +370,11 @@ std::vector<FleetSpec> fleet_mutants(const FleetSpec& s) {
     t.initial_state = 0;  // warm start
     out.push_back(std::move(t));
   }
+  if (s.threads != 1) {
+    FleetSpec t = s;
+    t.threads = 1;  // serial engine: simplest repro of a fleet failure
+    out.push_back(std::move(t));
+  }
   if (s.max_backlog_s > 0.0) {
     FleetSpec t = s;
     t.max_backlog_s = 0.0;  // no shedding

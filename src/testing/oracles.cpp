@@ -844,6 +844,7 @@ sim::FleetOptions fleet_options(const FleetSpec& spec) {
   o.placement = spec.placement;
   o.max_backlog_s = spec.max_backlog_s;
   o.initial_state = spec.initial_state;
+  o.threads = spec.threads;
   return o;
 }
 
@@ -857,6 +858,20 @@ CheckResult check_fleet(const FleetSpec& spec) {
     if (!(a == b)) {
       return CheckResult::fail(
           "fleet determinism: two runs of the same spec differ");
+    }
+  }
+  {
+    // (1b) Serial-vs-parallel differential: every fuzz case also runs
+    // on the other engine (serial cases on 2 threads, parallel cases on
+    // the serial engine) and must reproduce the report bit for bit.
+    sim::FleetOptions other = opts;
+    other.threads = opts.threads > 1 ? 1 : 2;
+    const obs::FleetReport c = sim::Fleet(other, spec.arrivals).run();
+    if (!(a == c)) {
+      return CheckResult::fail(
+          fmtf("parallel engine diverged: threads=%zu vs threads=%zu "
+               "reports differ",
+               opts.threads, other.threads));
     }
   }
 

@@ -442,6 +442,11 @@ FleetSpec FleetSpec::random(std::uint64_t seed) {
   // Cold starts, up to all-OFF (deepest rung).
   spec.initial_state =
       rng.chance(0.7) ? 0 : 1 + rng.bounded(spec.ladder_power_w.size());
+  // Drawn last so the thread knob perturbs no earlier field: every
+  // historical seed keeps its shape, half the corpus now runs the
+  // parallel engine (whose report must match the serial one bitwise —
+  // check_fleet runs the differential on every case).
+  spec.threads = rng.chance(0.5) ? 1 : 2 + rng.bounded(4);
   return spec;
 }
 
@@ -450,11 +455,11 @@ std::string FleetSpec::summary() const {
   const char* kind =
       arrivals.kind == trace::ArrivalKind::kBursty ? "bursty" : "steady";
   appendf(out,
-          "FleetSpec seed=%llu machines=%zu cores=%zu policy=%s "
-          "placement=%s epoch=%.4g park_after=%zu deepen_after=%zu "
-          "tej=%.3g max_backlog=%.4g init_state=%zu load=%.2f kind=%s "
-          "burst={x%.2f %.3gs} dur=%.3g ladder=[",
-          static_cast<unsigned long long>(seed), machines, cores,
+          "FleetSpec seed=%llu machines=%zu cores=%zu threads=%zu "
+          "policy=%s placement=%s epoch=%.4g park_after=%zu "
+          "deepen_after=%zu tej=%.3g max_backlog=%.4g init_state=%zu "
+          "load=%.2f kind=%s burst={x%.2f %.3gs} dur=%.3g ladder=[",
+          static_cast<unsigned long long>(seed), machines, cores, threads,
           policy.c_str(), placement.c_str(), epoch_s, park_after_epochs,
           deepen_after_epochs, transition_energy_j, max_backlog_s,
           initial_state, arrivals.load, kind, arrivals.burst_factor,

@@ -142,6 +142,7 @@ struct FleetSpec {
   std::string placement = "least-loaded";
   double max_backlog_s = 0.0;     ///< 0 = never shed
   std::size_t initial_state = 0;  ///< 0 = powered, i = ladder[i-1]
+  std::size_t threads = 1;        ///< fleet engine threads (1 = serial)
 
   /// Deterministic expansion of a seed, degenerate shapes included.
   static FleetSpec random(std::uint64_t seed);

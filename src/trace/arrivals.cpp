@@ -58,6 +58,28 @@ ArrivalStream::ArrivalStream(const ArrivalSpec& spec)
 }
 
 std::optional<Arrival> ArrivalStream::next() {
+  if (peeked_) {
+    auto a = *peeked_;
+    peeked_.reset();
+    return a;
+  }
+  return generate();
+}
+
+std::size_t ArrivalStream::drain_until(double until_s, bool all,
+                                       std::vector<Arrival>& out) {
+  std::size_t appended = 0;
+  for (;;) {
+    if (!peeked_) peeked_ = generate();
+    if (!peeked_) return appended;
+    if (!all && !(peeked_->time_s < until_s)) return appended;
+    out.push_back(*peeked_);
+    peeked_.reset();
+    ++appended;
+  }
+}
+
+std::optional<Arrival> ArrivalStream::generate() {
   if (done_) return std::nullopt;
   const auto rate_at = [&](double t) {
     if (spec_.kind != ArrivalKind::kBursty) return rate_;

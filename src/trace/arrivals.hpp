@@ -78,9 +78,22 @@ class ArrivalStream {
   /// Next arrival in time order, or nullopt once past spec.duration_s.
   std::optional<Arrival> next();
 
+  /// Bulk form for epoch-driven consumers: append every remaining
+  /// arrival with time_s < until_s (all of them when `all` is set — the
+  /// fleet's final-epoch unconditional drain) to `out`, reusing out's
+  /// capacity, and return the count appended. Interleaving drain_until
+  /// and next() yields exactly the next()-only sequence; once `out` has
+  /// reached its high-water capacity, steady-state calls perform zero
+  /// heap allocations.
+  std::size_t drain_until(double until_s, bool all,
+                          std::vector<Arrival>& out);
+
   const ArrivalSpec& spec() const { return spec_; }
 
  private:
+  /// Generate the next arrival, ignoring the peek slot.
+  std::optional<Arrival> generate();
+
   ArrivalSpec spec_;
   util::Xoshiro256 rng_;
   std::vector<double> cdf_;  ///< class-selection CDF over weights
@@ -88,6 +101,9 @@ class ArrivalStream {
   double peak_rate_ = 0.0;
   double t_ = 0.0;
   bool done_ = false;
+  /// One-arrival lookahead for drain_until's boundary test; an arrival
+  /// at or past until_s stays here for the next call.
+  std::optional<Arrival> peeked_;
 };
 
 /// Generate the stream, sorted by time. Deterministic in spec.seed.

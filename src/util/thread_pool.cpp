@@ -1,0 +1,104 @@
+#include "util/thread_pool.hpp"
+
+#include <stdexcept>
+
+namespace eewa::util {
+
+std::size_t hardware_threads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<std::size_t>(n);
+}
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) threads = hardware_threads();
+  if (threads > kMaxThreads) {
+    throw std::invalid_argument("ThreadPool: " + std::to_string(threads) +
+                                " threads is not a plausible request");
+  }
+  workers_.reserve(threads - 1);
+  for (std::size_t i = 0; i + 1 < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  start_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::run_items(std::size_t n, Thunk thunk, void* ctx) {
+  if (n == 0) return;
+  if (workers_.empty()) {
+    // Degenerate single-thread pool: a plain loop, exceptions propagate
+    // directly — bit-for-bit the serial engine.
+    for (std::size_t i = 0; i < n; ++i) thunk(ctx, i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    thunk_ = thunk;
+    ctx_ = ctx;
+    n_ = n;
+    cursor_.store(0, std::memory_order_relaxed);
+    abort_.store(false, std::memory_order_relaxed);
+    error_ = nullptr;
+    active_ = workers_.size();
+    ++generation_;  // publishes the job to sleeping workers
+  }
+  start_cv_.notify_all();
+
+  // The caller is a full participant; once it runs dry every remaining
+  // item is in flight on a worker and the quiescence wait below is the
+  // epoch barrier. Waiting for *workers idle* (not just items done)
+  // also guarantees no straggler can observe the next job's cursor with
+  // this job's thunk — jobs never overlap.
+  work();
+
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] { return active_ == 0; });
+  thunk_ = nullptr;
+  ctx_ = nullptr;
+  if (error_) {
+    auto err = error_;
+    error_ = nullptr;
+    lock.unlock();
+    std::rethrow_exception(err);
+  }
+}
+
+void ThreadPool::work() {
+  for (std::size_t i = cursor_.fetch_add(1, std::memory_order_relaxed);
+       i < n_; i = cursor_.fetch_add(1, std::memory_order_relaxed)) {
+    if (abort_.load(std::memory_order_relaxed)) continue;  // drain claims
+    try {
+      thunk_(ctx_, i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!error_) error_ = std::current_exception();
+      abort_.store(true, std::memory_order_relaxed);
+    }
+  }
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      start_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+    }
+    work();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--active_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace eewa::util

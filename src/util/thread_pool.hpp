@@ -1,0 +1,97 @@
+// A persistent worker pool for deterministic data-parallel loops.
+//
+// Built for the fleet simulator's epoch loop: the pool is spawned once
+// per run, each epoch issues one parallel_for over the machine indices,
+// and the caller thread participates so `threads == 1` degenerates to a
+// plain loop with no cross-thread handoff. Work items are claimed from
+// a shared atomic cursor, so the *assignment* of items to threads is
+// nondeterministic — callers get determinism by keeping every item's
+// work independent (no shared mutable state) and merging results in
+// item-index order afterwards, never by relying on execution order.
+//
+// parallel_for is allocation-free in steady state (the callable is
+// passed by reference through a type-erased thunk, never copied into a
+// std::function), and the first exception thrown by any item is
+// captured and rethrown on the calling thread after the barrier.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <type_traits>
+#include <thread>
+#include <vector>
+
+namespace eewa::util {
+
+/// Worker threads available on this host (never 0).
+std::size_t hardware_threads();
+
+class ThreadPool {
+ public:
+  /// Spawns `threads - 1` workers (the caller is the remaining thread);
+  /// `threads == 0` means hardware_threads(). Throws
+  /// std::invalid_argument on an absurd request (> kMaxThreads), which
+  /// in practice catches unit confusion at call sites.
+  explicit ThreadPool(std::size_t threads);
+
+  /// Joins all workers. Must not be called while a parallel_for is live.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total threads that execute work (workers + the caller).
+  std::size_t size() const { return workers_.size() + 1; }
+
+  /// Guard against nonsense like passing a byte count as a thread count.
+  static constexpr std::size_t kMaxThreads = 1024;
+
+  /// Run fn(i) for every i in [0, n), distributing items over all
+  /// threads; the caller participates and the call returns only after
+  /// every item completed (an epoch barrier). If any fn(i) throws, the
+  /// remaining items are abandoned and the first captured exception is
+  /// rethrown here. Not reentrant: one parallel_for at a time.
+  template <typename Fn>
+  void parallel_for(std::size_t n, Fn&& fn) {
+    run_items(n,
+              [](void* ctx, std::size_t i) {
+                (*static_cast<std::remove_reference_t<Fn>*>(ctx))(i);
+              },
+              const_cast<void*>(
+                  static_cast<const void*>(std::addressof(fn))));
+  }
+
+ private:
+  using Thunk = void (*)(void* ctx, std::size_t item);
+
+  void run_items(std::size_t n, Thunk thunk, void* ctx);
+  void work();
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  std::uint64_t generation_ = 0;  ///< bumped per parallel_for, under mu_
+  std::size_t active_ = 0;        ///< workers inside the current job
+  bool stop_ = false;
+
+  // Current job. Written under mu_ before the generation bump; workers
+  // read it only after observing the new generation under mu_, and the
+  // caller waits for every worker to leave the job before the next one
+  // is published — so these plain fields never race.
+  Thunk thunk_ = nullptr;
+  void* ctx_ = nullptr;
+  std::size_t n_ = 0;
+  std::atomic<std::size_t> cursor_{0};
+  std::atomic<bool> abort_{false};
+  std::exception_ptr error_;  ///< first failure, under mu_
+};
+
+}  // namespace eewa::util

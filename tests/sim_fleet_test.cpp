@@ -10,6 +10,7 @@
 #include "sim/fleet.hpp"
 #include "sim/simulate.hpp"
 #include "trace/arrivals.hpp"
+#include "util/thread_pool.hpp"
 
 namespace eewa::sim {
 namespace {
@@ -246,6 +247,99 @@ TEST(Fleet, ArrivalStreamMatchesGenerate) {
     ++i;
   }
   EXPECT_EQ(i, all.size());
+}
+
+// The parallel-engine contract: every FleetOptions::threads value
+// yields the byte-identical FleetReport the serial engine produces.
+// Covers the degenerate shapes where the parallel path could plausibly
+// diverge — one machine (no pool at all), an all-OFF cold start (every
+// first batch wakes a sleeper), and a zero-arrival stream (pure
+// consolidation, no batches) — at 2 threads, hardware concurrency, and
+// more threads than machines.
+TEST(Fleet, ParallelMatchesSerialBitwise) {
+  struct Shape {
+    const char* name;
+    FleetOptions opts;
+    trace::ArrivalSpec arr;
+  };
+  std::vector<Shape> shapes;
+  {
+    Shape s{"baseline", small_fleet(4, 4), small_arrivals(16)};
+    shapes.push_back(s);
+  }
+  {
+    Shape s{"pack placement", small_fleet(8, 4), small_arrivals(32)};
+    s.opts.placement = "pack";
+    s.opts.park_after_epochs = 1;
+    s.arr.load = 0.15;
+    shapes.push_back(s);
+  }
+  {
+    Shape s{"one machine", small_fleet(1, 4), small_arrivals(4)};
+    shapes.push_back(s);
+  }
+  {
+    Shape s{"all-OFF cold start", small_fleet(3, 2), small_arrivals(6)};
+    s.opts.initial_state = s.opts.ladder.size();
+    shapes.push_back(s);
+  }
+  {
+    Shape s{"zero arrivals", small_fleet(3, 2), small_arrivals(6)};
+    s.arr.load = 0.0;
+    shapes.push_back(s);
+  }
+  {
+    Shape s{"shedding overload", small_fleet(4, 2), small_arrivals(8)};
+    s.opts.max_backlog_s = 0.005;
+    s.arr.load = 3.0;
+    shapes.push_back(s);
+  }
+
+  for (auto& shape : shapes) {
+    shape.opts.threads = 1;
+    const auto serial = Fleet(shape.opts, shape.arr).run();
+    for (const std::size_t threads :
+         {std::size_t{2}, std::size_t{0},
+          shape.opts.machines + 5}) {
+      auto opts = shape.opts;
+      opts.threads = threads;
+      const auto parallel = Fleet(opts, shape.arr).run();
+      EXPECT_TRUE(parallel == serial)
+          << shape.name << " with threads=" << threads
+          << " diverged from the serial engine";
+    }
+  }
+}
+
+TEST(Fleet, ParallelGoldenPinnedSeed) {
+  // The pinned golden must hold on the parallel engine too — same
+  // ledgers, same doubles.
+  auto opts = small_fleet();
+  opts.placement = "pack";
+  opts.threads = 3;
+  const auto arr = small_arrivals(16);
+  const auto r = Fleet(opts, arr).run();
+  EXPECT_EQ(r.epochs, 6u);
+  EXPECT_EQ(r.offered, 8290u);
+  EXPECT_EQ(r.completed, 8290u);
+  EXPECT_EQ(r.parks, 1u);
+  EXPECT_EQ(r.wakes, 1u);
+  EXPECT_NEAR(r.horizon_s, 0.096119446201840528, 1e-15);
+  EXPECT_NEAR(r.energy_j, 78.73480106426436, 1e-9);
+}
+
+TEST(Fleet, ValidatesThreadCount) {
+  const auto arr = small_arrivals(8);
+  {
+    auto o = small_fleet();
+    o.threads = util::ThreadPool::kMaxThreads + 1;
+    EXPECT_THROW(Fleet(o, arr), std::invalid_argument);
+  }
+  {
+    auto o = small_fleet();
+    o.threads = util::ThreadPool::kMaxThreads;  // absurd but legal
+    Fleet f(o, arr);  // must not throw
+  }
 }
 
 TEST(Fleet, PackAndParkBeatsRoundRobinOnEnergy) {

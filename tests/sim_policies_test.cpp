@@ -5,8 +5,10 @@
 // small, deterministic instances.
 #include <gtest/gtest.h>
 
+#include "sim/policies.hpp"
 #include "sim/simulate.hpp"
 #include "trace/synthetic.hpp"
+#include "util/rng.hpp"
 
 namespace eewa::sim {
 namespace {
@@ -235,6 +237,51 @@ TEST(EewaSim, MoreCoresMoreSavings) {
   const double s16 = saving(16);
   EXPECT_GT(s16, s4);
   EXPECT_GT(s16, 0.05);
+}
+
+// The indexed (tournament-tree) placement mode must return the same
+// pick as the legacy linear scan on every call — same argmin/argmax,
+// same ties-to-lowest-index rule — under epoch-style churn: views
+// re-randomized per epoch (begin_epoch), then mutated pick-by-pick the
+// way Fleet::run stages work and starts wakes (update).
+TEST(FleetPlacement, IndexedModeMatchesLinearScan) {
+  for (const char* name : {"least-loaded", "pack"}) {
+    auto indexed = make_placement(name, 0.04);
+    auto scan = make_placement(name, 0.04);
+    util::Xoshiro256 rng(11);
+    const std::size_t m = 23;  // not a power of two
+    std::vector<MachineView> vi(m), vs(m);
+    for (int epoch = 0; epoch < 40; ++epoch) {
+      for (std::size_t i = 0; i < m; ++i) {
+        MachineView v;
+        v.powered = rng.chance(0.7);
+        // Coarse grid => frequent exact ties, the risky case.
+        v.backlog_s = 0.01 * std::floor(rng.uniform() * 8.0);
+        v.sleep_state = v.powered ? 0 : (rng.uniform() < 0.5 ? 0 : 2);
+        v.wake_latency_s = v.powered ? 0.0 : 0.001 * (v.sleep_state + 1);
+        if (!v.powered) v.backlog_s = 0.0;
+        vi[i] = vs[i] = v;
+      }
+      indexed->begin_epoch(vi);
+      for (int task = 0; task < 64; ++task) {
+        const double work = rng.uniform() * 0.01;
+        const std::size_t a = indexed->place(work, vi);
+        const std::size_t b = scan->place(work, vs);
+        ASSERT_EQ(a, b) << name << " epoch " << epoch << " task " << task;
+        for (auto* views : {&vi, &vs}) {
+          auto& v = (*views)[a];
+          if (!v.powered) {
+            v.powered = true;
+            v.backlog_s += v.wake_latency_s;
+            v.wake_latency_s = 0.0;
+            v.sleep_state = 0;
+          }
+          v.backlog_s += work / 4.0;
+        }
+        indexed->update(a, vi);
+      }
+    }
+  }
 }
 
 }  // namespace

@@ -3,9 +3,13 @@
 // formatting.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <cstdint>
+#include <functional>
 #include <set>
+#include <stdexcept>
+#include <vector>
 
 #include "util/aligned.hpp"
 #include "util/bit_io.hpp"
@@ -16,6 +20,8 @@
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/table_printer.hpp"
+#include "util/thread_pool.hpp"
+#include "util/tournament_tree.hpp"
 
 namespace eewa::util {
 namespace {
@@ -363,6 +369,117 @@ TEST(Xoshiro256, ChanceRespectsProbability) {
   EXPECT_NEAR(hits / 10000.0, 0.25, 0.02);
   Xoshiro256 rng2(13);
   for (int i = 0; i < 100; ++i) EXPECT_FALSE(rng2.chance(0.0));
+}
+
+TEST(TournamentTree, WinnerIsLowestIndexArgmin) {
+  using MinTree = TournamentTree<double, std::less<double>>;
+  MinTree t;
+  t.reset(5);
+  EXPECT_EQ(t.winner(), MinTree::kNone);
+  const double keys[] = {3.0, 1.0, 4.0, 1.0, 5.0};
+  for (std::size_t i = 0; i < 5; ++i) t.update(i, keys[i]);
+  // Ties break to the lowest index — the semantics of the fleet's
+  // first-strictly-better linear scans.
+  EXPECT_EQ(t.winner(), 1u);
+  t.update(1, 10.0);
+  EXPECT_EQ(t.winner(), 3u);
+  t.update(4, 0.5);
+  EXPECT_EQ(t.winner(), 4u);
+}
+
+TEST(TournamentTree, DisableRemovesFromContention) {
+  using MaxTree = TournamentTree<double, std::greater<double>>;
+  MaxTree t;  // argmax flavor
+  t.reset(4);
+  for (std::size_t i = 0; i < 4; ++i)
+    t.update(i, static_cast<double>(i));
+  EXPECT_EQ(t.winner(), 3u);
+  t.disable(3);
+  EXPECT_EQ(t.winner(), 2u);
+  EXPECT_FALSE(t.contains(3));
+  t.disable(2);
+  t.disable(1);
+  t.disable(0);
+  EXPECT_EQ(t.winner(), MaxTree::kNone);
+  t.update(2, 7.0);
+  EXPECT_EQ(t.winner(), 2u);
+}
+
+TEST(TournamentTree, MatchesLinearScanOnRandomChurn) {
+  using MinTree = TournamentTree<double, std::less<double>>;
+  MinTree t;
+  const std::size_t n = 37;  // deliberately not a power of two
+  t.reset(n);
+  std::vector<double> keys(n, 0.0);
+  std::vector<char> on(n, 0);
+  Xoshiro256 rng(7);
+  for (int step = 0; step < 2000; ++step) {
+    const std::size_t i = static_cast<std::size_t>(rng.uniform() * n) % n;
+    if (on[i] && rng.chance(0.3)) {
+      t.disable(i);
+      on[i] = 0;
+    } else {
+      keys[i] = rng.uniform() * 8.0;  // collisions likely: tie coverage
+      t.update(i, keys[i]);
+      on[i] = 1;
+    }
+    std::size_t best = MinTree::kNone;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (on[j] && (best == MinTree::kNone || keys[j] < keys[best])) best = j;
+    }
+    ASSERT_EQ(t.winner(), best) << "step " << step;
+  }
+}
+
+TEST(ThreadPool, RunsEveryItemExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::vector<std::atomic<int>> hits(257);
+  for (auto& h : hits) h = 0;
+  pool.parallel_for(hits.size(), [&](std::size_t i) { hits[i]++; });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "item " << i;
+  }
+  // Reuse across jobs (the fleet issues one job per epoch).
+  std::atomic<std::size_t> sum{0};
+  for (int round = 0; round < 50; ++round) {
+    pool.parallel_for(10, [&](std::size_t i) { sum += i; });
+  }
+  EXPECT_EQ(sum.load(), 50u * 45u);
+}
+
+TEST(ThreadPool, SingleThreadAndEmptyJobsDegrade) {
+  ThreadPool pool(1);  // no workers: parallel_for is a plain loop
+  int calls = 0;
+  pool.parallel_for(8, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 8);
+  pool.parallel_for(0, [&](std::size_t) { ADD_FAILURE() << "n == 0"; });
+  ThreadPool wide(8);
+  std::atomic<int> hits{0};
+  wide.parallel_for(3, [&](std::size_t) { hits++; });  // n < threads
+  EXPECT_EQ(hits.load(), 3);
+}
+
+TEST(ThreadPool, PropagatesTheFirstException) {
+  ThreadPool pool(3);
+  EXPECT_THROW(
+      pool.parallel_for(64,
+                        [&](std::size_t i) {
+                          if (i == 17) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+  // The pool must survive a failed job.
+  std::atomic<int> hits{0};
+  pool.parallel_for(16, [&](std::size_t) { hits++; });
+  EXPECT_EQ(hits.load(), 16);
+}
+
+TEST(ThreadPool, RejectsAbsurdThreadCounts) {
+  EXPECT_THROW(ThreadPool(ThreadPool::kMaxThreads + 1),
+               std::invalid_argument);
+  EXPECT_GE(hardware_threads(), 1u);
+  ThreadPool hw(0);  // 0 = hardware concurrency
+  EXPECT_GE(hw.size(), 1u);
 }
 
 TEST(Mix64, StatelessAndStable) {

@@ -9,7 +9,7 @@
 //
 // Usage:
 //   fuzz_explorer [--mode search|search-large|runtime|energy|service|
-//                         fleet|all]
+//                         fleet|hetero|all]
 //                 [--seed N]
 //                 [--count N] [--replay N] [--shrink] [--out FILE]
 //                 [--verbose]
@@ -87,7 +87,8 @@ int main(int argc, char** argv) {
   if (mode_arg == "all") {
     modes = {testing::FuzzMode::kSearch, testing::FuzzMode::kSearchLarge,
              testing::FuzzMode::kRuntime, testing::FuzzMode::kEnergy,
-             testing::FuzzMode::kService, testing::FuzzMode::kFleet};
+             testing::FuzzMode::kService, testing::FuzzMode::kFleet,
+             testing::FuzzMode::kHetero};
   } else if (mode_arg == "search") {
     modes = {testing::FuzzMode::kSearch};
   } else if (mode_arg == "search-large") {
@@ -100,6 +101,8 @@ int main(int argc, char** argv) {
     modes = {testing::FuzzMode::kService};
   } else if (mode_arg == "fleet") {
     modes = {testing::FuzzMode::kFleet};
+  } else if (mode_arg == "hetero") {
+    modes = {testing::FuzzMode::kHetero};
   } else {
     std::fprintf(stderr, "unknown mode: %s\n", mode_arg.c_str());
     return 2;

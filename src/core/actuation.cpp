@@ -72,39 +72,54 @@ FrequencyPlan reconcile_plan(const FrequencyPlan& intended,
   const std::size_t total = intended.layout.total_cores();
 
   // Regroup: cores the backend reports on go by achieved rung; cores the
-  // backend does not cover keep the plan's intent.
-  std::map<std::size_t, std::vector<std::size_t>> by_rung;
+  // backend does not cover keep the plan's intent. On heterogeneous
+  // machines each cluster owns an independent ladder, so rungs are only
+  // comparable within a core type: groups are keyed by (type, rung) and
+  // a core's type is whatever the intended layout assigned it (the
+  // hardware cannot move a core between clusters).
+  std::vector<std::size_t> type_of_core(total, 0);
+  for (const auto& g : intended.layout.groups()) {
+    for (std::size_t c : g.cores) {
+      if (c < total) type_of_core[c] = g.core_type;
+    }
+  }
+  std::map<std::pair<std::size_t, std::size_t>, std::vector<std::size_t>>
+      by_key;  // (type, rung) -> cores
   for (std::size_t c = 0; c < achieved.size() && c < total; ++c) {
-    by_rung[achieved[c]].push_back(c);
+    by_key[{type_of_core[c], achieved[c]}].push_back(c);
   }
   for (const auto& g : intended.layout.groups()) {
     for (std::size_t c : g.cores) {
       if (c >= achieved.size() && c < total) {
-        by_rung[g.freq_index].push_back(c);
+        by_key[{g.core_type, g.freq_index}].push_back(c);
       }
     }
   }
 
   std::vector<dvfs::CGroup> groups;
-  std::vector<std::size_t> group_rung;
-  for (auto& [rung, cores] : by_rung) {
+  std::vector<std::pair<std::size_t, std::size_t>> group_key;
+  for (auto& [key, cores] : by_key) {
     std::sort(cores.begin(), cores.end());
-    group_rung.push_back(rung);
-    groups.push_back(dvfs::CGroup{rung, std::move(cores)});
+    group_key.push_back(key);
+    groups.push_back(dvfs::CGroup{
+        .freq_index = key.second, .core_type = key.first,
+        .cores = std::move(cores)});
   }
 
-  // Every class moves to the group whose rung is nearest its intended
-  // one; ties go to the faster group so no class loses feasibility.
+  // Every class moves to the group (of its intended type) whose rung is
+  // nearest its intended one; ties go to the faster group so no class
+  // loses feasibility.
   std::vector<std::size_t> class_to_group(intended.layout.class_count(), 0);
   for (std::size_t k = 0; k < class_to_group.size(); ++k) {
-    const std::size_t want =
-        intended.layout.freq_index(intended.layout.group_of_class(k));
+    const auto& home =
+        intended.layout.group(intended.layout.group_of_class(k));
+    const std::size_t want = home.freq_index;
     std::size_t best = 0;
     std::size_t best_dist = static_cast<std::size_t>(-1);
-    for (std::size_t g = 0; g < group_rung.size(); ++g) {
-      const std::size_t dist = group_rung[g] > want
-                                   ? group_rung[g] - want
-                                   : want - group_rung[g];
+    for (std::size_t g = 0; g < group_key.size(); ++g) {
+      if (group_key[g].first != home.core_type) continue;
+      const std::size_t rung = group_key[g].second;
+      const std::size_t dist = rung > want ? rung - want : want - rung;
       if (dist < best_dist) {
         best_dist = dist;
         best = g;

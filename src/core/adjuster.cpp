@@ -12,6 +12,11 @@ Adjuster::Adjuster(dvfs::FrequencyLadder ladder, std::size_t total_cores,
   if (total_cores_ == 0) {
     throw std::invalid_argument("Adjuster: need at least one core");
   }
+  if (options_.topology != nullptr &&
+      options_.topology->total_cores() != total_cores_) {
+    throw std::invalid_argument(
+        "Adjuster: topology core count does not match total_cores");
+  }
 }
 
 Adjustment Adjuster::adjust(std::vector<ClassProfile> classes,
@@ -24,9 +29,13 @@ Adjustment Adjuster::adjust(std::vector<ClassProfile> classes,
   }
   out.attempted = true;
   const double margin = std::clamp(options_.time_margin, 0.0, 0.9);
-  out.cc = CCTable::build(std::move(classes), ladder_,
-                          ideal_time_s * (1.0 - margin),
-                          options_.memory_aware);
+  out.cc = options_.topology != nullptr
+               ? CCTable::build_typed(std::move(classes), *options_.topology,
+                                      ideal_time_s * (1.0 - margin),
+                                      options_.memory_aware)
+               : CCTable::build(std::move(classes), ladder_,
+                                ideal_time_s * (1.0 - margin),
+                                options_.memory_aware);
   out.search =
       search_ktuple(out.cc, total_cores_, options_.search, options_.model);
   out.plan = make_frequency_plan(out.cc, out.search, total_cores_, ladder_,
@@ -45,9 +54,13 @@ Adjustment Adjuster::adjust_incremental(
   }
   out.attempted = true;
   const double margin = std::clamp(options_.time_margin, 0.0, 0.9);
-  out.cc = CCTable::build(std::move(classes), ladder_,
-                          ideal_time_s * (1.0 - margin),
-                          options_.memory_aware);
+  out.cc = options_.topology != nullptr
+               ? CCTable::build_typed(std::move(classes), *options_.topology,
+                                      ideal_time_s * (1.0 - margin),
+                                      options_.memory_aware)
+               : CCTable::build(std::move(classes), ladder_,
+                                ideal_time_s * (1.0 - margin),
+                                options_.memory_aware);
   if (!prefix_rungs.empty() && prefix_rungs.size() <= out.cc.cols()) {
     out.search = search_suffix(out.cc, total_cores_, options_.search,
                                prefix_rungs, options_.model);

@@ -3,9 +3,11 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <vector>
 
 #include "core/cc_table.hpp"
+#include "core/core_type.hpp"
 #include "core/frequency_plan.hpp"
 #include "core/ktuple_search.hpp"
 #include "core/task_class.hpp"
@@ -29,6 +31,13 @@ struct AdjusterOptions {
   /// keeps the controller planning (rather than falling back to plain
   /// work-stealing) for memory-bound applications.
   bool memory_aware = false;
+  /// Heterogeneous machine description. When set, the pipeline builds
+  /// per-core-type CC columns (CCTable::build_typed), the search runs
+  /// with per-type capacity, and the plan carves each cluster's own
+  /// core-id range; `ladder` then only describes the reference (type 0)
+  /// cluster for callers that still need a ladder. The topology's total
+  /// core count must equal the adjuster's.
+  std::shared_ptr<const MachineTopology> topology;
 };
 
 /// One adjustment outcome: the plan plus search diagnostics.

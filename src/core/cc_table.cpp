@@ -45,6 +45,38 @@ CCTable CCTable::build(std::vector<ClassProfile> classes,
   return CCTable(r, k, std::move(data), std::move(classes), ideal_time_s);
 }
 
+CCTable CCTable::build_typed(std::vector<ClassProfile> classes,
+                             const MachineTopology& topology,
+                             double ideal_time_s, bool memory_aware) {
+  if (classes.empty()) {
+    throw std::invalid_argument("CCTable: no task classes");
+  }
+  if (ideal_time_s <= 0.0) {
+    throw std::invalid_argument("CCTable: ideal time must be > 0");
+  }
+  for (std::size_t i = 1; i < classes.size(); ++i) {
+    if (classes[i].mean_workload > classes[i - 1].mean_workload) {
+      throw std::invalid_argument(
+          "CCTable: classes must be sorted by descending mean workload");
+    }
+  }
+  const std::size_t r = topology.row_count();
+  const std::size_t k = classes.size();
+  std::vector<double> data(r * k, 0.0);
+  for (std::size_t i = 0; i < k; ++i) {
+    const double base = classes[i].total_workload() / ideal_time_s;
+    const double alpha = memory_aware ? classes[i].mean_alpha : 0.0;
+    for (std::size_t j = 0; j < r; ++j) {
+      const double eff_slowdown =
+          alpha + (1.0 - alpha) * topology.row_slowdown(j);
+      data[j * k + i] = eff_slowdown * base;
+    }
+  }
+  CCTable table(r, k, std::move(data), std::move(classes), ideal_time_s);
+  table.topology_ = std::make_shared<const MachineTopology>(topology);
+  return table;
+}
+
 CCTable CCTable::from_matrix(std::vector<std::vector<double>> rows,
                              std::vector<ClassProfile> classes) {
   if (rows.empty() || rows[0].empty()) {
@@ -67,6 +99,16 @@ CCTable CCTable::from_matrix(std::vector<std::vector<double>> rows,
     }
   } else if (classes.size() != k) {
     throw std::invalid_argument("CCTable: classes/columns mismatch");
+  } else {
+    // Explicit metadata gets the same ordering contract as build():
+    // search_pruned's dominance and lower-bound tables assume columns
+    // descend by mean workload. Bare matrices stay positional.
+    for (std::size_t i = 1; i < k; ++i) {
+      if (classes[i].mean_workload > classes[i - 1].mean_workload) {
+        throw std::invalid_argument(
+            "CCTable: classes must be sorted by descending mean workload");
+      }
+    }
   }
   return CCTable(r, k, std::move(data), std::move(classes), 0.0);
 }

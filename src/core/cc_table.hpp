@@ -10,9 +10,11 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "core/core_type.hpp"
 #include "core/task_class.hpp"
 #include "dvfs/frequency_ladder.hpp"
 
@@ -37,8 +39,22 @@ class CCTable {
                        const dvfs::FrequencyLadder& ladder,
                        double ideal_time_s, bool memory_aware = false);
 
+  /// Heterogeneous build: rows are the topology's flattened (type, rung)
+  /// pairs in descending effective-speed order, and each row scales by
+  /// that row's effective slowdown
+  ///   s_eff(row) = α + (1 - α) · row_slowdown(row)
+  /// (row_slowdown generalizes F0/Fj to speed(row 0)/speed(row)). The
+  /// table keeps a copy of the topology; searchers and the plan carver
+  /// detect it via topology() and enforce per-type core capacities.
+  static CCTable build_typed(std::vector<ClassProfile> classes,
+                             const MachineTopology& topology,
+                             double ideal_time_s, bool memory_aware = false);
+
   /// Build directly from a dense matrix (tests / worked examples). `cc`
-  /// is row-major r×k.
+  /// is row-major r×k. When explicit class metadata is passed, it must
+  /// be sorted by descending mean workload, exactly as build() enforces
+  /// — search_pruned's dominance tables assume that order. Bare matrices
+  /// (no classes) are taken positionally, as given.
   static CCTable from_matrix(std::vector<std::vector<double>> rows,
                              std::vector<ClassProfile> classes = {});
 
@@ -79,6 +95,11 @@ class CCTable {
   /// Ideal iteration time used for the build (0 for bare matrices).
   double ideal_time_s() const { return ideal_time_s_; }
 
+  /// Topology behind a build_typed() table; nullptr for homogeneous
+  /// tables. Rows of a typed table are topology()->row_count() flattened
+  /// (type, rung) pairs.
+  const MachineTopology* topology() const { return topology_.get(); }
+
   /// Render like the paper's Table I.
   std::string to_string() const;
 
@@ -91,6 +112,7 @@ class CCTable {
   std::vector<double> data_;  // row-major
   std::vector<ClassProfile> classes_;
   double ideal_time_s_ = 0.0;
+  std::shared_ptr<const MachineTopology> topology_;
 };
 
 }  // namespace eewa::core

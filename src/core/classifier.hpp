@@ -15,11 +15,16 @@ namespace eewa::core {
 /// linear in the miss rate up to a saturation point (~one miss per 25
 /// instructions ≈ fully stall-bound on the paper's class of hardware).
 /// Used when only PMC counters, not direct stall measurements, exist.
+/// Hardened against adversarial counter readings: NaN or non-positive
+/// CMI clamps to 0, +inf (and any over-saturated value) to 1, and a
+/// degenerate saturation point saturates immediately — the result is
+/// always a valid stall fraction in [0, 1], monotone in cmi.
 inline double estimate_alpha_from_cmi(double cmi,
                                       double saturation_cmi = 0.04) {
-  if (cmi <= 0.0) return 0.0;
+  if (!(cmi > 0.0)) return 0.0;             // covers NaN and <= 0
+  if (!(saturation_cmi > 0.0)) return 1.0;  // degenerate saturation
   const double alpha = cmi / saturation_cmi;
-  return alpha > 1.0 ? 1.0 : alpha;
+  return alpha >= 1.0 ? 1.0 : alpha;        // covers +inf and NaN ratios
 }
 
 /// Streaming cache-miss-intensity classifier.

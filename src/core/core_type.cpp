@@ -1,0 +1,178 @@
+#include "core/core_type.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+#include <stdexcept>
+
+namespace eewa::core {
+
+MachineTopology::MachineTopology(std::vector<CoreType> types)
+    : types_(std::move(types)) {
+  if (types_.empty()) {
+    throw std::invalid_argument("MachineTopology: need at least one type");
+  }
+  const bool with_models = types_.front().model != nullptr;
+  first_core_.reserve(types_.size());
+  row_of_.resize(types_.size());
+  for (std::size_t t = 0; t < types_.size(); ++t) {
+    const CoreType& ct = types_[t];
+    if (ct.count == 0) {
+      throw std::invalid_argument("MachineTopology: type with zero cores");
+    }
+    if (ct.mips_scale.size() != ct.ladder.size()) {
+      throw std::invalid_argument(
+          "MachineTopology: mips_scale must be ladder-parallel");
+    }
+    for (double s : ct.mips_scale) {
+      if (!(s > 0.0)) {
+        throw std::invalid_argument(
+            "MachineTopology: mips_scale entries must be positive");
+      }
+    }
+    for (std::size_t j = 1; j < ct.ladder.size(); ++j) {
+      if (!(ct.ladder.ghz(j) * ct.mips_scale[j] <
+            ct.ladder.ghz(j - 1) * ct.mips_scale[j - 1])) {
+        throw std::invalid_argument(
+            "MachineTopology: effective speed (ghz * mips) must be "
+            "strictly decreasing across a type's rungs");
+      }
+    }
+    if ((ct.model != nullptr) != with_models) {
+      throw std::invalid_argument(
+          "MachineTopology: power models are all-or-none across types");
+    }
+    if (ct.model != nullptr &&
+        ct.model->ladder().size() != ct.ladder.size()) {
+      throw std::invalid_argument(
+          "MachineTopology: a type's power model must cover its ladder");
+    }
+    first_core_.push_back(total_cores_);
+    total_cores_ += ct.count;
+  }
+
+  // Flatten every (type, rung) pair and sort by descending effective
+  // speed; equal speeds keep declaration order (lower type index first)
+  // so the layout is deterministic.
+  struct Row {
+    std::size_t t, j;
+    double speed;
+  };
+  std::vector<Row> rows;
+  for (std::size_t t = 0; t < types_.size(); ++t) {
+    for (std::size_t j = 0; j < types_[t].ladder.size(); ++j) {
+      rows.push_back(
+          Row{t, j, types_[t].ladder.ghz(j) * types_[t].mips_scale[j]});
+    }
+  }
+  std::stable_sort(rows.begin(), rows.end(),
+                   [](const Row& a, const Row& b) { return a.speed > b.speed; });
+  row_type_.reserve(rows.size());
+  row_rung_.reserve(rows.size());
+  row_speed_.reserve(rows.size());
+  for (std::size_t t = 0; t < types_.size(); ++t) {
+    row_of_[t].assign(types_[t].ladder.size(), 0);
+  }
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    row_type_.push_back(rows[r].t);
+    row_rung_.push_back(rows[r].j);
+    row_speed_.push_back(rows[r].speed);
+    row_of_[rows[r].t][rows[r].j] = r;
+  }
+}
+
+std::size_t MachineTopology::type_of_core(std::size_t core) const {
+  if (core >= total_cores_) {
+    throw std::out_of_range("MachineTopology: core id out of range");
+  }
+  std::size_t t = types_.size() - 1;
+  while (first_core_[t] > core) --t;
+  return t;
+}
+
+std::size_t MachineTopology::row_of(std::size_t t, std::size_t rung) const {
+  return row_of_.at(t).at(rung);
+}
+
+std::size_t MachineTopology::slowest_row_of_type(std::size_t t) const {
+  return row_of_.at(t).back();
+}
+
+std::size_t MachineTopology::max_rungs() const {
+  std::size_t r = 0;
+  for (const auto& t : types_) r = std::max(r, t.ladder.size());
+  return r;
+}
+
+bool MachineTopology::uniform_rung_count() const {
+  for (const auto& t : types_) {
+    if (t.ladder.size() != types_.front().ladder.size()) return false;
+  }
+  return true;
+}
+
+double MachineTopology::row_active_w(std::size_t row) const {
+  if (has_power_models()) {
+    return types_[row_type_.at(row)].model->core_power_w(row_rung_[row],
+                                                         /*active=*/true);
+  }
+  const double rel = row_speed_.at(row) / row_speed_.front();
+  return rel * rel * rel;
+}
+
+double MachineTopology::row_idle_w(std::size_t row) const {
+  if (has_power_models()) {
+    return types_[row_type_.at(row)].model->core_power_w(row_rung_[row],
+                                                         /*active=*/false);
+  }
+  return row_active_w(row);
+}
+
+std::string MachineTopology::to_string() const {
+  std::string out;
+  for (std::size_t t = 0; t < types_.size(); ++t) {
+    if (t > 0) out += " + ";
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%zux ", types_[t].count);
+    out += types_[t].name + " " + buf + types_[t].ladder.to_string();
+  }
+  return out;
+}
+
+MachineTopology MachineTopology::big_little() {
+  CoreType big;
+  big.name = "big";
+  big.ladder = dvfs::FrequencyLadder::opteron8380();
+  big.mips_scale = {1.0, 1.0, 1.0, 1.0};
+  big.model = std::make_shared<energy::PowerModel>(
+      energy::PowerModel::opteron8380_server());
+  big.count = 4;
+
+  CoreType little;
+  little.name = "LITTLE";
+  little.ladder = dvfs::FrequencyLadder({1.6, 1.2, 0.9, 0.6});
+  little.mips_scale = {0.6, 0.6, 0.6, 0.6};
+  // Embedded-class silicon: wide V range, small static share, no extra
+  // machine floor (the big cluster's model already carries the floor).
+  little.model = std::make_shared<energy::PowerModel>(
+      little.ladder, std::vector<double>{1.00, 0.90, 0.82, 0.75},
+      /*dyn_coeff_w=*/1.8, /*core_static_w=*/0.4, /*floor_w=*/0.0,
+      /*halt_fraction=*/0.08);
+  little.count = 4;
+
+  return MachineTopology({std::move(big), std::move(little)});
+}
+
+MachineTopology MachineTopology::homogeneous(
+    std::string name, dvfs::FrequencyLadder ladder, std::size_t cores,
+    std::shared_ptr<const energy::PowerModel> model) {
+  CoreType ct;
+  ct.name = std::move(name);
+  ct.mips_scale.assign(ladder.size(), 1.0);
+  ct.ladder = std::move(ladder);
+  ct.model = std::move(model);
+  ct.count = cores;
+  return MachineTopology({std::move(ct)});
+}
+
+}  // namespace eewa::core

@@ -20,18 +20,31 @@ EewaController::EewaController(dvfs::FrequencyLadder ladder,
       plan_(uniform_plan(total_cores, 0)),
       prefs_(plan_.layout) {}
 
-void EewaController::begin_batch() { registry_.begin_iteration(); }
+void EewaController::begin_batch() {
+  registry_.begin_iteration();
+  // The boundedness verdict is per batch: clear the counter samples so
+  // end_batch judges the batch that is about to run, not the whole run
+  // (a workload whose memory-bound phase ends must be able to flip the
+  // gate back).
+  classifier_.reset();
+}
 
 void EewaController::record_task(std::size_t class_id, double exec_time_s,
-                                 std::size_t rung, double cmi,
-                                 double alpha) {
+                                 std::size_t rung, double cmi, double alpha,
+                                 std::size_t core_type) {
   // Eq. 1 normalization, generalized for memory stalls: only the
-  // frequency-scaled fraction of the time shrinks at F0.
-  const double slowdown = ladder().slowdown(rung);
+  // frequency-scaled fraction of the time shrinks at F0. On typed
+  // machines the slowdown is relative to the globally fastest row, so
+  // workloads recorded on different clusters stay comparable.
+  const MachineTopology* topo = options_.adjuster.topology.get();
+  const double slowdown =
+      topo != nullptr ? topo->row_slowdown(topo->row_of(core_type, rung))
+                      : ladder().slowdown(rung);
   const double eff = alpha + (1.0 - alpha) * slowdown;
   registry_.record(class_id, exec_time_s / eff, alpha);
-  // Counters are only sampled during the measurement batch (§IV-D).
-  if (batches_ == 0 && options_.memory_gate_enabled) {
+  // Counters are sampled every batch so the §IV-D gate can track phase
+  // changes, not just the measurement batch's verdict.
+  if (options_.memory_gate_enabled) {
     classifier_.record_cmi(cmi);
   }
 }
@@ -55,14 +68,35 @@ const FrequencyPlan& EewaController::end_batch(double batch_makespan_s) {
       batch_makespan_s > 0.0 && batch_makespan_s < ideal_time_s_) {
     ideal_time_s_ = batch_makespan_s;
   }
+  const bool gate_active =
+      options_.memory_gate_enabled && !options_.adjuster.memory_aware;
   if (batches_ == 0) {
     ideal_time_s_ = batch_makespan_s;
     // Memory-bound applications fall back to plain work-stealing
     // (§IV-D) — unless the memory-aware planning extension is on, in
     // which case the corrected CC model handles them.
-    if (options_.memory_gate_enabled && !options_.adjuster.memory_aware &&
-        classifier_.application_memory_bound()) {
+    if (gate_active && classifier_.application_memory_bound()) {
       memory_bound_mode_ = true;
+    }
+  } else if (gate_active && classifier_.task_count() > 0) {
+    // Re-judge the gate on this batch's counters. A verdict contrary to
+    // the current mode must persist memory_gate_hysteresis consecutive
+    // batches before the mode flips; batches with no samples neither
+    // extend nor break the streak.
+    const bool verdict = classifier_.application_memory_bound();
+    if (verdict != memory_bound_mode_) {
+      if (++gate_contrary_streak_ >=
+          std::max<std::size_t>(1, options_.memory_gate_hysteresis)) {
+        memory_bound_mode_ = verdict;
+        gate_contrary_streak_ = 0;
+        ++gate_flips_;
+        // Either direction invalidates the plan basis: entering the
+        // gate discards the plan; leaving it means the uniform plan was
+        // never searched from a profile.
+        plan_basis_valid_ = false;
+      }
+    } else {
+      gate_contrary_streak_ = 0;
     }
   }
   ++batches_;

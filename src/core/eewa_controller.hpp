@@ -67,11 +67,15 @@ struct WatchdogOptions {
 struct ControllerOptions {
   AdjusterOptions adjuster;
   IdealTimeMode ideal_time = IdealTimeMode::kFirstBatch;
-  /// §IV-D gate: when most first-batch tasks are memory-bound, keep plain
-  /// work-stealing at F0 for the rest of the run.
+  /// §IV-D gate: when most of a batch's tasks are memory-bound, keep
+  /// plain work-stealing at F0. The verdict is re-evaluated every batch
+  /// (counters are cheap and phases change): a contrary verdict must
+  /// persist memory_gate_hysteresis consecutive batches before the mode
+  /// flips, so one noisy batch cannot bounce the gate.
   bool memory_gate_enabled = true;
   double task_cmi_threshold = 0.01;
   double app_memory_fraction = 0.5;
+  std::size_t memory_gate_hysteresis = 2;
   /// Retry/backoff policy for apply_supervised().
   ActuationOptions actuation;
   WatchdogOptions watchdog;
@@ -114,8 +118,12 @@ class EewaController {
   /// normalization). `cmi` is the cache-miss intensity when available;
   /// `alpha` the memory-stall fraction estimate (0 when unknown — pass
   /// estimate_alpha_from_cmi(cmi) when only counters are available).
+  /// On heterogeneous machines (AdjusterOptions::topology set),
+  /// `core_type` names the executing core's cluster so normalization
+  /// uses that type's effective slowdown at `rung`.
   void record_task(std::size_t class_id, double exec_time_s,
-                   std::size_t rung, double cmi = 0.0, double alpha = 0.0);
+                   std::size_t rung, double cmi = 0.0, double alpha = 0.0,
+                   std::size_t core_type = 0);
 
   /// End the batch that just ran (its makespan in seconds) and compute
   /// the plan for the next batch. Returns that plan.
@@ -165,9 +173,14 @@ class EewaController {
   /// Number of completed batches.
   std::size_t batches_completed() const { return batches_; }
 
-  /// True when the §IV-D gate tripped and EEWA degraded to plain
-  /// work-stealing at F0.
+  /// True when the §IV-D gate is tripped: EEWA runs plain work-stealing
+  /// at F0. Re-evaluated every batch (with hysteresis), so a workload
+  /// whose memory-bound phase ends resumes planning.
   bool memory_bound_mode() const { return memory_bound_mode_; }
+
+  /// Times the §IV-D gate changed its verdict after batch 0 (a phase
+  /// change survived the hysteresis window in either direction).
+  std::size_t memory_gate_flips() const { return gate_flips_; }
 
   /// Diagnostics from the most recent adjustment.
   const SearchResult& last_search() const { return last_.search; }
@@ -219,6 +232,8 @@ class EewaController {
   double ideal_time_s_ = 0.0;
   std::size_t batches_ = 0;
   bool memory_bound_mode_ = false;
+  std::size_t gate_contrary_streak_ = 0;
+  std::size_t gate_flips_ = 0;
   double overhead_us_ = 0.0;
   obs::EventTracer* tracer_ = nullptr;
   std::size_t control_track_ = 0;

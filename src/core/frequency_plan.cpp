@@ -16,6 +16,167 @@ FrequencyPlan uniform_plan(std::size_t total_cores,
   return plan;
 }
 
+namespace {
+
+/// Typed carving: the tuple's entries are flattened topology rows, and
+/// every core type carves its own core-id range with the same
+/// fold/shed/largest-remainder algorithm the homogeneous path uses —
+/// folds stay within the type (into the next-faster row of the same
+/// cluster), leftovers of a type park on that type's own slowest rung,
+/// and a type no class selected parks entirely. Groups are emitted in
+/// global row order, so group 0 is the globally fastest populated row.
+FrequencyPlan make_typed_plan(const CCTable& cc,
+                              const MachineTopology& topo,
+                              const SearchResult& sr,
+                              std::size_t total_cores,
+                              std::size_t registry_class_count,
+                              LeftoverPolicy policy) {
+  if (total_cores != topo.total_cores()) {
+    throw std::invalid_argument(
+        "make_frequency_plan: core count does not match the topology");
+  }
+
+  std::map<std::size_t, double> demand_per_row;  // flattened row -> demand
+  for (std::size_t i = 0; i < sr.tuple.size(); ++i) {
+    demand_per_row[sr.tuple[i]] += cc.demand(sr.tuple[i], i);
+  }
+  double total_demand = 0.0;
+  for (const auto& [row, d] : demand_per_row) total_demand += d;
+  if (total_demand > static_cast<double>(total_cores) + 1e-6) {
+    throw std::invalid_argument("make_frequency_plan: tuple over capacity");
+  }
+
+  std::map<std::size_t, std::size_t> row_remap;  // selected -> effective
+  auto effective_row = [&](std::size_t row) {
+    while (true) {
+      const auto it = row_remap.find(row);
+      if (it == row_remap.end()) return row;
+      row = it->second;
+    }
+  };
+
+  // cores_per_row, filled type by type.
+  std::map<std::size_t, std::size_t> cores_per_row;
+  std::size_t claimed = 0;
+  for (std::size_t t = 0; t < topo.type_count(); ++t) {
+    const std::size_t mt = topo.type(t).count;
+    // This type's selected rows, ascending row index. Within a type,
+    // global row order is ascending rung order (effective speed is
+    // strictly decreasing across a type's rungs), so `rows_t` is
+    // fastest-first and folding the back entry folds the slowest.
+    std::vector<std::size_t> rows_t;
+    for (const auto& [row, d] : demand_per_row) {
+      if (topo.row_type(row) == t) rows_t.push_back(row);
+    }
+    // Fold surplus rows into the next-faster row of the same type
+    // (never slower, so feasibility is preserved).
+    while (rows_t.size() > mt) {
+      const std::size_t victim = rows_t.back();
+      rows_t.pop_back();
+      const std::size_t into = rows_t.back();
+      demand_per_row[into] += demand_per_row[victim];
+      demand_per_row.erase(victim);
+      row_remap[victim] = into;
+    }
+    if (rows_t.empty()) {
+      // No class touches this cluster: park all its cores at its
+      // slowest rung (under either leftover policy — there is no
+      // selected group of this type to join).
+      cores_per_row[topo.slowest_row_of_type(t)] += mt;
+      continue;
+    }
+    std::size_t claimed_t = 0;
+    for (std::size_t row : rows_t) {
+      const auto base = std::max<std::size_t>(
+          1, static_cast<std::size_t>(demand_per_row.at(row)));
+      cores_per_row[row] = base;
+      claimed_t += base;
+    }
+    while (claimed_t > mt) {
+      std::size_t worst_row = 0;
+      double worst_excess = -1e18;
+      for (std::size_t row : rows_t) {
+        if (cores_per_row[row] <= 1) continue;
+        const double excess = static_cast<double>(cores_per_row[row]) -
+                              demand_per_row.at(row);
+        if (excess > worst_excess) {
+          worst_excess = excess;
+          worst_row = row;
+        }
+      }
+      if (worst_excess == -1e18) {
+        throw std::logic_error(
+            "make_frequency_plan: more selected c-groups than cores");
+      }
+      --cores_per_row[worst_row];
+      --claimed_t;
+    }
+    while (claimed_t < mt) {
+      std::size_t best_row = 0;
+      double best_deficit = 1e-9;
+      for (std::size_t row : rows_t) {
+        const double deficit = demand_per_row.at(row) -
+                               static_cast<double>(cores_per_row[row]);
+        if (deficit > best_deficit) {
+          best_deficit = deficit;
+          best_row = row;
+        }
+      }
+      if (best_deficit <= 1e-9) break;  // everyone covered
+      ++cores_per_row[best_row];
+      ++claimed_t;
+    }
+    const std::size_t leftovers_t = mt - claimed_t;
+    if (leftovers_t > 0) {
+      if (policy == LeftoverPolicy::kParkAtSlowest) {
+        cores_per_row[topo.slowest_row_of_type(t)] += leftovers_t;
+      } else {
+        cores_per_row[rows_t.back()] += leftovers_t;  // slowest selected
+      }
+    }
+    claimed += claimed_t;
+  }
+
+  // Emit groups in global row order (fastest populated row first). Each
+  // type hands out its own contiguous core-id range.
+  std::vector<std::size_t> next_core(topo.type_count());
+  for (std::size_t t = 0; t < topo.type_count(); ++t) {
+    next_core[t] = topo.first_core(t);
+  }
+  std::vector<dvfs::CGroup> groups;
+  std::map<std::size_t, std::size_t> row_to_group;
+  for (const auto& [row, n] : cores_per_row) {
+    if (n == 0) continue;
+    const std::size_t t = topo.row_type(row);
+    dvfs::CGroup g;
+    g.freq_index = topo.row_rung(row);
+    g.core_type = t;
+    for (std::size_t c = 0; c < n; ++c) g.cores.push_back(next_core[t]++);
+    row_to_group[row] = groups.size();
+    groups.push_back(std::move(g));
+  }
+
+  std::vector<std::size_t> class_to_group(registry_class_count, 0);
+  for (std::size_t i = 0; i < sr.tuple.size(); ++i) {
+    const std::size_t id = cc.classes().at(i).class_id;
+    if (id >= class_to_group.size()) {
+      throw std::invalid_argument(
+          "make_frequency_plan: class id outside registry");
+    }
+    class_to_group[id] = row_to_group.at(effective_row(sr.tuple[i]));
+  }
+
+  FrequencyPlan plan;
+  plan.planned = true;
+  plan.layout = dvfs::CGroupLayout(std::move(groups),
+                                   std::move(class_to_group), total_cores);
+  plan.tuple = sr.tuple;
+  plan.claimed_cores = claimed;
+  return plan;
+}
+
+}  // namespace
+
 FrequencyPlan make_frequency_plan(const CCTable& cc, const SearchResult& sr,
                                   std::size_t total_cores,
                                   const dvfs::FrequencyLadder& ladder,
@@ -26,6 +187,12 @@ FrequencyPlan make_frequency_plan(const CCTable& cc, const SearchResult& sr,
   }
   if (sr.tuple.size() != cc.cols()) {
     throw std::invalid_argument("make_frequency_plan: tuple/table mismatch");
+  }
+  if (const MachineTopology* topo = cc.topology()) {
+    // Typed tables carve per core type; `ladder` is ignored (each type
+    // brings its own).
+    return make_typed_plan(cc, *topo, sr, total_cores,
+                           registry_class_count, policy);
   }
 
   // Fractional core demand per rung (matching the search's capacity

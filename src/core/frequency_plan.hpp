@@ -48,6 +48,15 @@ struct FrequencyPlan {
 /// `registry_class_count` sizes the class-id → group mapping (ids not in
 /// the CC table map to group 0). If the search failed, returns the
 /// uniform-F0 fallback plan.
+///
+/// Typed tables (cc.topology() != nullptr) carve per core type: tuple
+/// entries are flattened (type, rung) rows, each type's cores are carved
+/// within its own contiguous core-id range, folds stay inside the type,
+/// leftovers of a type park at that type's slowest rung, and a type no
+/// class selected parks entirely. `ladder` is ignored on that path. The
+/// uniform fallback needs no typed variant: rung 0 is every type's
+/// fastest rung, so the all-cores group at freq_index 0 is correct on
+/// any topology.
 FrequencyPlan make_frequency_plan(const CCTable& cc, const SearchResult& sr,
                                   std::size_t total_cores,
                                   const dvfs::FrequencyLadder& ladder,

@@ -30,6 +30,12 @@ constexpr double kEps = 1e-9;
 /// bound on the true F_0/F_j.
 double rung_power(const CCTable& cc, std::size_t j,
                   const energy::PowerModel* model) {
+  // Typed tables carry their own per-type power models (or proxy) inside
+  // the topology; a caller-supplied homogeneous model cannot price rows
+  // of different core types and is ignored.
+  if (const MachineTopology* topo = cc.topology()) {
+    return topo->row_active_w(j);
+  }
   if (model != nullptr) return model->core_power_w(j, /*active=*/true);
   double slowdown = 0.0;
   for (std::size_t i = 0; i < cc.cols(); ++i) {
@@ -62,6 +68,30 @@ double tuple_energy_estimate(const CCTable& cc,
                              const std::vector<std::size_t>& tuple,
                              std::size_t total_cores,
                              const energy::PowerModel* model) {
+  if (const MachineTopology* topo = cc.topology()) {
+    // Typed tables: leftovers park per type, each at its own type's
+    // slowest rung — a LITTLE core cannot be parked on the big cluster's
+    // ladder. Accumulation order (classes, then types, ascending) is a
+    // contract: the pruned searcher's final evaluation reproduces it
+    // bit for bit.
+    const std::size_t nt = topo->type_count();
+    std::vector<long double> used_t(nt, 0.0L);
+    long double e = 0.0L;
+    for (std::size_t i = 0; i < tuple.size(); ++i) {
+      const double n = cc.demand(tuple[i], i);
+      used_t[topo->row_type(tuple[i])] += n;
+      e += static_cast<long double>(n) * topo->row_active_w(tuple[i]);
+    }
+    for (std::size_t t = 0; t < nt; ++t) {
+      const auto cnt = static_cast<long double>(topo->type(t).count);
+      if (cnt > used_t[t]) {
+        e += (cnt - used_t[t]) *
+             static_cast<long double>(
+                 topo->row_park_w(topo->slowest_row_of_type(t)));
+      }
+    }
+    return static_cast<double>(e);
+  }
   // Widened accumulators: at k=256 a plain double running sum makes the
   // result depend on column order at the 1e-16 scale, which is enough to
   // flip the 1e-9 tie window between otherwise identical searches.
@@ -84,12 +114,27 @@ double tuple_energy_estimate(const CCTable& cc,
 bool tuple_is_valid(const CCTable& cc, const std::vector<std::size_t>& tuple,
                     std::size_t total_cores) {
   if (tuple.size() != cc.cols()) return false;
+  const MachineTopology* topo = cc.topology();
+  std::vector<long double> used_t(topo != nullptr ? topo->type_count() : 0,
+                                  0.0L);
   long double used = 0.0L;
   for (std::size_t i = 0; i < tuple.size(); ++i) {
     if (tuple[i] >= cc.rows()) return false;
     if (i > 0 && tuple[i] < tuple[i - 1]) return false;
     if (!cc.rung_feasible(tuple[i], i)) return false;
-    used += cc.demand(tuple[i], i);
+    const double need = cc.demand(tuple[i], i);
+    used += need;
+    if (topo != nullptr) used_t[topo->row_type(tuple[i])] += need;
+  }
+  if (topo != nullptr) {
+    // Rows of a typed table draw from per-type core pools; the total
+    // budget alone would let a tuple stack every class on one cluster.
+    for (std::size_t t = 0; t < used_t.size(); ++t) {
+      if (used_t[t] >
+          static_cast<long double>(topo->type(t).count) + kEps) {
+        return false;
+      }
+    }
   }
   return used <= static_cast<long double>(total_cores) + kEps;
 }
@@ -116,12 +161,19 @@ struct Backtracker {
   // rungs >= lo0.
   std::size_t start_class = 0;
   std::size_t lo0 = 0;
+  // Typed tables: per-type fractional usage against per-type capacity
+  // (rows of a typed table draw from distinct core pools).
+  const MachineTopology* topo = nullptr;
+  std::vector<long double> tused;
 
   Backtracker(const CCTable& cc_in, std::size_t m, bool backtrack)
       : cc(cc_in),
         total_cores(static_cast<double>(m)),
         allow_backtrack(backtrack),
-        a(cc_in.cols(), 0) {}
+        a(cc_in.cols(), 0),
+        topo(cc_in.topology()) {
+    if (topo != nullptr) tused.assign(topo->type_count(), 0.0L);
+  }
 
   // Algorithm 1, Select(i, j), plus the critical-path guard: a rung at
   // which even one of the class's tasks would overrun T is rejected.
@@ -133,12 +185,18 @@ struct Backtracker {
     ++nodes;
     if (!cc.rung_feasible(j, i)) return false;
     const double need = cc.demand(j, i);
-    if (need + c_n <= total_cores + kEps) {
-      a[i] = j;
-      c_n += need;
-      return true;
+    if (need + c_n > total_cores + kEps) return false;
+    if (topo != nullptr) {
+      const std::size_t t = topo->row_type(j);
+      if (need + tused[t] >
+          static_cast<long double>(topo->type(t).count) + kEps) {
+        return false;
+      }
+      tused[t] += need;
     }
-    return false;
+    a[i] = j;
+    c_n += need;
+    return true;
   }
 
   // Algorithm 1, SearchTuple(i).
@@ -148,7 +206,9 @@ struct Backtracker {
     for (std::size_t j = cc.rows(); j-- > lo;) {
       if (select(i, j)) {
         if (search(i + 1)) return true;
-        c_n -= cc.demand(a[i], i);
+        const double need = cc.demand(a[i], i);
+        c_n -= need;
+        if (topo != nullptr) tused[topo->row_type(a[i])] -= need;
         if (!allow_backtrack) return false;
       }
       if (aborted) return false;
@@ -158,25 +218,44 @@ struct Backtracker {
   }
 };
 
+/// A validated prefix's resource usage: total fractional demand plus,
+/// for typed tables, the per-type split.
+struct PrefixUse {
+  long double total = 0.0L;
+  std::vector<long double> per_type;  // empty for homogeneous tables
+};
+
 /// Shared prefix audit for the suffix searchers: rungs in range,
-/// nondecreasing, individually feasible, within capacity. Returns the
-/// prefix's total fractional demand, or nullopt when the prefix cannot
-/// stand under `cc`.
-std::optional<long double> prefix_demand(
+/// nondecreasing, individually feasible, within capacity (total and,
+/// for typed tables, per type). Returns the prefix's demand, or nullopt
+/// when the prefix cannot stand under `cc`.
+std::optional<PrefixUse> prefix_demand(
     const CCTable& cc, std::size_t total_cores,
     const std::vector<std::size_t>& prefix) {
   if (prefix.size() > cc.cols()) return std::nullopt;
-  long double used = 0.0L;
+  const MachineTopology* topo = cc.topology();
+  PrefixUse use;
+  if (topo != nullptr) use.per_type.assign(topo->type_count(), 0.0L);
   for (std::size_t i = 0; i < prefix.size(); ++i) {
     if (prefix[i] >= cc.rows()) return std::nullopt;
     if (i > 0 && prefix[i] < prefix[i - 1]) return std::nullopt;
     if (!cc.rung_feasible(prefix[i], i)) return std::nullopt;
-    used += cc.demand(prefix[i], i);
+    const double need = cc.demand(prefix[i], i);
+    use.total += need;
+    if (topo != nullptr) use.per_type[topo->row_type(prefix[i])] += need;
   }
-  if (used > static_cast<long double>(total_cores) + kEps) {
+  if (use.total > static_cast<long double>(total_cores) + kEps) {
     return std::nullopt;
   }
-  return used;
+  if (topo != nullptr) {
+    for (std::size_t t = 0; t < use.per_type.size(); ++t) {
+      if (use.per_type[t] >
+          static_cast<long double>(topo->type(t).count) + kEps) {
+        return std::nullopt;
+      }
+    }
+  }
+  return use;
 }
 
 SearchResult run_descent(const CCTable& cc, std::size_t total_cores,
@@ -194,7 +273,8 @@ SearchResult run_descent(const CCTable& cc, std::size_t total_cores,
       return res;
     }
     std::copy(prefix->begin(), prefix->end(), bt.a.begin());
-    bt.c_n = *used0;
+    bt.c_n = used0->total;
+    if (bt.topo != nullptr) bt.tused = used0->per_type;
     bt.start_class = prefix->size();
     bt.lo0 = prefix->empty() ? 0 : prefix->back();
   }
@@ -233,6 +313,9 @@ SearchResult exhaustive_core(const CCTable& cc, std::size_t total_cores,
   double best_used = std::numeric_limits<double>::infinity();
   std::vector<std::size_t> a(cc.cols(), 0);
   std::size_t nodes = 0;
+  const MachineTopology* topo = cc.topology();
+  std::vector<long double> tused(topo != nullptr ? topo->type_count() : 0,
+                                 0.0L);
 
   std::size_t i0 = 0;
   std::size_t lo_init = 0;
@@ -246,7 +329,8 @@ SearchResult exhaustive_core(const CCTable& cc, std::size_t total_cores,
     std::copy(prefix->begin(), prefix->end(), a.begin());
     i0 = prefix->size();
     lo_init = prefix->empty() ? 0 : prefix->back();
-    used0 = *pd;
+    used0 = pd->total;
+    if (topo != nullptr) tused = pd->per_type;
   }
 
   // Enumerate all nondecreasing tuples; prune on capacity as we go.
@@ -283,6 +367,18 @@ SearchResult exhaustive_core(const CCTable& cc, std::size_t total_cores,
       if (used + need > static_cast<long double>(total_cores) + kEps) {
         continue;
       }
+      if (topo != nullptr) {
+        const std::size_t t = topo->row_type(j);
+        if (tused[t] + need >
+            static_cast<long double>(topo->type(t).count) + kEps) {
+          continue;
+        }
+        a[i] = j;
+        tused[t] += need;
+        self(self, i + 1, j, used + need);
+        tused[t] -= need;
+        continue;
+      }
       a[i] = j;
       self(self, i + 1, j, used + need);
     }
@@ -311,9 +407,17 @@ struct PrunedNode {
   std::uint32_t rung = 0;
 };
 
+SearchResult pruned_typed_core(const CCTable& cc, std::size_t total_cores,
+                               const std::vector<std::size_t>* prefix);
+
 SearchResult pruned_core(const CCTable& cc, std::size_t total_cores,
                          const energy::PowerModel* model,
                          const std::vector<std::size_t>* prefix) {
+  if (cc.topology() != nullptr) {
+    // Typed tables need multi-dimensional (per-type) capacity state; the
+    // homogeneous DP below stays untouched so its results are bit-stable.
+    return pruned_typed_core(cc, total_cores, prefix);
+  }
   const auto start = Clock::now();
   SearchResult res;
   const std::size_t r = cc.rows();
@@ -332,7 +436,7 @@ SearchResult pruned_core(const CCTable& cc, std::size_t total_cores,
     }
     kp = prefix->size();
     j0 = prefix->empty() ? 0 : prefix->back();
-    used0 = *pd;
+    used0 = pd->total;
   }
 
   // Precompute per-rung powers and the per-(class, rung) demand/cost
@@ -653,6 +757,313 @@ SearchResult pruned_core(const CCTable& cc, std::size_t total_cores,
   for (const auto& s : pilot_done) consider(s);
   for (std::size_t j = j0; j < r; ++j) {
     for (const auto& s : cur[j]) consider(s);
+  }
+  res.nodes_visited = nodes;
+  res.elapsed_us = elapsed_us_since(start);
+  return res;
+}
+
+/// Typed DP state: a partial tuple summarized by its per-type fractional
+/// usage (capacity is a vector on typed tables), the total, its adjusted
+/// cost, and the arena node for chain reconstruction.
+struct TypedState {
+  std::vector<long double> used;
+  long double total = 0.0L;
+  long double cost = 0.0L;
+  std::uint32_t node = kNoNode;
+};
+
+/// search_pruned on a typed table. Same DP skeleton as the homogeneous
+/// pruned_core — adjusted-cost decomposition, admissible suffix lower
+/// bounds, dominance, budgeted incumbent, capped deterministic frontiers
+/// — with three typed differences:
+///
+///   - capacity (and thus dominance) is per core type: a state is
+///     dominated only when it is no cheaper on *every* type's usage and
+///     on cost, so fronts are genuine multi-dimensional Pareto sets kept
+///     by linear scan;
+///   - the energy decomposition parks each type's leftovers at that
+///     type's own slowest rung: E = Σ_t m_t·park_t + Σ_i d_i·(p(a_i) −
+///     park_type(a_i)), and the constant Σ_t m_t·park_t drops out;
+///   - the scalar two-chain pilot (whose min-demand chain is only exact
+///     for one-dimensional capacity) is replaced by an unbudgeted greedy
+///     descent, run only when the incumbent aborted, as the extra
+///     found-ness/upper-bound candidate.
+///
+/// Contract: exhaustive-equal whenever no guardrail binds (in particular
+/// the whole r·k <= 25 exhaustive gate), deterministic everywhere, and
+/// never worse than a completed incumbent descent (the incumbent tuple
+/// re-enters the final selection). On adversarial typed tables past the
+/// exactness regime, found-ness relies on the incumbent/greedy descent
+/// or a thinned chain surviving — thinning keeps the min-total-demand
+/// endpoint, which is no longer a per-type feasibility proof.
+SearchResult pruned_typed_core(const CCTable& cc, std::size_t total_cores,
+                               const std::vector<std::size_t>* prefix) {
+  const auto start = Clock::now();
+  SearchResult res;
+  const MachineTopology& topo = *cc.topology();
+  const std::size_t r = cc.rows();
+  const std::size_t k = cc.cols();
+  const std::size_t nt = topo.type_count();
+  const long double cap = static_cast<long double>(total_cores);
+  const long double inf = std::numeric_limits<long double>::infinity();
+
+  std::vector<long double> tcap(nt);
+  for (std::size_t t = 0; t < nt; ++t) {
+    tcap[t] = static_cast<long double>(topo.type(t).count);
+  }
+  std::vector<std::size_t> rtype(r);
+  for (std::size_t j = 0; j < r; ++j) rtype[j] = topo.row_type(j);
+  std::vector<double> park(nt);
+  for (std::size_t t = 0; t < nt; ++t) {
+    park[t] = topo.row_park_w(topo.slowest_row_of_type(t));
+  }
+  std::vector<double> p(r);
+  for (std::size_t j = 0; j < r; ++j) p[j] = topo.row_active_w(j);
+
+  std::size_t kp = 0;
+  std::size_t j0 = 0;
+  TypedState root;
+  root.used.assign(nt, 0.0L);
+  if (prefix != nullptr) {
+    const auto pd = prefix_demand(cc, total_cores, *prefix);
+    if (!pd) {
+      res.elapsed_us = elapsed_us_since(start);
+      return res;
+    }
+    kp = prefix->size();
+    j0 = prefix->empty() ? 0 : prefix->back();
+    root.total = pd->total;
+    root.used = pd->per_type;
+  }
+
+  std::vector<char> feas(k * r, 0);
+  std::vector<double> dem(k * r, 0.0);
+  std::vector<long double> cost(k * r, 0.0L);
+  for (std::size_t i = 0; i < k; ++i) {
+    for (std::size_t j = 0; j < r; ++j) {
+      if (!cc.rung_feasible(j, i)) continue;
+      feas[i * r + j] = 1;
+      dem[i * r + j] = cc.demand(j, i);
+      cost[i * r + j] = static_cast<long double>(dem[i * r + j]) *
+                        (static_cast<long double>(p[j]) -
+                         static_cast<long double>(park[rtype[j]]));
+    }
+  }
+
+  // Admissible suffix lower bounds, exactly as in the homogeneous DP:
+  // pointwise minima per class at rungs >= j, suffix-summed. lbD bounds
+  // only the *total* demand — admissible for the per-type constraint
+  // too, since Σ_t used_t <= Σ_t m_t = m must hold regardless of split.
+  std::vector<long double> lbC((k + 1) * r, 0.0L);
+  std::vector<long double> lbD((k + 1) * r, 0.0L);
+  for (std::size_t i = k; i-- > kp;) {
+    long double bc = inf;
+    long double bd = inf;
+    for (std::size_t j = r; j-- > 0;) {
+      if (feas[i * r + j]) {
+        bc = std::min(bc, cost[i * r + j]);
+        bd = std::min(bd, static_cast<long double>(dem[i * r + j]));
+      }
+      lbC[i * r + j] = bc + lbC[(i + 1) * r + j];
+      lbD[i * r + j] = bd + lbD[(i + 1) * r + j];
+    }
+  }
+
+  // Incumbent: budgeted typed backtracking (the Backtracker enforces
+  // per-type capacity on typed tables). Abort parity with the oracle's
+  // reference descent is preserved through res.aborted.
+  long double ub = inf;
+  const auto seed = run_descent(cc, total_cores, /*allow_backtrack=*/true,
+                                prefix, kIncumbentNodeBudget);
+  res.nodes_visited += seed.nodes_visited;
+  res.aborted = seed.aborted;
+  const auto chain_cost = [&](const std::vector<std::size_t>& t) {
+    long double c = 0.0L;
+    for (std::size_t i = kp; i < k; ++i) c += cost[i * r + t[i]];
+    return c;
+  };
+  if (seed.found) ub = chain_cost(seed.tuple);
+  // When the incumbent gave up, an unbudgeted greedy descent (<= k·r
+  // selects, no backtracking) stands in as the found-ness and
+  // upper-bound candidate the homogeneous pilot provides.
+  SearchResult greedy_seed;
+  if (seed.aborted) {
+    greedy_seed = run_descent(cc, total_cores, /*allow_backtrack=*/false,
+                              prefix);
+    res.nodes_visited += greedy_seed.nodes_visited;
+    if (greedy_seed.found) {
+      ub = std::min(ub, chain_cost(greedy_seed.tuple));
+    }
+  }
+
+  std::vector<PrunedNode> arena;
+  arena.reserve(1024);
+  std::vector<std::size_t> scratch_a;
+  std::vector<std::size_t> scratch_b;
+  const auto reconstruct = [&](std::uint32_t node, std::size_t depth,
+                               std::vector<std::size_t>& out) {
+    out.assign(depth, 0);
+    std::size_t at = depth;
+    for (std::uint32_t n = node; n != kNoNode; n = arena[n].parent) {
+      out[--at] = arena[n].rung;
+    }
+  };
+  const auto lex_greater = [&](std::uint32_t na, std::uint32_t nb,
+                               std::size_t depth) {
+    reconstruct(na, depth, scratch_a);
+    reconstruct(nb, depth, scratch_b);
+    return scratch_a > scratch_b;
+  };
+
+  // Multi-dimensional dominance: a state is dropped only when another is
+  // no worse on cost and on every type's usage. Linear scan keeps the
+  // front in deterministic insertion order; on an exact all-axes tie the
+  // lex-greater chain survives, matching the documented tie-break.
+  const auto dominates = [nt](const TypedState& a, const TypedState& b) {
+    if (a.cost > b.cost) return false;
+    for (std::size_t t = 0; t < nt; ++t) {
+      if (a.used[t] > b.used[t]) return false;
+    }
+    return true;
+  };
+  const auto pareto_insert = [&](std::vector<TypedState>& front,
+                                 const TypedState& s, std::size_t depth) {
+    for (auto& e : front) {
+      if (dominates(e, s)) {
+        if (e.cost == s.cost && e.used == s.used &&
+            lex_greater(s.node, e.node, depth)) {
+          e.node = s.node;
+        }
+        return;
+      }
+    }
+    std::size_t w = 0;
+    for (std::size_t i = 0; i < front.size(); ++i) {
+      if (!dominates(s, front[i])) {
+        if (w != i) front[w] = std::move(front[i]);
+        ++w;
+      }
+    }
+    front.resize(w);
+    front.push_back(s);
+  };
+
+  // Deterministic thinning past 2·cap_w: order by (total demand asc,
+  // cost desc) — stable, so insertion order breaks exact ties — and keep
+  // an evenly spaced subset including both endpoints. The min-total
+  // endpoint is the best single feasibility witness available, though
+  // with per-type capacity it is no longer an exactness proof.
+  const auto thin = [](std::vector<TypedState>& front, std::size_t cap_w) {
+    if (front.size() <= 2 * cap_w) return;
+    std::stable_sort(front.begin(), front.end(),
+                     [](const TypedState& a, const TypedState& b) {
+                       if (a.total != b.total) return a.total < b.total;
+                       return a.cost > b.cost;
+                     });
+    const std::size_t n = front.size();
+    for (std::size_t t = 0; t < cap_w; ++t) {
+      front[t] = front[t * (n - 1) / (cap_w - 1)];
+    }
+    front.resize(cap_w);
+  };
+
+  std::size_t nodes = res.nodes_visited;
+  constexpr std::size_t kFrontierCap = 64;  // as in the homogeneous DP
+  const std::size_t main_cap =
+      (r - j0) * (k - kp) <= 256 ? kFrontierCap : 6;
+
+  std::vector<std::vector<TypedState>> cur(r), nxt(r);
+  cur[j0].push_back(root);
+  std::vector<TypedState> acc;
+  for (std::size_t i = kp; i < k; ++i) {
+    acc.clear();
+    const std::size_t depth = i + 1 - kp;
+    for (std::size_t j = j0; j < r; ++j) {
+      for (const auto& s : cur[j]) pareto_insert(acc, s, depth - 1);
+      thin(acc, main_cap);
+      nxt[j].clear();
+      if (!feas[i * r + j]) continue;
+      const long double dij = dem[i * r + j];
+      const long double cij = cost[i * r + j];
+      const long double lb_d = lbD[(i + 1) * r + j];
+      const long double lb_c = lbC[(i + 1) * r + j];
+      const std::size_t tj = rtype[j];
+      for (const auto& s : acc) {
+        ++nodes;
+        const long double u = s.total + dij;
+        if (u + lb_d > cap + kEps) continue;
+        if (s.used[tj] + dij > tcap[tj] + kEps) continue;
+        const long double c = s.cost + cij;
+        if (c + lb_c > ub + 2 * kEps) continue;
+        const auto node = static_cast<std::uint32_t>(arena.size());
+        arena.push_back(PrunedNode{s.node, static_cast<std::uint32_t>(j)});
+        TypedState ns = s;
+        ns.used[tj] += dij;
+        ns.total = u;
+        ns.cost = c;
+        ns.node = node;
+        pareto_insert(nxt[j], ns, depth);
+      }
+      thin(nxt[j], main_cap);
+    }
+    cur.swap(nxt);
+  }
+
+  // Final selection: bit-identical to the typed tuple_energy_estimate
+  // (same accumulation order and widths), with the exhaustive tie-break.
+  const auto eval_energy = [&](const std::vector<std::size_t>& t,
+                               long double* used_out) {
+    std::vector<long double> used_t(nt, 0.0L);
+    long double used = 0.0L;
+    long double e = 0.0L;
+    for (std::size_t i = 0; i < k; ++i) {
+      const double n = dem[i * r + t[i]];
+      used += n;
+      used_t[rtype[t[i]]] += n;
+      e += static_cast<long double>(n) * p[t[i]];
+    }
+    for (std::size_t t2 = 0; t2 < nt; ++t2) {
+      if (tcap[t2] > used_t[t2]) {
+        e += (tcap[t2] - used_t[t2]) * static_cast<long double>(park[t2]);
+      }
+    }
+    *used_out = used;
+    return static_cast<double>(e);
+  };
+
+  double best_e = std::numeric_limits<double>::infinity();
+  double best_used = std::numeric_limits<double>::infinity();
+  std::vector<std::size_t> a(k, 0);
+  if (prefix != nullptr) std::copy(prefix->begin(), prefix->end(), a.begin());
+  const auto consider_tuple = [&](const std::vector<std::size_t>& t) {
+    long double u = 0.0L;
+    const double e = eval_energy(t, &u);
+    const double used_d = static_cast<double>(u);
+    bool better = e < best_e - kEps;
+    if (!better && e <= best_e + kEps) {
+      if (used_d < best_used - kEps) {
+        better = true;
+      } else if (used_d <= best_used + kEps) {
+        better = res.found && t > res.tuple;
+      }
+    }
+    if (better) {
+      best_e = std::min(best_e, e);
+      best_used = used_d;
+      res.found = true;
+      res.tuple = t;
+      res.cores_used = static_cast<std::size_t>(std::ceil(used_d - kEps));
+    }
+  };
+  if (seed.found) consider_tuple(seed.tuple);
+  if (greedy_seed.found) consider_tuple(greedy_seed.tuple);
+  for (std::size_t j = j0; j < r; ++j) {
+    for (const auto& s : cur[j]) {
+      reconstruct(s.node, k - kp, scratch_a);
+      std::copy(scratch_a.begin(), scratch_a.end(), a.begin() + kp);
+      consider_tuple(a);
+    }
   }
   res.nodes_visited = nodes;
   res.elapsed_us = elapsed_us_since(start);

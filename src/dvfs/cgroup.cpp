@@ -1,5 +1,6 @@
 #include "dvfs/cgroup.hpp"
 
+#include <map>
 #include <numeric>
 #include <stdexcept>
 
@@ -15,12 +16,20 @@ CGroupLayout::CGroupLayout(std::vector<CGroup> groups,
   if (groups_.empty()) {
     throw std::invalid_argument("CGroupLayout: need at least one c-group");
   }
+  // Rung indices order groups only within one core type (each cluster
+  // has its own ladder); across types the planner's global effective-
+  // speed order decides. Homogeneous layouts (all core_type 0) keep the
+  // historical strictly-increasing-freq_index contract verbatim.
+  std::map<std::size_t, std::size_t> last_freq_of_type;
   for (std::size_t g = 0; g < groups_.size(); ++g) {
-    if (g > 0 && groups_[g].freq_index <= groups_[g - 1].freq_index) {
+    const auto it = last_freq_of_type.find(groups_[g].core_type);
+    if (it != last_freq_of_type.end() &&
+        groups_[g].freq_index <= it->second) {
       throw std::invalid_argument(
           "CGroupLayout: groups must be ordered fastest-first with "
           "strictly increasing freq_index");
     }
+    last_freq_of_type[groups_[g].core_type] = groups_[g].freq_index;
     for (std::size_t c : groups_[g].cores) {
       if (c >= total_cores_) {
         throw std::invalid_argument("CGroupLayout: core id out of range");
@@ -73,8 +82,11 @@ std::string CGroupLayout::to_string() const {
   std::string out;
   for (std::size_t g = 0; g < groups_.size(); ++g) {
     if (g) out += ' ';
-    out += "G" + std::to_string(g) + "@F" +
-           std::to_string(groups_[g].freq_index) + ":{";
+    out += "G" + std::to_string(g) + "@";
+    if (groups_[g].core_type != 0) {
+      out += "T" + std::to_string(groups_[g].core_type);
+    }
+    out += "F" + std::to_string(groups_[g].freq_index) + ":{";
     for (std::size_t i = 0; i < groups_[g].cores.size(); ++i) {
       if (i) out += ',';
       out += std::to_string(groups_[g].cores[i]);

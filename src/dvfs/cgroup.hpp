@@ -12,8 +12,12 @@
 namespace eewa::dvfs {
 
 /// One c-group: every core in `cores` runs at ladder rung `freq_index`.
+/// On heterogeneous machines a c-group additionally belongs to one core
+/// type (its cluster): `freq_index` then indexes that type's own ladder.
+/// Homogeneous layouts leave core_type at 0 and behave exactly as before.
 struct CGroup {
   std::size_t freq_index = 0;
+  std::size_t core_type = 0;
   std::vector<std::size_t> cores;
 };
 
@@ -24,9 +28,13 @@ class CGroupLayout {
  public:
   CGroupLayout() = default;
 
-  /// Construct from groups (must cover each core at most once, be ordered
-  /// by strictly increasing freq_index, and be non-empty) and the mapping
-  /// class index -> group index. Throws std::invalid_argument on violation.
+  /// Construct from groups (must cover each core at most once, be
+  /// non-empty, and be ordered by strictly increasing freq_index *within
+  /// each core_type* — two clusters each own an independent ladder, so
+  /// rung indices only totally order groups of the same type) and the
+  /// mapping class index -> group index. All-type-0 layouts get exactly
+  /// the historical strictly-increasing validation. Throws
+  /// std::invalid_argument on violation.
   CGroupLayout(std::vector<CGroup> groups,
                std::vector<std::size_t> class_to_group,
                std::size_t total_cores);

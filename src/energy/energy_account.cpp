@@ -1,15 +1,39 @@
 #include "energy/energy_account.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace eewa::energy {
 
-EnergyAccount::EnergyAccount(const PowerModel& model, std::size_t cores)
+namespace {
+
+std::size_t rung_axis(const PowerModel& model,
+                      const std::vector<const PowerModel*>& core_models) {
+  std::size_t n = model.ladder().size();
+  for (const PowerModel* m : core_models) {
+    if (m == nullptr) {
+      throw std::invalid_argument("EnergyAccount: null per-core model");
+    }
+    n = std::max(n, m->ladder().size());
+  }
+  return n;
+}
+
+}  // namespace
+
+EnergyAccount::EnergyAccount(const PowerModel& model, std::size_t cores,
+                             std::vector<const PowerModel*> core_models)
     : model_(model),
       cores_(cores),
-      residency_(cores * model.ladder().size(), 0.0) {
+      core_models_(std::move(core_models)),
+      stride_(rung_axis(model, core_models_)),
+      residency_(cores * stride_, 0.0) {
   if (cores == 0) {
     throw std::invalid_argument("EnergyAccount: need at least one core");
+  }
+  if (!core_models_.empty() && core_models_.size() != cores_) {
+    throw std::invalid_argument(
+        "EnergyAccount: per-core model count does not match cores");
   }
 }
 
@@ -18,11 +42,15 @@ void EnergyAccount::add_core_time(std::size_t core, double dt,
   if (dt < 0.0) {
     throw std::invalid_argument("EnergyAccount: negative time segment");
   }
-  if (core >= cores_ || rung >= model_.ladder().size()) {
+  if (core >= cores_) {
     throw std::out_of_range("EnergyAccount: core or rung out of range");
   }
-  residency_[core * model_.ladder().size() + rung] += dt;
-  core_j_ += model_.core_power_w(rung, active) * dt;
+  const PowerModel& pm = core_model(core);
+  if (rung >= pm.ladder().size()) {
+    throw std::out_of_range("EnergyAccount: core or rung out of range");
+  }
+  residency_[core * stride_ + rung] += dt;
+  core_j_ += pm.core_power_w(rung, active) * dt;
   (active ? active_s_ : halted_s_) += dt;
 }
 
@@ -31,7 +59,7 @@ double EnergyAccount::total_joules() const {
 }
 
 double EnergyAccount::residency_s(std::size_t core, std::size_t rung) const {
-  return residency_.at(core * model_.ladder().size() + rung);
+  return residency_.at(core * stride_ + rung);
 }
 
 double EnergyAccount::rung_residency_s(std::size_t rung) const {

@@ -14,10 +14,16 @@ namespace eewa::energy {
 /// Accumulates joules and residency from core activity segments.
 class EnergyAccount {
  public:
-  EnergyAccount(const PowerModel& model, std::size_t cores);
+  /// `model` charges every core and provides the machine floor. On
+  /// heterogeneous machines pass `core_models` (one per core, each
+  /// outliving the account): core c then charges under *core_models[c]
+  /// — its own cluster's ladder and power curve — while `model` still
+  /// provides the floor and the default rung axis. Empty = homogeneous.
+  EnergyAccount(const PowerModel& model, std::size_t cores,
+                std::vector<const PowerModel*> core_models = {});
 
-  /// Charge `dt` seconds of core `core` at ladder rung `rung`,
-  /// active (executing/spinning) or halted.
+  /// Charge `dt` seconds of core `core` at ladder rung `rung` (of that
+  /// core's own ladder), active (executing/spinning) or halted.
   void add_core_time(std::size_t core, double dt, std::size_t rung,
                      bool active);
 
@@ -34,7 +40,9 @@ class EnergyAccount {
   /// Whole-machine joules: cores + floor · makespan.
   double total_joules() const;
 
-  /// Seconds core `core` spent at rung `rung` (any activity).
+  /// Seconds core `core` spent at rung `rung` (any activity). The rung
+  /// axis spans the largest per-core ladder; rungs a core's own ladder
+  /// lacks simply read 0.
   double residency_s(std::size_t core, std::size_t rung) const;
 
   /// Seconds at rung `rung` summed over all cores.
@@ -49,10 +57,18 @@ class EnergyAccount {
   std::size_t core_count() const { return cores_; }
   const PowerModel& model() const { return model_; }
 
+  /// The model core `c` charges under (the primary model when no
+  /// per-core overrides were given).
+  const PowerModel& core_model(std::size_t c) const {
+    return core_models_.empty() ? model_ : *core_models_.at(c);
+  }
+
  private:
   const PowerModel& model_;
   std::size_t cores_;
-  std::vector<double> residency_;  // cores_ x ladder.size(), row-major
+  std::vector<const PowerModel*> core_models_;  // empty = homogeneous
+  std::size_t stride_;             // rung axis = max per-core ladder size
+  std::vector<double> residency_;  // cores_ x stride_, row-major
   double core_j_ = 0.0;
   double extra_j_ = 0.0;
   double active_s_ = 0.0;

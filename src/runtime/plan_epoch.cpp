@@ -11,12 +11,19 @@ bool PlanSnapshot::valid(std::size_t workers) const {
   for (std::size_t i = 1; i < plan.tuple.size(); ++i) {
     if (plan.tuple[i] < plan.tuple[i - 1]) return false;
   }
-  // Rung tuple nondecreasing, groups fastest first: freq_index must be
-  // strictly increasing across groups (CGroupLayout's own contract) —
-  // a torn read would break this, so readers assert it.
+  // Groups are fastest first by global effective-speed row; within one
+  // core type freq_index must be strictly increasing (CGroupLayout's
+  // per-type contract) — a torn read would break this, so readers
+  // assert it. On heterogeneous layouts the rungs of *different* types
+  // interleave freely, so the check must not compare across types.
   const auto& groups = plan.layout.groups();
   for (std::size_t g = 1; g < groups.size(); ++g) {
-    if (groups[g].freq_index <= groups[g - 1].freq_index) return false;
+    for (std::size_t h = 0; h < g; ++h) {
+      if (groups[h].core_type == groups[g].core_type &&
+          groups[g].freq_index <= groups[h].freq_index) {
+        return false;
+      }
+    }
   }
   if (worker_group.size() != workers || worker_rung.size() != workers) {
     return false;

@@ -412,11 +412,20 @@ void Runtime::finish_batch(double makespan_s) {
     recording = &recorded_.batches.back();
   }
   const auto& ladder = options_.ladder;
-  for (auto& profile : profiles_) {
+  // Worker w profiles core w: on a typed topology its observations are
+  // attributed to that core's type so the typed CC table normalizes
+  // them against the right cluster's rows.
+  const core::MachineTopology* topo =
+      options_.controller.adjuster.topology.get();
+  for (std::size_t w = 0; w < profiles_.size(); ++w) {
+    auto& profile = profiles_[w];
+    const std::size_t core_type =
+        topo != nullptr && w < topo->total_cores() ? topo->type_of_core(w)
+                                                   : 0;
     for (const auto& rec : profile.records()) {
       const double alpha = core::estimate_alpha_from_cmi(rec.cmi);
       controller_->record_task(rec.class_id, rec.exec_s, rec.rung, rec.cmi,
-                               alpha);
+                               alpha, core_type);
       if (recording != nullptr) {
         // Normalized (F0) workload via the alpha-corrected Eq. 1 — the
         // simulator's exec-time model inverts this exactly.

@@ -6,9 +6,38 @@
 
 namespace eewa::sim {
 
+namespace {
+
+/// Per-core power models for the EnergyAccount; empty when homogeneous.
+std::vector<const energy::PowerModel*> per_core_models(
+    const SimOptions& options) {
+  std::vector<const energy::PowerModel*> models;
+  const core::MachineTopology* topo = options.topology.get();
+  if (topo == nullptr) return models;
+  if (topo->total_cores() != options.cores) {
+    throw std::invalid_argument(
+        "Machine: topology core count does not match cores");
+  }
+  if (!topo->has_power_models()) {
+    throw std::invalid_argument(
+        "Machine: topology requires per-type power models");
+  }
+  if (topo->type(0).ladder.size() != options.power.ladder().size()) {
+    throw std::invalid_argument(
+        "Machine: power ladder must match the topology's type-0 ladder");
+  }
+  models.reserve(options.cores);
+  for (std::size_t c = 0; c < options.cores; ++c) {
+    models.push_back(topo->type(topo->type_of_core(c)).model.get());
+  }
+  return models;
+}
+
+}  // namespace
+
 Machine::Machine(const SimOptions& options)
     : options_(options),
-      account_(options_.power, options.cores),
+      account_(options_.power, options.cores, per_core_models(options_)),
       rng_(options.seed),
       fault_rng_(options.faults.seed),
       rung_(options.cores, 0),
@@ -122,7 +151,7 @@ bool Machine::fault_chance(double p) {
 }
 
 bool Machine::request_rung(std::size_t core, std::size_t new_rung) {
-  if (new_rung >= ladder().size()) {
+  if (new_rung >= core_ladder_size(core)) {
     throw std::out_of_range("Machine: rung out of range");
   }
   if (options_.faults.enabled()) {
@@ -136,7 +165,7 @@ bool Machine::request_rung(std::size_t core, std::size_t new_rung) {
     }
     if (fault_chance(options_.faults.drift_p)) {
       const std::size_t drifted =
-          std::min(new_rung + 1, ladder().size() - 1);
+          std::min(new_rung + 1, core_ladder_size(core) - 1);
       if (drifted != new_rung) {
         new_rung = drifted;
         ++fault_drifts_;
@@ -213,6 +242,12 @@ double Machine::exec_time(const trace::TraceTask& t,
   return t.work_s * (t.mem_alpha + (1.0 - t.mem_alpha) * slowdown);
 }
 
+double Machine::exec_time_on(const trace::TraceTask& t, std::size_t core,
+                             std::size_t core_rung) const {
+  const double slowdown = core_slowdown(core, core_rung);
+  return t.work_s * (t.mem_alpha + (1.0 - t.mem_alpha) * slowdown);
+}
+
 void Machine::charge(std::size_t core, double from_s, double to_s,
                      std::size_t rung, bool active) {
   if (to_s > from_s) {
@@ -278,7 +313,7 @@ double Machine::run_batch(Policy& policy, const trace::Batch& batch,
     (void)pre_pending;
     if (got) {
       const double dispatch = options_.dispatch_overhead_s;
-      const double exec = exec_time(task(*got), rung_[core]);
+      const double exec = exec_time_on(task(*got), core, rung_[core]);
       charge(core, t, t + dispatch + exec, rung_[core], /*active=*/true);
       pq.push(Ev{t + dispatch + exec, Ev::kComplete, core, *got, exec});
     } else {
@@ -307,7 +342,7 @@ double Machine::run_batch(Policy& policy, const trace::Batch& batch,
   }
 
   BatchStats bs;
-  bs.cores_per_rung.assign(ladder().size(), 0);
+  bs.cores_per_rung.assign(rung_axis_size(), 0);
   for (std::size_t c = 0; c < cores(); ++c) ++bs.cores_per_rung[rung_[c]];
 
   while (remaining > 0) {
@@ -429,8 +464,8 @@ SimResult Machine::finish(double end_s, std::string policy_name,
   res.probes = total_probes_;
   res.transitions = total_transitions_;
   res.batches = stats_;
-  res.rung_residency_s.resize(ladder().size());
-  for (std::size_t j = 0; j < ladder().size(); ++j) {
+  res.rung_residency_s.resize(rung_axis_size());
+  for (std::size_t j = 0; j < rung_axis_size(); ++j) {
     res.rung_residency_s[j] = account_.rung_residency_s(j);
   }
   return res;

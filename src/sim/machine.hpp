@@ -20,6 +20,9 @@
 #include <string>
 #include <vector>
 
+#include <memory>
+
+#include "core/core_type.hpp"
 #include "dvfs/dvfs_backend.hpp"
 #include "dvfs/fault_backend.hpp"
 #include "dvfs/frequency_ladder.hpp"
@@ -75,6 +78,14 @@ struct SimOptions {
   /// randomness.
   dvfs::FaultSpec faults{};
   std::uint64_t seed = 42;
+  /// Heterogeneous machine description (e.g.
+  /// core::MachineTopology::big_little()). When set it must cover
+  /// exactly `cores` cores and carry a power model on every type; each
+  /// core then charges energy under its own cluster's model, task
+  /// execution scales by the core's type-relative slowdown, and `power`
+  /// only supplies the machine floor and the type-0 ladder that
+  /// ladder() keeps advertising (its size must match type 0's).
+  std::shared_ptr<const core::MachineTopology> topology;
   /// Optional event tracer. Needs cores + 1 tracks (one per core plus a
   /// control track). All timestamps are *simulated* time converted to
   /// microseconds — never mix a Machine and a wall-clock host (the real
@@ -160,6 +171,37 @@ class Machine {
     return options_.power.ladder();
   }
   const SimOptions& options() const { return options_; }
+
+  /// Heterogeneous description, or nullptr on a homogeneous machine.
+  const core::MachineTopology* topology() const {
+    return options_.topology.get();
+  }
+  /// Cluster of `core` (0 on homogeneous machines).
+  std::size_t core_type_of(std::size_t core) const {
+    return options_.topology != nullptr
+               ? options_.topology->type_of_core(core)
+               : 0;
+  }
+  /// Rungs on `core`'s own ladder.
+  std::size_t core_ladder_size(std::size_t core) const {
+    return options_.topology != nullptr
+               ? options_.topology->type(core_type_of(core)).ladder.size()
+               : ladder().size();
+  }
+  /// Slowdown of `core` at `rung` relative to the machine's globally
+  /// fastest (type, rung) row; ladder().slowdown(rung) when homogeneous.
+  double core_slowdown(std::size_t core, std::size_t rung) const {
+    return options_.topology != nullptr
+               ? options_.topology->core_slowdown(core, rung)
+               : ladder().slowdown(rung);
+  }
+  /// Size of the rung axis spanning every cluster's ladder (BatchStats
+  /// cores_per_rung / SimResult rung_residency_s indexing).
+  std::size_t rung_axis_size() const {
+    return options_.topology != nullptr ? options_.topology->max_rungs()
+                                        : ladder().size();
+  }
+
   util::Xoshiro256& rng() { return rng_; }
   std::size_t batch_index() const { return batch_index_; }
   /// Absolute simulated time of the activity currently being processed
@@ -228,9 +270,15 @@ class Machine {
   const trace::TraceTask& task(TaskId id) const { return (*tasks_).at(id); }
 
   // --- execution -----------------------------------------------------------
-  /// Execution time of `t` on a core at `rung` (the paper's CPU-bound
-  /// model, extended with the memory-stall fraction alpha).
+  /// Execution time of `t` on a *type-0* core at `rung` (the paper's
+  /// CPU-bound model, extended with the memory-stall fraction alpha).
   double exec_time(const trace::TraceTask& t, std::size_t core_rung) const;
+
+  /// Execution time of `t` on a specific core at `core_rung` — the
+  /// typed generalization (identical to exec_time on homogeneous
+  /// machines); run_batch charges this.
+  double exec_time_on(const trace::TraceTask& t, std::size_t core,
+                      std::size_t core_rung) const;
 
   /// Run one batch starting at absolute sim time `start_s`; returns the
   /// absolute end time (barrier + policy overhead). Appends a BatchStats.

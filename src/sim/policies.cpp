@@ -118,8 +118,9 @@ std::optional<TaskId> CilkDPolicy::acquire(Machine& m, std::size_t core) {
     return got;
   }
   // Nothing anywhere: self-scale to the lowest frequency until more
-  // work appears or the barrier (the paper's "Cilk-D" baseline).
-  m.request_rung(core, m.ladder().slowest_index());
+  // work appears or the barrier (the paper's "Cilk-D" baseline). The
+  // bottom rung is the core's own ladder's (clusters may differ).
+  m.request_rung(core, m.core_ladder_size(core) - 1);
   return std::nullopt;
 }
 
@@ -152,7 +153,7 @@ std::optional<TaskId> OndemandPolicy::acquire(Machine& m,
   // Step one rung down per sampling period (gradual,
   // utilization-driven), re-evaluating at the governor's sampling rate.
   const std::size_t rung = m.rung(core);
-  if (rung + 1 < m.ladder().size()) {
+  if (rung + 1 < m.core_ladder_size(core)) {
     m.request_rung(core, rung + 1);
     m.request_repoll(10e-3);  // ondemand-style sampling interval
   }
@@ -175,21 +176,33 @@ void WatsPolicy::build_groups(const Machine& m) {
   if (core_rungs_.size() != m.cores()) {
     throw std::invalid_argument("WatsPolicy: core_rungs/core mismatch");
   }
-  std::map<std::size_t, std::vector<std::size_t>> by_rung;
+  // Groups are keyed by rung — or, on typed machines, by the topology's
+  // flattened (type, rung) row, so two clusters at the same rung index
+  // stay separate groups and the fastest-first order is by true
+  // effective speed rather than raw rung index.
+  const core::MachineTopology* topo = m.topology();
+  std::map<std::size_t, std::vector<std::size_t>> by_key;
   for (std::size_t c = 0; c < core_rungs_.size(); ++c) {
-    by_rung[core_rungs_[c]].push_back(c);
+    const std::size_t key =
+        topo != nullptr
+            ? topo->row_of(topo->type_of_core(c), core_rungs_[c])
+            : core_rungs_[c];
+    by_key[key].push_back(c);
   }
   core_group_.assign(m.cores(), 0);
-  for (auto& [rung, cores] : by_rung) {
+  for (auto& [key, cores] : by_key) {
     for (std::size_t c : cores) core_group_[c] = group_rung_.size();
-    group_rung_.push_back(rung);
+    group_rung_.push_back(topo != nullptr ? topo->row_rung(key) : key);
+    group_type_.push_back(topo != nullptr ? topo->row_type(key) : 0);
     group_cores_.push_back(std::move(cores));
   }
   // Preference lists over the u fixed groups (WATS's rob-the-weaker-first
   // lists never change because the frequencies never change).
   std::vector<dvfs::CGroup> groups;
   for (std::size_t g = 0; g < group_rung_.size(); ++g) {
-    groups.push_back(dvfs::CGroup{group_rung_[g], group_cores_[g]});
+    groups.push_back(dvfs::CGroup{.freq_index = group_rung_[g],
+                                  .core_type = group_type_[g],
+                                  .cores = group_cores_[g]});
   }
   prefs_ = core::PreferenceTable(
       dvfs::CGroupLayout(std::move(groups), {}, m.cores()));
@@ -259,18 +272,34 @@ std::optional<TaskId> WatsPolicy::acquire(Machine& m, std::size_t core) {
 
 void WatsPolicy::task_done(Machine& m, std::size_t core,
                            const trace::TraceTask& task, double exec_s) {
-  registry_.record(class_ids_.at(task.class_id),
-                   core::normalized_workload(exec_s, m.rung(core),
-                                             m.ladder()));
+  // Eq. 1 normalization against the machine's fastest row. WATS's model
+  // stays CPU-bound (no memory-stall correction — that is EEWA's
+  // memory-aware extension); on typed machines the executing core's own
+  // (type, rung) slowdown keeps workloads recorded on different
+  // clusters comparable. The homogeneous expression is kept verbatim.
+  const double w =
+      m.topology() != nullptr
+          ? exec_s / m.core_slowdown(core, m.rung(core))
+          : core::normalized_workload(exec_s, m.rung(core), m.ladder());
+  registry_.record(class_ids_.at(task.class_id), w);
 }
 
 double WatsPolicy::batch_end(Machine& m, double /*makespan_s*/) {
   // Rank classes by mean workload and pack them into groups fastest
   // first, proportionally to each group's computational capacity.
+  const core::MachineTopology* topo = m.topology();
   std::vector<double> capacity(group_cores_.size(), 0.0);
   for (std::size_t g = 0; g < group_cores_.size(); ++g) {
-    capacity[g] = static_cast<double>(group_cores_[g].size()) *
-                  m.ladder().relative_speed(group_rung_[g]);
+    if (topo != nullptr) {
+      // Typed capacity: each member core contributes its own cluster's
+      // relative speed at the group's rung.
+      for (std::size_t c : group_cores_[g]) {
+        capacity[g] += 1.0 / m.core_slowdown(c, group_rung_[g]);
+      }
+    } else {
+      capacity[g] = static_cast<double>(group_cores_[g].size()) *
+                    m.ladder().relative_speed(group_rung_[g]);
+    }
   }
   class_to_group_ = core::allocate_classes_proportional(
       registry_.iteration_profile(), capacity, registry_.class_count());
@@ -286,6 +315,11 @@ EewaPolicy::EewaPolicy(std::vector<std::string> class_names,
 void EewaPolicy::batch_start(Machine& m, const trace::Batch& batch,
                              std::size_t /*batch_index*/) {
   if (!ctrl_) {
+    // A typed machine hands its topology to the planner: the controller
+    // then builds per-core-type CC columns and carves typed plans.
+    if (m.topology() != nullptr && options_.adjuster.topology == nullptr) {
+      options_.adjuster.topology = m.options().topology;
+    }
     ctrl_ = std::make_unique<core::EewaController>(m.ladder(), m.cores(),
                                                    options_);
     for (const auto& name : class_names_) {
@@ -355,12 +389,19 @@ std::optional<TaskId> EewaPolicy::acquire(Machine& m, std::size_t core) {
   const double T = ctrl_->ideal_time_s();
   auto feasible_here = [&](TaskId id) {
     const std::size_t rung = m.rung(core);
-    // The fastest c-group must take anything, or tasks could strand.
-    if (rung == 0 || core_group_[core] == 0 || T <= 0.0) return true;
+    // The fastest c-group must take anything, or tasks could strand. A
+    // core running at the machine's full speed (slowdown 1 — on typed
+    // machines only the fastest cluster's top rung) likewise.
+    if (m.core_slowdown(core, rung) <= 1.0 || core_group_[core] == 0 ||
+        T <= 0.0) {
+      return true;
+    }
     const std::size_t cid = class_ids_.at(m.task(id).class_id);
     const double mean_w = ctrl_->registry().mean_workload(cid);
     const double alpha = ctrl_->registry().mean_alpha(cid);
-    const double eff = alpha + (1.0 - alpha) * m.ladder().slowdown(rung);
+    // core_slowdown is this core's own (type, rung) slowdown on typed
+    // machines and exactly ladder().slowdown(rung) otherwise.
+    const double eff = alpha + (1.0 - alpha) * m.core_slowdown(core, rung);
     return mean_w * eff <= T;
   };
   const auto& order = ctrl_->preferences().for_group(core_group_[core]);
@@ -383,7 +424,7 @@ std::optional<TaskId> EewaPolicy::acquire(Machine& m, std::size_t core) {
 void EewaPolicy::task_done(Machine& m, std::size_t core,
                            const trace::TraceTask& task, double exec_s) {
   ctrl_->record_task(class_ids_.at(task.class_id), exec_s, m.rung(core),
-                     task.cmi, task.mem_alpha);
+                     task.cmi, task.mem_alpha, m.core_type_of(core));
 }
 
 double EewaPolicy::batch_end(Machine& m, double makespan_s) {

@@ -129,9 +129,12 @@ class WatsPolicy : public Policy {
   core::TaskClassRegistry registry_;
   std::vector<std::size_t> class_ids_;  // trace class -> registry id
 
-  // Fixed c-group structure (built once).
+  // Fixed c-group structure (built once). On typed machines groups are
+  // keyed per (core type, rung) — clusters own independent ladders — and
+  // ordered by the topology's global effective-speed rows.
   std::vector<std::vector<std::size_t>> group_cores_;  // fastest first
   std::vector<std::size_t> group_rung_;
+  std::vector<std::size_t> group_type_;
   std::vector<std::size_t> core_group_;
   core::PreferenceTable prefs_ = {};
   bool groups_built_ = false;

@@ -19,6 +19,8 @@ const char* mode_name(FuzzMode mode) {
       return "service";
     case FuzzMode::kFleet:
       return "fleet";
+    case FuzzMode::kHetero:
+      return "hetero";
   }
   return "?";
 }
@@ -77,6 +79,14 @@ FuzzVerdict run_one(FuzzMode mode, std::uint64_t seed) {
       const auto spec = FleetSpec::random(seed);
       v.spec_summary = spec.summary();
       const auto r = check_fleet(spec);
+      v.ok = r.ok;
+      v.failure = r.failure;
+      break;
+    }
+    case FuzzMode::kHetero: {
+      const auto spec = HeteroSpec::random(seed);
+      v.spec_summary = spec.summary();
+      const auto r = check_hetero(spec);
       v.ok = r.ok;
       v.failure = r.failure;
       break;
@@ -404,6 +414,93 @@ std::vector<FleetSpec> fleet_mutants(const FleetSpec& s) {
   return out;
 }
 
+std::vector<HeteroSpec> hetero_mutants(const HeteroSpec& s) {
+  std::vector<HeteroSpec> out;
+  // Drop one class.
+  if (s.classes.size() > 1) {
+    for (std::size_t i = 0; i < s.classes.size(); ++i) {
+      HeteroSpec t = s;
+      t.classes.erase(t.classes.begin() + i);
+      for (std::size_t c = 0; c < t.classes.size(); ++c) {
+        t.classes[c].class_id = c;
+      }
+      out.push_back(std::move(t));
+    }
+  }
+  // Drop one whole core type (a machine needs at least one).
+  if (s.types.size() > 1) {
+    for (std::size_t t0 = 0; t0 < s.types.size(); ++t0) {
+      HeteroSpec t = s;
+      t.types.erase(t.types.begin() + t0);
+      out.push_back(std::move(t));
+    }
+  }
+  // Drop the deepest rung of one type (its ladder must keep a rung).
+  for (std::size_t t0 = 0; t0 < s.types.size(); ++t0) {
+    if (s.types[t0].ladder_ghz.size() > 1) {
+      HeteroSpec t = s;
+      t.types[t0].ladder_ghz.pop_back();
+      out.push_back(std::move(t));
+    }
+  }
+  // Halve per-type core counts.
+  {
+    bool any = false;
+    HeteroSpec t = s;
+    for (auto& ts : t.types) {
+      if (ts.count > 1) {
+        ts.count /= 2;
+        any = true;
+      }
+    }
+    if (any) out.push_back(std::move(t));
+  }
+  // Flatten MIPS scales back to 1 (toward the homogeneous shape).
+  {
+    bool any = false;
+    HeteroSpec t = s;
+    for (auto& ts : t.types) {
+      if (ts.mips_scale != 1.0) {
+        ts.mips_scale = 1.0;
+        any = true;
+      }
+    }
+    if (any) out.push_back(std::move(t));
+  }
+  // Halve class counts.
+  {
+    bool any = false;
+    HeteroSpec t = s;
+    for (auto& c : t.classes) {
+      if (c.count > 1) {
+        c.count /= 2;
+        any = true;
+      }
+    }
+    if (any) out.push_back(std::move(t));
+  }
+  // Zero the memory-aware alphas.
+  if (s.memory_aware) {
+    HeteroSpec z = s;
+    z.memory_aware = false;
+    for (auto& c : z.classes) c.mean_alpha = 0.0;
+    out.push_back(std::move(z));
+  }
+  // Relax T.
+  {
+    HeteroSpec relax = s;
+    relax.ideal_time_s *= 2.0;
+    out.push_back(std::move(relax));
+  }
+  // Drop the per-type power models (back to the speed proxy).
+  if (s.use_models) {
+    HeteroSpec t = s;
+    t.use_models = false;
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
 }  // namespace
 
 TableSpec shrink_table(
@@ -428,6 +525,12 @@ FleetSpec shrink_fleet(
     FleetSpec spec,
     const std::function<bool(const FleetSpec&)>& still_fails) {
   return shrink_greedy(std::move(spec), still_fails, fleet_mutants);
+}
+
+HeteroSpec shrink_hetero(
+    HeteroSpec spec,
+    const std::function<bool(const HeteroSpec&)>& still_fails) {
+  return shrink_greedy(std::move(spec), still_fails, hetero_mutants);
 }
 
 FuzzVerdict shrink(FuzzMode mode, std::uint64_t seed) {
@@ -480,6 +583,14 @@ FuzzVerdict shrink(FuzzMode mode, std::uint64_t seed) {
           [](const FleetSpec& s) { return !check_fleet(s).ok; });
       v.shrunk_summary = minimal.summary();
       v.shrunk_failure = check_fleet(minimal).failure;
+      break;
+    }
+    case FuzzMode::kHetero: {
+      const auto minimal = shrink_hetero(
+          HeteroSpec::random(seed),
+          [](const HeteroSpec& s) { return !check_hetero(s).ok; });
+      v.shrunk_summary = minimal.summary();
+      v.shrunk_failure = check_hetero(minimal).failure;
       break;
     }
   }

@@ -31,10 +31,11 @@ enum class FuzzMode {
   kEnergy,
   kService,
   kFleet,
+  kHetero,
 };
 
 /// CLI-facing name of a mode ("search", "search-large", "runtime",
-/// "energy", "service", "fleet").
+/// "energy", "service", "fleet", "hetero").
 const char* mode_name(FuzzMode mode);
 
 /// Verdict of one fuzz case.
@@ -96,6 +97,13 @@ ServiceSpec shrink_service(ServiceSpec spec,
 FleetSpec shrink_fleet(FleetSpec spec,
                        const std::function<bool(const FleetSpec&)>&
                            still_fails);
+
+/// Same idea for hetero specs (drop class, drop a whole core type, drop
+/// a rung of one type, halve per-type counts, flatten MIPS scales to 1,
+/// zero alphas, relax T, drop the power models).
+HeteroSpec shrink_hetero(HeteroSpec spec,
+                         const std::function<bool(const HeteroSpec&)>&
+                             still_fails);
 
 /// Run one case and, if it fails, bisect it to a minimal repro (fills
 /// shrunk_summary / shrunk_failure on the verdict).

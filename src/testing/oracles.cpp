@@ -8,6 +8,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/frequency_plan.hpp"
 #include "core/ktuple_search.hpp"
 #include "dvfs/frequency_ladder.hpp"
 #include "obs/metrics.hpp"
@@ -1050,6 +1051,410 @@ CheckResult check_fleet(const FleetSpec& spec) {
         "horizon %.9g ends before the last epoch %.9g", a.horizon_s,
         floor_time));
   }
+  return CheckResult::pass();
+}
+
+namespace {
+
+/// Per-type capacity audit of a typed tuple — the constraint the global
+/// validate_tuple cannot see: each class draws cores from the cluster
+/// its row belongs to, so per-type fractional usage must fit that
+/// type's own core count. Re-derived here, independent of
+/// tuple_is_valid's own typed branch.
+CheckResult validate_typed_tuple(const core::CCTable& cc,
+                                 const core::SearchResult& res,
+                                 const char* who) {
+  const core::MachineTopology& topo = *cc.topology();
+  std::vector<long double> used(topo.type_count(), 0.0L);
+  for (std::size_t i = 0; i < res.tuple.size(); ++i) {
+    used[topo.row_type(res.tuple[i])] += cc.demand(res.tuple[i], i);
+  }
+  for (std::size_t t = 0; t < used.size(); ++t) {
+    if (used[t] > static_cast<long double>(topo.type(t).count) + 1e-9) {
+      return CheckResult::fail(fmtf(
+          "%s: type %zu usage %.9g exceeds its %zu cores for tuple %s",
+          who, t, static_cast<double>(used[t]), topo.type(t).count,
+          tuple_str(res.tuple).c_str()));
+    }
+  }
+  return CheckResult::pass();
+}
+
+/// Structural checks on the generated topology: flattened rows descend
+/// by effective speed, row_of round-trips, slowdowns are >= 1 with row 0
+/// the exact reference, and per-type core-id ranges are contiguous.
+CheckResult check_topology(const HeteroSpec& spec,
+                           const core::MachineTopology& topo) {
+  std::size_t expect_rows = 0;
+  std::size_t expect_cores = 0;
+  for (const auto& t : spec.types) {
+    expect_rows += t.ladder_ghz.size();
+    expect_cores += t.count;
+  }
+  if (topo.row_count() != expect_rows) {
+    return CheckResult::fail(fmtf("topology has %zu rows, spec implies %zu",
+                                  topo.row_count(), expect_rows));
+  }
+  if (topo.total_cores() != expect_cores) {
+    return CheckResult::fail(fmtf("topology has %zu cores, spec says %zu",
+                                  topo.total_cores(), expect_cores));
+  }
+  if (topo.row_slowdown(0) != 1.0) {
+    return CheckResult::fail(
+        fmtf("row 0 slowdown is %.17g, not exactly 1", topo.row_slowdown(0)));
+  }
+  for (std::size_t j = 0; j < topo.row_count(); ++j) {
+    if (j > 0 && topo.row_speed(j) > topo.row_speed(j - 1) + 1e-15) {
+      return CheckResult::fail(
+          fmtf("row speeds not descending at row %zu: %.9g > %.9g", j,
+               topo.row_speed(j), topo.row_speed(j - 1)));
+    }
+    if (topo.row_slowdown(j) + 1e-12 < 1.0) {
+      return CheckResult::fail(
+          fmtf("row %zu slowdown %.9g below 1", j, topo.row_slowdown(j)));
+    }
+    const std::size_t t = topo.row_type(j);
+    const std::size_t rung = topo.row_rung(j);
+    if (t >= topo.type_count() ||
+        rung >= topo.type(t).ladder.size()) {
+      return CheckResult::fail(
+          fmtf("row %zu maps to out-of-range (type %zu, rung %zu)", j, t,
+               rung));
+    }
+    if (topo.row_of(t, rung) != j) {
+      return CheckResult::fail(
+          fmtf("row_of(%zu, %zu) = %zu, expected %zu round-trip", t, rung,
+               topo.row_of(t, rung), j));
+    }
+  }
+  std::size_t next_core = 0;
+  for (std::size_t t = 0; t < topo.type_count(); ++t) {
+    if (topo.first_core(t) != next_core) {
+      return CheckResult::fail(
+          fmtf("type %zu first core %zu, expected contiguous %zu", t,
+               topo.first_core(t), next_core));
+    }
+    for (std::size_t c = 0; c < topo.type(t).count; ++c) {
+      if (topo.type_of_core(next_core + c) != t) {
+        return CheckResult::fail(
+            fmtf("core %zu owned by type %zu, expected %zu", next_core + c,
+                 topo.type_of_core(next_core + c), t));
+      }
+    }
+    const std::size_t slowest = topo.slowest_row_of_type(t);
+    if (topo.row_type(slowest) != t ||
+        topo.row_rung(slowest) != topo.type(t).ladder.size() - 1) {
+      return CheckResult::fail(
+          fmtf("slowest_row_of_type(%zu) = row %zu does not name the "
+               "type's last rung",
+               t, slowest));
+    }
+    next_core += topo.type(t).count;
+  }
+  return CheckResult::pass();
+}
+
+/// The typed plan carver's structural contract: every core in exactly
+/// one group, every group inside its own type's contiguous core range
+/// and ladder, every class mapped to a real group.
+CheckResult check_typed_plan(const core::CCTable& cc,
+                             const core::FrequencyPlan& plan,
+                             std::size_t m) {
+  const core::MachineTopology& topo = *cc.topology();
+  const auto& layout = plan.layout;
+  if (layout.total_cores() != m) {
+    return CheckResult::fail(fmtf("plan covers %zu cores, machine has %zu",
+                                  layout.total_cores(), m));
+  }
+  std::size_t covered = 0;
+  for (std::size_t g = 0; g < layout.group_count(); ++g) {
+    covered += layout.group(g).cores.size();
+  }
+  if (covered != m) {
+    return CheckResult::fail(
+        fmtf("plan groups cover %zu cores, expected every one of %zu",
+             covered, m));
+  }
+  for (std::size_t c = 0; c < m; ++c) {
+    if (!layout.core_assigned(c)) {
+      return CheckResult::fail(fmtf("core %zu is in no c-group", c));
+    }
+  }
+  if (plan.planned) {
+    for (std::size_t g = 0; g < layout.group_count(); ++g) {
+      const auto& grp = layout.group(g);
+      if (grp.core_type >= topo.type_count()) {
+        return CheckResult::fail(
+            fmtf("group %zu names type %zu of %zu", g, grp.core_type,
+                 topo.type_count()));
+      }
+      const auto& ct = topo.type(grp.core_type);
+      if (grp.freq_index >= ct.ladder.size()) {
+        return CheckResult::fail(
+            fmtf("group %zu rung %zu past type %zu's %zu-rung ladder", g,
+                 grp.freq_index, grp.core_type, ct.ladder.size()));
+      }
+      const std::size_t lo = topo.first_core(grp.core_type);
+      for (std::size_t c : grp.cores) {
+        if (c < lo || c >= lo + ct.count) {
+          return CheckResult::fail(
+              fmtf("group %zu (type %zu) claims core %zu outside "
+                   "[%zu, %zu)",
+                   g, grp.core_type, c, lo, lo + ct.count));
+        }
+      }
+    }
+  }
+  if (layout.class_count() != cc.cols()) {
+    return CheckResult::fail(fmtf("plan maps %zu classes, table has %zu",
+                                  layout.class_count(), cc.cols()));
+  }
+  for (std::size_t i = 0; i < layout.class_count(); ++i) {
+    if (layout.group_of_class(i) >= layout.group_count()) {
+      return CheckResult::fail(
+          fmtf("class %zu mapped to group %zu of %zu", i,
+               layout.group_of_class(i), layout.group_count()));
+    }
+  }
+  return CheckResult::pass();
+}
+
+}  // namespace
+
+CheckResult check_hetero(const HeteroSpec& spec) {
+  const core::MachineTopology topo = spec.build_topology();
+  if (auto v = check_topology(spec, topo); !v.ok) return v;
+
+  const core::CCTable cc = spec.build();
+  const std::size_t m = spec.total_cores();
+  if (cc.topology() == nullptr) {
+    return CheckResult::fail("build_typed produced a table with no topology");
+  }
+  if (cc.rows() != topo.row_count() || cc.cols() != spec.classes.size()) {
+    return CheckResult::fail(fmtf("typed table is %zux%zu, expected %zux%zu",
+                                  cc.rows(), cc.cols(), topo.row_count(),
+                                  spec.classes.size()));
+  }
+
+  // The typed CC identity (generalized Eq. 1): every row scales its
+  // column base by that row's effective slowdown.
+  for (std::size_t i = 0; i < cc.cols(); ++i) {
+    const auto& c = spec.classes[i];
+    const double base = c.total_workload() / spec.ideal_time_s;
+    if (!close_rel(cc.at(0, i), base, 1e-9)) {
+      return CheckResult::fail(
+          fmtf("CC[0][%zu]=%.9g != n·w̄/T=%.9g", i, cc.at(0, i), base));
+    }
+    const double alpha = spec.memory_aware ? c.mean_alpha : 0.0;
+    for (std::size_t j = 1; j < cc.rows(); ++j) {
+      const double want =
+          (alpha + (1.0 - alpha) * topo.row_slowdown(j)) * base;
+      if (!close_rel(cc.at(j, i), want, 1e-9)) {
+        return CheckResult::fail(
+            fmtf("CC[%zu][%zu]=%.9g != s_eff·base=%.9g", j, i, cc.at(j, i),
+                 want));
+      }
+    }
+    // rung_feasible / demand consistency, as in the homogeneous oracle:
+    // an admitted rung must let a mean-sized task finish within T.
+    for (std::size_t j = 1; j < cc.rows(); ++j) {
+      if (cc.at(0, i) <= 0.0) continue;
+      const double eff = cc.at(j, i) / cc.at(0, i);
+      if (cc.rung_feasible(j, i) && c.mean_workload > 0.0 &&
+          c.mean_workload * eff > spec.ideal_time_s * (1.0 + 1e-6)) {
+        return CheckResult::fail(
+            fmtf("rung_feasible admits (row=%zu, i=%zu) but a mean task "
+                 "takes %.9g > T=%.9g",
+                 j, i, c.mean_workload * eff, spec.ideal_time_s));
+      }
+    }
+  }
+
+  // Searcher differential, as check_search runs it — same budget, same
+  // small-table exhaustive gate — plus the per-type capacity audit.
+  const bool small = cc.rows() * cc.cols() <= 25;
+  const auto bt =
+      core::search_backtracking(cc, m, core::kIncumbentNodeBudget);
+  const auto gr = core::search_greedy(cc, m);
+  const auto pr = core::search_pruned(cc, m);
+  const auto ex = small ? core::search_exhaustive(cc, m)
+                        : core::SearchResult{};
+  if (pr.aborted != bt.aborted) {
+    return CheckResult::fail(
+        fmtf("abort disagreement: pruned incumbent=%d backtracking=%d",
+             pr.aborted ? 1 : 0, bt.aborted ? 1 : 0));
+  }
+
+  struct Rerun {
+    const core::SearchResult& first;
+    core::SearchKind kind;
+    bool run;
+  };
+  const Rerun reruns[] = {{bt, core::SearchKind::kBacktracking, true},
+                          {gr, core::SearchKind::kGreedy, true},
+                          {pr, core::SearchKind::kPruned, true},
+                          {ex, core::SearchKind::kExhaustive, small}};
+  for (const auto& r : reruns) {
+    if (!r.run) continue;
+    const auto again =
+        r.kind == core::SearchKind::kBacktracking
+            ? core::search_backtracking(cc, m, core::kIncumbentNodeBudget)
+            : core::search_ktuple(cc, m, r.kind);
+    if (again.found != r.first.found || again.tuple != r.first.tuple ||
+        again.nodes_visited != r.first.nodes_visited) {
+      return CheckResult::fail(
+          "typed searcher is nondeterministic across runs");
+    }
+  }
+
+  if (!bt.aborted) {
+    if (small && ex.found != bt.found) {
+      return CheckResult::fail(
+          fmtf("feasibility disagreement: exhaustive=%d backtracking=%d",
+               ex.found ? 1 : 0, bt.found ? 1 : 0));
+    }
+    if (pr.found != bt.found) {
+      return CheckResult::fail(
+          fmtf("feasibility disagreement: pruned=%d backtracking=%d",
+               pr.found ? 1 : 0, bt.found ? 1 : 0));
+    }
+    if (gr.found && !bt.found) {
+      return CheckResult::fail("greedy found a tuple backtracking missed");
+    }
+  }
+  if (small && ex.found != pr.found) {
+    return CheckResult::fail(
+        fmtf("feasibility disagreement: exhaustive=%d pruned=%d",
+             ex.found ? 1 : 0, pr.found ? 1 : 0));
+  }
+
+  struct Named {
+    const core::SearchResult& res;
+    const char* who;
+  };
+  const Named named[] = {{bt, "backtracking"},
+                         {gr, "greedy"},
+                         {pr, "pruned"},
+                         {ex, "exhaustive"}};
+  for (const auto& n : named) {
+    if (!n.res.found) continue;
+    if (auto v = validate_tuple(cc, n.res, m, n.who); !v.ok) return v;
+    if (auto v = validate_typed_tuple(cc, n.res, n.who); !v.ok) return v;
+  }
+
+  if (!bt.aborted && gr.found && gr.tuple != bt.tuple) {
+    return CheckResult::fail(
+        fmtf("greedy tuple %s != backtracking tuple %s",
+             tuple_str(gr.tuple).c_str(), tuple_str(bt.tuple).c_str()));
+  }
+
+  if (bt.found) {
+    const double e_bt = core::tuple_energy_estimate(cc, bt.tuple, m);
+    const double e_pr = core::tuple_energy_estimate(cc, pr.tuple, m);
+    if (gr.found) {
+      const double e_gr = core::tuple_energy_estimate(cc, gr.tuple, m);
+      if (e_bt > e_gr * (1.0 + 1e-9) + 1e-12) {
+        return CheckResult::fail(
+            fmtf("E(backtracking)=%.9g beaten by E(greedy)=%.9g", e_bt,
+                 e_gr));
+      }
+    }
+    if (e_pr > e_bt * (1.0 + 1e-9) + 1e-12) {
+      return CheckResult::fail(
+          fmtf("E(pruned)=%.9g worse than E(backtracking)=%.9g "
+               "(tuples %s vs %s)",
+               e_pr, e_bt, tuple_str(pr.tuple).c_str(),
+               tuple_str(bt.tuple).c_str()));
+    }
+    if (small) {
+      const double e_ex = core::tuple_energy_estimate(cc, ex.tuple, m);
+      if (e_ex > e_bt * (1.0 + 1e-9) + 1e-12) {
+        return CheckResult::fail(
+            fmtf("E(exhaustive)=%.9g worse than E(backtracking)=%.9g",
+                 e_ex, e_bt));
+      }
+      // The tentpole invariant, typed: pruned matches exhaustive energy
+      // under per-type capacities.
+      if (!close_rel(e_pr, e_ex, 1e-9, 1e-9)) {
+        return CheckResult::fail(
+            fmtf("E(pruned)=%.12g != E(exhaustive)=%.12g (tuples %s vs %s)",
+                 e_pr, e_ex, tuple_str(pr.tuple).c_str(),
+                 tuple_str(ex.tuple).c_str()));
+      }
+    }
+  }
+
+  // Plan carving over the pruned result (and the uniform fallback when
+  // the search failed).
+  const auto plan = core::make_frequency_plan(
+      cc, pr, m, dvfs::FrequencyLadder(spec.types[0].ladder_ghz),
+      cc.cols());
+  if (plan.planned != pr.found) {
+    return CheckResult::fail(
+        fmtf("plan.planned=%d but search found=%d", plan.planned ? 1 : 0,
+             pr.found ? 1 : 0));
+  }
+  if (auto v = check_typed_plan(cc, plan, m); !v.ok) return v;
+
+  // Degenerate-equality law 1: a single-type scale-1 topology is the
+  // homogeneous machine, and build_typed must reproduce CCTable::build
+  // bit for bit (same searcher feasibility follows from the identical
+  // table + a capacity equal to the single type's count).
+  if (spec.types.size() == 1 && spec.types[0].mips_scale == 1.0) {
+    const auto hom = core::CCTable::build(
+        spec.classes, dvfs::FrequencyLadder(spec.types[0].ladder_ghz),
+        spec.ideal_time_s, spec.memory_aware);
+    for (std::size_t j = 0; j < cc.rows(); ++j) {
+      for (std::size_t i = 0; i < cc.cols(); ++i) {
+        if (cc.at(j, i) != hom.at(j, i)) {
+          return CheckResult::fail(
+              fmtf("single-type typed CC[%zu][%zu]=%.17g != homogeneous "
+                   "%.17g",
+                   j, i, cc.at(j, i), hom.at(j, i)));
+        }
+      }
+    }
+    const auto pr_hom = core::search_pruned(hom, m);
+    if (pr_hom.found != pr.found) {
+      return CheckResult::fail(
+          fmtf("single-type feasibility: typed pruned=%d homogeneous=%d",
+               pr.found ? 1 : 0, pr_hom.found ? 1 : 0));
+    }
+    if (pr_hom.found &&
+        !core::tuple_is_valid(cc, pr_hom.tuple, m)) {
+      return CheckResult::fail(
+          "homogeneous winner rejected by the typed validity check");
+    }
+  }
+
+  // Degenerate-equality law 2 (the memory-aware identity): with every
+  // alpha zeroed, memory_aware=true must be bitwise identical to
+  // memory_aware=false — same table, same winning tuple.
+  {
+    auto zeroed = spec.classes;
+    for (auto& c : zeroed) c.mean_alpha = 0.0;
+    const auto on =
+        core::CCTable::build_typed(zeroed, topo, spec.ideal_time_s, true);
+    const auto off =
+        core::CCTable::build_typed(zeroed, topo, spec.ideal_time_s, false);
+    for (std::size_t j = 0; j < on.rows(); ++j) {
+      for (std::size_t i = 0; i < on.cols(); ++i) {
+        if (on.at(j, i) != off.at(j, i)) {
+          return CheckResult::fail(
+              fmtf("zero-alpha CC[%zu][%zu] differs: aware=%.17g "
+                   "unaware=%.17g",
+                   j, i, on.at(j, i), off.at(j, i)));
+        }
+      }
+    }
+    const auto pr_on = core::search_pruned(on, m);
+    const auto pr_off = core::search_pruned(off, m);
+    if (pr_on.found != pr_off.found || pr_on.tuple != pr_off.tuple) {
+      return CheckResult::fail(
+          "zero-alpha memory_aware flag changed the winning tuple");
+    }
+  }
+
   return CheckResult::pass();
 }
 

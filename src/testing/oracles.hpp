@@ -74,4 +74,19 @@ CheckResult check_energy(const WorkloadSpec& spec);
 /// both power and wake latency.
 CheckResult check_fleet(const FleetSpec& spec);
 
+/// Hetero oracle: build a typed CC table over a generated multi-type
+/// topology and cross-check the typed planner end to end — topology
+/// flattening (descending row speeds, row_of round-trips, contiguous
+/// per-type core ranges), the typed CC identity CC[row][i] =
+/// (α_i + (1-α_i)·row_slowdown(row)) · CC[0][i], searcher agreement
+/// under per-type core capacities (backtracking vs greedy vs pruned,
+/// with exhaustive ground truth when rows·k is small), energy ordering
+/// under the typed estimate, double-run determinism, plan carving
+/// (every core exactly once, each group inside its type's core range
+/// and ladder), and two degenerate-equality laws: a single-type
+/// scale-1 topology reproduces the homogeneous build bit for bit, and
+/// memory_aware with all-zero alphas is bitwise identical to
+/// memory_aware off.
+CheckResult check_hetero(const HeteroSpec& spec);
+
 }  // namespace eewa::testing

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <memory>
 
 #include "dvfs/frequency_ladder.hpp"
 #include "util/rng.hpp"
@@ -473,6 +474,124 @@ std::string FleetSpec::summary() const {
     const auto& c = arrivals.classes[i];
     appendf(out, "%s{%s w=%.2f mean=%.6g cv=%.2f}", i ? ", " : "",
             c.name.c_str(), c.weight, c.mean_work_s, c.cv);
+  }
+  out += "]";
+  return out;
+}
+
+HeteroSpec HeteroSpec::random(std::uint64_t seed) {
+  util::Xoshiro256 rng(util::mix64(seed ^ 0x4e7e60eedULL));
+  HeteroSpec spec;
+  spec.seed = seed;
+
+  // Single-type machines stay common: they anchor the typed-vs-
+  // homogeneous differential and make shrunk repros readable.
+  const std::size_t nt = rng.chance(0.35) ? 1 : 2 + rng.bounded(2);
+  for (std::size_t t = 0; t < nt; ++t) {
+    TypeSpec ts;
+    const std::size_t r = rng.chance(0.15) ? 1 : 1 + rng.bounded(4);
+    ts.ladder_ghz = random_ladder(rng, r);
+    // Exact 1.0 stays common — with one type it is the degenerate shape
+    // the typed build must reproduce bit for bit.
+    ts.mips_scale = rng.chance(0.3) ? 1.0 : rng.uniform(0.3, 1.5);
+    ts.count = 1 + rng.bounded(8);
+    spec.types.push_back(std::move(ts));
+  }
+  spec.use_models = rng.chance(0.5);
+  spec.memory_aware = rng.chance(0.4);
+
+  // Classes as in TableSpec::random: descending means, zero counts,
+  // zero means and missing max metadata all appear.
+  const std::size_t k = rng.chance(0.15) ? 1 : 1 + rng.bounded(4);
+  double mean = rng.uniform(1e-4, 5e-2);
+  for (std::size_t i = 0; i < k; ++i) {
+    core::ClassProfile c;
+    c.class_id = i;
+    c.name = "TC" + std::to_string(i);
+    c.count = rng.chance(0.1) ? 0 : rng.bounded(200);
+    c.mean_workload = rng.chance(0.08) ? 0.0 : mean;
+    c.max_workload =
+        rng.chance(0.25) ? 0.0 : c.mean_workload * rng.uniform(1.0, 3.0);
+    if (spec.memory_aware) c.mean_alpha = rng.uniform(0.0, 0.9);
+    spec.classes.push_back(std::move(c));
+    mean *= rng.uniform(0.2, 1.0);
+  }
+  std::stable_sort(spec.classes.begin(), spec.classes.end(),
+                   [](const core::ClassProfile& a,
+                      const core::ClassProfile& b) {
+                     return a.mean_workload > b.mean_workload;
+                   });
+  for (std::size_t i = 0; i < spec.classes.size(); ++i) {
+    spec.classes[i].class_id = i;
+  }
+  double total_w = 0.0;
+  for (const auto& c : spec.classes) total_w += c.total_workload();
+  const double base_t =
+      total_w > 0.0 ? total_w / static_cast<double>(spec.total_cores())
+                    : 1e-3;
+  spec.ideal_time_s =
+      base_t * (rng.chance(0.25) ? rng.uniform(0.2, 0.9)
+                                 : rng.uniform(1.0, 4.0));
+  return spec;
+}
+
+std::size_t HeteroSpec::total_cores() const {
+  std::size_t m = 0;
+  for (const auto& t : types) m += t.count;
+  return m;
+}
+
+core::MachineTopology HeteroSpec::build_topology() const {
+  std::vector<core::CoreType> out;
+  for (std::size_t t = 0; t < types.size(); ++t) {
+    const TypeSpec& ts = types[t];
+    core::CoreType ct;
+    ct.name = "T" + std::to_string(t);
+    ct.ladder = dvfs::FrequencyLadder(ts.ladder_ghz);
+    ct.mips_scale.assign(ts.ladder_ghz.size(), ts.mips_scale);
+    ct.count = ts.count;
+    if (use_models) {
+      // Same voltage curve as TableSpec::build_model, per type ladder;
+      // the MIPS scale also scales power, so LITTLE cores are cheap.
+      std::vector<double> volts(ct.ladder.size());
+      for (std::size_t j = 0; j < ct.ladder.size(); ++j) {
+        volts[j] = 0.8 + 0.5 * ct.ladder.relative_speed(j);
+      }
+      ct.model = std::make_shared<const energy::PowerModel>(
+          ct.ladder, std::move(volts),
+          /*dyn_coeff_w=*/2.0 * ts.mips_scale,
+          /*core_static_w=*/1.0 * ts.mips_scale, /*floor_w=*/0.0);
+    }
+    out.push_back(std::move(ct));
+  }
+  return core::MachineTopology(std::move(out));
+}
+
+core::CCTable HeteroSpec::build() const {
+  return core::CCTable::build_typed(classes, build_topology(),
+                                    ideal_time_s, memory_aware);
+}
+
+std::string HeteroSpec::summary() const {
+  std::string out;
+  appendf(out, "HeteroSpec seed=%llu models=%d T=%.6g memory_aware=%d "
+          "types=[",
+          static_cast<unsigned long long>(seed), use_models ? 1 : 0,
+          ideal_time_s, memory_aware ? 1 : 0);
+  for (std::size_t t = 0; t < types.size(); ++t) {
+    const auto& ts = types[t];
+    appendf(out, "%s{n=%zu scale=%.3f ladder=[", t ? ", " : "", ts.count,
+            ts.mips_scale);
+    for (std::size_t j = 0; j < ts.ladder_ghz.size(); ++j) {
+      appendf(out, "%s%.4f", j ? ", " : "", ts.ladder_ghz[j]);
+    }
+    out += "]}";
+  }
+  out += "] classes=[";
+  for (std::size_t i = 0; i < classes.size(); ++i) {
+    const auto& c = classes[i];
+    appendf(out, "%s{n=%zu mean=%.6g max=%.6g alpha=%.3f}", i ? ", " : "",
+            c.count, c.mean_workload, c.max_workload, c.mean_alpha);
   }
   out += "]";
   return out;

@@ -151,6 +151,48 @@ struct FleetSpec {
   std::string summary() const;
 };
 
+/// A generated heterogeneous-machine scenario for the hetero oracle: a
+/// typed topology (one to three core types, each with its own frequency
+/// ladder, MIPS scale and core count, optionally per-type power models)
+/// plus a class mix and ideal time — TableSpec's role, for typed tables.
+/// The single-type mips_scale=1 degenerate shape stays common: it is
+/// where the typed planner must agree with the homogeneous build bit
+/// for bit.
+struct HeteroSpec {
+  std::uint64_t seed = 0;
+
+  /// One core type of the generated machine.
+  struct TypeSpec {
+    std::vector<double> ladder_ghz;  ///< descending, distinct
+    double mips_scale = 1.0;         ///< uniform across the type's rungs
+    std::size_t count = 1;           ///< cores of this type
+  };
+  std::vector<TypeSpec> types;
+
+  std::vector<core::ClassProfile> classes;  ///< sorted desc by mean
+  double ideal_time_s = 1.0;
+  bool memory_aware = false;
+  bool use_models = false;  ///< attach per-type power models
+
+  /// Deterministic expansion of a seed. Shapes bias small (most cases
+  /// stay under the rows·k <= 25 exhaustive gate, so the typed pruned
+  /// searcher is checked against ground truth), but multi-type tables
+  /// past the gate appear too.
+  static HeteroSpec random(std::uint64_t seed);
+
+  /// Σ per-type counts — the machine size m.
+  std::size_t total_cores() const;
+
+  /// Build the typed machine this spec describes.
+  core::MachineTopology build_topology() const;
+
+  /// CCTable::build_typed over build_topology().
+  core::CCTable build() const;
+
+  /// Human-readable dump, complete enough to reconstruct the case.
+  std::string summary() const;
+};
+
 /// Busy-spin for `seconds` of wall time — the runtime-oracle task body.
 void burn_for(double seconds);
 

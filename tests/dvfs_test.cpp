@@ -119,22 +119,22 @@ TEST(CGroupLayout, UniformCoversAllCores) {
 
 TEST(CGroupLayout, ValidatesStructure) {
   // Unordered groups rejected.
-  EXPECT_THROW(CGroupLayout({CGroup{2, {0}}, CGroup{1, {1}}}, {}, 2),
+  EXPECT_THROW(CGroupLayout({CGroup{.freq_index = 2, .cores = {0}}, CGroup{.freq_index = 1, .cores = {1}}}, {}, 2),
                std::invalid_argument);
   // Core in two groups rejected.
-  EXPECT_THROW(CGroupLayout({CGroup{0, {0}}, CGroup{1, {0}}}, {}, 2),
+  EXPECT_THROW(CGroupLayout({CGroup{.freq_index = 0, .cores = {0}}, CGroup{.freq_index = 1, .cores = {0}}}, {}, 2),
                std::invalid_argument);
   // Out-of-range core rejected.
-  EXPECT_THROW(CGroupLayout({CGroup{0, {5}}}, {}, 2), std::invalid_argument);
+  EXPECT_THROW(CGroupLayout({CGroup{.freq_index = 0, .cores = {5}}}, {}, 2), std::invalid_argument);
   // Class mapped to missing group rejected.
-  EXPECT_THROW(CGroupLayout({CGroup{0, {0, 1}}}, {3}, 2),
+  EXPECT_THROW(CGroupLayout({CGroup{.freq_index = 0, .cores = {0, 1}}}, {3}, 2),
                std::invalid_argument);
   // Empty layout rejected.
   EXPECT_THROW(CGroupLayout({}, {}, 2), std::invalid_argument);
 }
 
 TEST(CGroupLayout, CoresPerRungCountsCorrectly) {
-  CGroupLayout l({CGroup{1, {0, 1, 2}}, CGroup{3, {3, 4}}}, {0, 1}, 5);
+  CGroupLayout l({CGroup{.freq_index = 1, .cores = {0, 1, 2}}, CGroup{.freq_index = 3, .cores = {3, 4}}}, {0, 1}, 5);
   const auto counts = l.cores_per_rung(4);
   EXPECT_EQ(counts[0], 0u);
   EXPECT_EQ(counts[1], 3u);
@@ -145,7 +145,7 @@ TEST(CGroupLayout, CoresPerRungCountsCorrectly) {
 }
 
 TEST(CGroupLayout, PartialCoverageDetected) {
-  CGroupLayout l({CGroup{0, {0}}}, {}, 3);
+  CGroupLayout l({CGroup{.freq_index = 0, .cores = {0}}}, {}, 3);
   EXPECT_TRUE(l.core_assigned(0));
   EXPECT_FALSE(l.core_assigned(2));
   EXPECT_THROW(l.group_of_core(2), std::out_of_range);

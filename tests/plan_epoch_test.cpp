@@ -119,6 +119,26 @@ TEST(PlanSnapshot, ValidRejectsTornStructures) {
   EXPECT_FALSE(broken->valid(workers));
 }
 
+TEST(PlanSnapshot, ValidAcceptsInterleavedTypedRungs) {
+  // On a heterogeneous layout groups are ordered by global effective
+  // speed, so rungs of different types interleave: big@0, LITTLE@0,
+  // big@3 is a legal plan. freq_index is only strictly increasing
+  // *within* a type; valid() must not reject the interleaving.
+  const std::size_t workers = 4;
+  std::vector<dvfs::CGroup> groups = {
+      dvfs::CGroup{.freq_index = 0, .core_type = 0, .cores = {0}},
+      dvfs::CGroup{.freq_index = 0, .core_type = 1, .cores = {2, 3}},
+      dvfs::CGroup{.freq_index = 3, .core_type = 0, .cores = {1}}};
+  core::FrequencyPlan plan;
+  plan.planned = true;
+  plan.layout = dvfs::CGroupLayout(std::move(groups), {0, 1, 2}, workers);
+  plan.tuple = {0, 3, 4};  // global rows, sorted ascending
+  plan.claimed_cores = workers;
+  auto snap = PlanSnapshot::build(1, plan, rungs_of(plan, workers), workers);
+  ASSERT_NE(snap, nullptr);
+  EXPECT_TRUE(snap->valid(workers));
+}
+
 TEST(PlanPublisher, RejectedSnapshotNeverBecomesVisible) {
   const std::size_t workers = 2;
   PlanPublisher pub(workers + 1, workers);  // runtime shape: +1 dispatcher

@@ -88,9 +88,9 @@ INSTANTIATE_TEST_SUITE_P(U, PreferenceSweep,
                          ::testing::Values(1, 2, 3, 4, 5, 8, 16));
 
 TEST(PreferenceTable, BuildsOneListPerGroup) {
-  dvfs::CGroupLayout layout({dvfs::CGroup{0, {0, 1}},
-                             dvfs::CGroup{2, {2, 3}},
-                             dvfs::CGroup{3, {4}}},
+  dvfs::CGroupLayout layout({dvfs::CGroup{.freq_index = 0, .cores = {0, 1}},
+                             dvfs::CGroup{.freq_index = 2, .cores = {2, 3}},
+                             dvfs::CGroup{.freq_index = 3, .cores = {4}}},
                             {0, 1, 2}, 5);
   const PreferenceTable table(layout);
   EXPECT_EQ(table.group_count(), 3u);

@@ -396,7 +396,9 @@ TEST(FaultTolerantDvfs, ReconcilePlanRegroupsByAchievedRung) {
   core::FrequencyPlan intended;
   intended.planned = true;
   intended.layout =
-      dvfs::CGroupLayout({{0, {0, 1}}, {2, {2, 3}}}, {0, 1}, 4);
+      dvfs::CGroupLayout({{.freq_index = 0, .cores = {0, 1}},
+                          {.freq_index = 2, .cores = {2, 3}}},
+                         {0, 1}, 4);
   // Core 1 drifted to rung 1; everyone else reached their target.
   const std::vector<std::size_t> achieved{0, 1, 2, 2};
   const auto r = core::reconcile_plan(intended, achieved);
@@ -416,7 +418,8 @@ TEST(FaultTolerantDvfs, ReconcilePlanRegroupsByAchievedRung) {
 TEST(FaultTolerantDvfs, ReconcilePlanTieBreaksToFasterGroup) {
   core::FrequencyPlan intended;
   intended.planned = true;
-  intended.layout = dvfs::CGroupLayout({{1, {0, 1, 2, 3}}}, {0}, 4);
+  intended.layout = dvfs::CGroupLayout(
+      {{.freq_index = 1, .cores = {0, 1, 2, 3}}}, {0}, 4);
   // The intended rung 1 vanished: cores ended up at rungs 0 and 2,
   // both one rung away. The class must go to the faster group.
   const std::vector<std::size_t> achieved{0, 0, 2, 2};
